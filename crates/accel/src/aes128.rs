@@ -1,0 +1,354 @@
+//! AES-128 (FIPS 197), implemented from scratch.
+//!
+//! Provides the block cipher ([`Aes128`]: key expansion, encrypt, decrypt)
+//! and the accelerator model [`Aes128Accel`]: 128-bit blocks in, 128-bit
+//! ciphertext out, 41-cycle latency (paper §6.1), with the key delivered
+//! via the coherent CSR struct at registration time (paper §5.2).
+
+use crate::accelerator::{AccelDescriptor, Accelerator, ConfigError};
+
+/// The S-box (FIPS 197 figure 7).
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+/// The inverse S-box, derived from [`SBOX`] at first use.
+fn inv_sbox() -> &'static [u8; 256] {
+    use std::sync::OnceLock;
+    static INV: OnceLock<[u8; 256]> = OnceLock::new();
+    INV.get_or_init(|| {
+        let mut inv = [0u8; 256];
+        for (i, &s) in SBOX.iter().enumerate() {
+            inv[s as usize] = i as u8;
+        }
+        inv
+    })
+}
+
+/// Multiplication in GF(2^8) with the AES polynomial 0x11b.
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// An expanded AES-128 key schedule.
+#[derive(Debug, Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl Aes128 {
+    /// Expands a 128-bit key (FIPS 197 §5.2).
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i].copy_from_slice(&key[i * 4..i * 4 + 4]);
+        }
+        let mut rcon = 1u8;
+        for i in 4..44 {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = gmul(rcon, 2);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for r in 0..11 {
+            for c in 0..4 {
+                round_keys[r][c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+            }
+        }
+        Self { round_keys }
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk) {
+            *s ^= k;
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
+    }
+
+    fn inv_sub_bytes(state: &mut [u8; 16]) {
+        let inv = inv_sbox();
+        for b in state.iter_mut() {
+            *b = inv[*b as usize];
+        }
+    }
+
+    /// State layout: column-major (byte `r + 4c` is row r, column c), i.e.
+    /// the natural order of the input block.
+    fn shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[r + 4 * c] = s[r + 4 * ((c + r) % 4)];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[r + 4 * ((c + r) % 4)] = s[r + 4 * c];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col: [u8; 4] = state[c * 4..c * 4 + 4].try_into().expect("col");
+            state[c * 4] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
+            state[c * 4 + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
+            state[c * 4 + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
+            state[c * 4 + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2);
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col: [u8; 4] = state[c * 4..c * 4 + 4].try_into().expect("col");
+            state[c * 4] =
+                gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+            state[c * 4 + 1] =
+                gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
+            state[c * 4 + 2] =
+                gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
+            state[c * 4 + 3] =
+                gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+        }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut state = *block;
+        Self::add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..10 {
+            Self::sub_bytes(&mut state);
+            Self::shift_rows(&mut state);
+            Self::mix_columns(&mut state);
+            Self::add_round_key(&mut state, &self.round_keys[round]);
+        }
+        Self::sub_bytes(&mut state);
+        Self::shift_rows(&mut state);
+        Self::add_round_key(&mut state, &self.round_keys[10]);
+        state
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut state = *block;
+        Self::add_round_key(&mut state, &self.round_keys[10]);
+        for round in (1..10).rev() {
+            Self::inv_shift_rows(&mut state);
+            Self::inv_sub_bytes(&mut state);
+            Self::add_round_key(&mut state, &self.round_keys[round]);
+            Self::inv_mix_columns(&mut state);
+        }
+        Self::inv_shift_rows(&mut state);
+        Self::inv_sub_bytes(&mut state);
+        Self::add_round_key(&mut state, &self.round_keys[0]);
+        state
+    }
+}
+
+/// Direction of [`Aes128Accel`], selected by the CSR struct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AesDirection {
+    /// Encrypt input blocks (the paper's benchmark).
+    #[default]
+    Encrypt,
+    /// Decrypt input blocks.
+    Decrypt,
+}
+
+/// The AES-128 accelerator: 128-bit blocks, ECB, key via CSR, 41 cycles.
+///
+/// CSR layout: 16 key bytes, optionally followed by one direction byte
+/// (0 = encrypt, 1 = decrypt).
+#[derive(Debug, Clone)]
+pub struct Aes128Accel {
+    cipher: Aes128,
+    direction: AesDirection,
+}
+
+impl Default for Aes128Accel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Aes128Accel {
+    /// Pipeline latency of the modelled RTL core (paper §6.1).
+    pub const LATENCY: u64 = 41;
+
+    /// Creates the accelerator with an all-zero key (reconfigure via CSR).
+    pub fn new() -> Self {
+        Self::with_key(&[0u8; 16])
+    }
+
+    /// Creates the accelerator with `key`.
+    pub fn with_key(key: &[u8; 16]) -> Self {
+        Self { cipher: Aes128::new(key), direction: AesDirection::Encrypt }
+    }
+}
+
+impl Accelerator for Aes128Accel {
+    fn descriptor(&self) -> AccelDescriptor {
+        AccelDescriptor {
+            name: "aes128",
+            input_block_bytes: 16,
+            output_block_bytes: 16,
+            latency_cycles: Self::LATENCY,
+        }
+    }
+
+    fn configure(&mut self, csr: &[u8]) -> Result<(), ConfigError> {
+        if csr.len() < 16 {
+            return Err(ConfigError::new(format!(
+                "AES CSR needs at least 16 key bytes, got {}",
+                csr.len()
+            )));
+        }
+        let key: &[u8; 16] = csr[..16].try_into().expect("16 bytes");
+        self.cipher = Aes128::new(key);
+        self.direction = match csr.get(16) {
+            None | Some(0) => AesDirection::Encrypt,
+            Some(1) => AesDirection::Decrypt,
+            Some(other) => {
+                return Err(ConfigError::new(format!("unknown AES direction {other}")));
+            }
+        };
+        Ok(())
+    }
+
+    fn process_block(&mut self, input: &[u8]) -> Vec<u8> {
+        let block: &[u8; 16] = input.try_into().expect("aes takes 16-byte blocks");
+        match self.direction {
+            AesDirection::Encrypt => self.cipher.encrypt_block(block).to_vec(),
+            AesDirection::Decrypt => self.cipher.decrypt_block(block).to_vec(),
+        }
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // FIPS 197 appendix B.
+    #[test]
+    fn fips_appendix_b() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let aes = Aes128::new(&key);
+        assert_eq!(hex(&aes.encrypt_block(&pt)), "3925841d02dc09fbdc118597196a0b32");
+    }
+
+    // FIPS 197 appendix C.1 (AES-128).
+    #[test]
+    fn fips_appendix_c1() {
+        let key: Vec<u8> = (0..16).collect();
+        let pt: Vec<u8> = (0..16).map(|i| i * 0x11).collect();
+        let aes = Aes128::new(key.as_slice().try_into().unwrap());
+        let ct = aes.encrypt_block(pt.as_slice().try_into().unwrap());
+        assert_eq!(hex(&ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+        assert_eq!(aes.decrypt_block(&ct).to_vec(), pt);
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_many() {
+        let aes = Aes128::new(b"sixteen byte key");
+        for i in 0..64u8 {
+            let block = [i; 16];
+            assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+        }
+    }
+
+    #[test]
+    fn gmul_basics() {
+        assert_eq!(gmul(0x57, 0x13), 0xfe); // FIPS 197 §4.2 example
+        assert_eq!(gmul(1, 0xab), 0xab);
+        assert_eq!(gmul(0, 0xff), 0);
+    }
+
+    #[test]
+    fn accel_csr_key_and_direction() {
+        let key = *b"0123456789abcdef";
+        let mut enc = Aes128Accel::new();
+        enc.configure(&key).unwrap();
+        let pt = [0x42u8; 16];
+        let ct = enc.process_block(&pt);
+        assert_eq!(ct, Aes128::new(&key).encrypt_block(&pt).to_vec());
+
+        let mut dec = Aes128Accel::new();
+        let mut csr = key.to_vec();
+        csr.push(1);
+        dec.configure(&csr).unwrap();
+        assert_eq!(dec.process_block(&ct), pt.to_vec());
+    }
+
+    #[test]
+    fn accel_rejects_short_csr() {
+        let mut acc = Aes128Accel::new();
+        assert!(acc.configure(&[0u8; 8]).is_err());
+        assert!(acc.configure(&[0u8; 16]).is_ok());
+    }
+
+    #[test]
+    fn descriptor_matches_paper() {
+        let d = Aes128Accel::new().descriptor();
+        assert_eq!(d.input_block_bytes, 16);
+        assert_eq!(d.output_block_bytes, 16);
+        assert_eq!(d.latency_cycles, 41);
+    }
+}

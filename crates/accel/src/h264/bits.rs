@@ -1,0 +1,243 @@
+//! Bitstream I/O and Exp-Golomb codes (H.264 §9.1).
+
+/// A most-significant-bit-first bit writer.
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit_pos: u8, // bits used in the last byte (0..8)
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the low `n` bits of `value`, MSB first.
+    ///
+    /// # Panics
+    /// Panics if `n > 32`.
+    pub fn put_bits(&mut self, value: u32, n: u8) {
+        assert!(n <= 32, "at most 32 bits at a time");
+        for i in (0..n).rev() {
+            let bit = (value >> i) & 1;
+            if self.bit_pos == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.last_mut().expect("byte present");
+            *last |= (bit as u8) << (7 - self.bit_pos);
+            self.bit_pos = (self.bit_pos + 1) % 8;
+        }
+    }
+
+    /// Writes a single bit.
+    pub fn put_bit(&mut self, bit: bool) {
+        self.put_bits(u32::from(bit), 1);
+    }
+
+    /// Writes `value` as unsigned Exp-Golomb `ue(v)`.
+    pub fn put_ue(&mut self, value: u32) {
+        let code = value as u64 + 1;
+        let len = 64 - code.leading_zeros() as u8; // bits in code
+        self.put_bits(0, len - 1); // leading zeros
+        for i in (0..len).rev() {
+            self.put_bit((code >> i) & 1 == 1);
+        }
+    }
+
+    /// Writes `value` as signed Exp-Golomb `se(v)`.
+    pub fn put_se(&mut self, value: i32) {
+        let mapped = if value > 0 {
+            (value as u32) * 2 - 1
+        } else {
+            (-value as u32) * 2
+        };
+        self.put_ue(mapped);
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.bit_pos as usize
+        }
+    }
+
+    /// Appends RBSP trailing bits (a 1 then zero padding to a byte
+    /// boundary, §7.3.2.11) and returns the byte stream.
+    pub fn finish_rbsp(mut self) -> Vec<u8> {
+        self.put_bit(true);
+        while self.bit_pos != 0 {
+            self.put_bit(false);
+        }
+        self.bytes
+    }
+
+    /// Returns the raw bytes, zero-padding the final partial byte.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Error from reading past the end of a bitstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitstreamExhausted;
+
+impl std::fmt::Display for BitstreamExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("bitstream exhausted")
+    }
+}
+
+impl std::error::Error for BitstreamExhausted {}
+
+/// A most-significant-bit-first bit reader.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize, // absolute bit position
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    /// Returns [`BitstreamExhausted`] at end of stream.
+    pub fn get_bit(&mut self) -> Result<bool, BitstreamExhausted> {
+        let byte = self.pos / 8;
+        if byte >= self.bytes.len() {
+            return Err(BitstreamExhausted);
+        }
+        let bit = (self.bytes[byte] >> (7 - self.pos % 8)) & 1;
+        self.pos += 1;
+        Ok(bit == 1)
+    }
+
+    /// Reads `n` bits MSB first.
+    ///
+    /// # Errors
+    /// Returns [`BitstreamExhausted`] at end of stream.
+    pub fn get_bits(&mut self, n: u8) -> Result<u32, BitstreamExhausted> {
+        assert!(n <= 32);
+        let mut v = 0u32;
+        for _ in 0..n {
+            v = (v << 1) | u32::from(self.get_bit()?);
+        }
+        Ok(v)
+    }
+
+    /// Reads an unsigned Exp-Golomb `ue(v)`.
+    ///
+    /// # Errors
+    /// Returns [`BitstreamExhausted`] at end of stream.
+    pub fn get_ue(&mut self) -> Result<u32, BitstreamExhausted> {
+        let mut zeros = 0u8;
+        while !self.get_bit()? {
+            zeros += 1;
+            if zeros > 32 {
+                return Err(BitstreamExhausted);
+            }
+        }
+        let rest = self.get_bits(zeros)?;
+        Ok((1u32 << zeros) - 1 + rest)
+    }
+
+    /// Reads a signed Exp-Golomb `se(v)`.
+    ///
+    /// # Errors
+    /// Returns [`BitstreamExhausted`] at end of stream.
+    pub fn get_se(&mut self) -> Result<i32, BitstreamExhausted> {
+        let v = self.get_ue()?;
+        let magnitude = v.div_ceil(2) as i32;
+        Ok(if v % 2 == 1 { magnitude } else { -magnitude })
+    }
+
+    /// Current bit position.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b101, 3);
+        w.put_bits(0xff, 8);
+        w.put_bit(false);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(3).unwrap(), 0b101);
+        assert_eq!(r.get_bits(8).unwrap(), 0xff);
+        assert!(!r.get_bit().unwrap());
+    }
+
+    #[test]
+    fn ue_first_codes() {
+        // Spec table 9-2: 0 -> 1, 1 -> 010, 2 -> 011, 3 -> 00100 ...
+        let mut w = BitWriter::new();
+        w.put_ue(0);
+        w.put_ue(1);
+        w.put_ue(2);
+        w.put_ue(3);
+        assert_eq!(w.bit_len(), 1 + 3 + 3 + 5);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for expect in 0..4 {
+            assert_eq!(r.get_ue().unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn ue_roundtrip_large() {
+        let values = [0u32, 1, 2, 7, 8, 255, 1023, 65535, 1 << 20];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.put_ue(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.get_ue().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn se_roundtrip() {
+        let values = [0i32, 1, -1, 2, -2, 17, -17, 1000, -1000];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.put_se(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.get_se().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn exhaustion_is_an_error() {
+        let mut r = BitReader::new(&[0b1000_0000]);
+        assert!(r.get_bit().unwrap());
+        assert!(r.get_bits(7).is_ok());
+        assert_eq!(r.get_bit(), Err(BitstreamExhausted));
+    }
+
+    #[test]
+    fn rbsp_trailing_bits() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b10, 2);
+        let bytes = w.finish_rbsp();
+        assert_eq!(bytes, vec![0b1010_0000]);
+    }
+}

@@ -1,0 +1,302 @@
+//! Macroblock-level H.264 intra encoder and decoder.
+//!
+//! Each frame unit is one 16x16 luma macroblock (256 bytes). The encoder
+//! runs the genuine intra pipeline per 4x4 block: flat DC prediction (128),
+//! forward integer transform, standard quantization at the configured QP,
+//! CAVLC entropy coding; a tiny Exp-Golomb header carries the QP. The
+//! matching decoder reproduces exactly the encoder's local reconstruction,
+//! which is what the round-trip tests assert.
+
+use super::bits::{BitReader, BitWriter};
+use super::cavlc::{decode_block, encode_block, CavlcError};
+
+use super::transform::{dequantize, inverse4x4, reconstruct};
+
+/// Pixels per macroblock edge.
+pub const MB_DIM: usize = 16;
+/// Bytes in one macroblock.
+pub const MB_BYTES: usize = MB_DIM * MB_DIM;
+
+/// An H.264 intra macroblock encoder.
+#[derive(Debug, Clone)]
+pub struct H264Encoder {
+    qp: u8,
+}
+
+impl Default for H264Encoder {
+    fn default() -> Self {
+        Self::new(12)
+    }
+}
+
+impl H264Encoder {
+    /// Creates an encoder with quality parameter `qp` (0..=51).
+    ///
+    /// # Panics
+    /// Panics if `qp > 51`.
+    pub fn new(qp: u8) -> Self {
+        assert!(qp <= 51, "qp out of range");
+        Self { qp }
+    }
+
+    /// The configured quality parameter.
+    pub fn qp(&self) -> u8 {
+        self.qp
+    }
+
+    /// Extracts 4x4 block `(by, bx)` of a macroblock as a residual against
+    /// the flat 128 predictor.
+    fn residual(mb: &[u8; MB_BYTES], by: usize, bx: usize) -> [i32; 16] {
+        core::array::from_fn(|i| {
+            let (r, c) = (i / 4, i % 4);
+            i32::from(mb[(by * 4 + r) * MB_DIM + bx * 4 + c]) - 128
+        })
+    }
+
+    /// Encodes one macroblock, returning `(bitstream, local reconstruction)`.
+    pub fn encode_macroblock(&self, mb: &[u8; MB_BYTES]) -> (Vec<u8>, [u8; MB_BYTES]) {
+        let mut w = BitWriter::new();
+        w.put_ue(u32::from(self.qp));
+        let mut recon = [0u8; MB_BYTES];
+        for by in 0..4 {
+            for bx in 0..4 {
+                let res = Self::residual(mb, by, bx);
+                let (z, rec) = reconstruct(&res, self.qp);
+                encode_block(&mut w, &z);
+                for i in 0..16 {
+                    let (r, c) = (i / 4, i % 4);
+                    recon[(by * 4 + r) * MB_DIM + bx * 4 + c] =
+                        (rec[i] + 128).clamp(0, 255) as u8;
+                }
+            }
+        }
+        (w.finish_rbsp(), recon)
+    }
+
+    /// Encodes a whole stream: `frames` macroblocks, each length-prefixed
+    /// with a little-endian `u32` (the container format of the accelerator
+    /// model).
+    pub fn encode_stream(&self, frames: &[[u8; MB_BYTES]]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for mb in frames {
+            let (bits, _) = self.encode_macroblock(mb);
+            out.extend_from_slice(&(bits.len() as u32).to_le_bytes());
+            out.extend_from_slice(&bits);
+        }
+        out
+    }
+}
+
+/// Decodes one macroblock produced by [`H264Encoder::encode_macroblock`].
+///
+/// # Errors
+/// Returns [`CavlcError`] on malformed input.
+pub fn decode_macroblock(bytes: &[u8]) -> Result<[u8; MB_BYTES], CavlcError> {
+    let mut r = BitReader::new(bytes);
+    let qp = r.get_ue()? as u8;
+    if qp > 51 {
+        return Err(CavlcError::Malformed(format!("qp {qp}")));
+    }
+    let mut recon = [0u8; MB_BYTES];
+    for by in 0..4 {
+        for bx in 0..4 {
+            let z = decode_block(&mut r)?;
+            let w = dequantize(&z, qp);
+            let rec = inverse4x4(&w);
+            for i in 0..16 {
+                let (rr, cc) = (i / 4, i % 4);
+                recon[(by * 4 + rr) * MB_DIM + bx * 4 + cc] =
+                    (rec[i] + 128).clamp(0, 255) as u8;
+            }
+        }
+    }
+    Ok(recon)
+}
+
+/// Decodes a length-prefixed stream from [`H264Encoder::encode_stream`].
+///
+/// # Errors
+/// Returns [`CavlcError`] on malformed input.
+pub fn decode_stream(mut bytes: &[u8]) -> Result<Vec<[u8; MB_BYTES]>, CavlcError> {
+    let mut frames = Vec::new();
+    while !bytes.is_empty() {
+        if bytes.len() < 4 {
+            return Err(CavlcError::Malformed("truncated length prefix".into()));
+        }
+        let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+        bytes = &bytes[4..];
+        if bytes.len() < len {
+            return Err(CavlcError::Malformed("truncated frame payload".into()));
+        }
+        frames.push(decode_macroblock(&bytes[..len])?);
+        bytes = &bytes[len..];
+    }
+    Ok(frames)
+}
+
+/// A full grayscale image encoded macroblock by macroblock.
+///
+/// Images are split into 16x16 macroblocks (edges are padded by
+/// replicating the last row/column, the standard approach); the output is
+/// the same length-prefixed container as [`H264Encoder::encode_stream`],
+/// prefixed with an Exp-Golomb header carrying the dimensions.
+pub fn encode_image(encoder: &H264Encoder, width: usize, height: usize, pixels: &[u8]) -> Vec<u8> {
+    assert_eq!(pixels.len(), width * height, "pixel buffer size mismatch");
+    assert!(width > 0 && height > 0, "empty image");
+    let mbs_x = width.div_ceil(MB_DIM);
+    let mbs_y = height.div_ceil(MB_DIM);
+    let mut w = BitWriter::new();
+    w.put_ue(width as u32);
+    w.put_ue(height as u32);
+    let mut out = w.finish_rbsp();
+    for by in 0..mbs_y {
+        for bx in 0..mbs_x {
+            let mut mb = [0u8; MB_BYTES];
+            for r in 0..MB_DIM {
+                for c in 0..MB_DIM {
+                    let y = (by * MB_DIM + r).min(height - 1);
+                    let x = (bx * MB_DIM + c).min(width - 1);
+                    mb[r * MB_DIM + c] = pixels[y * width + x];
+                }
+            }
+            let (bits, _) = encoder.encode_macroblock(&mb);
+            out.extend_from_slice(&(bits.len() as u32).to_le_bytes());
+            out.extend_from_slice(&bits);
+        }
+    }
+    out
+}
+
+/// Decodes an [`encode_image`] container back to `(width, height, pixels)`.
+///
+/// # Errors
+/// Returns [`CavlcError`] on malformed input.
+pub fn decode_image(bytes: &[u8]) -> Result<(usize, usize, Vec<u8>), CavlcError> {
+    let mut r = BitReader::new(bytes);
+    let width = r.get_ue().map_err(CavlcError::from)? as usize;
+    let height = r.get_ue().map_err(CavlcError::from)? as usize;
+    if width == 0 || height == 0 || width * height > 1 << 26 {
+        return Err(CavlcError::Malformed(format!("dimensions {width}x{height}")));
+    }
+    // Header occupies whole bytes after RBSP trailing bits.
+    let header_bytes = r.bit_pos().div_ceil(8) + usize::from(r.bit_pos() % 8 == 0);
+    let frames = decode_stream(&bytes[header_bytes..])?;
+    let mbs_x = width.div_ceil(MB_DIM);
+    let mbs_y = height.div_ceil(MB_DIM);
+    if frames.len() != mbs_x * mbs_y {
+        return Err(CavlcError::Malformed(format!(
+            "{} macroblocks for {width}x{height}",
+            frames.len()
+        )));
+    }
+    let mut pixels = vec![0u8; width * height];
+    for (i, mb) in frames.iter().enumerate() {
+        let (by, bx) = (i / mbs_x, i % mbs_x);
+        for r_ in 0..MB_DIM {
+            for c in 0..MB_DIM {
+                let y = by * MB_DIM + r_;
+                let x = bx * MB_DIM + c;
+                if y < height && x < width {
+                    pixels[y * width + x] = mb[r_ * MB_DIM + c];
+                }
+            }
+        }
+    }
+    Ok((width, height, pixels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient_mb() -> [u8; MB_BYTES] {
+        core::array::from_fn(|i| {
+            let (r, c) = (i / MB_DIM, i % MB_DIM);
+            (100 + 5 * r + 3 * c) as u8
+        })
+    }
+
+    fn textured_mb(seed: u32) -> [u8; MB_BYTES] {
+        let mut x = seed.wrapping_mul(2654435761).wrapping_add(1);
+        core::array::from_fn(|_| {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            (x >> 24) as u8
+        })
+    }
+
+    #[test]
+    fn decoder_matches_encoder_reconstruction() {
+        for qp in [0u8, 6, 12, 24, 40] {
+            let enc = H264Encoder::new(qp);
+            let mb = gradient_mb();
+            let (bits, recon) = enc.encode_macroblock(&mb);
+            let decoded = decode_macroblock(&bits).expect("decodes");
+            assert_eq!(decoded, recon, "qp={qp}");
+        }
+    }
+
+    #[test]
+    fn low_qp_is_near_lossless() {
+        let enc = H264Encoder::new(0);
+        let mb = gradient_mb();
+        let (_, recon) = enc.encode_macroblock(&mb);
+        for (a, b) in mb.iter().zip(&recon) {
+            assert!((i32::from(*a) - i32::from(*b)).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn higher_qp_compresses_more() {
+        let mb = textured_mb(7);
+        let fine = H264Encoder::new(4).encode_macroblock(&mb).0.len();
+        let coarse = H264Encoder::new(36).encode_macroblock(&mb).0.len();
+        assert!(coarse < fine, "coarse {coarse} vs fine {fine}");
+    }
+
+    #[test]
+    fn flat_macroblock_is_tiny() {
+        let mb = [128u8; MB_BYTES];
+        let (bits, recon) = H264Encoder::new(20).encode_macroblock(&mb);
+        assert!(bits.len() <= 4, "all-zero residual: {} bytes", bits.len());
+        assert_eq!(recon, mb);
+    }
+
+    #[test]
+    fn stream_roundtrip_multiframe() {
+        let frames = vec![gradient_mb(), textured_mb(1), [128u8; MB_BYTES], textured_mb(2)];
+        let enc = H264Encoder::new(10);
+        let stream = enc.encode_stream(&frames);
+        let decoded = decode_stream(&stream).expect("stream decodes");
+        assert_eq!(decoded.len(), frames.len());
+        for (f, d) in frames.iter().zip(&decoded) {
+            let (_, recon) = enc.encode_macroblock(f);
+            assert_eq!(*d, recon);
+        }
+    }
+
+    #[test]
+    fn image_roundtrip_unaligned_dimensions() {
+        // 40x24: edges need padding.
+        let (w, h) = (40usize, 24usize);
+        let pixels: Vec<u8> = (0..w * h).map(|i| (i * 7 % 256) as u8).collect();
+        let enc = H264Encoder::new(0);
+        let stream = encode_image(&enc, w, h, &pixels);
+        let (dw, dh, decoded) = decode_image(&stream).expect("decodes");
+        assert_eq!((dw, dh), (w, h));
+        // qp 0 is near-lossless.
+        for (a, b) in pixels.iter().zip(&decoded) {
+            assert!((i32::from(*a) - i32::from(*b)).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn image_rejects_garbage() {
+        assert!(decode_image(&[0xff, 0xff, 0x80]).is_err());
+    }
+
+    #[test]
+    fn malformed_stream_is_an_error() {
+        assert!(decode_stream(&[1, 2, 3]).is_err());
+        assert!(decode_stream(&[10, 0, 0, 0, 0xff]).is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! The H.264 4x4 integer core transform with the standard's quantization.
+//!
+//! Forward: `Y = Cf · X · Cfᵀ` (§8.5.12 integer matrix), quantized with the
+//! multiplication-factor table `MF` (`Z = (|Y|·MF + f) >> (15 + qp/6)`);
+//! dequantized with the `V` table (`W = Z·V << (qp/6)`); inverse transform
+//! with the (1, ½) butterflies and the final `(x + 32) >> 6` rounding. This
+//! is the genuine standard pipeline, so encode→decode reconstruction error
+//! is bounded by the quantization step.
+
+/// Per-position class of a 4x4 coefficient: 0 for (even,even), 1 for
+/// (odd,odd), 2 otherwise — the a/b/c pattern of the MF and V tables.
+fn pos_class(i: usize) -> usize {
+    let (r, c) = (i / 4, i % 4);
+    match (r % 2, c % 2) {
+        (0, 0) => 0,
+        (1, 1) => 1,
+        _ => 2,
+    }
+}
+
+/// Quantization multiplication factors, rows indexed by `qp % 6`,
+/// columns by position class (table derived from §8.5.12.3).
+const MF: [[i64; 3]; 6] = [
+    [13107, 5243, 8066],
+    [11916, 4660, 7490],
+    [10082, 4194, 6554],
+    [9362, 3647, 5825],
+    [8192, 3355, 5243],
+    [7282, 2893, 4559],
+];
+
+/// Dequantization scale factors `V`, same indexing.
+const V: [[i64; 3]; 6] = [
+    [10, 16, 13],
+    [11, 18, 14],
+    [13, 20, 16],
+    [14, 23, 18],
+    [16, 25, 20],
+    [18, 29, 23],
+];
+
+/// Forward 4x4 integer transform of a residual block (row-major).
+pub fn forward4x4(block: &[i32; 16]) -> [i32; 16] {
+    // Cf = [[1,1,1,1],[2,1,-1,-2],[1,-1,-1,1],[1,-2,2,-1]]
+    let mut tmp = [0i32; 16];
+    for c in 0..4 {
+        let x0 = block[c];
+        let x1 = block[4 + c];
+        let x2 = block[8 + c];
+        let x3 = block[12 + c];
+        tmp[c] = x0 + x1 + x2 + x3;
+        tmp[4 + c] = 2 * x0 + x1 - x2 - 2 * x3;
+        tmp[8 + c] = x0 - x1 - x2 + x3;
+        tmp[12 + c] = x0 - 2 * x1 + 2 * x2 - x3;
+    }
+    let mut out = [0i32; 16];
+    for r in 0..4 {
+        let x0 = tmp[r * 4];
+        let x1 = tmp[r * 4 + 1];
+        let x2 = tmp[r * 4 + 2];
+        let x3 = tmp[r * 4 + 3];
+        out[r * 4] = x0 + x1 + x2 + x3;
+        out[r * 4 + 1] = 2 * x0 + x1 - x2 - 2 * x3;
+        out[r * 4 + 2] = x0 - x1 - x2 + x3;
+        out[r * 4 + 3] = x0 - 2 * x1 + 2 * x2 - x3;
+    }
+    out
+}
+
+/// Inverse 4x4 integer transform (takes *dequantized* coefficients).
+pub fn inverse4x4(coeffs: &[i32; 16]) -> [i32; 16] {
+    let mut tmp = [0i32; 16];
+    for c in 0..4 {
+        let x0 = coeffs[c];
+        let x1 = coeffs[4 + c];
+        let x2 = coeffs[8 + c];
+        let x3 = coeffs[12 + c];
+        let e0 = x0 + x2;
+        let e1 = x0 - x2;
+        let e2 = (x1 >> 1) - x3;
+        let e3 = x1 + (x3 >> 1);
+        tmp[c] = e0 + e3;
+        tmp[4 + c] = e1 + e2;
+        tmp[8 + c] = e1 - e2;
+        tmp[12 + c] = e0 - e3;
+    }
+    let mut out = [0i32; 16];
+    for r in 0..4 {
+        let x0 = tmp[r * 4];
+        let x1 = tmp[r * 4 + 1];
+        let x2 = tmp[r * 4 + 2];
+        let x3 = tmp[r * 4 + 3];
+        let e0 = x0 + x2;
+        let e1 = x0 - x2;
+        let e2 = (x1 >> 1) - x3;
+        let e3 = x1 + (x3 >> 1);
+        out[r * 4] = (e0 + e3 + 32) >> 6;
+        out[r * 4 + 1] = (e1 + e2 + 32) >> 6;
+        out[r * 4 + 2] = (e1 - e2 + 32) >> 6;
+        out[r * 4 + 3] = (e0 - e3 + 32) >> 6;
+    }
+    out
+}
+
+/// Quantizes transform coefficients at quality parameter `qp` (0..=51).
+///
+/// # Panics
+/// Panics if `qp > 51`.
+pub fn quantize(coeffs: &[i32; 16], qp: u8) -> [i32; 16] {
+    assert!(qp <= 51, "qp out of range");
+    let qbits = 15 + u32::from(qp) / 6;
+    let f: i64 = (1i64 << qbits) / 3; // intra rounding offset
+    let mf = &MF[(qp % 6) as usize];
+    let mut out = [0i32; 16];
+    for (i, (&c, o)) in coeffs.iter().zip(out.iter_mut()).enumerate() {
+        let m = mf[pos_class(i)];
+        let z = ((i64::from(c.abs()) * m + f) >> qbits) as i32;
+        *o = if c < 0 { -z } else { z };
+    }
+    out
+}
+
+/// Dequantizes levels back to transform-domain coefficients.
+///
+/// # Panics
+/// Panics if `qp > 51`.
+pub fn dequantize(levels: &[i32; 16], qp: u8) -> [i32; 16] {
+    assert!(qp <= 51, "qp out of range");
+    let shift = u32::from(qp) / 6;
+    let v = &V[(qp % 6) as usize];
+    let mut out = [0i32; 16];
+    for (i, (&l, o)) in levels.iter().zip(out.iter_mut()).enumerate() {
+        *o = ((i64::from(l) * v[pos_class(i)]) << shift) as i32;
+    }
+    out
+}
+
+/// Full reconstruction: quantize, dequantize, inverse-transform.
+pub fn reconstruct(residual: &[i32; 16], qp: u8) -> ([i32; 16], [i32; 16]) {
+    let y = forward4x4(residual);
+    let z = quantize(&y, qp);
+    let w = dequantize(&z, qp);
+    (z, inverse4x4(&w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_block_transforms_to_dc_coeff() {
+        let block = [3i32; 16];
+        let fwd = forward4x4(&block);
+        assert_eq!(fwd[0], 3 * 16, "DC gain is 16");
+        assert!(fwd[1..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn qp0_reconstruction_is_tight() {
+        let block: [i32; 16] = [
+            5, -3, 0, 2, 7, 1, -1, 0, -4, 2, 2, 2, 0, 0, 1, -2,
+        ];
+        let (_z, rec) = reconstruct(&block, 0);
+        for (a, b) in block.iter().zip(&rec) {
+            assert!((a - b).abs() <= 1, "qp0: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn reconstruction_error_grows_with_qp_but_stays_bounded() {
+        let block: [i32; 16] = core::array::from_fn(|i| ((i as i32 * 37) % 101) - 50);
+        let err = |qp: u8| {
+            let (_, rec) = reconstruct(&block, qp);
+            block
+                .iter()
+                .zip(&rec)
+                .map(|(a, b)| (a - b).abs())
+                .max()
+                .unwrap()
+        };
+        assert!(err(0) <= 1);
+        assert!(err(12) <= 8);
+        assert!(err(24) <= 32);
+        assert!(err(0) <= err(24));
+    }
+
+    #[test]
+    fn high_qp_zeroes_small_residuals() {
+        let block: [i32; 16] = core::array::from_fn(|i| if i == 5 { 2 } else { 0 });
+        let y = forward4x4(&block);
+        let z = quantize(&y, 40);
+        assert!(z.iter().all(|&c| c == 0), "tiny residual vanishes at qp 40");
+    }
+
+    #[test]
+    fn quant_dequant_sign_symmetry() {
+        let block: [i32; 16] = core::array::from_fn(|i| (i as i32 - 8) * 13);
+        let neg: [i32; 16] = core::array::from_fn(|i| -block[i]);
+        let (zp, _) = reconstruct(&block, 6);
+        let (zn, _) = reconstruct(&neg, 6);
+        for (a, b) in zp.iter().zip(&zn) {
+            assert_eq!(*a, -*b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "qp out of range")]
+    fn qp_out_of_range_panics() {
+        let _ = quantize(&[0; 16], 52);
+    }
+}

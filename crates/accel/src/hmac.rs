@@ -1,0 +1,144 @@
+//! HMAC-SHA256 (RFC 2104 / FIPS 198-1), built on the from-scratch SHA-256.
+//!
+//! Included as an additional SBIO workload: message authentication is the
+//! classic companion to the paper's SHA/AES accelerators, and the keyed
+//! construction exercises the CSR configuration path (the key arrives in
+//! the registration-time CSR struct, like the AES key in §5.2).
+
+use crate::accelerator::{AccelDescriptor, Accelerator, ConfigError};
+use crate::sha256::Sha256;
+
+/// Computes HMAC-SHA256 of `data` under `key`.
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; 32] {
+    let mut key_block = [0u8; 64];
+    if key.len() > 64 {
+        let mut h = Sha256::new();
+        h.update(key);
+        key_block[..32].copy_from_slice(&h.finalize());
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Sha256::new();
+    let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    inner.update(data);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// The HMAC accelerator: authenticates each 512-bit block independently
+/// under the CSR-configured key (per-block MACs, mirroring the SHA
+/// benchmark's per-block digests).
+#[derive(Debug, Clone)]
+pub struct HmacAccel {
+    key: Vec<u8>,
+}
+
+impl Default for HmacAccel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HmacAccel {
+    /// Block latency: two chained SHA compressions plus key scheduling.
+    pub const LATENCY: u64 = 140;
+
+    /// Creates the accelerator with an empty key (configure via CSR).
+    pub fn new() -> Self {
+        Self { key: Vec::new() }
+    }
+}
+
+impl Accelerator for HmacAccel {
+    fn descriptor(&self) -> AccelDescriptor {
+        AccelDescriptor {
+            name: "hmac-sha256",
+            input_block_bytes: 64,
+            output_block_bytes: 32,
+            latency_cycles: Self::LATENCY,
+        }
+    }
+
+    fn configure(&mut self, csr: &[u8]) -> Result<(), ConfigError> {
+        if csr.len() > 64 {
+            return Err(ConfigError::new("HMAC CSR keys longer than 64 bytes are not supported"));
+        }
+        self.key = csr.to_vec();
+        Ok(())
+    }
+
+    fn process_block(&mut self, input: &[u8]) -> Vec<u8> {
+        assert_eq!(input.len(), 64, "hmac takes 64-byte blocks");
+        hmac_sha256(&self.key, input).to_vec()
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let mac = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    // RFC 4231 test case 2 ("Jefe").
+    #[test]
+    fn rfc4231_case2() {
+        let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    // RFC 4231 test case 3: 0xaa x20 key, 0xdd x50 data.
+    #[test]
+    fn rfc4231_case3() {
+        let mac = hmac_sha256(&[0xaa; 20], &[0xdd; 50]);
+        assert_eq!(
+            hex(&mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn long_keys_are_hashed_first() {
+        let long_key = vec![0x55u8; 100];
+        let mac = hmac_sha256(&long_key, b"msg");
+        // Equivalent to using SHA256(key) as the key.
+        let hashed = {
+            let mut h = Sha256::new();
+            h.update(&long_key);
+            h.finalize()
+        };
+        assert_eq!(mac, hmac_sha256(&hashed, b"msg"));
+    }
+
+    #[test]
+    fn accel_matches_function() {
+        let mut acc = HmacAccel::new();
+        acc.configure(b"a key").unwrap();
+        let block = [0x7fu8; 64];
+        assert_eq!(acc.process_block(&block), hmac_sha256(b"a key", &block).to_vec());
+        assert!(acc.configure(&[0u8; 65]).is_err());
+    }
+}

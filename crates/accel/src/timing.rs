@@ -1,0 +1,236 @@
+//! Valid/ready timing wrapper around a functional accelerator.
+//!
+//! [`TimedAccel`] models the latency-insensitive interface of §4.3: the
+//! consumer endpoint offers 64-bit words when its `ready()` is high; the
+//! accelerator computes each input block for `latency_cycles`; results
+//! stream out one 64-bit word per cycle. Ratchets adapt the 64-bit
+//! endpoint width to the accelerator's native block sizes.
+
+use crate::ratchet::Ratchet;
+use crate::Accelerator;
+use std::collections::VecDeque;
+
+/// A functional accelerator behind a timed valid/ready interface.
+pub struct TimedAccel {
+    accel: Box<dyn Accelerator>,
+    in_ratchet: Ratchet,
+    out_bytes: VecDeque<u8>,
+    /// Cycle at which the in-flight block completes (0 = idle).
+    busy_until: u64,
+    /// Output bytes of the in-flight block, released at `busy_until`.
+    pending_out: Option<Vec<u8>>,
+    blocks_done: u64,
+    last_pop_cycle: u64,
+}
+
+impl std::fmt::Debug for TimedAccel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimedAccel")
+            .field("accel", &self.accel.descriptor().name)
+            .field("busy_until", &self.busy_until)
+            .field("blocks_done", &self.blocks_done)
+            .finish()
+    }
+}
+
+impl TimedAccel {
+    /// Wraps `accel`.
+    pub fn new(accel: Box<dyn Accelerator>) -> Self {
+        let block = accel.descriptor().input_block_bytes;
+        Self {
+            accel,
+            in_ratchet: Ratchet::new(block),
+            out_bytes: VecDeque::new(),
+            busy_until: 0,
+            pending_out: None,
+            blocks_done: 0,
+            last_pop_cycle: 0,
+        }
+    }
+
+    /// The wrapped accelerator's descriptor.
+    pub fn descriptor(&self) -> crate::AccelDescriptor {
+        self.accel.descriptor()
+    }
+
+    /// Applies a CSR configuration buffer.
+    ///
+    /// # Errors
+    /// Propagates the accelerator's [`crate::ConfigError`].
+    pub fn configure(&mut self, csr: &[u8]) -> Result<(), crate::ConfigError> {
+        self.accel.configure(csr)
+    }
+
+    /// Ready to accept another input word this cycle? (The consumer
+    /// endpoint's `ready` input.) Input is accepted while the staging
+    /// ratchet has no complete block waiting on a busy pipeline.
+    pub fn ready(&self, cycle: u64) -> bool {
+        self.in_ratchet.blocks_available() == 0 || cycle >= self.busy_until
+    }
+
+    /// Offers one 64-bit word (caller must have checked [`Self::ready`]).
+    pub fn push_word(&mut self, word: u64) {
+        self.in_ratchet.push_word(word);
+    }
+
+    /// Advances internal state: launches a block if one is staged and the
+    /// pipeline is free; retires the in-flight block when its latency
+    /// elapses.
+    pub fn step(&mut self, cycle: u64) {
+        if cycle >= self.busy_until {
+            if let Some(out) = self.pending_out.take() {
+                self.out_bytes.extend(out);
+                self.blocks_done += 1;
+            }
+            if let Some(block) = self.in_ratchet.pop_block() {
+                let out = self.accel.process_block(&block);
+                self.pending_out = Some(out);
+                self.busy_until = cycle + self.accel.descriptor().latency_cycles;
+            }
+        }
+    }
+
+    /// Pops one 64-bit output word if available (at most one per cycle —
+    /// the 64-bit producer endpoint width of §5).
+    pub fn pop_word(&mut self, cycle: u64) -> Option<u64> {
+        if self.out_bytes.len() < 8 || (cycle == self.last_pop_cycle && cycle != 0) {
+            return None;
+        }
+        self.last_pop_cycle = cycle;
+        let bytes: Vec<u8> = self.out_bytes.drain(..8).collect();
+        Some(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// Output bytes currently buffered (including sub-word residue).
+    pub fn output_len(&self) -> usize {
+        self.out_bytes.len()
+    }
+
+    /// Blocks fully processed.
+    pub fn blocks_done(&self) -> u64 {
+        self.blocks_done
+    }
+
+    /// True when no work is buffered or in flight. A sub-word output
+    /// residue (< 8 bytes) or a partial input block still counts as idle —
+    /// both wait on external action.
+    pub fn is_idle(&self, _cycle: u64) -> bool {
+        self.pending_out.is_none()
+            && self.in_ratchet.blocks_available() == 0
+            && self.out_bytes.len() < 8
+    }
+
+    /// Resets pipeline and buffers (configuration retained).
+    pub fn reset(&mut self) {
+        self.accel.reset();
+        self.in_ratchet.clear();
+        self.out_bytes.clear();
+        self.busy_until = 0;
+        self.pending_out = None;
+        self.last_pop_cycle = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nullfifo::NullFifo;
+    use crate::sha256::{sha256_raw_block, Sha256Accel};
+
+    #[test]
+    fn null_fifo_passthrough_with_latency() {
+        let mut t = TimedAccel::new(Box::new(NullFifo::with_geometry(8, 3)));
+        assert!(t.ready(0));
+        t.push_word(0xabcd);
+        t.step(0); // launches, busy until 3
+        assert_eq!(t.pop_word(1), None, "still in the pipeline");
+        t.step(3); // retires
+        assert_eq!(t.pop_word(3), Some(0xabcd));
+    }
+
+    #[test]
+    fn sha_block_latency_and_digest() {
+        let mut t = TimedAccel::new(Box::new(Sha256Accel::new()));
+        let mut block = [0u8; 64];
+        for (i, w) in (0..8u64).enumerate() {
+            block[i * 8..i * 8 + 8].copy_from_slice(&(w * 3).to_le_bytes());
+        }
+        let mut cycle = 0;
+        for w in 0..8u64 {
+            assert!(t.ready(cycle));
+            t.push_word(w * 3);
+            t.step(cycle);
+            cycle += 1;
+        }
+        // Busy for 66 cycles from launch.
+        for c in cycle..cycle + 70 {
+            t.step(c);
+        }
+        let mut digest = Vec::new();
+        let mut c = cycle + 70;
+        while digest.len() < 32 {
+            t.step(c);
+            if let Some(w) = t.pop_word(c) {
+                digest.extend_from_slice(&w.to_le_bytes());
+            }
+            c += 1;
+        }
+        assert_eq!(digest, sha256_raw_block(&block).to_vec());
+        assert_eq!(t.blocks_done(), 1);
+        assert!(t.is_idle(c));
+    }
+
+    #[test]
+    fn one_pop_per_cycle() {
+        let mut t = TimedAccel::new(Box::new(NullFifo::with_geometry(8, 1)));
+        t.push_word(1);
+        t.step(0);
+        t.step(5);
+        t.push_word(2);
+        t.step(5);
+        t.step(10);
+        assert!(t.pop_word(10).is_some());
+        assert!(t.pop_word(10).is_none(), "only one word per cycle");
+        assert!(t.pop_word(11).is_some());
+    }
+
+    #[test]
+    fn not_ready_while_block_staged_and_busy() {
+        let mut t = TimedAccel::new(Box::new(Sha256Accel::new()));
+        for w in 0..8 {
+            t.push_word(w);
+        }
+        t.step(0); // launch, busy until 66
+        for w in 0..8 {
+            assert!(t.ready(1), "stage the next block while busy");
+            t.push_word(100 + w);
+        }
+        t.step(1);
+        assert!(!t.ready(1), "second block staged, pipeline busy: back-pressure");
+        t.step(66);
+        assert!(t.ready(67), "pipeline free again");
+    }
+
+    #[test]
+    fn non_pipelined_throughput() {
+        // Two SHA blocks take ~2 x 66 cycles.
+        let mut t = TimedAccel::new(Box::new(Sha256Accel::new()));
+        let mut cycle = 0u64;
+        let mut produced = 0;
+        let mut pushed = 0;
+        while produced < 8 {
+            t.step(cycle);
+            if pushed < 16 && t.ready(cycle) {
+                t.push_word(pushed);
+                pushed += 1;
+            }
+            if t.pop_word(cycle).is_some() {
+                produced += 1;
+            }
+            cycle += 1;
+            assert!(cycle < 1000, "livelock");
+        }
+        assert!(cycle >= 132, "two blocks cannot finish faster than 2x latency");
+        assert_eq!(t.blocks_done(), 2);
+    }
+}

@@ -1,0 +1,62 @@
+//! Criterion throughput benchmarks of the functional accelerator models.
+
+use cohort_accel::aes128::Aes128Accel;
+use cohort_accel::h264::{H264Accel, MB_BYTES};
+use cohort_accel::sha256::Sha256Accel;
+use cohort_accel::stft::StftAccel;
+use cohort_accel::Accelerator;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_sha(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    group.throughput(Throughput::Bytes(64));
+    group.bench_function("block", |b| {
+        let mut acc = Sha256Accel::new();
+        let block = [0xa5u8; 64];
+        b.iter(|| std::hint::black_box(acc.process_block(&block)));
+    });
+    group.finish();
+}
+
+fn bench_aes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aes128");
+    group.throughput(Throughput::Bytes(16));
+    group.bench_function("block", |b| {
+        let mut acc = Aes128Accel::new();
+        acc.configure(b"0123456789abcdef").unwrap();
+        let block = [0x5au8; 16];
+        b.iter(|| std::hint::black_box(acc.process_block(&block)));
+    });
+    group.finish();
+}
+
+fn bench_h264(c: &mut Criterion) {
+    let mut group = c.benchmark_group("h264");
+    group.throughput(Throughput::Bytes(MB_BYTES as u64));
+    group.bench_function("macroblock", |b| {
+        let mut acc = H264Accel::new();
+        let mb: Vec<u8> = (0..MB_BYTES).map(|i| (i * 7 % 256) as u8).collect();
+        b.iter(|| {
+            acc.reset();
+            let _ = acc.process_block(&1u64.to_le_bytes());
+            for chunk in mb.chunks_exact(8) {
+                std::hint::black_box(acc.process_block(chunk));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_stft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stft");
+    group.throughput(Throughput::Bytes(512));
+    group.bench_function("frame256", |b| {
+        let mut acc = StftAccel::new(256);
+        let frame: Vec<u8> = (0..512).map(|i| (i % 256) as u8).collect();
+        b.iter(|| std::hint::black_box(acc.process_block(&frame)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sha, bench_aes, bench_h264, bench_stft);
+criterion_main!(benches);

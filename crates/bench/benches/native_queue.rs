@@ -1,0 +1,74 @@
+//! Criterion microbenchmarks of the native SPSC queue: the software
+//! batching optimisation (Table 2) measured on real hardware.
+
+use cohort_queue::{spsc_channel, BatchConsumer, BatchProducer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::thread;
+
+const N: u64 = 20_000;
+
+fn cross_thread_transfer(batch: usize) {
+    let (tx, rx) = spsc_channel::<u64>(1024);
+    let producer = thread::spawn(move || {
+        let mut btx = BatchProducer::new(tx, batch);
+        for i in 0..N {
+            while btx.push(i).is_err() {
+                std::thread::yield_now();
+            }
+        }
+        btx.flush();
+    });
+    let mut brx = BatchConsumer::new(rx, batch);
+    let mut seen = 0u64;
+    while seen < N {
+        if let Some(v) = brx.pop() {
+            assert_eq!(v, seen);
+            seen += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+    producer.join().unwrap();
+}
+
+fn bench_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spsc_cross_thread");
+    group.throughput(Throughput::Elements(N));
+    group.sample_size(10);
+    for batch in [1usize, 8, 64] {
+        group.bench_with_input(BenchmarkId::new("batch", batch), &batch, |b, &batch| {
+            b.iter(|| cross_thread_transfer(batch));
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_thread_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spsc_single_thread");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("push_pop", |b| {
+        let (mut tx, mut rx) = spsc_channel::<u64>(256);
+        let mut i = 0u64;
+        b.iter(|| {
+            tx.push(i).unwrap();
+            i += 1;
+            std::hint::black_box(rx.pop().unwrap());
+        });
+    });
+    group.bench_function("stage_publish_64", |b| {
+        let (mut tx, mut rx) = spsc_channel::<u64>(256);
+        b.iter(|| {
+            for i in 0..64u64 {
+                tx.stage(i).unwrap();
+            }
+            tx.publish();
+            for _ in 0..64 {
+                std::hint::black_box(rx.pop().unwrap());
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batching, bench_single_thread_ops);
+criterion_main!(benches);

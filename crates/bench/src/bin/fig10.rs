@@ -1,0 +1,9 @@
+//! Regenerates paper Fig. 10: SHA IPC speedup over the baselines.
+use cohort::scenarios::Workload;
+use cohort_bench::{report, sweep::Sweep};
+
+fn main() {
+    let mut sweep = Sweep::new_verbose();
+    println!("# Figure 10 — IPC performance with SHA accelerator\n");
+    println!("{}", report::ipc_figure(&mut sweep, Workload::Sha));
+}

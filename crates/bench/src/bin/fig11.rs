@@ -1,0 +1,9 @@
+//! Regenerates paper Fig. 11: AES IPC speedup over the baselines.
+use cohort::scenarios::Workload;
+use cohort_bench::{report, sweep::Sweep};
+
+fn main() {
+    let mut sweep = Sweep::new_verbose();
+    println!("# Figure 11 — IPC performance with AES accelerator\n");
+    println!("{}", report::ipc_figure(&mut sweep, Workload::Aes));
+}

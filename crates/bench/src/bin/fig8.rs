@@ -1,0 +1,9 @@
+//! Regenerates paper Fig. 8: SHA program latency vs queue size.
+use cohort::scenarios::Workload;
+use cohort_bench::{report, sweep::Sweep};
+
+fn main() {
+    let mut sweep = Sweep::new_verbose();
+    println!("# Figure 8 — Program latency with SHA accelerator\n");
+    println!("{}", report::latency_figure(&mut sweep, Workload::Sha));
+}

@@ -1,0 +1,9 @@
+//! Regenerates paper Fig. 9: AES program latency vs queue size.
+use cohort::scenarios::Workload;
+use cohort_bench::{report, sweep::Sweep};
+
+fn main() {
+    let mut sweep = Sweep::new_verbose();
+    println!("# Figure 9 — Program latency with AES accelerator\n");
+    println!("{}", report::latency_figure(&mut sweep, Workload::Aes));
+}

@@ -1,0 +1,113 @@
+//! Interactive single-run driver for the simulated SoC.
+//!
+//! ```text
+//! cargo run --release -p cohort-bench --bin socrun -- \
+//!     [--workload sha|aes] [--mode cohort|mmio|dma|chain|interfered] \
+//!     [--queue N] [--batch N] [--backoff N] [--policy eager|lazy|huge] \
+//!     [--tlb N] [--counters]
+//! ```
+//!
+//! Prints latency, IPC and (with `--counters`) every component's
+//! performance counters for one configuration — the quickest way to poke
+//! at the model.
+
+use cohort::scenarios::{
+    run_cohort, run_cohort_chain, run_cohort_interfered, run_dma, run_mmio, RunResult, Scenario,
+    Workload,
+};
+use cohort_os::addrspace::MapPolicy;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: socrun [--workload sha|aes] [--mode cohort|mmio|dma|chain|interfered]\n\
+         \u{20}             [--queue N] [--batch N] [--backoff N] [--policy eager|lazy|huge]\n\
+         \u{20}             [--tlb N] [--counters]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut workload = Workload::Sha;
+    let mut mode = "cohort".to_string();
+    let mut queue = 1024u64;
+    let mut batch = 64u64;
+    let mut backoff: Option<u64> = None;
+    let mut policy = MapPolicy::Eager;
+    let mut tlb: Option<usize> = None;
+    let mut counters = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--workload" => {
+                workload = match value().as_str() {
+                    "sha" => Workload::Sha,
+                    "aes" => Workload::Aes,
+                    _ => usage(),
+                }
+            }
+            "--mode" => mode = value(),
+            "--queue" => queue = value().parse().unwrap_or_else(|_| usage()),
+            "--batch" => batch = value().parse().unwrap_or_else(|_| usage()),
+            "--backoff" => backoff = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--policy" => {
+                policy = match value().as_str() {
+                    "eager" => MapPolicy::Eager,
+                    "lazy" => MapPolicy::Lazy,
+                    "huge" => MapPolicy::HugePages,
+                    _ => usage(),
+                }
+            }
+            "--tlb" => tlb = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--counters" => counters = true,
+            _ => usage(),
+        }
+    }
+
+    let mut scenario = Scenario::new(workload, queue, batch);
+    scenario.policy = policy;
+    if let Some(b) = backoff {
+        scenario.backoff = b;
+    }
+    if let Some(t) = tlb {
+        scenario.soc.tlb_entries = t;
+    }
+
+    let start = std::time::Instant::now();
+    let r: RunResult = match mode.as_str() {
+        "cohort" => run_cohort(&scenario),
+        "mmio" => run_mmio(&scenario),
+        "dma" => run_dma(&scenario),
+        "chain" => run_cohort_chain(&scenario),
+        "interfered" => run_cohort_interfered(&scenario),
+        _ => usage(),
+    };
+    let wall = start.elapsed();
+
+    println!("workload={workload:?} mode={mode} queue={queue} batch={batch} policy={policy:?}");
+    println!(
+        "latency: {} cycles ({:.1} kcycles, {:.2} cycles/element)",
+        r.cycles,
+        r.cycles as f64 / 1000.0,
+        r.cycles as f64 / queue as f64
+    );
+    println!("instructions: {}  IPC: {:.3}", r.instret, r.ipc());
+    println!("verified: {}  (host wall time {:.2?})", r.verified, wall);
+    if counters {
+        for (comp, list) in &r.counters {
+            let nonzero: Vec<String> = list
+                .iter()
+                .filter(|(_, v)| *v > 0)
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            if !nonzero.is_empty() {
+                println!("  {comp}: {}", nonzero.join(" "));
+            }
+        }
+    }
+    if !r.verified {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates paper Table 2 (benchmark tuning parameters).
+fn main() {
+    println!("# Table 2 — Benchmark Tuning Parameters\n");
+    println!("{}", cohort_bench::params::table2_markdown());
+}

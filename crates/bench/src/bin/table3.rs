@@ -1,0 +1,31 @@
+//! Regenerates paper Table 3: peak speedups for Cohort AES and SHA.
+use cohort::scenarios::Workload;
+use cohort_bench::report::{paper_table3, table3_block};
+use cohort_bench::sweep::Sweep;
+
+fn main() {
+    let mut sweep = Sweep::new_verbose();
+    println!("# Table 3 — Peak speedups (Cohort batch = 64)\n");
+    println!("## SHA speedup\n");
+    println!(
+        "{}",
+        table3_block(
+            &mut sweep,
+            Workload::Sha,
+            &paper_table3::SHA_MMIO,
+            &paper_table3::SHA_DMA,
+            &paper_table3::SHA_BATCHING,
+        )
+    );
+    println!("## AES speedup\n");
+    println!(
+        "{}",
+        table3_block(
+            &mut sweep,
+            Workload::Aes,
+            &paper_table3::AES_MMIO,
+            &paper_table3::AES_DMA,
+            &paper_table3::AES_BATCHING,
+        )
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates paper Table 4: FPGA resource utilisation (analytic model).
+use cohort_bench::report::table4_markdown;
+use cohort_sim::config::SocConfig;
+
+fn main() {
+    println!("# Table 4 — FPGA resource utilisation\n");
+    println!("{}", table4_markdown(&SocConfig::default()));
+}

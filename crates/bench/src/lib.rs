@@ -1,0 +1,22 @@
+//! # cohort-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§5, §6):
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `table2` | Table 2 — benchmark tuning parameters |
+//! | `fig8`   | Fig. 8 — SHA latency vs queue size |
+//! | `fig9`   | Fig. 9 — AES latency vs queue size |
+//! | `table3` | Table 3 — peak speedups |
+//! | `fig10`  | Fig. 10 — SHA IPC speedups |
+//! | `fig11`  | Fig. 11 — AES IPC speedups |
+//! | `table4` | Table 4 — FPGA resource utilisation (analytic model) |
+//! | `all`    | everything above, written to `results/` |
+//!
+//! Runs are memoized in a [`sweep::Sweep`] so figures sharing data points
+//! (e.g. Fig. 8 and Fig. 10) simulate each configuration once.
+
+pub mod area;
+pub mod params;
+pub mod report;
+pub mod sweep;

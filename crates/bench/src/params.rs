@@ -1,0 +1,74 @@
+//! Benchmark tuning parameters (paper Table 2).
+
+use cohort::scenarios::Workload;
+
+/// Queue sizes swept on the x-axes of Figs. 8-11.
+pub const QUEUE_SIZES: [u64; 8] = [64, 128, 256, 512, 1024, 2048, 4096, 8192];
+
+/// Queue sizes reported in Table 3 (the paper's header lists "4" for the
+/// first column, which from the figures is the 64-element point).
+pub const TABLE3_SIZES: [u64; 8] = QUEUE_SIZES;
+
+/// Batching factors swept for the SHA benchmark (Fig. 8: 8..64; "Cohort
+/// starts at a batch size of 8 elements to reflect one SHA input of 512
+/// bits").
+pub const SHA_BATCHES: [u64; 4] = [8, 16, 32, 64];
+
+/// Batching factors swept for the AES benchmark (Fig. 9: 2..64).
+pub const AES_BATCHES: [u64; 6] = [2, 4, 8, 16, 32, 64];
+
+/// The batch factor used for the headline speedups and IPC figures.
+pub const PEAK_BATCH: u64 = 64;
+
+/// DMA granularity (bytes).
+pub const DMA_GRANULARITY: u64 = 256;
+
+/// Smallest batch of each workload (the "W/ Batching" baseline in Table 3).
+pub fn min_batch(wl: Workload) -> u64 {
+    match wl {
+        Workload::Sha => SHA_BATCHES[0],
+        Workload::Aes => AES_BATCHES[0],
+    }
+}
+
+/// Renders Table 2.
+pub fn table2_markdown() -> String {
+    let mut s = String::new();
+    s.push_str("| Parameter | Value |\n|---|---|\n");
+    s.push_str("| Accelerators of interest | AES, SHA |\n");
+    s.push_str("| Communication modes | Cohort, MMIO, DMA |\n");
+    s.push_str(&format!(
+        "| Min/Max queue size | {}/{} elements |\n",
+        QUEUE_SIZES[0],
+        QUEUE_SIZES[QUEUE_SIZES.len() - 1]
+    ));
+    s.push_str(&format!(
+        "| Min/Max batching factor | {}/{} elements |\n",
+        AES_BATCHES[0],
+        AES_BATCHES[AES_BATCHES.len() - 1]
+    ));
+    s.push_str(&format!("| Baseline DMA granularity | {DMA_GRANULARITY} Bytes |\n"));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_matches_paper_table2() {
+        assert_eq!(QUEUE_SIZES[0], 64);
+        assert_eq!(*QUEUE_SIZES.last().unwrap(), 8192);
+        assert_eq!(AES_BATCHES[0], 2);
+        assert_eq!(*SHA_BATCHES.last().unwrap(), 64);
+        assert_eq!(DMA_GRANULARITY, 256);
+    }
+
+    #[test]
+    fn table2_mentions_all_parameters() {
+        let t = table2_markdown();
+        assert!(t.contains("64/8192"));
+        assert!(t.contains("2/64"));
+        assert!(t.contains("256 Bytes"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Markdown/CSV rendering of the reproduced figures and tables.
+
+use crate::area::{table4, Table4Row};
+use crate::params::{
+    min_batch, AES_BATCHES, PEAK_BATCH, QUEUE_SIZES, SHA_BATCHES, TABLE3_SIZES,
+};
+use crate::sweep::{Mode, Sweep};
+use cohort::scenarios::Workload;
+use cohort_sim::config::SocConfig;
+
+/// Renders one latency figure (Fig. 8 for SHA, Fig. 9 for AES): series of
+/// kilocycle latencies per queue size.
+pub fn latency_figure(sweep: &mut Sweep, workload: Workload) -> String {
+    let batches: &[u64] = match workload {
+        Workload::Sha => &SHA_BATCHES,
+        Workload::Aes => &AES_BATCHES,
+    };
+    let mut modes: Vec<Mode> = batches.iter().map(|&b| Mode::Cohort { batch: b }).collect();
+    modes.push(Mode::Mmio);
+    modes.push(Mode::Dma);
+
+    let mut s = String::new();
+    s.push_str("| Queue size |");
+    for m in &modes {
+        s.push_str(&format!(" {m} |"));
+    }
+    s.push_str("\n|---|");
+    for _ in &modes {
+        s.push_str("---|");
+    }
+    s.push('\n');
+    for &qs in &QUEUE_SIZES {
+        s.push_str(&format!("| {qs} |"));
+        for m in &modes {
+            s.push_str(&format!(" {:.1} |", sweep.kilocycles(workload, *m, qs)));
+        }
+        s.push('\n');
+    }
+    s.push_str("\n(latency in kilocycles, lower is better — log-scale in the paper)\n");
+    s
+}
+
+/// Renders the Table 3 block for one workload, with the paper's values for
+/// comparison.
+pub fn table3_block(
+    sweep: &mut Sweep,
+    workload: Workload,
+    paper_mmio: &[f64],
+    paper_dma: &[f64],
+    paper_batching: &[f64],
+) -> String {
+    let mut s = String::new();
+    s.push_str("| Queue size |");
+    for qs in TABLE3_SIZES {
+        s.push_str(&format!(" {qs} |"));
+    }
+    s.push_str("\n|---|");
+    for _ in TABLE3_SIZES {
+        s.push_str("---|");
+    }
+    s.push('\n');
+
+    let rows: [(&str, Box<dyn FnMut(&mut Sweep, u64) -> f64>, &[f64]); 3] = [
+        (
+            "Vs MMIO",
+            Box::new(move |sw, qs| sw.speedup(workload, PEAK_BATCH, Mode::Mmio, qs)),
+            paper_mmio,
+        ),
+        (
+            "Vs DMA",
+            Box::new(move |sw, qs| sw.speedup(workload, PEAK_BATCH, Mode::Dma, qs)),
+            paper_dma,
+        ),
+        (
+            "W/ Batching",
+            Box::new(move |sw, qs| sw.batching_gain(workload, PEAK_BATCH, qs)),
+            paper_batching,
+        ),
+    ];
+    for (name, mut f, paper) in rows {
+        s.push_str(&format!("| {name} (measured) |"));
+        for &qs in &TABLE3_SIZES {
+            s.push_str(&format!(" {:.2} |", f(sweep, qs)));
+        }
+        s.push('\n');
+        s.push_str(&format!("| {name} (paper) |"));
+        for p in paper {
+            s.push_str(&format!(" {p:.2} |"));
+        }
+        s.push('\n');
+    }
+    let _ = min_batch(workload);
+    s
+}
+
+/// Renders one IPC figure (Fig. 10 for SHA, Fig. 11 for AES).
+pub fn ipc_figure(sweep: &mut Sweep, workload: Workload) -> String {
+    let mut s = String::new();
+    s.push_str("| Queue size | IPC speedup over MMIO | IPC speedup over Coherent DMA |\n");
+    s.push_str("|---|---|---|\n");
+    for &qs in &QUEUE_SIZES {
+        let m = sweep.ipc_speedup(workload, PEAK_BATCH, Mode::Mmio, qs);
+        let d = sweep.ipc_speedup(workload, PEAK_BATCH, Mode::Dma, qs);
+        s.push_str(&format!("| {qs} | {m:.2} | {d:.2} |\n"));
+    }
+    s.push_str("\n(Cohort batching factor 64; higher is better)\n");
+    s
+}
+
+/// Renders Table 4: structural area model vs the paper's synthesis results.
+pub fn table4_markdown(cfg: &SocConfig) -> String {
+    let rows = table4(cfg);
+    let mut s = String::new();
+    s.push_str(
+        "| Block | LUTs (model) | LUTs (paper) | Regs (model) | Regs (paper) | BRAM (model) | BRAM (paper) |\n",
+    );
+    s.push_str("|---|---|---|---|---|---|---|\n");
+    for Table4Row { name, model, paper } in rows {
+        s.push_str(&format!(
+            "| {name} | {:.0} | {:.0} | {:.0} | {:.0} | {:.1} | {:.1} |\n",
+            model.luts, paper.0, model.regs, paper.1, model.bram, paper.2
+        ));
+    }
+    s.push_str("\n(model: structural estimator, see crates/bench/src/area.rs; paper: Vivado 2022.1 post-synthesis)\n");
+    s
+}
+
+/// Paper's Table 3 reference values.
+pub mod paper_table3 {
+    /// SHA speedups vs MMIO per queue size.
+    pub const SHA_MMIO: [f64; 8] = [5.44, 6.05, 6.75, 7.22, 7.62, 8.30, 8.38, 7.16];
+    /// SHA speedups vs coherent DMA.
+    pub const SHA_DMA: [f64; 8] = [7.27, 7.94, 8.85, 11.24, 10.70, 10.83, 10.62, 8.97];
+    /// SHA batching improvements (batch 64 vs batch 8).
+    pub const SHA_BATCHING: [f64; 8] = [2.32, 2.45, 2.65, 2.79, 2.96, 3.01, 3.33, 2.81];
+    /// AES speedups vs MMIO.
+    pub const AES_MMIO: [f64; 8] = [2.0, 1.89, 1.84, 1.83, 2.07, 2.03, 2.03, 1.86];
+    /// AES speedups vs coherent DMA.
+    pub const AES_DMA: [f64; 8] = [1.9, 1.83, 1.74, 1.71, 1.75, 2.03, 1.94, 1.69];
+    /// AES batching improvements (batch 64 vs batch 2).
+    pub const AES_BATCHING: [f64; 8] = [5.3, 6.05, 7.11, 7.16, 8.02, 7.99, 8.10, 7.42];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_renders_all_rows() {
+        let t = table4_markdown(&SocConfig::default());
+        for name in ["Ariane Tile", "Empty Cohort Engine", "H264 Only"] {
+            assert!(t.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn small_latency_figure_renders() {
+        // Use a tiny private sweep at small sizes to keep the test fast.
+        let mut sweep = Sweep::new();
+        let k = sweep.kilocycles(Workload::Sha, Mode::Cohort { batch: 8 }, 64);
+        assert!(k > 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Memoized benchmark execution across figures.
+
+use cohort::scenarios::{run_cohort, run_dma, run_mmio, RunResult, Scenario, Workload};
+use std::collections::HashMap;
+
+/// Communication API under test (Table 2 "communication modes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Cohort engine + SPSC queues, with a batching factor.
+    Cohort {
+        /// Pointer-update batching factor.
+        batch: u64,
+    },
+    /// MMIO word-at-a-time baseline.
+    Mmio,
+    /// Coherent DMA baseline.
+    Dma,
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mode::Cohort { batch } => write!(f, "Cohort batch={batch}"),
+            Mode::Mmio => f.write_str("MMIO"),
+            Mode::Dma => f.write_str("DMA-Coherent"),
+        }
+    }
+}
+
+/// A memoizing runner: each `(workload, mode, queue_size)` configuration is
+/// simulated once and the [`RunResult`] shared between figures.
+#[derive(Default)]
+pub struct Sweep {
+    cache: HashMap<(Workload, Mode, u64), RunResult>,
+    /// If true, print one progress line per fresh simulation.
+    pub verbose: bool,
+}
+
+impl Sweep {
+    /// Creates an empty sweep cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty sweep cache that logs each fresh simulation.
+    pub fn new_verbose() -> Self {
+        Self { verbose: true, ..Self::default() }
+    }
+
+    /// Runs (or recalls) one configuration.
+    ///
+    /// # Panics
+    /// Panics if the simulated output fails end-to-end verification — a
+    /// benchmark number is only reported for runs whose accelerator output
+    /// matched the host-side reference.
+    pub fn run(&mut self, workload: Workload, mode: Mode, queue_size: u64) -> &RunResult {
+        let key = (workload, mode, queue_size);
+        if !self.cache.contains_key(&key) {
+            if self.verbose {
+                eprintln!("  simulating {workload:?} {mode} queue={queue_size} ...");
+            }
+            let scenario = match mode {
+                Mode::Cohort { batch } => Scenario::new(workload, queue_size, batch),
+                _ => Scenario::new(workload, queue_size, 64),
+            };
+            let result = match mode {
+                Mode::Cohort { .. } => run_cohort(&scenario),
+                Mode::Mmio => run_mmio(&scenario),
+                Mode::Dma => run_dma(&scenario),
+            };
+            assert!(
+                result.verified,
+                "unverified run: {workload:?} {mode} queue={queue_size}"
+            );
+            self.cache.insert(key, result);
+        }
+        &self.cache[&key]
+    }
+
+    /// Latency in kilocycles (the Fig. 8/9 y-axis).
+    pub fn kilocycles(&mut self, workload: Workload, mode: Mode, queue_size: u64) -> f64 {
+        self.run(workload, mode, queue_size).cycles as f64 / 1000.0
+    }
+
+    /// Speedup of Cohort (given batch) over a baseline mode.
+    pub fn speedup(&mut self, workload: Workload, batch: u64, baseline: Mode, queue_size: u64) -> f64 {
+        let base = self.run(workload, baseline, queue_size).cycles as f64;
+        let cohort = self
+            .run(workload, Mode::Cohort { batch }, queue_size)
+            .cycles as f64;
+        base / cohort
+    }
+
+    /// Within-Cohort improvement of `batch` over the smallest batch.
+    pub fn batching_gain(&mut self, workload: Workload, batch: u64, queue_size: u64) -> f64 {
+        let small = crate::params::min_batch(workload);
+        let s = self
+            .run(workload, Mode::Cohort { batch: small }, queue_size)
+            .cycles as f64;
+        let b = self.run(workload, Mode::Cohort { batch }, queue_size).cycles as f64;
+        s / b
+    }
+
+    /// IPC speedup of Cohort over a baseline (Figs. 10/11).
+    pub fn ipc_speedup(&mut self, workload: Workload, batch: u64, baseline: Mode, queue_size: u64) -> f64 {
+        let c = self
+            .run(workload, Mode::Cohort { batch }, queue_size)
+            .ipc();
+        let b = self.run(workload, baseline, queue_size).ipc();
+        c / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoization_returns_identical_results() {
+        let mut sweep = Sweep::new();
+        let a = sweep.run(Workload::Sha, Mode::Cohort { batch: 8 }, 64).cycles;
+        let b = sweep.run(Workload::Sha, Mode::Cohort { batch: 8 }, 64).cycles;
+        assert_eq!(a, b);
+        assert_eq!(sweep.cache.len(), 1);
+    }
+
+    #[test]
+    fn speedups_are_positive_and_verified() {
+        let mut sweep = Sweep::new();
+        let s = sweep.speedup(Workload::Sha, 64, Mode::Mmio, 128);
+        assert!(s > 1.0, "Cohort must beat MMIO: {s}");
+    }
+}

@@ -1,0 +1,979 @@
+//! The Cohort engine (paper §4.2, Figure 6).
+//!
+//! One engine bridges a pair of software SPSC queues to one accelerator:
+//!
+//! * **Uncached configuration registers** — the only MMIO part of Cohort;
+//!   programmed exclusively by the kernel driver
+//!   ([`cohort_os::driver::regs`]).
+//! * **Memory transaction engine (MTE)** — two channels (consumer,
+//!   producer) that execute virtually-addressed reads/writes: translate
+//!   through the [`cohort_os::mmu::DeviceMmu`] (TLB hit, hardware
+//!   page-table walk with timed coherent PTE reads, or page-fault
+//!   interrupt), then access memory through a small fully-associative
+//!   coherent line buffer ([`cohort_sim::port::CoherentPort`]).
+//! * **Consumer endpoint** with the *Reader Coherency Manager*: after
+//!   reading the input queue's write index it holds (pins) that line
+//!   shared; a directory invalidation of the line means the producer
+//!   published — the RCM backs off a configurable window, re-reads the
+//!   index, and streams the new elements to the accelerator (§4.2.1,
+//!   §4.2.3).
+//! * **Producer endpoint** with the *Write Coherency Manager*: collects
+//!   accelerator output words, writes data elements, and only then updates
+//!   the output queue's write index — data-before-pointer ordering, at
+//!   data-block granularity to reduce coherence traffic (§4.2.2, §4.3).
+
+use cohort_os::driver::regs;
+use cohort_os::mmu::{DeviceMmu, TlbResult, WalkMachine, WalkStep};
+use cohort_sim::component::{CompId, Component, Ctx};
+use cohort_sim::config::{CacheConfig, SocConfig};
+use cohort_sim::line_of;
+use cohort_sim::msg::Msg;
+use cohort_sim::port::{CoherentPort, Outcome, PortEvent};
+use cohort_sim::LINE_BYTES;
+
+use cohort_accel::timing::TimedAccel;
+
+const CH_CONS: usize = 0;
+const CH_PROD: usize = 1;
+
+/// A pending MTE memory operation (virtually addressed).
+#[derive(Debug, Clone)]
+enum MteOp {
+    /// Read bytes at `va` into the (pre-sized) channel buffer.
+    Read { va: u64 },
+    /// Write the channel buffer at `va`.
+    Write { va: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ChState {
+    /// Pick up the next segment and translate it.
+    Translate,
+    /// A PTE read is outstanding.
+    WalkWait,
+    /// Faulted; waiting for the driver's resolve write.
+    WaitFault,
+    /// The port access is outstanding.
+    AccessWait { pa: u64, seg: usize, write: bool },
+    /// The access hit; completes at the embedded cycle.
+    AccessHit { at: u64, pa: u64, seg: usize, write: bool },
+}
+
+#[derive(Debug)]
+struct Channel {
+    op: Option<MteOp>,
+    buf: Vec<u8>,
+    offset: usize,
+    state: ChState,
+    walk: Option<WalkMachine>,
+    done: bool,
+    /// Streaming data access: the line is relinquished after use (the MTE
+    /// holds only pointer and page-table lines; data flows through).
+    transient: bool,
+    /// Physical address of the last completed segment (used to learn the
+    /// pointer lines the RCM should monitor).
+    last_pa: u64,
+}
+
+impl Channel {
+    fn new() -> Self {
+        Self {
+            op: None,
+            buf: Vec::new(),
+            offset: 0,
+            state: ChState::Translate,
+            walk: None,
+            done: false,
+            transient: false,
+            last_pa: 0,
+        }
+    }
+
+    fn idle(&self) -> bool {
+        self.op.is_none()
+    }
+
+    fn start_read(&mut self, va: u64, len: usize) {
+        self.start_read_opts(va, len, false)
+    }
+
+    fn start_read_opts(&mut self, va: u64, len: usize, transient: bool) {
+        debug_assert!(self.op.is_none());
+        self.op = Some(MteOp::Read { va });
+        self.buf = vec![0u8; len];
+        self.offset = 0;
+        self.state = ChState::Translate;
+        self.walk = None;
+        self.done = false;
+        self.transient = transient;
+    }
+
+    fn start_write_opts(&mut self, va: u64, data: Vec<u8>, transient: bool) {
+        debug_assert!(self.op.is_none());
+        self.op = Some(MteOp::Write { va });
+        self.buf = data;
+        self.offset = 0;
+        self.state = ChState::Translate;
+        self.walk = None;
+        self.done = false;
+        self.transient = transient;
+    }
+
+    fn take_done(&mut self) -> Option<Vec<u8>> {
+        if self.done {
+            self.op = None;
+            self.done = false;
+            Some(std::mem::take(&mut self.buf))
+        } else {
+            None
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConsState {
+    Off,
+    /// Reading the CSR configuration buffer.
+    Csr,
+    /// Reading the input queue's read index.
+    InitRd,
+    /// Reading the input queue's write index.
+    InitWr,
+    /// Deciding what to do next.
+    Judge,
+    /// Armed: RCM watches the write-index line for invalidations.
+    Waiting,
+    /// Invalidations observed; waiting out the backoff window.
+    Backoff { until: u64 },
+    /// Re-reading the write index after backoff.
+    ReadWr,
+    /// Fetching `n` elements of data.
+    Fetch { n: u64 },
+    /// Streaming fetched words into the accelerator.
+    Feed { fed: usize, n: u64 },
+    /// Publishing the updated read index.
+    UpdateRd,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProdState {
+    Off,
+    /// Reading the output queue's read index.
+    InitRd,
+    /// Reading the output queue's write index.
+    InitWr,
+    /// Collecting accelerator output / waiting for a flushable block.
+    Collect,
+    /// Output queue looked full; waiting out the backoff window after a
+    /// read-index invalidation.
+    BackoffFull { until: u64 },
+    /// Re-reading the read index.
+    ReadRd,
+    /// Writing `n` elements of data.
+    WriteData { n: u64 },
+    /// WCM ordering drain between data write and index publication.
+    WcmDrain { n: u64, until: u64 },
+    /// Publishing the updated write index.
+    UpdateWr,
+}
+
+/// Runtime view of one registered queue.
+#[derive(Debug, Clone, Copy, Default)]
+struct QueueRegs {
+    wr_va: u64,
+    rd_va: u64,
+    base_va: u64,
+    elem: u64,
+    len: u64,
+}
+
+impl QueueRegs {
+    fn slot_va(&self, index: u64) -> u64 {
+        self.base_va + (index % self.len) * self.elem
+    }
+
+    /// Elements contiguous in the ring starting at `index`.
+    fn contig(&self, index: u64) -> u64 {
+        self.len - (index % self.len)
+    }
+}
+
+/// Performance counters of the engine (paper §5.1: "performance counter
+/// data comes from each Cohort Engine").
+#[derive(Debug, Default, Clone)]
+pub struct EngineCounters {
+    /// Elements consumed from the input queue.
+    pub consumed: u64,
+    /// Elements produced into the output queue.
+    pub produced: u64,
+    /// Write-index line invalidations the RCM observed.
+    pub rcm_invalidations: u64,
+    /// Backoff windows taken.
+    pub backoffs: u64,
+    /// Page faults raised to the core.
+    pub faults: u64,
+    /// Read-index re-reads because the output ring looked full.
+    pub full_stalls: u64,
+}
+
+/// The Cohort engine component. Construct with [`CohortEngine::new`], map
+/// its register bank with [`cohort_sim::soc::Soc::map_mmio`], and program
+/// it through [`cohort_os::CohortDriver`].
+pub struct CohortEngine {
+    mmio_base: u64,
+    irq_target: CompId,
+    irq_num: u32,
+    port: CoherentPort,
+    mmu: DeviceMmu,
+    accel: TimedAccel,
+    raw_regs: std::collections::HashMap<u64, u64>,
+    enabled: bool,
+    channels: [Channel; 2],
+    cons: ConsState,
+    prod: ProdState,
+    in_q: QueueRegs,
+    out_q: QueueRegs,
+    rd: u64,
+    known_wr: u64,
+    wr: u64,
+    known_rd: u64,
+    /// RCM monitored lines (input write index / output read index).
+    rcm_in_line: Option<u64>,
+    rcm_in_dirty: bool,
+    rcm_out_line: Option<u64>,
+    rcm_out_dirty: bool,
+    backoff: u64,
+    wcm_turnaround: u64,
+    mte_shared: bool,
+    mmio_latency: u64,
+    /// Producer-side staging buffer (accelerator words awaiting a flush).
+    stage: Vec<u8>,
+    counters: EngineCounters,
+    irq_outstanding: bool,
+    /// A CSR-buffer read is outstanding on the consumer channel.
+    csr_pending: bool,
+}
+
+impl std::fmt::Debug for CohortEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CohortEngine")
+            .field("enabled", &self.enabled)
+            .field("cons", &self.cons)
+            .field("prod", &self.prod)
+            .field("consumed", &self.counters.consumed)
+            .field("produced", &self.counters.produced)
+            .finish()
+    }
+}
+
+impl CohortEngine {
+    /// Creates an engine.
+    ///
+    /// * `dir` — the directory component;
+    /// * `mmio_base` — base physical address of the register bank (map
+    ///   `mmio_base..mmio_base + regs::BANK_BYTES`);
+    /// * `irq_target`/`irq_num` — where page-fault interrupts go;
+    /// * `accel` — the hosted accelerator.
+    pub fn new(
+        dir: CompId,
+        cfg: &SocConfig,
+        mmio_base: u64,
+        irq_target: CompId,
+        irq_num: u32,
+        accel: Box<dyn cohort_accel::Accelerator>,
+    ) -> Self {
+        let lines = cfg.mte_lines.max(4);
+        Self {
+            mmio_base,
+            irq_target,
+            irq_num,
+            // Fully associative line buffer: pins can never jam a set.
+            port: CoherentPort::new(
+                dir,
+                CacheConfig::new(lines * LINE_BYTES, lines as u32),
+                1,
+            ),
+            mmu: DeviceMmu::new(cfg.tlb_entries),
+            accel: TimedAccel::new(accel),
+            raw_regs: std::collections::HashMap::new(),
+            enabled: false,
+            channels: [Channel::new(), Channel::new()],
+            cons: ConsState::Off,
+            prod: ProdState::Off,
+            in_q: QueueRegs::default(),
+            out_q: QueueRegs::default(),
+            rd: 0,
+            known_wr: 0,
+            wr: 0,
+            known_rd: 0,
+            rcm_in_line: None,
+            rcm_in_dirty: false,
+            rcm_out_line: None,
+            rcm_out_dirty: false,
+            backoff: 16,
+            wcm_turnaround: cfg.timing.wcm_turnaround,
+            mte_shared: cfg.timing.mte_shared,
+            mmio_latency: cfg.timing.mmio_device,
+            stage: Vec::new(),
+            counters: EngineCounters::default(),
+            irq_outstanding: false,
+            csr_pending: false,
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn engine_counters(&self) -> &EngineCounters {
+        &self.counters
+    }
+
+    /// MMU counter snapshot (TLB hits/misses/faults/flushes).
+    pub fn mmu_counters(&self) -> &cohort_os::mmu::MmuCounters {
+        self.mmu.counters()
+    }
+
+    /// The register bank base address.
+    pub fn mmio_base(&self) -> u64 {
+        self.mmio_base
+    }
+
+    fn reg(&self, off: u64) -> u64 {
+        self.raw_regs.get(&off).copied().unwrap_or(0)
+    }
+
+    fn enable(&mut self) {
+        self.enabled = true;
+        self.in_q = QueueRegs {
+            wr_va: self.reg(regs::IN_WR_VA),
+            rd_va: self.reg(regs::IN_RD_VA),
+            base_va: self.reg(regs::IN_BASE_VA),
+            elem: self.reg(regs::IN_ELEM).max(8),
+            len: self.reg(regs::IN_LEN).max(1),
+        };
+        self.out_q = QueueRegs {
+            wr_va: self.reg(regs::OUT_WR_VA),
+            rd_va: self.reg(regs::OUT_RD_VA),
+            base_va: self.reg(regs::OUT_BASE_VA),
+            elem: self.reg(regs::OUT_ELEM).max(8),
+            len: self.reg(regs::OUT_LEN).max(1),
+        };
+        self.mmu.set_root(self.reg(regs::PT_ROOT_PA));
+        self.backoff = self.reg(regs::BACKOFF);
+        self.accel.reset();
+        self.stage.clear();
+        self.rd = 0;
+        self.known_wr = 0;
+        self.wr = 0;
+        self.known_rd = 0;
+        self.rcm_in_line = None;
+        self.rcm_in_dirty = false;
+        self.rcm_out_line = None;
+        self.rcm_out_dirty = false;
+        self.cons = if self.reg(regs::CSR_LEN) > 0 { ConsState::Csr } else { ConsState::InitRd };
+        self.prod = ProdState::InitRd;
+    }
+
+    fn disable(&mut self, ctx: &mut Ctx<'_>) {
+        self.enabled = false;
+        self.cons = ConsState::Off;
+        self.prod = ProdState::Off;
+        if let Some(l) = self.rcm_in_line.take() {
+            self.port.unpin(l);
+            self.port.relinquish(ctx, l);
+        }
+        if let Some(l) = self.rcm_out_line.take() {
+            self.port.unpin(l);
+            self.port.relinquish(ctx, l);
+        }
+        self.port.unpin_all();
+    }
+
+    fn on_mmio_write(&mut self, ctx: &mut Ctx<'_>, pa: u64, value: u64) {
+        let off = pa - self.mmio_base;
+        match off {
+            regs::ENABLE => {
+                self.raw_regs.insert(off, value);
+                if value != 0 {
+                    self.enable();
+                } else {
+                    self.disable(ctx);
+                }
+            }
+            regs::TLB_FLUSH => self.mmu.flush(),
+            regs::FAULT_RESOLVE => {
+                self.irq_outstanding = false;
+                for ch in &mut self.channels {
+                    if matches!(ch.state, ChState::WaitFault) {
+                        ch.state = ChState::Translate;
+                        ch.walk = None;
+                    }
+                }
+            }
+            regs::BACKOFF => {
+                self.backoff = value;
+                self.raw_regs.insert(off, value);
+            }
+            _ => {
+                self.raw_regs.insert(off, value);
+            }
+        }
+    }
+
+    fn on_mmio_read(&self, pa: u64) -> u64 {
+        let off = pa - self.mmio_base;
+        match off {
+            regs::CONSUMED => self.counters.consumed,
+            regs::PRODUCED => self.counters.produced,
+            _ => self.reg(off),
+        }
+    }
+
+    fn token(ch: usize, pte: bool) -> u64 {
+        (ch as u64) * 4 + u64::from(pte)
+    }
+
+    fn route_event(&mut self, ctx: &mut Ctx<'_>, ev: PortEvent) {
+        match ev {
+            PortEvent::Completed { token } => {
+                let ch = (token / 4) as usize;
+                let is_pte = token % 4 == 1;
+                if is_pte {
+                    self.walk_feed(ctx, ch);
+                } else {
+                    let state = self.channels[ch].state;
+                    if let ChState::AccessWait { pa, seg, write } = state {
+                        self.complete_segment(ctx, ch, pa, seg, write);
+                    }
+                }
+            }
+            PortEvent::Invalidated { line } => {
+                if self.rcm_in_line == Some(line) {
+                    self.counters.rcm_invalidations += 1;
+                    self.rcm_in_dirty = true;
+                }
+                if self.rcm_out_line == Some(line) {
+                    self.rcm_out_dirty = true;
+                }
+            }
+            PortEvent::Downgraded { .. } => {}
+        }
+    }
+
+    /// Feeds the just-fetched PTE into the channel's walker.
+    fn walk_feed(&mut self, ctx: &mut Ctx<'_>, ch_idx: usize) {
+        let pte_pa = match self.channels[ch_idx].walk.as_ref().map(|w| w.step()) {
+            Some(WalkStep::NeedPte { pa }) => pa,
+            _ => return,
+        };
+        let pte = ctx.mem.read_u64(pte_pa);
+        let step = self.channels[ch_idx]
+            .walk
+            .as_mut()
+            .expect("walk in progress")
+            .feed(pte);
+        match step {
+            WalkStep::NeedPte { pa } => {
+                self.issue_pte_read(ctx, ch_idx, pa);
+            }
+            WalkStep::Done { va_page, pa_page, size, .. } => {
+                self.mmu.insert(va_page, pa_page, size);
+                self.channels[ch_idx].walk = None;
+                self.channels[ch_idx].state = ChState::Translate;
+                // Retry the access next advance (same step continues).
+                self.advance_channel(ctx, ch_idx);
+            }
+            WalkStep::Fault => {
+                self.mmu.note_fault();
+                self.counters.faults += 1;
+                let va = self.channels[ch_idx].walk.expect("walk").va();
+                self.channels[ch_idx].walk = None;
+                self.channels[ch_idx].state = ChState::WaitFault;
+                if !self.irq_outstanding {
+                    self.irq_outstanding = true;
+                    ctx.send(self.irq_target, Msg::Irq { irq: self.irq_num, payload: va });
+                }
+            }
+        }
+    }
+
+    fn issue_pte_read(&mut self, ctx: &mut Ctx<'_>, ch_idx: usize, pte_pa: u64) {
+        match self.port.request(ctx, pte_pa, false, Self::token(ch_idx, true)) {
+            Outcome::Hit { .. } => {
+                // PTE already in the MTE buffer: feed immediately.
+                self.channels[ch_idx].state = ChState::WalkWait;
+                self.walk_feed(ctx, ch_idx);
+            }
+            Outcome::Pending => self.channels[ch_idx].state = ChState::WalkWait,
+            Outcome::Retry => {
+                // Conflicting transaction; retried from Translate next cycle.
+                self.channels[ch_idx].state = ChState::Translate;
+                self.channels[ch_idx].walk = None;
+            }
+        }
+    }
+
+    fn complete_segment(&mut self, ctx: &mut Ctx<'_>, ch_idx: usize, pa: u64, seg: usize, write: bool) {
+        let finished = {
+            let ch = &mut self.channels[ch_idx];
+            let off = ch.offset;
+            if write {
+                ctx.mem.write_bytes(pa, &ch.buf[off..off + seg]);
+            } else {
+                ctx.mem.read_bytes(pa, &mut ch.buf[off..off + seg]);
+            }
+            ch.offset += seg;
+            ch.last_pa = pa;
+            ch.state = ChState::Translate;
+            ch.offset >= ch.buf.len()
+        };
+        if self.channels[ch_idx].transient {
+            // Streaming data: give the line back (the engine has no data
+            // cache; it bridges, it does not hold).
+            self.port.relinquish(ctx, line_of(pa));
+        }
+        if finished {
+            self.channels[ch_idx].done = true;
+            return;
+        }
+        self.advance_channel(ctx, ch_idx);
+    }
+
+    /// Pushes a channel forward: translation (TLB or walk), then the port
+    /// access for the current line segment.
+    fn advance_channel(&mut self, ctx: &mut Ctx<'_>, ch_idx: usize) {
+        let (va, write, seg) = {
+            let ch = &self.channels[ch_idx];
+            let Some(op) = &ch.op else { return };
+            if ch.done {
+                return;
+            }
+            match ch.state {
+                ChState::Translate => {}
+                ChState::AccessHit { at, pa, seg, write } if ctx.cycle >= at => {
+                    self.complete_segment(ctx, ch_idx, pa, seg, write);
+                    return;
+                }
+                _ => return,
+            }
+            let (va0, write) = match op {
+                MteOp::Read { va } => (*va, false),
+                MteOp::Write { va } => (*va, true),
+            };
+            let va = va0 + ch.offset as u64;
+            let line_rem = (LINE_BYTES - (va % LINE_BYTES)) as usize;
+            let seg = line_rem.min(ch.buf.len() - ch.offset);
+            (va, write, seg)
+        };
+        match self.mmu.lookup(va) {
+            TlbResult::Hit { pa } => {
+                // A whole-line write can skip the DRAM fetch (the WCM
+                // write-combines full output lines).
+                let full_line = write && seg == LINE_BYTES as usize && pa % LINE_BYTES == 0;
+                match self.port.request_opts(ctx, pa, write, Self::token(ch_idx, false), full_line)
+                {
+                    Outcome::Hit { ready_at } => {
+                        self.channels[ch_idx].state =
+                            ChState::AccessHit { at: ready_at, pa, seg, write };
+                    }
+                    Outcome::Pending => {
+                        self.channels[ch_idx].state = ChState::AccessWait { pa, seg, write };
+                    }
+                    Outcome::Retry => { /* stay in Translate; retry next cycle */ }
+                }
+            }
+            TlbResult::Miss => {
+                let walk = self.mmu.begin_walk(va);
+                let WalkStep::NeedPte { pa } = walk.step() else {
+                    unreachable!("fresh walk always needs a PTE")
+                };
+                self.channels[ch_idx].walk = Some(walk);
+                self.issue_pte_read(ctx, ch_idx, pa);
+            }
+        }
+    }
+
+    /// Arms the input-side RCM on the line of the last pointer read.
+    fn arm_rcm_in(&mut self) {
+        let line = line_of(self.channels[CH_CONS].last_pa);
+        if self.rcm_in_line != Some(line) {
+            if let Some(old) = self.rcm_in_line {
+                self.port.unpin(old);
+            }
+            self.port.pin(line);
+            self.rcm_in_line = Some(line);
+        }
+        // Close the arming race: if the line was invalidated (or evicted)
+        // between the pointer-read grant and this arm, the writer's signal
+        // already passed — mark it pending rather than waiting forever.
+        if self.port.state_of(line).is_none() {
+            self.rcm_in_dirty = true;
+        }
+    }
+
+    fn arm_rcm_out(&mut self) {
+        let line = line_of(self.channels[CH_PROD].last_pa);
+        if self.rcm_out_line != Some(line) {
+            if let Some(old) = self.rcm_out_line {
+                self.port.unpin(old);
+            }
+            self.port.pin(line);
+            self.rcm_out_line = Some(line);
+        }
+        if self.port.state_of(line).is_none() {
+            self.rcm_out_dirty = true;
+        }
+    }
+
+    /// True when the input-side RCM has a pending (or missed) signal.
+    fn rcm_in_pending(&self) -> bool {
+        self.rcm_in_dirty
+            || self
+                .rcm_in_line
+                .is_some_and(|l| self.port.state_of(l).is_none())
+    }
+
+    /// True when the output-side RCM has a pending (or missed) signal.
+    fn rcm_out_pending(&self) -> bool {
+        self.rcm_out_dirty
+            || self
+                .rcm_out_line
+                .is_some_and(|l| self.port.state_of(l).is_none())
+    }
+
+    /// MTE arbitration (Fig. 6): with a shared MTE an endpoint may only
+    /// start a new operation when the other endpoint's is complete;
+    /// otherwise one operation per endpoint may be in flight.
+    fn mte_free(&self, me: usize) -> bool {
+        !self.mte_shared || self.channels[1 - me].idle()
+    }
+
+    /// Elements the consumer moves per accelerator data block.
+    fn in_chunk_elems(&self) -> u64 {
+        (self.accel.descriptor().input_block_bytes as u64 / self.in_q.elem).max(1)
+    }
+
+    /// Elements the producer publishes per flush (§4.3: pointer updates at
+    /// data-block granularity, bounded by the endpoint's staging buffer —
+    /// a hardware FIFO of a few cache lines).
+    fn out_chunk_elems(&self) -> u64 {
+        let stage_cap = (4 * LINE_BYTES) / self.out_q.elem;
+        (self.accel.descriptor().output_block_bytes as u64 / self.out_q.elem)
+            .clamp(1, stage_cap.max(1))
+    }
+
+    fn step_consumer(&mut self, ctx: &mut Ctx<'_>) {
+        match self.cons {
+            ConsState::Off => {}
+            ConsState::Csr => {
+                if self.channels[CH_CONS].idle() && self.mte_free(CH_CONS) {
+                    let va = self.reg(regs::CSR_BASE_VA);
+                    let len = self.reg(regs::CSR_LEN) as usize;
+                    self.channels[CH_CONS].start_read_opts(va, len, true);
+                    self.advance_channel(ctx, CH_CONS);
+                    self.csr_pending = true;
+                    self.cons = ConsState::InitRd; // continues after completion
+                }
+            }
+            ConsState::InitRd => {
+                if let Some(buf) = self.channels[CH_CONS].take_done() {
+                    if self.csr_pending {
+                        self.csr_pending = false;
+                        if let Err(e) = self.accel.configure(&buf) {
+                            panic!("accelerator rejected CSR configuration: {e}");
+                        }
+                        // fall through to issue the rd read below
+                    } else {
+                        self.rd = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes"));
+                        self.cons = ConsState::InitWr;
+                        return;
+                    }
+                }
+                if self.channels[CH_CONS].idle() && self.mte_free(CH_CONS) {
+                    self.channels[CH_CONS].start_read_opts(self.in_q.rd_va, 8, true);
+                    self.advance_channel(ctx, CH_CONS);
+                }
+            }
+            ConsState::InitWr | ConsState::ReadWr => {
+                if let Some(buf) = self.channels[CH_CONS].take_done() {
+                    self.known_wr = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes"));
+                    self.arm_rcm_in();
+                    self.rcm_in_dirty = false;
+                    self.cons = ConsState::Judge;
+                    self.step_consumer(ctx);
+                } else if self.channels[CH_CONS].idle() && self.mte_free(CH_CONS) {
+                    self.channels[CH_CONS].start_read(self.in_q.wr_va, 8);
+                    self.advance_channel(ctx, CH_CONS);
+                }
+            }
+            ConsState::Judge => {
+                let available = self.known_wr.wrapping_sub(self.rd);
+                if available > 0 {
+                    if !self.mte_free(CH_CONS) {
+                        return; // shared MTE busy with the producer side
+                    }
+                    let n = self
+                        .in_chunk_elems()
+                        .min(available)
+                        .min(self.in_q.contig(self.rd));
+                    let va = self.in_q.slot_va(self.rd);
+                    self.channels[CH_CONS].start_read_opts(va, (n * self.in_q.elem) as usize, true);
+                    self.advance_channel(ctx, CH_CONS);
+                    self.cons = ConsState::Fetch { n };
+                } else if self.rcm_in_pending() {
+                    // Missed publications while busy: re-read after backoff.
+                    self.counters.backoffs += 1;
+                    self.cons = ConsState::Backoff { until: ctx.cycle + self.backoff };
+                } else {
+                    self.cons = ConsState::Waiting;
+                }
+            }
+            ConsState::Waiting => {
+                if self.rcm_in_pending() {
+                    self.counters.backoffs += 1;
+                    self.cons = ConsState::Backoff { until: ctx.cycle + self.backoff };
+                }
+            }
+            ConsState::Backoff { until } => {
+                if ctx.cycle >= until {
+                    self.rcm_in_dirty = false;
+                    self.cons = ConsState::ReadWr;
+                    self.step_consumer(ctx);
+                }
+            }
+            ConsState::Fetch { n } => {
+                if let Some(buf) = self.channels[CH_CONS].take_done() {
+                    self.channels[CH_CONS].buf = buf; // keep data for feeding
+                    self.cons = ConsState::Feed { fed: 0, n };
+                }
+            }
+            ConsState::Feed { fed, n } => {
+                let data = std::mem::take(&mut self.channels[CH_CONS].buf);
+                let mut fed = fed;
+                if fed < data.len() && self.accel.ready(ctx.cycle) {
+                    let word = u64::from_le_bytes(
+                        data[fed..fed + 8].try_into().expect("8-byte word"),
+                    );
+                    self.accel.push_word(word);
+                    fed += 8;
+                }
+                if fed >= data.len() {
+                    if !self.mte_free(CH_CONS) {
+                        self.channels[CH_CONS].buf = data;
+                        self.cons = ConsState::Feed { fed, n };
+                        return;
+                    }
+                    self.rd += n;
+                    self.counters.consumed += n;
+                    self.channels[CH_CONS].start_write_opts(
+                        self.in_q.rd_va,
+                        self.rd.to_le_bytes().to_vec(),
+                        true,
+                    );
+                    self.advance_channel(ctx, CH_CONS);
+                    self.cons = ConsState::UpdateRd;
+                } else {
+                    self.channels[CH_CONS].buf = data;
+                    self.cons = ConsState::Feed { fed, n };
+                }
+            }
+            ConsState::UpdateRd => {
+                if self.channels[CH_CONS].take_done().is_some() {
+                    self.cons = ConsState::Judge;
+                    self.step_consumer(ctx);
+                }
+            }
+        }
+    }
+
+    fn step_producer(&mut self, ctx: &mut Ctx<'_>) {
+        // Collect accelerator output continuously (up to one word/cycle).
+        if self.enabled && self.stage.len() < 4 * LINE_BYTES as usize {
+            if let Some(w) = self.accel.pop_word(ctx.cycle) {
+                self.stage.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+        match self.prod {
+            ProdState::Off => {}
+            ProdState::InitRd => {
+                if let Some(buf) = self.channels[CH_PROD].take_done() {
+                    self.known_rd = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes"));
+                    self.arm_rcm_out();
+                    self.rcm_out_dirty = false;
+                    self.prod = ProdState::InitWr;
+                } else if self.channels[CH_PROD].idle() && self.mte_free(CH_PROD) {
+                    self.channels[CH_PROD].start_read(self.out_q.rd_va, 8);
+                    self.advance_channel(ctx, CH_PROD);
+                }
+            }
+            ProdState::InitWr => {
+                if let Some(buf) = self.channels[CH_PROD].take_done() {
+                    self.wr = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes"));
+                    self.prod = ProdState::Collect;
+                } else if self.channels[CH_PROD].idle() && self.mte_free(CH_PROD) {
+                    self.channels[CH_PROD].start_read_opts(self.out_q.wr_va, 8, true);
+                    self.advance_channel(ctx, CH_PROD);
+                }
+            }
+            ProdState::Collect => {
+                let elem = self.out_q.elem as usize;
+                let staged_elems = (self.stage.len() / elem) as u64;
+                if staged_elems == 0 {
+                    return;
+                }
+                let free = self.out_q.len - self.wr.wrapping_sub(self.known_rd);
+                if free == 0 {
+                    // Ring full by our view: wait for the consumer to move
+                    // its read index (invalidation on the pinned rd line).
+                    self.counters.full_stalls += 1;
+                    if self.rcm_out_pending() {
+                        self.prod = ProdState::BackoffFull { until: ctx.cycle + self.backoff };
+                    }
+                    return;
+                }
+                let want = self.out_chunk_elems();
+                if staged_elems < want && self.accel.output_len() >= 8 {
+                    return; // let the data block accumulate
+                }
+                if !self.mte_free(CH_PROD) {
+                    return; // shared MTE busy with the consumer side
+                }
+                // Pointer updates happen at data-block granularity (§4.3).
+                let n = staged_elems
+                    .min(want.max(1))
+                    .min(free)
+                    .min(self.out_q.contig(self.wr));
+                let bytes = (n as usize) * elem;
+                let data: Vec<u8> = self.stage.drain(..bytes).collect();
+                self.channels[CH_PROD].start_write_opts(self.out_q.slot_va(self.wr), data, true);
+                self.advance_channel(ctx, CH_PROD);
+                self.prod = ProdState::WriteData { n };
+            }
+            ProdState::BackoffFull { until } => {
+                if ctx.cycle >= until {
+                    self.rcm_out_dirty = false;
+                    self.prod = ProdState::ReadRd;
+                    self.step_producer_tail(ctx);
+                }
+            }
+            ProdState::ReadRd => self.step_producer_tail(ctx),
+            ProdState::WriteData { n } => {
+                if self.channels[CH_PROD].take_done().is_some() {
+                    // WCM ordering: the data write completed coherently;
+                    // wait out the ordering drain, then publish the index.
+                    self.prod =
+                        ProdState::WcmDrain { n, until: ctx.cycle + self.wcm_turnaround };
+                }
+            }
+            ProdState::WcmDrain { n, until } => {
+                if ctx.cycle >= until && self.mte_free(CH_PROD) {
+                    self.wr += n;
+                    self.counters.produced += n;
+                    self.channels[CH_PROD].start_write_opts(
+                        self.out_q.wr_va,
+                        self.wr.to_le_bytes().to_vec(),
+                        true,
+                    );
+                    self.advance_channel(ctx, CH_PROD);
+                    self.prod = ProdState::UpdateWr;
+                }
+            }
+            ProdState::UpdateWr => {
+                if self.channels[CH_PROD].take_done().is_some() {
+                    self.prod = ProdState::Collect;
+                }
+            }
+        }
+    }
+
+    fn step_producer_tail(&mut self, ctx: &mut Ctx<'_>) {
+        // ReadRd state body (shared by the backoff path).
+        if let Some(buf) = self.channels[CH_PROD].take_done() {
+            self.known_rd = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes"));
+            self.arm_rcm_out();
+            self.rcm_out_dirty = false;
+            self.prod = ProdState::Collect;
+        } else if self.channels[CH_PROD].idle() && self.mte_free(CH_PROD) {
+            self.channels[CH_PROD].start_read(self.out_q.rd_va, 8);
+            self.advance_channel(ctx, CH_PROD);
+        }
+    }
+}
+
+impl Component for CohortEngine {
+    fn name(&self) -> &str {
+        "cohort-engine"
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) {
+        while let Some(env) = ctx.recv() {
+            match &env.msg {
+                m if CoherentPort::wants(m) => {
+                    let events = self.port.handle(&env, ctx);
+                    for ev in events {
+                        self.route_event(ctx, ev);
+                    }
+                }
+                Msg::MmioWrite { pa, value, tag } => {
+                    let (pa, value, tag) = (*pa, *value, *tag);
+                    self.on_mmio_write(ctx, pa, value);
+                    ctx.send_delayed(env.src, Msg::MmioWriteResp { tag }, self.mmio_latency);
+                }
+                Msg::MmioRead { pa, tag } => {
+                    let value = self.on_mmio_read(*pa);
+                    ctx.send_delayed(
+                        env.src,
+                        Msg::MmioReadResp { tag: *tag, value },
+                        self.mmio_latency,
+                    );
+                }
+                other => panic!("engine received unexpected message {other:?}"),
+            }
+        }
+        if !self.enabled {
+            return;
+        }
+        // Advance hit-path channel completions.
+        for i in 0..2 {
+            self.advance_channel(ctx, i);
+        }
+        self.accel.step(ctx.cycle);
+        self.step_consumer(ctx);
+        self.step_producer(ctx);
+    }
+
+    fn is_idle(&self) -> bool {
+        if !self.enabled {
+            return true;
+        }
+        self.channels.iter().all(Channel::idle)
+            && matches!(self.cons, ConsState::Waiting | ConsState::Off)
+            && matches!(self.prod, ProdState::Collect | ProdState::Off)
+            && !self.rcm_in_pending()
+            && self.stage.len() < self.out_q.elem as usize
+            && self.accel.is_idle(0)
+            && self.port.is_idle()
+    }
+
+    fn counters(&self) -> Vec<(String, u64)> {
+        let c = &self.counters;
+        let m = self.mmu.counters();
+        vec![
+            ("consumed".into(), c.consumed),
+            ("produced".into(), c.produced),
+            ("rcm_invalidations".into(), c.rcm_invalidations),
+            ("backoffs".into(), c.backoffs),
+            ("faults".into(), c.faults),
+            ("full_stalls".into(), c.full_stalls),
+            ("tlb_hits".into(), m.hits),
+            ("tlb_misses".into(), m.misses),
+            ("tlb_flushes".into(), m.flushes),
+        ]
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,443 @@
+//! The MAPLE unit component: MMIO and coherent-DMA accelerator hosting.
+
+use cohort_accel::timing::TimedAccel;
+use cohort_os::mmu::{DeviceMmu, TlbResult, WalkMachine, WalkStep};
+use cohort_sim::component::{CompId, Component, Ctx};
+use cohort_sim::config::{CacheConfig, SocConfig};
+use cohort_sim::msg::Msg;
+use cohort_sim::port::{CoherentPort, Outcome, PortEvent};
+use cohort_sim::LINE_BYTES;
+use std::collections::VecDeque;
+
+use crate::regs;
+
+const TOK_ACCESS: u64 = 0;
+const TOK_PTE: u64 = 1;
+
+/// A held (blocking) MMIO request.
+#[derive(Debug, Clone, Copy)]
+enum HeldMmio {
+    Push { src: CompId, tag: u64, value: u64 },
+    Pop { src: CompId, tag: u64 },
+    Done { src: CompId, tag: u64 },
+}
+
+/// DMA engine state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DmaState {
+    Idle,
+    Running,
+}
+
+/// One in-flight coherent access of the DMA engine.
+#[derive(Debug, Clone, Copy)]
+enum Access {
+    None,
+    /// Walking the page table; the access geometry is retried after the
+    /// walk completes.
+    Walk { len: usize, write: bool },
+    /// Waiting for a line grant.
+    Wait { pa: u64, len: usize, write: bool },
+    /// Line granted with hit latency; completes at `at`.
+    Hit { at: u64, pa: u64, len: usize, write: bool },
+}
+
+/// Performance counters of the MAPLE unit.
+#[derive(Debug, Default, Clone)]
+pub struct MapleCounters {
+    /// MMIO words pushed.
+    pub mmio_pushes: u64,
+    /// MMIO words popped.
+    pub mmio_pops: u64,
+    /// DMA transfers completed.
+    pub dma_transfers: u64,
+    /// Input bytes moved by DMA.
+    pub dma_in_bytes: u64,
+    /// Output bytes moved by DMA.
+    pub dma_out_bytes: u64,
+}
+
+/// The MAPLE baseline unit. Map `mmio_base..mmio_base + regs::BANK_BYTES`.
+pub struct MapleUnit {
+    mmio_base: u64,
+    port: CoherentPort,
+    mmu: DeviceMmu,
+    accel: TimedAccel,
+    held: VecDeque<HeldMmio>,
+    csr_stage: Vec<u8>,
+    // DMA programming registers.
+    dma_src: u64,
+    dma_dst: u64,
+    dma_len: u64,
+    dma_state: DmaState,
+    // DMA runtime.
+    src_off: u64,
+    in_buf: VecDeque<u8>,
+    fed: u64,
+    out_stage: Vec<u8>,
+    dst_off: u64,
+    access: Access,
+    walk: Option<WalkMachine>,
+    mmio_latency: u64,
+    counters: MapleCounters,
+}
+
+impl std::fmt::Debug for MapleUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MapleUnit")
+            .field("dma_state", &self.dma_state)
+            .field("held", &self.held.len())
+            .finish()
+    }
+}
+
+impl MapleUnit {
+    /// Creates a MAPLE unit hosting `accel`, talking to directory `dir`,
+    /// with its registers at `mmio_base`.
+    pub fn new(
+        dir: CompId,
+        cfg: &SocConfig,
+        mmio_base: u64,
+        accel: Box<dyn cohort_accel::Accelerator>,
+    ) -> Self {
+        let lines = cfg.mte_lines.max(4);
+        Self {
+            mmio_base,
+            port: CoherentPort::new(dir, CacheConfig::new(lines * LINE_BYTES, lines as u32), 1),
+            mmu: DeviceMmu::new(cfg.tlb_entries),
+            accel: TimedAccel::new(accel),
+            held: VecDeque::new(),
+            csr_stage: Vec::new(),
+            dma_src: 0,
+            dma_dst: 0,
+            dma_len: 0,
+            dma_state: DmaState::Idle,
+            src_off: 0,
+            in_buf: VecDeque::new(),
+            fed: 0,
+            out_stage: Vec::new(),
+            dst_off: 0,
+            access: Access::None,
+            walk: None,
+            mmio_latency: cfg.timing.mmio_device,
+            counters: MapleCounters::default(),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn maple_counters(&self) -> &MapleCounters {
+        &self.counters
+    }
+
+    fn on_mmio_write(&mut self, ctx: &mut Ctx<'_>, src: CompId, pa: u64, value: u64, tag: u64) {
+        let off = pa - self.mmio_base;
+        match off {
+            regs::PUSH => {
+                // Accept if the accelerator is ready; otherwise hold the
+                // response (the core stalls — §2.1 semantics).
+                if self.accel.ready(ctx.cycle) {
+                    self.accel.push_word(value);
+                    self.counters.mmio_pushes += 1;
+                    ctx.send_delayed(src, Msg::MmioWriteResp { tag }, self.mmio_latency);
+                } else {
+                    self.held.push_back(HeldMmio::Push { src, tag, value });
+                }
+                return;
+            }
+            regs::CSR_DATA => {
+                self.csr_stage.extend_from_slice(&value.to_le_bytes());
+            }
+            regs::CSR_COMMIT => {
+                // `value` is the meaningful CSR byte count.
+                let len = (value as usize).min(self.csr_stage.len());
+                let buf: Vec<u8> = self.csr_stage.drain(..).collect();
+                self.accel
+                    .configure(&buf[..len])
+                    .expect("accelerator rejected CSR configuration");
+            }
+            regs::DMA_SRC => self.dma_src = value,
+            regs::DMA_DST => self.dma_dst = value,
+            regs::DMA_LEN => self.dma_len = value,
+            regs::DMA_PTROOT => self.mmu.set_root(value),
+            regs::DMA_START => {
+                assert_eq!(self.dma_state, DmaState::Idle, "DMA already running");
+                self.dma_state = DmaState::Running;
+                self.src_off = 0;
+                self.dst_off = 0;
+                self.fed = 0;
+                self.in_buf.clear();
+                self.out_stage.clear();
+            }
+            regs::RESET => {
+                self.accel.reset();
+                self.dma_state = DmaState::Idle;
+                self.in_buf.clear();
+                self.out_stage.clear();
+                self.csr_stage.clear();
+            }
+            other => panic!("MAPLE write to unknown register offset {other:#x}"),
+        }
+        ctx.send_delayed(src, Msg::MmioWriteResp { tag }, self.mmio_latency);
+    }
+
+    fn on_mmio_read(&mut self, ctx: &mut Ctx<'_>, src: CompId, pa: u64, tag: u64) {
+        let off = pa - self.mmio_base;
+        match off {
+            regs::POP => {
+                if let Some(w) = self.accel.pop_word(ctx.cycle) {
+                    self.counters.mmio_pops += 1;
+                    ctx.send_delayed(src, Msg::MmioReadResp { tag, value: w }, self.mmio_latency);
+                } else {
+                    self.held.push_back(HeldMmio::Pop { src, tag });
+                }
+            }
+            regs::DMA_DONE => {
+                if self.dma_state == DmaState::Idle {
+                    ctx.send_delayed(src, Msg::MmioReadResp { tag, value: self.dst_off }, self.mmio_latency);
+                } else {
+                    self.held.push_back(HeldMmio::Done { src, tag });
+                }
+            }
+            other => panic!("MAPLE read of unknown register offset {other:#x}"),
+        }
+    }
+
+    /// Serves held (blocking) MMIO requests that can now complete.
+    fn serve_held(&mut self, ctx: &mut Ctx<'_>) {
+        let mut remaining = VecDeque::new();
+        while let Some(h) = self.held.pop_front() {
+            match h {
+                HeldMmio::Push { src, tag, value } => {
+                    if self.accel.ready(ctx.cycle) {
+                        self.accel.push_word(value);
+                        self.counters.mmio_pushes += 1;
+                        ctx.send_delayed(src, Msg::MmioWriteResp { tag }, self.mmio_latency);
+                    } else {
+                        remaining.push_back(h);
+                    }
+                }
+                HeldMmio::Pop { src, tag } => {
+                    if let Some(w) = self.accel.pop_word(ctx.cycle) {
+                        self.counters.mmio_pops += 1;
+                        ctx.send_delayed(src, Msg::MmioReadResp { tag, value: w }, self.mmio_latency);
+                    } else {
+                        remaining.push_back(h);
+                    }
+                }
+                HeldMmio::Done { src, tag } => {
+                    if self.dma_state == DmaState::Idle {
+                        ctx.send_delayed(src, Msg::MmioReadResp { tag, value: self.dst_off }, self.mmio_latency);
+                    } else {
+                        remaining.push_back(h);
+                    }
+                }
+            }
+        }
+        self.held = remaining;
+    }
+
+    /// Starts a translated coherent access; returns false if one is
+    /// already in flight.
+    fn start_access(&mut self, ctx: &mut Ctx<'_>, va: u64, len: usize, write: bool) -> bool {
+        if !matches!(self.access, Access::None) {
+            return false;
+        }
+        match self.mmu.lookup(va) {
+            TlbResult::Hit { pa } => {
+                self.issue(ctx, pa, len, write);
+            }
+            TlbResult::Miss => {
+                let walk = self.mmu.begin_walk(va);
+                let WalkStep::NeedPte { pa } = walk.step() else { unreachable!() };
+                self.walk = Some(walk);
+                self.access = Access::Walk { len, write };
+                self.pte_read(ctx, pa, len, write);
+            }
+        }
+        true
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx<'_>, pa: u64, len: usize, write: bool) {
+        match self.port.request(ctx, pa, write, TOK_ACCESS) {
+            Outcome::Hit { ready_at } => {
+                self.access = Access::Hit { at: ready_at, pa, len, write };
+            }
+            Outcome::Pending => self.access = Access::Wait { pa, len, write },
+            Outcome::Retry => self.access = Access::Wait { pa, len, write }, // re-issued below
+        }
+    }
+
+    fn pte_read(&mut self, ctx: &mut Ctx<'_>, pte_pa: u64, len: usize, write: bool) {
+        match self.port.request(ctx, pte_pa, false, TOK_PTE) {
+            Outcome::Hit { .. } => self.feed_pte(ctx, len, write),
+            Outcome::Pending => {}
+            Outcome::Retry => {
+                // Restart translation next step.
+                self.walk = None;
+                self.access = Access::None;
+            }
+        }
+    }
+
+    fn feed_pte(&mut self, ctx: &mut Ctx<'_>, len: usize, write: bool) {
+        let Some(walk) = self.walk.as_mut() else { return };
+        let WalkStep::NeedPte { pa } = walk.step() else { return };
+        let pte = ctx.mem.read_u64(pa);
+        match walk.feed(pte) {
+            WalkStep::NeedPte { pa } => self.pte_read(ctx, pa, len, write),
+            WalkStep::Done { pa, va_page, pa_page, size } => {
+                self.mmu.insert(va_page, pa_page, size);
+                self.walk = None;
+                self.issue(ctx, pa, len, write);
+            }
+            WalkStep::Fault => {
+                panic!("MAPLE DMA page fault at va {:#x} (memory must be mapped)", walk.va())
+            }
+        }
+    }
+
+    fn complete_access(&mut self, ctx: &mut Ctx<'_>, pa: u64, len: usize, write: bool) {
+        if write {
+            let n = len.min(self.out_stage.len());
+            let bytes: Vec<u8> = self.out_stage.drain(..n).collect();
+            ctx.mem.write_bytes(pa, &bytes);
+            self.dst_off += n as u64;
+            self.counters.dma_out_bytes += n as u64;
+        } else {
+            let mut buf = vec![0u8; len];
+            ctx.mem.read_bytes(pa, &mut buf);
+            self.in_buf.extend(buf);
+            self.src_off += len as u64;
+            self.counters.dma_in_bytes += len as u64;
+        }
+        self.access = Access::None;
+    }
+
+    fn step_dma(&mut self, ctx: &mut Ctx<'_>) {
+        if self.dma_state != DmaState::Running {
+            return;
+        }
+        // Writer has priority: drain results into the destination buffer a
+        // line at a time (the coherent TRI store path).
+        let line = LINE_BYTES as usize;
+        if matches!(self.access, Access::None) {
+            let flush = self.out_stage.len() >= line
+                || (!self.out_stage.is_empty()
+                    && self.fed * 8 >= self.dma_len
+                    && self.accel.output_len() < 8);
+            if flush {
+                let va = self.dma_dst + self.dst_off;
+                let contig = line - ((va % LINE_BYTES) as usize);
+                let len = self.out_stage.len().min(contig);
+                self.start_access(ctx, va, len, true);
+            } else if self.src_off < self.dma_len && self.in_buf.len() < 2 * line {
+                // Prefetch the next input line.
+                let va = self.dma_src + self.src_off;
+                let contig = (LINE_BYTES - (va % LINE_BYTES)) as usize;
+                let len = contig.min((self.dma_len - self.src_off) as usize);
+                self.start_access(ctx, va, len, false);
+            }
+        }
+        // Feed the accelerator one word per cycle.
+        if self.in_buf.len() >= 8 && self.accel.ready(ctx.cycle) {
+            let bytes: Vec<u8> = self.in_buf.drain(..8).collect();
+            self.accel
+                .push_word(u64::from_le_bytes(bytes.try_into().expect("8 bytes")));
+            self.fed += 1;
+        }
+        // Collect output.
+        if self.out_stage.len() < 4 * line {
+            if let Some(w) = self.accel.pop_word(ctx.cycle) {
+                self.out_stage.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+        // Completion check.
+        if self.src_off >= self.dma_len
+            && self.in_buf.is_empty()
+            && self.fed * 8 >= self.dma_len
+            && self.accel.is_idle(ctx.cycle)
+            && self.out_stage.is_empty()
+            && matches!(self.access, Access::None)
+        {
+            self.dma_state = DmaState::Idle;
+            self.counters.dma_transfers += 1;
+        }
+    }
+}
+
+impl Component for MapleUnit {
+    fn name(&self) -> &str {
+        "maple"
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) {
+        while let Some(env) = ctx.recv() {
+            match &env.msg {
+                m if CoherentPort::wants(m) => {
+                    let events = self.port.handle(&env, ctx);
+                    for ev in events {
+                        if let PortEvent::Completed { token } = ev {
+                            match token {
+                                TOK_ACCESS => {
+                                    if let Access::Wait { pa, len, write } = self.access {
+                                        self.complete_access(ctx, pa, len, write);
+                                    }
+                                }
+                                TOK_PTE => {
+                                    if let Access::Walk { len, write } = self.access {
+                                        self.feed_pte(ctx, len, write);
+                                    }
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+                Msg::MmioWrite { pa, value, tag } => {
+                    let (pa, value, tag) = (*pa, *value, *tag);
+                    self.on_mmio_write(ctx, env.src, pa, value, tag);
+                }
+                Msg::MmioRead { pa, tag } => {
+                    let (pa, tag) = (*pa, *tag);
+                    self.on_mmio_read(ctx, env.src, pa, tag);
+                }
+                other => panic!("MAPLE received unexpected message {other:?}"),
+            }
+        }
+        // Hit-path access completion.
+        if let Access::Hit { at, pa, len, write } = self.access {
+            if ctx.cycle >= at {
+                self.complete_access(ctx, pa, len, write);
+            }
+        }
+        self.accel.step(ctx.cycle);
+        self.step_dma(ctx);
+        self.serve_held(ctx);
+    }
+
+    fn is_idle(&self) -> bool {
+        self.held.is_empty()
+            && self.dma_state == DmaState::Idle
+            && matches!(self.access, Access::None)
+            && self.port.is_idle()
+    }
+
+    fn counters(&self) -> Vec<(String, u64)> {
+        let c = &self.counters;
+        vec![
+            ("mmio_pushes".into(), c.mmio_pushes),
+            ("mmio_pops".into(), c.mmio_pops),
+            ("dma_transfers".into(), c.dma_transfers),
+            ("dma_in_bytes".into(), c.dma_in_bytes),
+            ("dma_out_bytes".into(), c.dma_out_bytes),
+        ]
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,193 @@
+//! Behavioural tests of the MAPLE baseline unit: blocking MMIO push/pop,
+//! CSR configuration, and coherent DMA transfers through its RISC-V MMU.
+
+use cohort_accel::aes128::{Aes128, Aes128Accel};
+use cohort_accel::nullfifo::NullFifo;
+use cohort_accel::sha256::{sha256_raw_block, Sha256Accel};
+use cohort_maple::{regs, MapleUnit};
+use cohort_os::addrspace::{AddressSpace, MapPolicy};
+use cohort_os::frame::FrameAllocator;
+use cohort_sim::component::TileCoord;
+use cohort_sim::config::SocConfig;
+use cohort_sim::core::InOrderCore;
+use cohort_sim::directory::Directory;
+use cohort_sim::program::{Op, Program};
+use cohort_sim::soc::Soc;
+
+const MAPLE_MMIO: u64 = 0x1100_0000;
+
+struct Rig {
+    soc: Soc,
+    core: cohort_sim::component::CompId,
+    space: AddressSpace,
+    frames: FrameAllocator,
+}
+
+fn rig(accel: Box<dyn cohort_accel::Accelerator>) -> Rig {
+    let cfg = SocConfig::default();
+    let mut soc = Soc::new(cfg.clone());
+    let dir = soc.add_component(TileCoord::new(0, 0), Box::new(Directory::new(&cfg)));
+    let mut frames = FrameAllocator::new(0x8000_0000, 0x9000_0000);
+    let space = AddressSpace::new(&mut frames, MapPolicy::Eager);
+    let mut core = InOrderCore::new(dir, &cfg, Program::new());
+    core.set_translator(Box::new(space.translator()));
+    let core = soc.add_component(TileCoord::new(0, 1), Box::new(core));
+    let maple = MapleUnit::new(dir, &cfg, MAPLE_MMIO, accel);
+    let maple = soc.add_component(TileCoord::new(1, 1), Box::new(maple));
+    soc.map_mmio(MAPLE_MMIO..MAPLE_MMIO + regs::BANK_BYTES, maple);
+    Rig { soc, core, space, frames }
+}
+
+impl Rig {
+    fn run_program(&mut self, p: Program) -> Vec<u64> {
+        self.soc
+            .component_mut::<InOrderCore>(self.core)
+            .unwrap()
+            .load_program(p);
+        let out = self.soc.run(10_000_000);
+        let core = self.soc.component::<InOrderCore>(self.core).unwrap();
+        assert!(core.is_done(), "stuck: quiescent={} cycle={}", out.quiescent, out.cycle);
+        core.recorded().to_vec()
+    }
+}
+
+#[test]
+fn mmio_push_pop_roundtrip() {
+    let mut rig = rig(Box::new(NullFifo::new()));
+    let mut p = Program::new();
+    for i in 0..16u64 {
+        p.push(Op::MmioStore { pa: MAPLE_MMIO + regs::PUSH, value: 0xf00d + i });
+        p.push(Op::MmioLoad { pa: MAPLE_MMIO + regs::POP, record: true });
+    }
+    let got = rig.run_program(p);
+    let expect: Vec<u64> = (0..16).map(|i| 0xf00d + i).collect();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn mmio_pop_blocks_until_compute_finishes() {
+    let mut rig = rig(Box::new(Sha256Accel::new()));
+    let mut p = Program::new();
+    for i in 0..8u64 {
+        p.push(Op::MmioStore { pa: MAPLE_MMIO + regs::PUSH, value: i });
+    }
+    for _ in 0..4 {
+        p.push(Op::MmioLoad { pa: MAPLE_MMIO + regs::POP, record: true });
+    }
+    let got = rig.run_program(p);
+    let mut block = [0u8; 64];
+    for (i, chunk) in block.chunks_exact_mut(8).enumerate() {
+        chunk.copy_from_slice(&(i as u64).to_le_bytes());
+    }
+    let expect: Vec<u64> = sha256_raw_block(&block)
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    assert_eq!(got, expect);
+    // The blocking pop must have stalled the core for the pipeline latency.
+    let core = rig.soc.component::<InOrderCore>(rig.core).unwrap();
+    assert!(core.core_counters().mmio_stall_cycles as i64 >= 66);
+}
+
+#[test]
+fn csr_configures_the_accelerator_over_mmio() {
+    let key = *b"maple aes key 16";
+    let mut rig = rig(Box::new(Aes128Accel::new()));
+    let mut p = Program::new();
+    for chunk in key.chunks_exact(8) {
+        p.push(Op::MmioStore {
+            pa: MAPLE_MMIO + regs::CSR_DATA,
+            value: u64::from_le_bytes(chunk.try_into().unwrap()),
+        });
+    }
+    p.push(Op::MmioStore { pa: MAPLE_MMIO + regs::CSR_COMMIT, value: 16 });
+    let pt = [0x61u8; 16];
+    for chunk in pt.chunks_exact(8) {
+        p.push(Op::MmioStore {
+            pa: MAPLE_MMIO + regs::PUSH,
+            value: u64::from_le_bytes(chunk.try_into().unwrap()),
+        });
+    }
+    p.push(Op::MmioLoad { pa: MAPLE_MMIO + regs::POP, record: true });
+    p.push(Op::MmioLoad { pa: MAPLE_MMIO + regs::POP, record: true });
+    let got = rig.run_program(p);
+    let ct = Aes128::new(&key).encrypt_block(&pt);
+    let expect: Vec<u64> = ct
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn dma_transfer_through_mmu() {
+    let mut rig = rig(Box::new(NullFifo::new()));
+    let src = rig.space.malloc(&mut rig.soc.mem, &mut rig.frames, 256, 64);
+    let dst = rig.space.malloc(&mut rig.soc.mem, &mut rig.frames, 256, 64);
+    let root = rig.space.root_pa();
+    let mut p = Program::new();
+    p.push(Op::MmioStore { pa: MAPLE_MMIO + regs::DMA_PTROOT, value: root });
+    // The core stages source data through normal cached stores.
+    for i in 0..32u64 {
+        p.push(Op::Store { va: src + i * 8, value: 0xaa00 + i });
+    }
+    p.push(Op::Fence);
+    p.push(Op::MmioStore { pa: MAPLE_MMIO + regs::DMA_SRC, value: src });
+    p.push(Op::MmioStore { pa: MAPLE_MMIO + regs::DMA_DST, value: dst });
+    p.push(Op::MmioStore { pa: MAPLE_MMIO + regs::DMA_LEN, value: 256 });
+    p.push(Op::MmioStore { pa: MAPLE_MMIO + regs::DMA_START, value: 1 });
+    p.push(Op::MmioLoad { pa: MAPLE_MMIO + regs::DMA_DONE, record: true });
+    for i in 0..32u64 {
+        p.push(Op::Load { va: dst + i * 8, record: true });
+    }
+    let got = rig.run_program(p);
+    assert_eq!(got[0], 256, "DONE reports output bytes");
+    let expect: Vec<u64> = (0..32).map(|i| 0xaa00 + i).collect();
+    assert_eq!(&got[1..], &expect[..]);
+    let maple = rig
+        .soc
+        .component::<MapleUnit>(cohort_sim::component::CompId(2))
+        .unwrap();
+    assert_eq!(maple.maple_counters().dma_transfers, 1);
+    assert_eq!(maple.maple_counters().dma_in_bytes, 256);
+}
+
+#[test]
+fn back_to_back_dma_transfers() {
+    let mut rig = rig(Box::new(Sha256Accel::new()));
+    let src = rig.space.malloc(&mut rig.soc.mem, &mut rig.frames, 128, 64);
+    let dst = rig.space.malloc(&mut rig.soc.mem, &mut rig.frames, 64, 64);
+    let root = rig.space.root_pa();
+    let mut p = Program::new();
+    p.push(Op::MmioStore { pa: MAPLE_MMIO + regs::DMA_PTROOT, value: root });
+    for i in 0..16u64 {
+        p.push(Op::Store { va: src + i * 8, value: i.wrapping_mul(0x1234_5678) });
+    }
+    p.push(Op::Fence);
+    // Two 64-byte transfers = two SHA blocks, each a separate invocation.
+    for b in 0..2u64 {
+        p.push(Op::MmioStore { pa: MAPLE_MMIO + regs::DMA_SRC, value: src + b * 64 });
+        p.push(Op::MmioStore { pa: MAPLE_MMIO + regs::DMA_DST, value: dst + b * 32 });
+        p.push(Op::MmioStore { pa: MAPLE_MMIO + regs::DMA_LEN, value: 64 });
+        p.push(Op::MmioStore { pa: MAPLE_MMIO + regs::DMA_START, value: 1 });
+        p.push(Op::MmioLoad { pa: MAPLE_MMIO + regs::DMA_DONE, record: false });
+    }
+    for j in 0..8u64 {
+        p.push(Op::Load { va: dst + j * 8, record: true });
+    }
+    let got = rig.run_program(p);
+    let mut expect = Vec::new();
+    for b in 0..2u64 {
+        let mut block = [0u8; 64];
+        for i in 0..8u64 {
+            let w = (b * 8 + i).wrapping_mul(0x1234_5678);
+            block[(i * 8) as usize..(i * 8 + 8) as usize].copy_from_slice(&w.to_le_bytes());
+        }
+        expect.extend(
+            sha256_raw_block(&block)
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap())),
+        );
+    }
+    assert_eq!(got, expect);
+}

@@ -1,0 +1,289 @@
+//! The Cohort kernel driver model (paper §4.4).
+//!
+//! A *single* driver supports all Cohort-enabled accelerators. It exposes
+//! two syscalls — `cohort_register` and `cohort_unregister` — which this
+//! model expands into the exact MMIO programming sequences a core executes
+//! (so registration cost is measured, not assumed), plus the MMU-notifier
+//! TLB shootdown and the page-fault interrupt handler.
+//!
+//! The [`regs`] module is the uapi: the engine's uncached configuration
+//! register map, shared between the driver (writer) and the engine
+//! implementation in `cohort-engine` (reader).
+
+use crate::addrspace::AddressSpace;
+use crate::frame::FrameAllocator;
+use std::sync::{Arc, Mutex};
+use cohort_sim::core::{HandlerAction, InOrderCore, IrqHandler};
+use cohort_sim::program::{Op, Program};
+use cohort_queue::QueueDescriptor;
+
+/// The Cohort engine's uncached configuration register map: byte offsets
+/// from the engine's MMIO base, each register 8 bytes (paper §4.2: the
+/// uncached registers are the only MMIO component of Cohort).
+pub mod regs {
+    /// Write 1 to enable the engine, 0 to disable.
+    pub const ENABLE: u64 = 0x00;
+    /// Input queue: write-index virtual address.
+    pub const IN_WR_VA: u64 = 0x08;
+    /// Input queue: read-index virtual address.
+    pub const IN_RD_VA: u64 = 0x10;
+    /// Input queue: data base virtual address.
+    pub const IN_BASE_VA: u64 = 0x18;
+    /// Input queue: element size in bytes.
+    pub const IN_ELEM: u64 = 0x20;
+    /// Input queue: length in elements.
+    pub const IN_LEN: u64 = 0x28;
+    /// Output queue: write-index virtual address.
+    pub const OUT_WR_VA: u64 = 0x30;
+    /// Output queue: read-index virtual address.
+    pub const OUT_RD_VA: u64 = 0x38;
+    /// Output queue: data base virtual address.
+    pub const OUT_BASE_VA: u64 = 0x40;
+    /// Output queue: element size in bytes.
+    pub const OUT_ELEM: u64 = 0x48;
+    /// Output queue: length in elements.
+    pub const OUT_LEN: u64 = 0x50;
+    /// Physical address of the process's Sv39 root table.
+    pub const PT_ROOT_PA: u64 = 0x58;
+    /// Reader-coherency-manager backoff window in cycles (§4.2.3).
+    pub const BACKOFF: u64 = 0x60;
+    /// Write any value to flush the engine TLB (MMU notifier path).
+    pub const TLB_FLUSH: u64 = 0x68;
+    /// Write to resolve an outstanding page fault: value 0 tells the
+    /// walker to retry its own walk; any other value is a PTE-installed
+    /// acknowledgement (§4.2.4 describes both registers).
+    pub const FAULT_RESOLVE: u64 = 0x70;
+    /// CSR configuration buffer: virtual address (0 = none).
+    pub const CSR_BASE_VA: u64 = 0x78;
+    /// CSR configuration buffer: length in bytes.
+    pub const CSR_LEN: u64 = 0x80;
+    /// Read-only: elements consumed from the input queue.
+    pub const CONSUMED: u64 = 0x88;
+    /// Read-only: elements produced into the output queue.
+    pub const PRODUCED: u64 = 0x90;
+    /// Size of the register bank in bytes.
+    pub const BANK_BYTES: u64 = 0x100;
+}
+
+/// Cost model for the modelled syscalls, in cycles/instructions. These
+/// stand in for trap entry, fd lookup and driver bookkeeping of the real
+/// kernel path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyscallCost {
+    /// Cycles consumed before the driver's MMIO writes begin.
+    pub cycles: u64,
+    /// Instructions retired by the kernel path.
+    pub insts: u64,
+}
+
+impl Default for SyscallCost {
+    fn default() -> Self {
+        Self { cycles: 700, insts: 450 }
+    }
+}
+
+/// Shared kernel memory-management state: one address space + frame pool
+/// visible to every fault handler (engine interrupt path and core path).
+pub type SharedVm = Arc<Mutex<(AddressSpace, FrameAllocator)>>;
+
+/// The Cohort driver: knows where one engine's registers live and which
+/// interrupt line it raises.
+#[derive(Debug, Clone)]
+pub struct CohortDriver {
+    mmio_base: u64,
+    irq: u32,
+    cost: SyscallCost,
+}
+
+impl CohortDriver {
+    /// Creates a driver for the engine whose register bank starts at
+    /// `mmio_base` and which raises interrupt `irq`.
+    pub fn new(mmio_base: u64, irq: u32) -> Self {
+        Self { mmio_base, irq, cost: SyscallCost::default() }
+    }
+
+    /// Overrides the syscall cost model.
+    pub fn with_cost(mut self, cost: SyscallCost) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// The engine's register bank base.
+    pub fn mmio_base(&self) -> u64 {
+        self.mmio_base
+    }
+
+    /// The engine's interrupt number.
+    pub fn irq(&self) -> u32 {
+        self.irq
+    }
+
+    fn reg(&self, offset: u64) -> u64 {
+        self.mmio_base + offset
+    }
+
+    /// Expands `cohort_register(acc_id, in, out)` into the program the
+    /// calling core executes: kernel entry cost, the descriptor writes,
+    /// the page-table root, optional CSR buffer, backoff, then enable.
+    ///
+    /// # Panics
+    /// Panics if a descriptor fails validation — the driver is the
+    /// enforcement point (§4.4: "user space may not touch Cohort's
+    /// configuration registers").
+    pub fn register_ops(
+        &self,
+        root_pa: u64,
+        input: &QueueDescriptor,
+        output: &QueueDescriptor,
+        csr: Option<(u64, u64)>,
+        backoff: u64,
+    ) -> Program {
+        input.validate().expect("input descriptor invalid");
+        output.validate().expect("output descriptor invalid");
+        let mut p = Program::new();
+        p.push(Op::KernelCost { cycles: self.cost.cycles, insts: self.cost.insts });
+        let writes = [
+            (regs::IN_WR_VA, input.write_index_va),
+            (regs::IN_RD_VA, input.read_index_va),
+            (regs::IN_BASE_VA, input.base_va),
+            (regs::IN_ELEM, u64::from(input.element_bytes)),
+            (regs::IN_LEN, u64::from(input.length)),
+            (regs::OUT_WR_VA, output.write_index_va),
+            (regs::OUT_RD_VA, output.read_index_va),
+            (regs::OUT_BASE_VA, output.base_va),
+            (regs::OUT_ELEM, u64::from(output.element_bytes)),
+            (regs::OUT_LEN, u64::from(output.length)),
+            (regs::PT_ROOT_PA, root_pa),
+            (regs::BACKOFF, backoff),
+            (regs::CSR_BASE_VA, csr.map_or(0, |(va, _)| va)),
+            (regs::CSR_LEN, csr.map_or(0, |(_, len)| len)),
+            (regs::ENABLE, 1),
+        ];
+        for (off, value) in writes {
+            p.push(Op::MmioStore { pa: self.reg(off), value });
+        }
+        p
+    }
+
+    /// Expands `cohort_unregister`: disable the engine, flush its TLB
+    /// (resource teardown, §4.4), plus kernel exit cost.
+    pub fn unregister_ops(&self) -> Program {
+        let mut p = Program::new();
+        p.push(Op::KernelCost {
+            cycles: self.cost.cycles / 2,
+            insts: self.cost.insts / 2,
+        });
+        p.push(Op::MmioStore { pa: self.reg(regs::ENABLE), value: 0 });
+        p.push(Op::MmioStore { pa: self.reg(regs::TLB_FLUSH), value: 1 });
+        p
+    }
+
+    /// The MMU-notifier path: a TLB shootdown reaching this engine
+    /// (invoked by the kernel when mappings of a registered process
+    /// change).
+    pub fn tlb_flush_ops(&self) -> Program {
+        let mut p = Program::new();
+        p.push(Op::KernelCost { cycles: 80, insts: 60 });
+        p.push(Op::MmioStore { pa: self.reg(regs::TLB_FLUSH), value: 1 });
+        p
+    }
+
+    /// Installs the demand-paging machinery on `core`: the engine's
+    /// page-fault interrupt handler (map the page, poke the resolve
+    /// register; §4.2.4/§4.4) and the kernel's fault path for the core's
+    /// own accesses. Both share one view of the address space and frame
+    /// pool, exactly like the real kernel's mm.
+    pub fn install_fault_handler(&self, core: &mut InOrderCore, vm: SharedVm) {
+        let resolve_reg = self.reg(regs::FAULT_RESOLVE);
+        let engine_vm = Arc::clone(&vm);
+        core.register_irq_handler(
+            self.irq,
+            IrqHandler {
+                entry_cycles: 400,
+                entry_insts: 300,
+                action: HandlerAction::Custom(Box::new(move |mem, faulting_va| {
+                    let mut g = engine_vm.lock().expect("vm lock");
+                    let (space, frames) = &mut *g;
+                    if space.translate(mem, faulting_va).is_none() {
+                        space.handle_fault(mem, frames, faulting_va);
+                    }
+                    Some((resolve_reg, 0))
+                })),
+            },
+        );
+        core.set_fault_hook(Box::new(move |mem, va| {
+            let mut g = vm.lock().expect("vm lock");
+            let (space, frames) = &mut *g;
+            if space.translate(mem, va).is_none() {
+                space.handle_fault(mem, frames, va);
+            }
+            true
+        }));
+    }
+
+    /// Creates the shared kernel view of a process's memory management
+    /// state used by [`CohortDriver::install_fault_handler`].
+    pub fn shared_vm(space: AddressSpace, frames: FrameAllocator) -> SharedVm {
+        Arc::new(Mutex::new((space, frames)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohort_queue::QueueLayout;
+
+    fn descs() -> (QueueDescriptor, QueueDescriptor) {
+        (
+            QueueLayout::standard(0x10_0000, 8, 64).descriptor,
+            QueueLayout::standard(0x20_0000, 8, 64).descriptor,
+        )
+    }
+
+    #[test]
+    fn register_program_writes_all_registers() {
+        let d = CohortDriver::new(0x4000_0000, 5);
+        let (i, o) = descs();
+        let p = d.register_ops(0x100_0000, &i, &o, Some((0x30_0000, 17)), 32);
+        let stores: Vec<_> = p
+            .ops()
+            .iter()
+            .filter_map(|op| match op {
+                Op::MmioStore { pa, value } => Some((*pa, *value)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stores.len(), 15);
+        assert_eq!(
+            stores.last(),
+            Some(&(0x4000_0000 + regs::ENABLE, 1)),
+            "enable must be the final write"
+        );
+        assert!(stores.contains(&(0x4000_0000 + regs::IN_WR_VA, i.write_index_va)));
+        assert!(stores.contains(&(0x4000_0000 + regs::CSR_LEN, 17)));
+        assert!(matches!(p.ops()[0], Op::KernelCost { .. }), "syscall entry first");
+    }
+
+    #[test]
+    fn unregister_disables_and_flushes() {
+        let d = CohortDriver::new(0x4000_0000, 5);
+        let p = d.unregister_ops();
+        assert!(p
+            .ops()
+            .iter()
+            .any(|op| matches!(op, Op::MmioStore { pa, value: 0 } if *pa == 0x4000_0000)));
+        assert!(p
+            .ops()
+            .iter()
+            .any(|op| matches!(op, Op::MmioStore { pa, .. } if *pa == 0x4000_0000 + regs::TLB_FLUSH)));
+    }
+
+    #[test]
+    #[should_panic(expected = "input descriptor invalid")]
+    fn register_validates_descriptors() {
+        let d = CohortDriver::new(0x4000_0000, 5);
+        let (mut i, o) = descs();
+        i.length = 0;
+        let _ = d.register_ops(0, &i, &o, None, 0);
+    }
+}

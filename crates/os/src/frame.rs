@@ -1,0 +1,100 @@
+//! Physical frame allocation for guest DRAM.
+
+use crate::sv39::PAGE_BYTES;
+
+/// A bump allocator over a physical address range, 4 KiB granular.
+#[derive(Debug, Clone)]
+pub struct FrameAllocator {
+    next: u64,
+    end: u64,
+}
+
+impl FrameAllocator {
+    /// Manages frames in `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics unless both bounds are page aligned and the range is
+    /// non-empty.
+    pub fn new(start: u64, end: u64) -> Self {
+        assert_eq!(start % PAGE_BYTES, 0, "start must be page aligned");
+        assert_eq!(end % PAGE_BYTES, 0, "end must be page aligned");
+        assert!(start < end, "empty frame range");
+        Self { next: start, end }
+    }
+
+    /// Allocates one zero-initialised-by-construction frame (guest memory
+    /// reads as zero before first write).
+    ///
+    /// # Panics
+    /// Panics when physical memory is exhausted.
+    pub fn alloc(&mut self) -> u64 {
+        self.alloc_contig(1)
+    }
+
+    /// Allocates `n` physically contiguous frames, returning the first.
+    ///
+    /// # Panics
+    /// Panics when physical memory is exhausted.
+    pub fn alloc_contig(&mut self, n: u64) -> u64 {
+        let pa = self.next;
+        let bytes = n * PAGE_BYTES;
+        assert!(self.next + bytes <= self.end, "out of physical frames");
+        self.next += bytes;
+        pa
+    }
+
+    /// Allocates frames aligned to `align` bytes (for superpages).
+    ///
+    /// # Panics
+    /// Panics if `align` is not a power-of-two multiple of the page size,
+    /// or when memory is exhausted.
+    pub fn alloc_aligned(&mut self, n: u64, align: u64) -> u64 {
+        assert!(align.is_power_of_two() && align >= PAGE_BYTES);
+        self.next = self.next.div_ceil(align) * align;
+        self.alloc_contig(n)
+    }
+
+    /// Frames remaining.
+    pub fn frames_left(&self) -> u64 {
+        (self.end - self.next) / PAGE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_allocation() {
+        let mut f = FrameAllocator::new(0x10_0000, 0x20_0000);
+        let a = f.alloc();
+        let b = f.alloc();
+        assert_eq!(b, a + PAGE_BYTES);
+        assert_eq!(f.frames_left(), 256 - 2);
+    }
+
+    #[test]
+    fn contiguous_block() {
+        let mut f = FrameAllocator::new(0x10_0000, 0x20_0000);
+        let a = f.alloc_contig(4);
+        let b = f.alloc();
+        assert_eq!(b, a + 4 * PAGE_BYTES);
+    }
+
+    #[test]
+    fn aligned_allocation() {
+        let mut f = FrameAllocator::new(0x10_0000, 0x4000_0000);
+        let _ = f.alloc();
+        let huge = f.alloc_aligned(512, 1 << 21);
+        assert_eq!(huge % (1 << 21), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of physical frames")]
+    fn exhaustion_panics() {
+        let mut f = FrameAllocator::new(0x1000, 0x3000);
+        f.alloc();
+        f.alloc();
+        f.alloc();
+    }
+}

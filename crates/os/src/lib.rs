@@ -1,0 +1,34 @@
+//! # cohort-os — guest operating system model
+//!
+//! The Cohort paper boots SMP Linux on its FPGA SoC and ships a kernel
+//! driver (§4.4) that registers queues, keeps the engine's MMU coherent via
+//! MMU notifiers, and resolves the engine's page faults from an interrupt.
+//! This crate models that software stack against the simulated SoC:
+//!
+//! * [`sv39`] — RISC-V Sv39 page-table encoding, building and walking, with
+//!   4 KiB, 2 MiB and 1 GiB page support (the paper's huge-page claim,
+//!   §4.1);
+//! * [`frame`] — a physical frame allocator for guest DRAM;
+//! * [`addrspace`] — per-process virtual address spaces with a
+//!   `malloc`-style bump allocator (eager or demand-paged) and a
+//!   [`cohort_sim::translate::Translator`] for core-side accesses;
+//! * [`mmu`] — the device MMU model shared by the Cohort engine and the
+//!   MAPLE baseline: a small fully-associative TLB (16 entries, §5) plus an
+//!   incremental Sv39 walk state machine the owning component drives with
+//!   timed coherent reads;
+//! * [`driver`] — the Cohort kernel driver: the engine's register map
+//!   (uapi), `cohort_register`/`cohort_unregister` syscall cost models that
+//!   expand into MMIO programming sequences, TLB-shootdown (MMU notifier)
+//!   flushes, and the page-fault interrupt handler.
+
+pub mod addrspace;
+pub mod driver;
+pub mod frame;
+pub mod mmu;
+pub mod process;
+pub mod sv39;
+
+pub use addrspace::AddressSpace;
+pub use driver::CohortDriver;
+pub use frame::FrameAllocator;
+pub use process::Process;

@@ -1,0 +1,33 @@
+//! A minimal process model: identity plus an address space.
+
+use crate::addrspace::{AddressSpace, MapPolicy};
+use crate::frame::FrameAllocator;
+
+/// A guest process.
+#[derive(Debug)]
+pub struct Process {
+    /// Process id.
+    pub pid: u32,
+    /// The process's virtual address space.
+    pub space: AddressSpace,
+}
+
+impl Process {
+    /// Spawns a process with a fresh address space.
+    pub fn spawn(pid: u32, frames: &mut FrameAllocator, policy: MapPolicy) -> Self {
+        Self { pid, space: AddressSpace::new(frames, policy) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processes_have_disjoint_tables() {
+        let mut frames = FrameAllocator::new(0x100_0000, 0x200_0000);
+        let a = Process::spawn(1, &mut frames, MapPolicy::Eager);
+        let b = Process::spawn(2, &mut frames, MapPolicy::Eager);
+        assert_ne!(a.space.root_pa(), b.space.root_pa());
+    }
+}

@@ -1,0 +1,341 @@
+//! RISC-V Sv39 page tables (privileged spec §4.4).
+//!
+//! Three levels of 512-entry tables; 4 KiB leaf pages at level 0, 2 MiB
+//! megapages at level 1, 1 GiB gigapages at level 2. Page tables are real
+//! data structures written into the simulated physical memory, so the
+//! Cohort engine's modelled page-table walker reads the same bytes the OS
+//! wrote.
+
+use cohort_sim::mem::PhysMem;
+
+/// Bytes per 4 KiB page.
+pub const PAGE_BYTES: u64 = 4096;
+/// log2 of the page size.
+pub const PAGE_SHIFT: u32 = 12;
+/// Entries per table.
+pub const ENTRIES: u64 = 512;
+
+/// PTE permission/status bits.
+pub mod pte_flags {
+    /// Valid.
+    pub const V: u64 = 1 << 0;
+    /// Readable.
+    pub const R: u64 = 1 << 1;
+    /// Writable.
+    pub const W: u64 = 1 << 2;
+    /// Executable.
+    pub const X: u64 = 1 << 3;
+    /// User accessible.
+    pub const U: u64 = 1 << 4;
+    /// Accessed.
+    pub const A: u64 = 1 << 6;
+    /// Dirty.
+    pub const D: u64 = 1 << 7;
+    /// Read/write user data, pre-accessed (the common mapping here).
+    pub const DATA: u64 = V | R | W | U | A | D;
+}
+
+/// Page size of a mapping level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PageSize {
+    /// 4 KiB leaf at level 0.
+    Base,
+    /// 2 MiB megapage at level 1.
+    Mega,
+    /// 1 GiB gigapage at level 2.
+    Giga,
+}
+
+impl PageSize {
+    /// The level at which this page size is a leaf (0, 1, 2).
+    pub fn level(self) -> u32 {
+        match self {
+            PageSize::Base => 0,
+            PageSize::Mega => 1,
+            PageSize::Giga => 2,
+        }
+    }
+
+    /// Bytes covered by one page of this size.
+    pub fn bytes(self) -> u64 {
+        match self {
+            PageSize::Base => 1 << 12,
+            PageSize::Mega => 1 << 21,
+            PageSize::Giga => 1 << 30,
+        }
+    }
+}
+
+/// Virtual page number for `level` (0 = least significant).
+#[inline]
+pub fn vpn(va: u64, level: u32) -> u64 {
+    (va >> (PAGE_SHIFT + 9 * level)) & (ENTRIES - 1)
+}
+
+/// Physical address of the PTE for `va` within the table at `table_pa`,
+/// walked at `level` (2 = root).
+#[inline]
+pub fn pte_addr(table_pa: u64, va: u64, level: u32) -> u64 {
+    table_pa + vpn(va, level) * 8
+}
+
+/// Packs a physical address and flags into a PTE.
+#[inline]
+pub fn make_pte(pa: u64, flags: u64) -> u64 {
+    ((pa >> PAGE_SHIFT) << 10) | flags
+}
+
+/// Extracts the physical address from a PTE.
+#[inline]
+pub fn pte_pa(pte: u64) -> u64 {
+    (pte >> 10) << PAGE_SHIFT
+}
+
+/// Classification of a PTE during a walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PteKind {
+    /// V bit clear: page fault.
+    Invalid,
+    /// Valid non-leaf: points at the next-level table.
+    Branch {
+        /// Physical address of the next table.
+        next_table_pa: u64,
+    },
+    /// Valid leaf at some level.
+    Leaf {
+        /// Physical base of the page.
+        page_pa: u64,
+        /// The raw flag bits.
+        flags: u64,
+    },
+}
+
+/// Classifies a raw PTE value.
+#[inline]
+pub fn classify_pte(pte: u64) -> PteKind {
+    if pte & pte_flags::V == 0 {
+        PteKind::Invalid
+    } else if pte & (pte_flags::R | pte_flags::W | pte_flags::X) == 0 {
+        PteKind::Branch { next_table_pa: pte_pa(pte) }
+    } else {
+        PteKind::Leaf { page_pa: pte_pa(pte), flags: pte }
+    }
+}
+
+/// Result of a successful functional walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkResult {
+    /// Translated physical address.
+    pub pa: u64,
+    /// Page size of the mapping found.
+    pub size: PageSize,
+    /// PTE physical addresses touched, root first (1 to 3 entries).
+    pub pte_addrs: [u64; 3],
+    /// Number of valid entries in `pte_addrs`.
+    pub levels: u32,
+}
+
+/// Functionally walks the tables rooted at `root_pa` for `va`.
+///
+/// Returns `None` on any invalid PTE (page fault) or misaligned superpage.
+pub fn walk(mem: &PhysMem, root_pa: u64, va: u64) -> Option<WalkResult> {
+    let mut table_pa = root_pa;
+    let mut pte_addrs = [0u64; 3];
+    for (i, level) in (0..3).rev().enumerate() {
+        let addr = pte_addr(table_pa, va, level);
+        pte_addrs[i] = addr;
+        let pte = mem.read_u64(addr);
+        match classify_pte(pte) {
+            PteKind::Invalid => return None,
+            PteKind::Branch { next_table_pa } => {
+                if level == 0 {
+                    return None; // branch at leaf level is malformed
+                }
+                table_pa = next_table_pa;
+            }
+            PteKind::Leaf { page_pa, .. } => {
+                let size = match level {
+                    0 => PageSize::Base,
+                    1 => PageSize::Mega,
+                    2 => PageSize::Giga,
+                    _ => unreachable!(),
+                };
+                if page_pa % size.bytes() != 0 {
+                    return None; // misaligned superpage
+                }
+                let offset = va & (size.bytes() - 1);
+                return Some(WalkResult {
+                    pa: page_pa + offset,
+                    size,
+                    pte_addrs,
+                    levels: (i + 1) as u32,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Maps `va -> pa` as a page of `size`, allocating intermediate tables via
+/// `alloc_table` (which must return a zeroed, page-aligned frame).
+///
+/// # Panics
+/// Panics if `va`/`pa` are not aligned to `size`, or if the walk hits an
+/// existing leaf where a branch is needed (conflicting mapping).
+pub fn map(
+    mem: &mut PhysMem,
+    root_pa: u64,
+    va: u64,
+    pa: u64,
+    size: PageSize,
+    flags: u64,
+    mut alloc_table: impl FnMut() -> u64,
+) {
+    assert_eq!(va % size.bytes(), 0, "va misaligned for {size:?}");
+    assert_eq!(pa % size.bytes(), 0, "pa misaligned for {size:?}");
+    let leaf_level = size.level();
+    let mut table_pa = root_pa;
+    for level in (leaf_level + 1..3).rev() {
+        let addr = pte_addr(table_pa, va, level);
+        let pte = mem.read_u64(addr);
+        match classify_pte(pte) {
+            PteKind::Invalid => {
+                let next = alloc_table();
+                mem.write_u64(addr, make_pte(next, pte_flags::V));
+                table_pa = next;
+            }
+            PteKind::Branch { next_table_pa } => table_pa = next_table_pa,
+            PteKind::Leaf { .. } => panic!(
+                "conflicting superpage mapping at va {va:#x} level {level}"
+            ),
+        }
+    }
+    let addr = pte_addr(table_pa, va, leaf_level);
+    mem.write_u64(addr, make_pte(pa, flags));
+}
+
+/// Removes the mapping covering `va` (any page size). Returns true if a
+/// mapping was removed.
+pub fn unmap(mem: &mut PhysMem, root_pa: u64, va: u64) -> bool {
+    let mut table_pa = root_pa;
+    for level in (0..3).rev() {
+        let addr = pte_addr(table_pa, va, level);
+        let pte = mem.read_u64(addr);
+        match classify_pte(pte) {
+            PteKind::Invalid => return false,
+            PteKind::Branch { next_table_pa } => {
+                if level == 0 {
+                    return false;
+                }
+                table_pa = next_table_pa;
+            }
+            PteKind::Leaf { .. } => {
+                mem.write_u64(addr, 0);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Bump(u64);
+    impl Bump {
+        fn alloc(&mut self) -> u64 {
+            let pa = self.0;
+            self.0 += PAGE_BYTES;
+            pa
+        }
+    }
+
+    #[test]
+    fn map_walk_roundtrip_4k() {
+        let mut mem = PhysMem::new();
+        let mut bump = Bump(0x10_0000);
+        let root = bump.alloc();
+        map(&mut mem, root, 0x4000_1000, 0x8000_2000, PageSize::Base, pte_flags::DATA, || {
+            bump.alloc()
+        });
+        let r = walk(&mem, root, 0x4000_1abc).expect("mapped");
+        assert_eq!(r.pa, 0x8000_2abc);
+        assert_eq!(r.size, PageSize::Base);
+        assert_eq!(r.levels, 3, "a 4K walk reads three PTEs");
+        assert!(walk(&mem, root, 0x4000_2000).is_none(), "adjacent page unmapped");
+    }
+
+    #[test]
+    fn megapage_walk_is_two_levels() {
+        let mut mem = PhysMem::new();
+        let mut bump = Bump(0x10_0000);
+        let root = bump.alloc();
+        let va = 2 << 21; // 2 MiB aligned
+        let pa = 6 << 21;
+        map(&mut mem, root, va, pa, PageSize::Mega, pte_flags::DATA, || bump.alloc());
+        let r = walk(&mem, root, va + 0x12_345).expect("mapped");
+        assert_eq!(r.pa, pa + 0x12_345);
+        assert_eq!(r.size, PageSize::Mega);
+        assert_eq!(r.levels, 2, "a 2M walk reads two PTEs");
+    }
+
+    #[test]
+    fn gigapage_walk_is_one_level() {
+        let mut mem = PhysMem::new();
+        let mut bump = Bump(0x10_0000);
+        let root = bump.alloc();
+        let va = 1u64 << 30;
+        let pa = 3u64 << 30;
+        map(&mut mem, root, va, pa, PageSize::Giga, pte_flags::DATA, || bump.alloc());
+        let r = walk(&mem, root, va + 0xdead).expect("mapped");
+        assert_eq!(r.pa, pa + 0xdead);
+        assert_eq!(r.levels, 1);
+    }
+
+    #[test]
+    fn unmap_invalidates() {
+        let mut mem = PhysMem::new();
+        let mut bump = Bump(0x10_0000);
+        let root = bump.alloc();
+        map(&mut mem, root, 0x1000, 0x2000, PageSize::Base, pte_flags::DATA, || bump.alloc());
+        assert!(walk(&mem, root, 0x1000).is_some());
+        assert!(unmap(&mut mem, root, 0x1000));
+        assert!(walk(&mem, root, 0x1000).is_none());
+        assert!(!unmap(&mut mem, root, 0x1000), "already unmapped");
+    }
+
+    #[test]
+    fn shared_intermediate_tables() {
+        let mut mem = PhysMem::new();
+        let mut bump = Bump(0x10_0000);
+        let root = bump.alloc();
+        let before = bump.0;
+        map(&mut mem, root, 0x1000, 0x2000, PageSize::Base, pte_flags::DATA, || bump.alloc());
+        let after_first = bump.0;
+        map(&mut mem, root, 0x2000, 0x3000, PageSize::Base, pte_flags::DATA, || bump.alloc());
+        assert_eq!(bump.0, after_first, "same 2M region reuses tables");
+        assert!(after_first > before);
+    }
+
+    #[test]
+    fn vpn_extraction() {
+        let va = (5u64 << 30) | (17 << 21) | (33 << 12) | 0x7;
+        assert_eq!(vpn(va, 2), 5);
+        assert_eq!(vpn(va, 1), 17);
+        assert_eq!(vpn(va, 0), 33);
+    }
+
+    #[test]
+    fn classify_kinds() {
+        assert_eq!(classify_pte(0), PteKind::Invalid);
+        assert_eq!(
+            classify_pte(make_pte(0x5000, pte_flags::V)),
+            PteKind::Branch { next_table_pa: 0x5000 }
+        );
+        match classify_pte(make_pte(0x5000, pte_flags::DATA)) {
+            PteKind::Leaf { page_pa, .. } => assert_eq!(page_pa, 0x5000),
+            other => panic!("expected leaf, got {other:?}"),
+        }
+    }
+}

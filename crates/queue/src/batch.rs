@@ -1,0 +1,220 @@
+//! Batched index publication (paper §5.3, Table 2).
+//!
+//! "Batch size refers to an optimisation that updates the read and write
+//! pointers in batches instead of incrementally. This helps to reduce the
+//! coherency traffic in the system" — these adapters wrap the SPSC halves
+//! and publish/release every `batch` elements, flushing on drop.
+
+use crate::spsc::{Consumer, Producer, PushError};
+
+/// A producer that publishes its write index every `batch` elements.
+#[derive(Debug)]
+pub struct BatchProducer<T> {
+    inner: Producer<T>,
+    batch: usize,
+    pending: usize,
+}
+
+impl<T> BatchProducer<T> {
+    /// Wraps `inner`, publishing every `batch` staged elements.
+    ///
+    /// # Panics
+    /// Panics if `batch` is zero.
+    pub fn new(inner: Producer<T>, batch: usize) -> Self {
+        assert!(batch > 0, "batch must be positive");
+        Self { inner, batch, pending: 0 }
+    }
+
+    /// The batching factor.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Stages `value`; publishes automatically when the batch fills.
+    ///
+    /// # Errors
+    /// Returns [`PushError`] if the ring is full; already-staged elements
+    /// are published first so the consumer can drain.
+    pub fn push(&mut self, value: T) -> Result<(), PushError<T>> {
+        match self.inner.stage(value) {
+            Ok(()) => {
+                self.pending += 1;
+                if self.pending >= self.batch {
+                    self.inner.publish();
+                    self.pending = 0;
+                }
+                Ok(())
+            }
+            Err(e) => {
+                // Make room observable: publish whatever is staged.
+                self.flush();
+                Err(e)
+            }
+        }
+    }
+
+    /// Publishes any partial batch.
+    pub fn flush(&mut self) {
+        if self.pending > 0 {
+            self.inner.publish();
+            self.pending = 0;
+        }
+    }
+
+    /// Flushes and returns the underlying producer.
+    pub fn into_inner(mut self) -> Producer<T> {
+        self.flush();
+        // Skip our Drop (already flushed) while moving the producer out.
+        let inner = unsafe { std::ptr::read(&self.inner) };
+        std::mem::forget(self);
+        inner
+    }
+}
+
+impl<T> Drop for BatchProducer<T> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// A consumer that releases its read index every `batch` pops.
+#[derive(Debug)]
+pub struct BatchConsumer<T> {
+    inner: Consumer<T>,
+    batch: usize,
+    pending: usize,
+}
+
+impl<T> BatchConsumer<T> {
+    /// Wraps `inner`, releasing every `batch` consumed elements.
+    ///
+    /// # Panics
+    /// Panics if `batch` is zero.
+    pub fn new(inner: Consumer<T>, batch: usize) -> Self {
+        assert!(batch > 0, "batch must be positive");
+        Self { inner, batch, pending: 0 }
+    }
+
+    /// The batching factor.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Pops the next element; releases slots when the batch fills.
+    pub fn pop(&mut self) -> Option<T> {
+        let v = self.inner.consume_staged()?;
+        self.pending += 1;
+        if self.pending >= self.batch {
+            self.inner.release();
+            self.pending = 0;
+        }
+        Some(v)
+    }
+
+    /// Releases any partially consumed batch.
+    pub fn flush(&mut self) {
+        if self.pending > 0 {
+            self.inner.release();
+            self.pending = 0;
+        }
+    }
+
+    /// Flushes and returns the underlying consumer.
+    pub fn into_inner(mut self) -> Consumer<T> {
+        self.flush();
+        let inner = unsafe { std::ptr::read(&self.inner) };
+        std::mem::forget(self);
+        inner
+    }
+}
+
+impl<T> Drop for BatchConsumer<T> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spsc::spsc_channel;
+
+    #[test]
+    fn publishes_every_batch() {
+        let (tx, mut rx) = spsc_channel::<u32>(64);
+        let mut btx = BatchProducer::new(tx, 4);
+        for i in 0..3 {
+            btx.push(i).unwrap();
+        }
+        assert_eq!(rx.pop(), None, "3 staged < batch of 4");
+        btx.push(3).unwrap();
+        assert_eq!(rx.pop(), Some(0), "batch boundary publishes all 4");
+        assert_eq!(rx.len(), 3);
+    }
+
+    #[test]
+    fn flush_publishes_partial() {
+        let (tx, mut rx) = spsc_channel::<u32>(64);
+        let mut btx = BatchProducer::new(tx, 16);
+        btx.push(9).unwrap();
+        assert_eq!(rx.pop(), None);
+        btx.flush();
+        assert_eq!(rx.pop(), Some(9));
+    }
+
+    #[test]
+    fn drop_flushes() {
+        let (tx, mut rx) = spsc_channel::<u32>(64);
+        {
+            let mut btx = BatchProducer::new(tx, 16);
+            btx.push(1).unwrap();
+            btx.push(2).unwrap();
+        }
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(rx.pop(), Some(2));
+    }
+
+    #[test]
+    fn batch_consumer_delays_release() {
+        let (mut tx, rx) = spsc_channel::<u32>(2);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        let mut brx = BatchConsumer::new(rx, 2);
+        assert_eq!(brx.pop(), Some(1));
+        assert!(tx.push(3).is_err(), "slot not yet released");
+        assert_eq!(brx.pop(), Some(2), "second pop completes the batch");
+        tx.push(3).unwrap();
+        assert_eq!(brx.pop(), Some(3));
+    }
+
+    #[test]
+    fn into_inner_flushes() {
+        let (tx, mut rx) = spsc_channel::<u32>(8);
+        let mut btx = BatchProducer::new(tx, 8);
+        btx.push(5).unwrap();
+        let mut plain = btx.into_inner();
+        assert_eq!(rx.pop(), Some(5));
+        plain.push(6).unwrap();
+        assert_eq!(rx.pop(), Some(6));
+    }
+
+    #[test]
+    fn full_queue_error_still_publishes_staged() {
+        let (tx, mut rx) = spsc_channel::<u32>(2);
+        let mut btx = BatchProducer::new(tx, 8);
+        btx.push(1).unwrap();
+        btx.push(2).unwrap();
+        let err = btx.push(3);
+        assert!(err.is_err());
+        // The failed push must have published the staged pair.
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(rx.pop(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_batch_rejected() {
+        let (tx, _rx) = spsc_channel::<u32>(2);
+        let _ = BatchProducer::new(tx, 0);
+    }
+}

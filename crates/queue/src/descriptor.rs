@@ -1,0 +1,145 @@
+//! Queue descriptors (paper §4.1.1).
+//!
+//! "To register a queue with Cohort, its structure must be described to
+//! properly configure the Cohort engine ... The descriptor also contains
+//! (virtually addressed) pointers to the queue elements in question, such
+//! as the read or write index." The supported attributes are exactly the
+//! paper's list: write pointer/index, read pointer/index, FIFO base
+//! address, element size, and FIFO length.
+
+/// Describes an SPSC queue's memory structure to the Cohort engine.
+///
+/// All addresses are *virtual* — the engine's ISA-native MMU translates
+/// them (§4.2.4), so queues are allocatable with ordinary `malloc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueueDescriptor {
+    /// Virtual address of the 64-bit write index (elements published).
+    pub write_index_va: u64,
+    /// Virtual address of the 64-bit read index (elements consumed).
+    pub read_index_va: u64,
+    /// Virtual address of the first data element.
+    pub base_va: u64,
+    /// Size of one element in bytes.
+    pub element_bytes: u32,
+    /// Queue length in elements.
+    pub length: u32,
+}
+
+/// Errors from validating a descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DescriptorError {
+    /// Element size was zero or not 8-byte aligned.
+    BadElementSize(u32),
+    /// Length was zero.
+    ZeroLength,
+    /// An index pointer aliases the data array.
+    IndexAliasesData {
+        /// Which pointer (`"write"` or `"read"`).
+        which: &'static str,
+    },
+}
+
+impl std::fmt::Display for DescriptorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DescriptorError::BadElementSize(s) => {
+                write!(f, "element size {s} must be a positive multiple of 8")
+            }
+            DescriptorError::ZeroLength => f.write_str("queue length must be positive"),
+            DescriptorError::IndexAliasesData { which } => {
+                write!(f, "{which} index pointer overlaps the data array")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DescriptorError {}
+
+impl QueueDescriptor {
+    /// Total bytes occupied by the data array.
+    pub fn data_bytes(&self) -> u64 {
+        u64::from(self.element_bytes) * u64::from(self.length)
+    }
+
+    /// Virtual address of element slot `index % length`.
+    pub fn element_va(&self, index: u64) -> u64 {
+        self.base_va + (index % u64::from(self.length)) * u64::from(self.element_bytes)
+    }
+
+    /// Checks structural invariants the Cohort driver enforces at
+    /// registration time.
+    ///
+    /// # Errors
+    /// Returns a [`DescriptorError`] describing the violated invariant.
+    pub fn validate(&self) -> Result<(), DescriptorError> {
+        if self.element_bytes == 0 || self.element_bytes % 8 != 0 {
+            return Err(DescriptorError::BadElementSize(self.element_bytes));
+        }
+        if self.length == 0 {
+            return Err(DescriptorError::ZeroLength);
+        }
+        let data = self.base_va..self.base_va + self.data_bytes();
+        for (which, va) in [("write", self.write_index_va), ("read", self.read_index_va)] {
+            if data.contains(&va) {
+                return Err(DescriptorError::IndexAliasesData { which });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc() -> QueueDescriptor {
+        QueueDescriptor {
+            write_index_va: 0x1000,
+            read_index_va: 0x1040,
+            base_va: 0x1080,
+            element_bytes: 8,
+            length: 64,
+        }
+    }
+
+    #[test]
+    fn valid_descriptor_passes() {
+        assert_eq!(desc().validate(), Ok(()));
+    }
+
+    #[test]
+    fn element_addressing_wraps() {
+        let d = desc();
+        assert_eq!(d.element_va(0), 0x1080);
+        assert_eq!(d.element_va(63), 0x1080 + 63 * 8);
+        assert_eq!(d.element_va(64), 0x1080, "wraps at length");
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        let mut d = desc();
+        d.element_bytes = 0;
+        assert!(matches!(d.validate(), Err(DescriptorError::BadElementSize(0))));
+        let mut d = desc();
+        d.element_bytes = 12;
+        assert!(d.validate().is_err());
+        let mut d = desc();
+        d.length = 0;
+        assert_eq!(d.validate(), Err(DescriptorError::ZeroLength));
+    }
+
+    #[test]
+    fn rejects_aliasing_pointers() {
+        let mut d = desc();
+        d.write_index_va = d.base_va + 16;
+        assert_eq!(
+            d.validate(),
+            Err(DescriptorError::IndexAliasesData { which: "write" })
+        );
+    }
+
+    #[test]
+    fn data_bytes_product() {
+        assert_eq!(desc().data_bytes(), 8 * 64);
+    }
+}

@@ -1,0 +1,96 @@
+//! Standard in-memory queue layout for guest (simulated) memory.
+//!
+//! When a queue lives in the simulated SoC's memory, everyone — the OS
+//! model allocating it, the benchmark program builders generating core
+//! loads/stores, and the Cohort engine walking it — must agree on where the
+//! indices and data live. The layout keeps the write index, read index and
+//! data array on separate cache lines (the structure high-performance SPSC
+//! libraries use to minimise false sharing, §4.1.1).
+
+use crate::descriptor::QueueDescriptor;
+
+/// Cache line size the layout pads to (matches the simulated SoC).
+pub const LINE_BYTES: u64 = 64;
+
+/// A concrete placement of a queue in (virtual) memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueLayout {
+    /// Descriptor handed to `cohort_register`.
+    pub descriptor: QueueDescriptor,
+    /// First virtual address of the region.
+    pub region_start: u64,
+    /// Total bytes occupied, padded to whole cache lines.
+    pub region_bytes: u64,
+}
+
+impl QueueLayout {
+    /// Lays out a queue at `base_va`: one line for the write index, one
+    /// line for the read index, then the data array (line-aligned, padded).
+    ///
+    /// # Panics
+    /// Panics if `base_va` is not cache-line aligned, `element_bytes` is
+    /// not a positive multiple of 8, or `length` is zero.
+    pub fn standard(base_va: u64, element_bytes: u32, length: u32) -> Self {
+        assert_eq!(base_va % LINE_BYTES, 0, "queue base must be line aligned");
+        assert!(
+            element_bytes > 0 && element_bytes % 8 == 0,
+            "element size must be a positive multiple of 8"
+        );
+        assert!(length > 0, "length must be positive");
+        let write_index_va = base_va;
+        let read_index_va = base_va + LINE_BYTES;
+        let data_va = base_va + 2 * LINE_BYTES;
+        let data_bytes = u64::from(element_bytes) * u64::from(length);
+        let padded = data_bytes.div_ceil(LINE_BYTES) * LINE_BYTES;
+        Self {
+            descriptor: QueueDescriptor {
+                write_index_va,
+                read_index_va,
+                base_va: data_va,
+                element_bytes,
+                length,
+            },
+            region_start: base_va,
+            region_bytes: 2 * LINE_BYTES + padded,
+        }
+    }
+
+    /// First address after the region (useful for bump allocation).
+    pub fn region_end(&self) -> u64 {
+        self.region_start + self.region_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_on_distinct_lines() {
+        let l = QueueLayout::standard(0x1_0000, 8, 128);
+        let d = &l.descriptor;
+        assert_ne!(d.write_index_va / LINE_BYTES, d.read_index_va / LINE_BYTES);
+        assert_ne!(d.read_index_va / LINE_BYTES, d.base_va / LINE_BYTES);
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn region_covers_data() {
+        let l = QueueLayout::standard(0x2_0000, 8, 100);
+        assert!(l.region_end() >= l.descriptor.base_va + l.descriptor.data_bytes());
+        assert_eq!(l.region_bytes % LINE_BYTES, 0);
+    }
+
+    #[test]
+    fn wide_elements() {
+        let l = QueueLayout::standard(0x3_0000, 64, 16);
+        assert_eq!(l.descriptor.data_bytes(), 1024);
+        assert_eq!(l.region_bytes, 2 * 64 + 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "line aligned")]
+    fn unaligned_base_rejected() {
+        let _ = QueueLayout::standard(0x1234, 8, 4);
+    }
+}

@@ -1,0 +1,47 @@
+//! # cohort-queue — lock-free SPSC queues with Cohort descriptors
+//!
+//! Shared-memory single-producer/single-consumer queues are the lingua
+//! franca of the Cohort system (paper §3.2): producers publish data by
+//! writing elements and then releasing a write index; consumers observe the
+//! index and read the data — *queue coherence*. This crate provides:
+//!
+//! * [`spsc`] — a real, atomics-based lock-free SPSC ring usable from Rust
+//!   threads, with exactly the release/acquire publication protocol the
+//!   Cohort engine exploits, plus *staged* (delayed-publication) operations
+//!   that implement the paper's batching optimisation in software;
+//! * [`batch`] — batched producer/consumer adapters that publish indices
+//!   every `N` elements (the "Cohort batch=N" curves of Figs. 8/9);
+//! * [`descriptor`] — the queue descriptor struct a queue library hands to
+//!   `cohort_register` (§4.1.1): virtual addresses of the write/read
+//!   indices, the data base, element size and length;
+//! * [`layout`] — the standard in-memory layout used when a queue lives in
+//!   simulated guest memory (cache-line-separated indices, contiguous data
+//!   array), shared between the OS model, the engine and the benchmark
+//!   program builders;
+//! * [`typed`] — typed elements over word queues, the role the paper's
+//!   Boost.Lockfree integration plays (§4.1.2);
+//! * [`mpsc`] — the §4.5 future-work multi-producer queue (ticket +
+//!   per-slot sequence construction) with a sketched hardware descriptor.
+//!
+//! ## Example
+//!
+//! ```
+//! use cohort_queue::spsc_channel;
+//! let (mut tx, mut rx) = spsc_channel::<u64>(8);
+//! tx.push(42).unwrap();
+//! assert_eq!(rx.pop(), Some(42));
+//! ```
+
+pub mod batch;
+pub mod descriptor;
+pub mod layout;
+pub mod mpsc;
+pub mod spsc;
+pub mod typed;
+
+pub use batch::{BatchConsumer, BatchProducer};
+pub use descriptor::QueueDescriptor;
+pub use layout::QueueLayout;
+pub use mpsc::{mpsc_channel, MpscConsumer, MpscProducer};
+pub use spsc::{spsc_channel, Consumer, Producer, PushError};
+pub use typed::{typed, QueueElement, TypedConsumer, TypedProducer};

@@ -1,0 +1,294 @@
+//! Multi-producer single-consumer queues (paper §4.5 future work).
+//!
+//! "Enabling queues supporting multiple producers or multiple consumers
+//! would provide value for a broader set of multithreaded use cases ...
+//! Generally these queues require atomic memory operations ... we leave
+//! support for these queues and design of their queue descriptors to
+//! future work." This module implements that future work for the software
+//! side: a bounded MPSC ring using ticket reservation (fetch-add on the
+//! write index) plus per-slot sequence numbers for publication — the
+//! standard Vyukov construction. The matching hardware descriptor would
+//! need the sequence stride; [`MpscDescriptor`] sketches it.
+
+use crossbeam::utils::CachePadded;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Slot<T> {
+    /// Publication sequence: `index` when empty-for-writer, `index + 1`
+    /// when published-for-reader.
+    seq: AtomicU64,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+struct Inner<T> {
+    slots: Box<[Slot<T>]>,
+    capacity: u64,
+    write: CachePadded<AtomicU64>,
+    read: CachePadded<AtomicU64>,
+}
+
+// SAFETY: slot access is serialized by the seq protocol; values are Send.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        let read = self.read.load(Ordering::Relaxed);
+        let write = self.write.load(Ordering::Relaxed);
+        for i in read..write {
+            let slot = &self.slots[(i % self.capacity) as usize];
+            // Only drop slots that were actually published.
+            if slot.seq.load(Ordering::Relaxed) == i + 1 {
+                // SAFETY: published and unconsumed => initialized.
+                unsafe { (*slot.value.get()).assume_init_drop() };
+            }
+        }
+    }
+}
+
+/// A producer handle; clone freely across threads.
+pub struct MpscProducer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for MpscProducer<T> {
+    fn clone(&self) -> Self {
+        Self { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> std::fmt::Debug for MpscProducer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpscProducer")
+            .field("capacity", &self.inner.capacity)
+            .finish()
+    }
+}
+
+/// The single consumer handle.
+pub struct MpscConsumer<T> {
+    inner: Arc<Inner<T>>,
+    read: u64,
+}
+
+impl<T> std::fmt::Debug for MpscConsumer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpscConsumer").field("read", &self.read).finish()
+    }
+}
+
+/// Creates a bounded MPSC queue with `capacity` slots.
+///
+/// # Panics
+/// Panics if `capacity < 2`: with a single slot the publication stamp
+/// (`index + 1`) is indistinguishable from the next lap's free stamp
+/// (`index + capacity`), so the sequence protocol requires at least two
+/// slots.
+pub fn mpsc_channel<T: Send>(capacity: usize) -> (MpscProducer<T>, MpscConsumer<T>) {
+    assert!(capacity >= 2, "capacity must be at least 2");
+    let slots: Box<[Slot<T>]> = (0..capacity as u64)
+        .map(|i| Slot { seq: AtomicU64::new(i), value: UnsafeCell::new(MaybeUninit::uninit()) })
+        .collect();
+    let inner = Arc::new(Inner {
+        slots,
+        capacity: capacity as u64,
+        write: CachePadded::new(AtomicU64::new(0)),
+        read: CachePadded::new(AtomicU64::new(0)),
+    });
+    (MpscProducer { inner: Arc::clone(&inner) }, MpscConsumer { inner, read: 0 })
+}
+
+impl<T: Send> MpscProducer<T> {
+    /// Attempts to push; returns the value back when the queue is full.
+    ///
+    /// # Errors
+    /// Returns `Err(value)` if no slot could be reserved.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let inner = &*self.inner;
+        let mut ticket = inner.write.load(Ordering::Relaxed);
+        loop {
+            let slot = &inner.slots[(ticket % inner.capacity) as usize];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == ticket {
+                // Slot free for this ticket: try to claim it.
+                match inner.write.compare_exchange_weak(
+                    ticket,
+                    ticket + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: exclusive claim on this slot until we
+                        // bump its seq.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(ticket + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(actual) => ticket = actual,
+                }
+            } else if seq < ticket {
+                // Slot still holds a lap-old element: the ring is full.
+                return Err(value);
+            } else {
+                // Another producer advanced past us; refresh.
+                ticket = inner.write.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<T: Send> MpscConsumer<T> {
+    /// Pops the next element if one has been published.
+    pub fn pop(&mut self) -> Option<T> {
+        let inner = &*self.inner;
+        let slot = &inner.slots[(self.read % inner.capacity) as usize];
+        if slot.seq.load(Ordering::Acquire) != self.read + 1 {
+            return None;
+        }
+        // SAFETY: published for exactly this read index; single consumer.
+        let value = unsafe { (*slot.value.get()).assume_init_read() };
+        // Free the slot for the producer one capacity-lap ahead.
+        slot.seq.store(self.read + inner.capacity, Ordering::Release);
+        self.read += 1;
+        inner.read.store(self.read, Ordering::Release);
+        Some(value)
+    }
+}
+
+/// Descriptor sketch for a hardware-consumable MPSC queue (what the
+/// paper's future-work Cohort engine would need beyond
+/// [`crate::QueueDescriptor`]): the per-slot sequence words make
+/// publication per-slot rather than per-index, so the engine would watch
+/// slot-sequence lines instead of one write-index line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MpscDescriptor {
+    /// Base VA of the slot array (interleaved `seq`/payload pairs).
+    pub base_va: u64,
+    /// Bytes per slot including its sequence word.
+    pub slot_bytes: u32,
+    /// Queue length in slots.
+    pub length: u32,
+    /// VA of the consumer's read index.
+    pub read_index_va: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn single_producer_fifo() {
+        let (tx, mut rx) = mpsc_channel::<u64>(4);
+        for i in 0..4 {
+            tx.push(i).unwrap();
+        }
+        assert!(tx.push(99).is_err(), "full");
+        for i in 0..4 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn wraps_many_laps() {
+        let (tx, mut rx) = mpsc_channel::<u64>(3);
+        for i in 0..1000u64 {
+            tx.push(i).unwrap();
+            assert_eq!(rx.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn multiple_producers_all_elements_arrive_once() {
+        let (tx, mut rx) = mpsc_channel::<u64>(64);
+        let producers = 4u64;
+        let per = 5_000u64;
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let tx = tx.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..per {
+                    let v = p * per + i;
+                    loop {
+                        match tx.push(v) {
+                            Ok(()) => break,
+                            Err(_) => thread::yield_now(),
+                        }
+                    }
+                }
+            }));
+        }
+        let mut seen = vec![false; (producers * per) as usize];
+        let mut count = 0u64;
+        while count < producers * per {
+            if let Some(v) = rx.pop() {
+                assert!(!seen[v as usize], "duplicate {v}");
+                seen[v as usize] = true;
+                count += 1;
+            } else {
+                std::hint::spin_loop();
+                thread::yield_now();
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn per_producer_order_is_preserved() {
+        let (tx, mut rx) = mpsc_channel::<(u64, u64)>(16);
+        let tx2 = tx.clone();
+        let a = thread::spawn(move || {
+            for i in 0..2_000u64 {
+                while tx.push((0, i)).is_err() {
+                    thread::yield_now();
+                }
+            }
+        });
+        let b = thread::spawn(move || {
+            for i in 0..2_000u64 {
+                while tx2.push((1, i)).is_err() {
+                    thread::yield_now();
+                }
+            }
+        });
+        let mut next = [0u64; 2];
+        let mut total = 0;
+        while total < 4_000 {
+            if let Some((p, i)) = rx.pop() {
+                assert_eq!(i, next[p as usize], "producer {p} out of order");
+                next[p as usize] += 1;
+                total += 1;
+            } else {
+                thread::yield_now();
+            }
+        }
+        a.join().unwrap();
+        b.join().unwrap();
+    }
+
+    #[test]
+    fn drops_unconsumed() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let (tx, mut rx) = mpsc_channel::<D>(8);
+            tx.push(D).map_err(|_| ()).unwrap();
+            tx.push(D).map_err(|_| ()).unwrap();
+            drop(rx.pop());
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+    }
+}

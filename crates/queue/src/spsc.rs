@@ -1,0 +1,367 @@
+//! The lock-free SPSC ring.
+//!
+//! Monotonic 64-bit write/read indices (never wrapped) live on separate
+//! cache lines; `slot = index % capacity`. The producer publishes with a
+//! release store of the write index after writing the element; the consumer
+//! acquires the write index before reading elements — this is precisely the
+//! *queue coherence* contract (paper §3.2, §4.2.3) that lets the Cohort
+//! engine treat an index-line invalidation as "data available".
+//!
+//! Beyond `push`/`pop`, producers can *stage* elements without publishing
+//! and `publish` explicitly — the software batching optimisation of §5.3 —
+//! and consumers can symmetrically delay their read-index release.
+
+use crossbeam::utils::CachePadded;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Inner<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    capacity: u64,
+    /// Consumer-owned read index (elements popped so far).
+    read: CachePadded<AtomicU64>,
+    /// Producer-owned write index (elements published so far).
+    write: CachePadded<AtomicU64>,
+}
+
+// SAFETY: the producer/consumer split guarantees exclusive slot access:
+// slots in [read, write) are owned by the consumer, the rest by the
+// producer, and the indices are published with release/acquire ordering.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        let read = self.read.load(Ordering::Relaxed);
+        let write = self.write.load(Ordering::Relaxed);
+        for i in read..write {
+            let slot = (i % self.capacity) as usize;
+            // SAFETY: elements in [read, write) are initialized and nobody
+            // else can touch them during drop (&mut self).
+            unsafe { (*self.buf[slot].get()).assume_init_drop() };
+        }
+    }
+}
+
+/// Error returned by [`Producer::push`] on a full queue; gives the element
+/// back to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushError<T>(pub T);
+
+impl<T> std::fmt::Display for PushError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("queue is full")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for PushError<T> {}
+
+/// The producing half of an SPSC queue.
+pub struct Producer<T> {
+    inner: Arc<Inner<T>>,
+    /// Local (unpublished) write index; `>= inner.write`.
+    staged: u64,
+    /// Cached snapshot of the consumer's read index.
+    read_cache: u64,
+}
+
+/// The consuming half of an SPSC queue.
+pub struct Consumer<T> {
+    inner: Arc<Inner<T>>,
+    /// Local (unreleased) read index; `>= inner.read`.
+    staged: u64,
+    /// Cached snapshot of the producer's write index.
+    write_cache: u64,
+}
+
+impl<T> std::fmt::Debug for Producer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Producer")
+            .field("staged", &self.staged)
+            .field("capacity", &self.inner.capacity)
+            .finish()
+    }
+}
+
+impl<T> std::fmt::Debug for Consumer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Consumer")
+            .field("staged", &self.staged)
+            .field("capacity", &self.inner.capacity)
+            .finish()
+    }
+}
+
+/// Creates an SPSC queue holding up to `capacity` elements.
+///
+/// # Panics
+/// Panics if `capacity` is zero.
+pub fn spsc_channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity > 0, "capacity must be positive");
+    let buf: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..capacity)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
+    let inner = Arc::new(Inner {
+        buf,
+        capacity: capacity as u64,
+        read: CachePadded::new(AtomicU64::new(0)),
+        write: CachePadded::new(AtomicU64::new(0)),
+    });
+    (
+        Producer { inner: Arc::clone(&inner), staged: 0, read_cache: 0 },
+        Consumer { inner, staged: 0, write_cache: 0 },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Queue capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity as usize
+    }
+
+    /// Stages `value` without publishing it to the consumer.
+    ///
+    /// # Errors
+    /// Returns [`PushError`] if the ring is full (counting staged
+    /// elements).
+    pub fn stage(&mut self, value: T) -> Result<(), PushError<T>> {
+        if self.staged - self.read_cache >= self.inner.capacity {
+            // Refresh the consumer's index before declaring full.
+            self.read_cache = self.inner.read.load(Ordering::Acquire);
+            if self.staged - self.read_cache >= self.inner.capacity {
+                return Err(PushError(value));
+            }
+        }
+        let slot = (self.staged % self.inner.capacity) as usize;
+        // SAFETY: the slot is outside [read, write) ∪ staged region of the
+        // consumer, so the producer has exclusive access.
+        unsafe { (*self.inner.buf[slot].get()).write(value) };
+        self.staged += 1;
+        Ok(())
+    }
+
+    /// Publishes all staged elements with a release store of the write
+    /// index — the queue-coherence publication point.
+    pub fn publish(&mut self) {
+        self.inner.write.store(self.staged, Ordering::Release);
+    }
+
+    /// Stages and immediately publishes (the classic `push`).
+    ///
+    /// # Errors
+    /// Returns [`PushError`] if the ring is full.
+    pub fn push(&mut self, value: T) -> Result<(), PushError<T>> {
+        self.stage(value)?;
+        self.publish();
+        Ok(())
+    }
+
+    /// Elements staged but not yet published.
+    pub fn staged_len(&self) -> usize {
+        (self.staged - self.inner.write.load(Ordering::Relaxed)) as usize
+    }
+
+    /// Free slots available to the producer right now.
+    pub fn free(&mut self) -> usize {
+        self.read_cache = self.inner.read.load(Ordering::Acquire);
+        (self.inner.capacity - (self.staged - self.read_cache)) as usize
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Queue capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity as usize
+    }
+
+    /// Takes the next element without releasing the slot to the producer.
+    pub fn consume_staged(&mut self) -> Option<T> {
+        if self.staged >= self.write_cache {
+            self.write_cache = self.inner.write.load(Ordering::Acquire);
+            if self.staged >= self.write_cache {
+                return None;
+            }
+        }
+        let slot = (self.staged % self.inner.capacity) as usize;
+        // SAFETY: [read, write) slots are initialized and consumer-owned.
+        let value = unsafe { (*self.inner.buf[slot].get()).assume_init_read() };
+        self.staged += 1;
+        Some(value)
+    }
+
+    /// Releases all consumed slots back to the producer.
+    pub fn release(&mut self) {
+        self.inner.read.store(self.staged, Ordering::Release);
+    }
+
+    /// Consumes and immediately releases (the classic `pop`).
+    pub fn pop(&mut self) -> Option<T> {
+        let v = self.consume_staged()?;
+        self.release();
+        Some(v)
+    }
+
+    /// Elements currently observable by the consumer.
+    pub fn len(&mut self) -> usize {
+        self.write_cache = self.inner.write.load(Ordering::Acquire);
+        (self.write_cache - self.staged) as usize
+    }
+
+    /// True if no published elements are pending.
+    pub fn is_empty(&mut self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let (mut tx, mut rx) = spsc_channel::<u32>(4);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let (mut tx, mut rx) = spsc_channel::<u32>(2);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(tx.push(3), Err(PushError(3)));
+        assert_eq!(rx.pop(), Some(1));
+        tx.push(3).unwrap();
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), Some(3));
+    }
+
+    #[test]
+    fn staged_elements_invisible_until_publish() {
+        let (mut tx, mut rx) = spsc_channel::<u32>(8);
+        tx.stage(1).unwrap();
+        tx.stage(2).unwrap();
+        assert_eq!(rx.pop(), None, "not yet published");
+        assert_eq!(tx.staged_len(), 2);
+        tx.publish();
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(rx.pop(), Some(2));
+    }
+
+    #[test]
+    fn consumer_release_frees_producer_space() {
+        let (mut tx, mut rx) = spsc_channel::<u32>(2);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(rx.consume_staged(), Some(1));
+        // Slot not yet released: producer still sees the queue full.
+        assert!(tx.push(3).is_err());
+        rx.release();
+        tx.push(3).unwrap();
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), Some(3));
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let (mut tx, mut rx) = spsc_channel::<u64>(3);
+        for i in 0..1000u64 {
+            tx.push(i).unwrap();
+            assert_eq!(rx.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn cross_thread_stream() {
+        let (mut tx, mut rx) = spsc_channel::<u64>(64);
+        let n = 20_000u64;
+        let producer = thread::spawn(move || {
+            for i in 0..n {
+                loop {
+                    match tx.push(i) {
+                        Ok(()) => break,
+                        Err(_) => std::thread::yield_now(),
+                    }
+                }
+            }
+        });
+        let mut expect = 0u64;
+        while expect < n {
+            if let Some(v) = rx.pop() {
+                assert_eq!(v, expect, "FIFO order across threads");
+                expect += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn cross_thread_batched_publication() {
+        let (mut tx, mut rx) = spsc_channel::<u64>(256);
+        let n = 20_000u64;
+        let batch = 16;
+        let producer = thread::spawn(move || {
+            for i in 0..n {
+                loop {
+                    match tx.stage(i) {
+                        Ok(()) => break,
+                        Err(_) => {
+                            tx.publish();
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                if (i + 1) % batch == 0 {
+                    tx.publish();
+                }
+            }
+            tx.publish();
+        });
+        let mut expect = 0u64;
+        while expect < n {
+            if let Some(v) = rx.pop() {
+                assert_eq!(v, expect);
+                expect += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn drops_unconsumed_elements() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let (mut tx, mut rx) = spsc_channel::<D>(8);
+            tx.push(D).unwrap();
+            tx.push(D).unwrap();
+            tx.push(D).unwrap();
+            drop(rx.pop()); // one consumed and dropped
+            // two left inside
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = spsc_channel::<u8>(0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Component plumbing: identifiers, tile placement, the [`Component`] trait
+//! and the per-step context handed to components.
+
+use std::collections::VecDeque;
+
+use crate::mem::PhysMem;
+use crate::msg::{Envelope, Msg};
+
+/// Index of a component within its [`crate::soc::Soc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CompId(pub usize);
+
+impl std::fmt::Display for CompId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "comp{}", self.0)
+    }
+}
+
+/// Position of a component's tile in the 2-D mesh, used for hop counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TileCoord {
+    /// Column.
+    pub x: u16,
+    /// Row.
+    pub y: u16,
+}
+
+impl TileCoord {
+    /// Creates a coordinate.
+    pub fn new(x: u16, y: u16) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan distance to `other` in hops.
+    pub fn hops_to(&self, other: TileCoord) -> u64 {
+        (self.x.abs_diff(other.x) + self.y.abs_diff(other.y)) as u64
+    }
+}
+
+/// An outgoing message staged during a component's step.
+#[derive(Debug, Clone)]
+pub struct Outgoing {
+    /// Destination component.
+    pub dst: CompId,
+    /// Routed payload (the source is filled in by [`Ctx::send`]).
+    pub env: Envelope,
+    /// Extra sender-side delay before NoC injection (device processing
+    /// time, e.g. an MMIO register file's access latency).
+    pub extra_delay: u64,
+}
+
+/// Mapping from MMIO physical-address ranges to the owning device.
+#[derive(Debug, Default, Clone)]
+pub struct MmioMap {
+    ranges: Vec<(std::ops::Range<u64>, CompId)>,
+}
+
+impl MmioMap {
+    /// Registers `range` as belonging to `comp`.
+    ///
+    /// # Panics
+    /// Panics if the range overlaps an existing mapping.
+    pub fn map(&mut self, range: std::ops::Range<u64>, comp: CompId) {
+        for (r, _) in &self.ranges {
+            assert!(
+                range.end <= r.start || range.start >= r.end,
+                "MMIO range {range:?} overlaps {r:?}"
+            );
+        }
+        self.ranges.push((range, comp));
+    }
+
+    /// Looks up the device owning physical address `pa`.
+    pub fn target(&self, pa: u64) -> Option<CompId> {
+        self.ranges
+            .iter()
+            .find(|(r, _)| r.contains(&pa))
+            .map(|(_, c)| *c)
+    }
+}
+
+/// Per-step context: simulated time, the component's inbox, an outbox, and
+/// functional memory.
+pub struct Ctx<'a> {
+    /// Current cycle.
+    pub cycle: u64,
+    /// The stepping component's own id.
+    pub self_id: CompId,
+    /// Functional memory (single data copy for the whole SoC).
+    pub mem: &'a mut PhysMem,
+    pub(crate) inbox: &'a mut VecDeque<Envelope>,
+    pub(crate) outbox: &'a mut Vec<Outgoing>,
+    pub(crate) mmio_map: &'a MmioMap,
+}
+
+impl<'a> Ctx<'a> {
+    /// Takes the next delivered message, if any.
+    pub fn recv(&mut self) -> Option<Envelope> {
+        self.inbox.pop_front()
+    }
+
+    /// Sends `msg` to `dst`; it will be injected into the NoC when the step
+    /// completes and delivered after the routing latency.
+    pub fn send(&mut self, dst: CompId, msg: Msg) {
+        let env = Envelope { src: self.self_id, msg };
+        self.outbox.push(Outgoing { dst, env, extra_delay: 0 });
+    }
+
+    /// Sends `msg` to `dst` after an extra `delay` cycles of sender-side
+    /// processing (used for MMIO device latency).
+    pub fn send_delayed(&mut self, dst: CompId, msg: Msg, delay: u64) {
+        let env = Envelope { src: self.self_id, msg };
+        self.outbox.push(Outgoing { dst, env, extra_delay: delay });
+    }
+
+    /// Looks up the device owning MMIO physical address `pa`.
+    pub fn mmio_target(&self, pa: u64) -> Option<CompId> {
+        self.mmio_map.target(pa)
+    }
+}
+
+/// A simulated hardware component: a core, the directory, the Cohort engine,
+/// a MAPLE unit, ...
+///
+/// Components are stepped once per cycle after NoC deliveries for that cycle
+/// have been placed in their inbox. A component should drain its inbox every
+/// step even when otherwise idle.
+pub trait Component {
+    /// Short human-readable name, used in stats dumps.
+    fn name(&self) -> &str;
+
+    /// Advances the component by one cycle.
+    fn step(&mut self, ctx: &mut Ctx<'_>);
+
+    /// True when the component has no pending internal work. The SoC stops
+    /// when every component is idle and no messages are in flight.
+    fn is_idle(&self) -> bool;
+
+    /// Performance counters exposed by this component.
+    fn counters(&self) -> Vec<(String, u64)> {
+        Vec::new()
+    }
+
+    /// Downcast support for harness inspection.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_hops() {
+        let a = TileCoord::new(0, 0);
+        let b = TileCoord::new(2, 3);
+        assert_eq!(a.hops_to(b), 5);
+        assert_eq!(b.hops_to(a), 5);
+        assert_eq!(a.hops_to(a), 0);
+    }
+
+    #[test]
+    fn mmio_map_lookup() {
+        let mut m = MmioMap::default();
+        m.map(0x1000..0x2000, CompId(3));
+        m.map(0x2000..0x3000, CompId(4));
+        assert_eq!(m.target(0x1000), Some(CompId(3)));
+        assert_eq!(m.target(0x1fff), Some(CompId(3)));
+        assert_eq!(m.target(0x2000), Some(CompId(4)));
+        assert_eq!(m.target(0x3000), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn mmio_map_rejects_overlap() {
+        let mut m = MmioMap::default();
+        m.map(0x1000..0x2000, CompId(0));
+        m.map(0x1800..0x2800, CompId(1));
+    }
+}

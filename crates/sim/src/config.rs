@@ -1,0 +1,183 @@
+//! SoC configuration: cache geometries, timing constants, NoC parameters.
+//!
+//! Defaults follow the paper's evaluation platform (§5): OpenPiton's default
+//! configuration of 8 KiB L1D + 8 KiB L1.5 private caches (modelled as one
+//! private level), a 64 KiB 4-way shared L2, a 16-entry Cohort TLB, and
+//! 64-bit endpoint interfaces, on a four-tile design.
+
+/// Geometry of a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+}
+
+impl CacheConfig {
+    /// Creates a geometry; `capacity_bytes` must be a multiple of
+    /// `ways * LINE_BYTES`.
+    ///
+    /// # Panics
+    /// Panics if the capacity does not divide evenly into sets.
+    pub fn new(capacity_bytes: u64, ways: u32) -> Self {
+        let line_per_way = capacity_bytes / u64::from(ways);
+        assert!(
+            line_per_way % crate::LINE_BYTES == 0 && line_per_way > 0,
+            "capacity {capacity_bytes} not divisible into {ways} ways of whole lines"
+        );
+        Self { capacity_bytes, ways }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.capacity_bytes / (u64::from(self.ways) * crate::LINE_BYTES)
+    }
+}
+
+/// Latency and bandwidth constants for the timing model.
+///
+/// These are the calibration knobs discussed in `DESIGN.md` §2 item 1: the
+/// mechanisms are structural (who talks to whom, and when), while absolute
+/// constants are calibrated so the reproduced figures have the paper's
+/// shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingConfig {
+    /// Private cache hit latency (cycles).
+    pub l1_hit: u64,
+    /// L2 tag + data access latency at the directory (cycles).
+    pub l2_hit: u64,
+    /// DRAM fill latency on an L2 miss (cycles).
+    pub dram: u64,
+    /// NoC router+link latency per hop (cycles).
+    pub noc_per_hop: u64,
+    /// Fixed NoC injection/ejection overhead (cycles).
+    pub noc_base: u64,
+    /// Device-side processing latency for an MMIO access (cycles).
+    pub mmio_device: u64,
+    /// Store buffer depth of the in-order core.
+    pub store_buffer: usize,
+    /// Distinct lines the store buffer may acquire in parallel (MSHRs).
+    pub sb_mshrs: usize,
+    /// Cycles for a spin-loop iteration's non-load work (compare + branch).
+    pub spin_alu: u64,
+    /// Instructions retired per spin-loop iteration (load+compare+branch).
+    pub spin_insts: u64,
+    /// Write-coherency-manager turnaround: cycles the Cohort producer
+    /// endpoint waits between a data-block write completing coherently and
+    /// the write-index publication (ordering drain, §4.2.3).
+    pub wcm_turnaround: u64,
+    /// If true, the engine's consumer and producer endpoints share one
+    /// memory transaction engine and their operations serialize (the
+    /// Fig. 6 single-MTE organisation); if false the MTE accepts one
+    /// operation per endpoint concurrently.
+    pub mte_shared: bool,
+    /// Kernel entry/exit cost charged when a modelled interrupt handler or
+    /// syscall runs (cycles).
+    pub trap_cost: u64,
+    /// Instructions retired by a modelled trap (for IPC accounting).
+    pub trap_insts: u64,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        Self {
+            l1_hit: 2,
+            l2_hit: 8,
+            dram: 30,
+            noc_per_hop: 5,
+            noc_base: 4,
+            mmio_device: 130,
+            store_buffer: 8,
+            sb_mshrs: 4,
+            spin_alu: 4,
+            spin_insts: 3,
+            mte_shared: false,
+            wcm_turnaround: 100,
+            trap_cost: 260,
+            trap_insts: 180,
+        }
+    }
+}
+
+/// Top-level SoC configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SocConfig {
+    /// Private (L1 + L1.5 combined) cache geometry per core.
+    pub l1: CacheConfig,
+    /// Shared, inclusive L2 geometry at the directory.
+    pub l2: CacheConfig,
+    /// Timing constants.
+    pub timing: TimingConfig,
+    /// Entries in the Cohort engine / MAPLE MMU TLB (paper: 16).
+    pub tlb_entries: usize,
+    /// Lines held by the Cohort engine's memory transaction engine buffer.
+    pub mte_lines: u64,
+}
+
+impl Default for SocConfig {
+    fn default() -> Self {
+        Self {
+            // 8 KiB L1D + 8 KiB L1.5 modelled as one 16 KiB private level.
+            l1: CacheConfig::new(16 * 1024, 4),
+            l2: CacheConfig::new(64 * 1024, 4),
+            timing: TimingConfig::default(),
+            tlb_entries: 16,
+            mte_lines: 8,
+        }
+    }
+}
+
+impl SocConfig {
+    /// Convenience builder-style override of the L2 geometry.
+    pub fn with_l2(mut self, l2: CacheConfig) -> Self {
+        self.l2 = l2;
+        self
+    }
+
+    /// Convenience builder-style override of the timing constants.
+    pub fn with_timing(mut self, timing: TimingConfig) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Convenience builder-style override of the TLB size.
+    pub fn with_tlb_entries(mut self, n: usize) -> Self {
+        self.tlb_entries = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_platform() {
+        let cfg = SocConfig::default();
+        assert_eq!(cfg.l2.capacity_bytes, 64 * 1024);
+        assert_eq!(cfg.l2.ways, 4);
+        assert_eq!(cfg.tlb_entries, 16);
+    }
+
+    #[test]
+    fn sets_computed_from_geometry() {
+        let c = CacheConfig::new(64 * 1024, 4);
+        assert_eq!(c.sets(), 64 * 1024 / (4 * 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn rejects_ragged_geometry() {
+        let _ = CacheConfig::new(100, 3);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let cfg = SocConfig::default()
+            .with_tlb_entries(4)
+            .with_l2(CacheConfig::new(128 * 1024, 8));
+        assert_eq!(cfg.tlb_entries, 4);
+        assert_eq!(cfg.l2.ways, 8);
+    }
+}

@@ -1,0 +1,569 @@
+//! An in-order core model in the spirit of Ariane (6-stage, single-issue).
+//!
+//! The core executes an abstract [`Program`]: cached loads/stores through a
+//! [`CoherentPort`] private cache, a draining store buffer that gives
+//! store-side memory-level parallelism within a line, blocking MMIO
+//! accesses (the §2.1 semantics that make MMIO invocation slow), spin-wait
+//! polling, release fences, and modelled interrupt handlers for the Cohort
+//! page-fault path. It retires at most one instruction per cycle and
+//! reports the counters the paper's IPC analysis (§6.2) needs.
+
+use crate::component::{CompId, Component, Ctx};
+use crate::config::SocConfig;
+use crate::mem::PhysMem;
+use crate::msg::Msg;
+use crate::port::{CoherentPort, Outcome, PortEvent};
+use crate::program::{Op, Program};
+use crate::translate::{Identity, Translator};
+use std::collections::{HashMap, VecDeque};
+
+const LOAD_TOKEN: u64 = 1;
+const SB_TOKEN: u64 = 2;
+const SB_PREFETCH_TOKEN: u64 = 3;
+
+/// What a modelled interrupt handler does after its entry cost.
+pub enum HandlerAction {
+    /// Write a constant to a device register (blocking MMIO).
+    MmioWrite {
+        /// Register physical address.
+        pa: u64,
+        /// Value written.
+        value: u64,
+    },
+    /// Run arbitrary host logic against guest memory (e.g. map a page into
+    /// the page tables), then optionally perform one blocking MMIO write
+    /// `(pa, value)`. Receives the interrupt payload.
+    Custom(Box<dyn FnMut(&mut PhysMem, u64) -> Option<(u64, u64)> + Send>),
+}
+
+impl std::fmt::Debug for HandlerAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HandlerAction::MmioWrite { pa, value } => f
+                .debug_struct("MmioWrite")
+                .field("pa", pa)
+                .field("value", value)
+                .finish(),
+            HandlerAction::Custom(_) => f.write_str("Custom(..)"),
+        }
+    }
+}
+
+/// A registered interrupt handler.
+#[derive(Debug)]
+pub struct IrqHandler {
+    /// Trap entry + handler body cost in cycles.
+    pub entry_cycles: u64,
+    /// Instructions attributed to the handler for IPC accounting.
+    pub entry_insts: u64,
+    /// Action performed at the end of the handler.
+    pub action: HandlerAction,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CState {
+    Ready,
+    /// A cached load hit; finishes at the embedded cycle.
+    LoadDone { at: u64, pa: u64, record: bool },
+    /// A cached load missed; waiting for the port.
+    WaitLoad { pa: u64, record: bool },
+    /// Spin-wait load in flight (hit path, finishes at cycle).
+    SpinDone { at: u64, pa: u64, value: u64 },
+    /// Spin-wait load missed; waiting for the port.
+    WaitSpin { pa: u64, value: u64 },
+    /// Waiting for an MMIO response.
+    WaitMmio { record: bool },
+    /// Waiting for the MMIO write issued by an interrupt handler.
+    WaitHandlerMmio,
+    Done,
+}
+
+/// Performance counters for one core.
+#[derive(Debug, Default, Clone)]
+pub struct CoreCounters {
+    /// Retired instructions.
+    pub instret: u64,
+    /// Cycle at which the program finished (0 if still running).
+    pub done_at: u64,
+    /// Cached loads issued.
+    pub loads: u64,
+    /// Stores issued.
+    pub stores: u64,
+    /// MMIO operations issued.
+    pub mmio_ops: u64,
+    /// Cycles stalled waiting for MMIO responses.
+    pub mmio_stall_cycles: u64,
+    /// Cycles stalled waiting for cache misses.
+    pub mem_stall_cycles: u64,
+    /// Spin-loop iterations executed.
+    pub spin_iters: u64,
+    /// Cycles the store buffer was full and blocked a store.
+    pub sb_full_stalls: u64,
+    /// Interrupts taken.
+    pub irqs: u64,
+    /// Core-side demand page faults taken.
+    pub core_faults: u64,
+}
+
+/// The in-order core component.
+pub struct InOrderCore {
+    port: CoherentPort,
+    ops: Vec<Op>,
+    pc: usize,
+    state: CState,
+    busy_until: u64,
+    sb: VecDeque<(u64, u64)>, // (pa, value)
+    sb_limit: usize,
+    sb_mshrs: usize,
+    sb_waiting: bool,
+    spin_alu: u64,
+    spin_insts: u64,
+    translator: Box<dyn Translator>,
+    recorded: Vec<u64>,
+    mmio_tag: u64,
+    irq_pending: VecDeque<(u32, u64)>,
+    handlers: HashMap<u32, IrqHandler>,
+    /// Kernel page-fault path for the core's own accesses: maps the page
+    /// and returns true, or returns false for a fatal fault.
+    fault_hook: Option<Box<dyn FnMut(&mut PhysMem, u64) -> bool + Send>>,
+    trap_cost: u64,
+    trap_insts: u64,
+    counters: CoreCounters,
+}
+
+impl std::fmt::Debug for InOrderCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InOrderCore")
+            .field("pc", &self.pc)
+            .field("state", &self.state)
+            .field("instret", &self.counters.instret)
+            .finish()
+    }
+}
+
+impl InOrderCore {
+    /// Creates a core attached to directory `dir`, executing `program`.
+    pub fn new(dir: CompId, cfg: &SocConfig, program: Program) -> Self {
+        Self {
+            port: CoherentPort::new(dir, cfg.l1, cfg.timing.l1_hit),
+            ops: program.into_ops(),
+            pc: 0,
+            state: CState::Ready,
+            busy_until: 0,
+            sb: VecDeque::new(),
+            sb_limit: cfg.timing.store_buffer,
+            sb_mshrs: cfg.timing.sb_mshrs,
+            sb_waiting: false,
+            spin_alu: cfg.timing.spin_alu,
+            spin_insts: cfg.timing.spin_insts,
+            translator: Box::new(Identity),
+            recorded: Vec::new(),
+            mmio_tag: 0,
+            irq_pending: VecDeque::new(),
+            handlers: HashMap::new(),
+            fault_hook: None,
+            trap_cost: cfg.timing.trap_cost,
+            trap_insts: cfg.timing.trap_insts,
+            counters: CoreCounters::default(),
+        }
+    }
+
+    /// Installs the kernel's demand-paging path for this core's own
+    /// accesses (unmapped VA -> trap, map, retry).
+    pub fn set_fault_hook(&mut self, hook: Box<dyn FnMut(&mut PhysMem, u64) -> bool + Send>) {
+        self.fault_hook = Some(hook);
+    }
+
+    /// Installs a virtual-memory translator for this core's accesses.
+    pub fn set_translator(&mut self, t: Box<dyn Translator>) {
+        self.translator = t;
+    }
+
+    /// Replaces the program and resets execution state and counters
+    /// (handlers and the translator are retained). Used by harnesses that
+    /// assemble the SoC before the benchmark program is known.
+    pub fn load_program(&mut self, program: Program) {
+        self.ops = program.into_ops();
+        self.pc = 0;
+        self.state = CState::Ready;
+        self.busy_until = 0;
+        self.sb.clear();
+        self.sb_waiting = false;
+        self.recorded.clear();
+        self.irq_pending.clear();
+        self.counters = CoreCounters::default();
+    }
+
+    /// Registers an interrupt handler for `irq`.
+    pub fn register_irq_handler(&mut self, irq: u32, handler: IrqHandler) {
+        self.handlers.insert(irq, handler);
+    }
+
+    /// True once the program has fully retired and drained.
+    pub fn is_done(&self) -> bool {
+        self.state == CState::Done
+    }
+
+    /// Counter snapshot.
+    pub fn core_counters(&self) -> &CoreCounters {
+        &self.counters
+    }
+
+    /// Values recorded by `record`-flagged loads, in program order.
+    pub fn recorded(&self) -> &[u64] {
+        &self.recorded
+    }
+
+    /// Translates `va`; on a miss takes the modelled kernel fault path
+    /// (charges trap cost, maps the page, and the caller retries the op
+    /// next cycle by returning `None`).
+    fn translate(&mut self, ctx: &mut Ctx<'_>, va: u64) -> Option<u64> {
+        if let Some(pa) = self.translator.translate(ctx.mem, va) {
+            return Some(pa);
+        }
+        let hook = self
+            .fault_hook
+            .as_mut()
+            .unwrap_or_else(|| panic!("core-side page fault at va {va:#x} with no handler"));
+        assert!(hook(ctx.mem, va), "fatal core-side page fault at va {va:#x}");
+        self.counters.core_faults += 1;
+        self.counters.instret += self.trap_insts;
+        self.busy_until = ctx.cycle + self.trap_cost;
+        None
+    }
+
+    fn sb_forward(&self, pa: u64) -> Option<u64> {
+        self.sb
+            .iter()
+            .rev()
+            .find(|(spa, _)| *spa == pa)
+            .map(|(_, v)| *v)
+    }
+
+    fn drain_sb(&mut self, ctx: &mut Ctx<'_>) {
+        // Miss-level parallelism: grab write permission for the next few
+        // distinct lines buffered behind the head (MSHR-style).
+        let lines: Vec<u64> = {
+            let mut seen = Vec::new();
+            for &(pa, _) in self.sb.iter() {
+                let line = crate::line_of(pa);
+                if !seen.contains(&line) {
+                    seen.push(line);
+                    if seen.len() >= self.sb_mshrs {
+                        break;
+                    }
+                }
+            }
+            seen
+        };
+        for (i, line) in lines.iter().enumerate() {
+            if i == 0 {
+                continue; // head handled below with precise bookkeeping
+            }
+            // Fire-and-forget permission prefetch; completions are ignored.
+            let _ = self.port.request(ctx, *line, true, SB_PREFETCH_TOKEN);
+        }
+        if self.sb_waiting {
+            return;
+        }
+        if let Some(&(pa, value)) = self.sb.front() {
+            match self.port.request(ctx, pa, true, SB_TOKEN) {
+                Outcome::Hit { .. } => {
+                    ctx.mem.write_u64(pa, value);
+                    self.sb.pop_front();
+                }
+                Outcome::Pending => self.sb_waiting = true,
+                Outcome::Retry => {}
+            }
+        }
+    }
+
+    fn handle_events(&mut self, ctx: &mut Ctx<'_>, events: Vec<PortEvent>) {
+        for ev in events {
+            if let PortEvent::Completed { token } = ev {
+                match token {
+                    SB_TOKEN => {
+                        self.sb_waiting = false;
+                        // Write through immediately; the grant is the
+                        // serialization point.
+                        if let Some(&(pa, value)) = self.sb.front() {
+                            ctx.mem.write_u64(pa, value);
+                            self.sb.pop_front();
+                        }
+                    }
+                    LOAD_TOKEN => match self.state {
+                        CState::WaitLoad { pa, record } => {
+                            self.finish_load(ctx, pa, record);
+                        }
+                        CState::WaitSpin { pa, value } => {
+                            self.spin_check(ctx, pa, value);
+                        }
+                        _ => {}
+                    },
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn finish_load(&mut self, ctx: &mut Ctx<'_>, pa: u64, record: bool) {
+        let v = ctx.mem.read_u64(pa);
+        if record {
+            self.recorded.push(v);
+        }
+        self.counters.instret += 1;
+        self.pc += 1;
+        self.state = CState::Ready;
+        self.busy_until = ctx.cycle;
+    }
+
+    fn spin_check(&mut self, ctx: &mut Ctx<'_>, pa: u64, value: u64) {
+        self.counters.spin_iters += 1;
+        self.counters.instret += self.spin_insts; // load + compare + branch
+        let v = ctx.mem.read_u64(pa);
+        if v >= value {
+            self.pc += 1;
+            self.state = CState::Ready;
+            self.busy_until = ctx.cycle + 1;
+        } else {
+            self.state = CState::Ready;
+            self.busy_until = ctx.cycle + self.spin_alu; // loop back edge
+            // pc unchanged: the WaitGe op re-issues.
+        }
+    }
+
+    fn take_irq(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        let Some(&(irq, payload)) = self.irq_pending.front() else {
+            return false;
+        };
+        let Some(handler) = self.handlers.get_mut(&irq) else {
+            panic!("core has no handler for irq {irq}");
+        };
+        self.irq_pending.pop_front();
+        self.counters.irqs += 1;
+        self.counters.instret += handler.entry_insts;
+        let entry_cycles = handler.entry_cycles;
+        let mmio = match &mut handler.action {
+            HandlerAction::MmioWrite { pa, value } => Some((*pa, *value)),
+            HandlerAction::Custom(f) => f(ctx.mem, payload),
+        };
+        match mmio {
+            Some((pa, value)) => {
+                // The handler's register write is issued after its entry
+                // cost; model by delaying our own readiness.
+                self.busy_until = ctx.cycle + entry_cycles;
+                self.send_mmio_write(ctx, pa, value);
+                self.state = CState::WaitHandlerMmio;
+            }
+            None => {
+                self.busy_until = ctx.cycle + entry_cycles;
+            }
+        }
+        true
+    }
+
+    fn send_mmio_write(&mut self, ctx: &mut Ctx<'_>, pa: u64, value: u64) {
+        let dst = ctx
+            .mmio_target(pa)
+            .unwrap_or_else(|| panic!("no MMIO device at {pa:#x}"));
+        self.mmio_tag += 1;
+        self.counters.mmio_ops += 1;
+        ctx.send(dst, Msg::MmioWrite { pa, value, tag: self.mmio_tag });
+    }
+
+    fn exec(&mut self, ctx: &mut Ctx<'_>) {
+        if self.pc >= self.ops.len() {
+            if self.sb.is_empty() && !self.sb_waiting {
+                self.state = CState::Done;
+                self.counters.done_at = ctx.cycle;
+            }
+            return;
+        }
+        let op = self.ops[self.pc].clone();
+        match op {
+            Op::Alu(n) => {
+                self.counters.instret += u64::from(n);
+                self.busy_until = ctx.cycle + u64::from(n);
+                self.pc += 1;
+            }
+            Op::Load { va, record } => {
+                let Some(pa) = self.translate(ctx, va) else { return };
+                self.counters.loads += 1;
+                if let Some(v) = self.sb_forward(pa) {
+                    if record {
+                        self.recorded.push(v);
+                    }
+                    self.counters.instret += 1;
+                    self.busy_until = ctx.cycle + 1;
+                    self.pc += 1;
+                    return;
+                }
+                match self.port.request(ctx, pa, false, LOAD_TOKEN) {
+                    Outcome::Hit { ready_at } => {
+                        self.state = CState::LoadDone { at: ready_at, pa, record };
+                    }
+                    Outcome::Pending => self.state = CState::WaitLoad { pa, record },
+                    Outcome::Retry => self.busy_until = ctx.cycle + 1,
+                }
+            }
+            Op::Store { va, value } => {
+                if self.sb.len() >= self.sb_limit {
+                    self.counters.sb_full_stalls += 1;
+                    self.busy_until = ctx.cycle + 1;
+                    return;
+                }
+                let Some(pa) = self.translate(ctx, va) else { return };
+                self.counters.stores += 1;
+                self.counters.instret += 1;
+                self.sb.push_back((pa, value));
+                self.busy_until = ctx.cycle + 1;
+                self.pc += 1;
+            }
+            Op::WaitGe { va, value } => {
+                let Some(pa) = self.translate(ctx, va) else { return };
+                match self.port.request(ctx, pa, false, LOAD_TOKEN) {
+                    Outcome::Hit { ready_at } => {
+                        self.state = CState::SpinDone { at: ready_at, pa, value };
+                    }
+                    Outcome::Pending => self.state = CState::WaitSpin { pa, value },
+                    Outcome::Retry => self.busy_until = ctx.cycle + 1,
+                }
+            }
+            Op::Fence => {
+                if self.sb.is_empty() && !self.sb_waiting {
+                    self.counters.instret += 1;
+                    self.busy_until = ctx.cycle + 1;
+                    self.pc += 1;
+                } else {
+                    self.busy_until = ctx.cycle + 1;
+                }
+            }
+            Op::MmioLoad { pa, record } => {
+                let dst = ctx
+                    .mmio_target(pa)
+                    .unwrap_or_else(|| panic!("no MMIO device at {pa:#x}"));
+                self.mmio_tag += 1;
+                self.counters.mmio_ops += 1;
+                ctx.send(dst, Msg::MmioRead { pa, tag: self.mmio_tag });
+                self.state = CState::WaitMmio { record };
+            }
+            Op::MmioStore { pa, value } => {
+                self.send_mmio_write(ctx, pa, value);
+                self.state = CState::WaitMmio { record: false };
+            }
+            Op::KernelCost { cycles, insts } => {
+                self.counters.instret += insts;
+                self.busy_until = ctx.cycle + cycles;
+                self.pc += 1;
+            }
+        }
+    }
+}
+
+impl Component for InOrderCore {
+    fn name(&self) -> &str {
+        "core"
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) {
+        // 1. Messages.
+        while let Some(env) = ctx.recv() {
+            match &env.msg {
+                m if CoherentPort::wants(m) => {
+                    let events = self.port.handle(&env, ctx);
+                    self.handle_events(ctx, events);
+                }
+                Msg::MmioReadResp { value, .. } => {
+                    if let CState::WaitMmio { record } = self.state {
+                        if record {
+                            self.recorded.push(*value);
+                        }
+                        self.counters.instret += 1;
+                        self.pc += 1;
+                        self.state = CState::Ready;
+                        self.busy_until = ctx.cycle + 1;
+                    }
+                }
+                Msg::MmioWriteResp { .. } => match self.state {
+                    CState::WaitMmio { .. } => {
+                        self.counters.instret += 1;
+                        self.pc += 1;
+                        self.state = CState::Ready;
+                        self.busy_until = ctx.cycle + 1;
+                    }
+                    CState::WaitHandlerMmio => {
+                        self.state = CState::Ready;
+                        self.busy_until = ctx.cycle + 1;
+                    }
+                    _ => {}
+                },
+                Msg::Irq { irq, payload } => {
+                    self.irq_pending.push_back((*irq, *payload));
+                }
+                other => panic!("core received unexpected message {other:?}"),
+            }
+        }
+
+        // 2. Background store-buffer drain.
+        self.drain_sb(ctx);
+
+        // 3. Stall accounting.
+        match self.state {
+            CState::WaitMmio { .. } | CState::WaitHandlerMmio => {
+                self.counters.mmio_stall_cycles += 1
+            }
+            CState::WaitLoad { .. } | CState::WaitSpin { .. } => {
+                self.counters.mem_stall_cycles += 1
+            }
+            _ => {}
+        }
+
+        // 4. Finish hit-path accesses.
+        match self.state {
+            CState::LoadDone { at, pa, record } if ctx.cycle >= at => {
+                self.finish_load(ctx, pa, record);
+            }
+            CState::SpinDone { at, pa, value } if ctx.cycle >= at => {
+                self.spin_check(ctx, pa, value);
+            }
+            _ => {}
+        }
+
+        // 5. Execute.
+        if self.state == CState::Ready && ctx.cycle >= self.busy_until {
+            if !self.irq_pending.is_empty() && self.take_irq(ctx) {
+                return;
+            }
+            self.exec(ctx);
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.state == CState::Done && self.irq_pending.is_empty()
+    }
+
+    fn counters(&self) -> Vec<(String, u64)> {
+        let c = &self.counters;
+        vec![
+            ("instret".into(), c.instret),
+            ("done_at".into(), c.done_at),
+            ("loads".into(), c.loads),
+            ("stores".into(), c.stores),
+            ("mmio_ops".into(), c.mmio_ops),
+            ("mmio_stall_cycles".into(), c.mmio_stall_cycles),
+            ("mem_stall_cycles".into(), c.mem_stall_cycles),
+            ("spin_iters".into(), c.spin_iters),
+            ("sb_full_stalls".into(), c.sb_full_stalls),
+            ("irqs".into(), c.irqs),
+            ("core_faults".into(), c.core_faults),
+        ]
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,479 @@
+//! The shared L2 cache and MESI directory controller.
+//!
+//! This component is the coherence home for all of physical memory. It owns
+//! an inclusive L2 tag array plus a sharer/owner table for lines that are
+//! cached above it, and serializes transactions per line:
+//!
+//! * `GetS` — grant shared; if another agent owns the line exclusively it is
+//!   downgraded first.
+//! * `GetM` — grant exclusive; all other holders are invalidated first and
+//!   their acknowledgements collected. **These invalidations are the signal
+//!   the Cohort engine's reader coherency manager listens for** (paper
+//!   §4.2.3).
+//! * L2 misses pay a DRAM fill; inclusive evictions recall the line from
+//!   every holder before the victim is dropped, which is what produces the
+//!   capacity effect at the largest queue sizes in Figs. 8/9.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use crate::cache::{LineState, TagArray};
+use crate::component::{CompId, Component, Ctx};
+use crate::config::SocConfig;
+use crate::msg::{Envelope, Msg};
+
+/// Directory-side sharing state for a line cached above the L2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum DirState {
+    /// Read-only copies at these agents.
+    Shared(Vec<CompId>),
+    /// Exclusive/modified copy at this agent.
+    Owned(CompId),
+}
+
+impl DirState {
+    fn holders(&self) -> Vec<CompId> {
+        match self {
+            DirState::Shared(v) => v.clone(),
+            DirState::Owned(o) => vec![*o],
+        }
+    }
+}
+
+/// Kind of an agent request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReqKind {
+    GetS,
+    GetM,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Req {
+    kind: ReqKind,
+    from: CompId,
+    /// Full-line write: a DRAM fill may be skipped on a miss.
+    no_fetch: bool,
+}
+
+#[derive(Debug)]
+enum Phase {
+    /// Waiting for a scheduled tag/fill access to complete.
+    WaitAccess,
+    /// Waiting for an inclusive-eviction recall of `vline` to finish.
+    WaitVictim {
+        #[allow(dead_code)]
+        vline: u64,
+        remaining: u32,
+    },
+    /// Waiting for invalidation acks before granting exclusive.
+    WaitInvAcks { remaining: u32 },
+    /// Waiting for the previous exclusive owner to downgrade.
+    WaitDowngradeAck { prev_owner: CompId },
+    /// This line is being recalled on behalf of a fill of `parent`.
+    BlockedVictim { parent: u64 },
+}
+
+#[derive(Debug)]
+struct Txn {
+    queue: VecDeque<Req>,
+    phase: Phase,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DelayedKind {
+    /// Tag hit: proceed with protocol action.
+    Proceed,
+    /// DRAM fill completed: install the line, then proceed.
+    Fill,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Delayed {
+    at: u64,
+    seq: u64,
+    line: u64,
+    kind: DelayedKind,
+}
+
+impl PartialOrd for Delayed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Delayed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Performance counters exposed by the directory.
+#[derive(Debug, Default, Clone)]
+pub struct DirCounters {
+    /// `GetS` requests served.
+    pub gets: u64,
+    /// `GetM` requests served.
+    pub getm: u64,
+    /// Invalidations sent (GetM + recalls).
+    pub inv_sent: u64,
+    /// Downgrades sent.
+    pub downgrades: u64,
+    /// L2 tag hits.
+    pub l2_hits: u64,
+    /// DRAM fills.
+    pub fills: u64,
+    /// Inclusive-eviction recalls.
+    pub recalls: u64,
+    /// Full-line-write installs that skipped the DRAM fill.
+    pub wc_installs: u64,
+}
+
+/// The shared L2 + directory component. See module docs.
+pub struct Directory {
+    l2: TagArray,
+    states: HashMap<u64, DirState>,
+    txns: HashMap<u64, Txn>,
+    delayed: BinaryHeap<Reverse<Delayed>>,
+    seq: u64,
+    l2_hit: u64,
+    dram: u64,
+    counters: DirCounters,
+}
+
+impl std::fmt::Debug for Directory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Directory")
+            .field("active_txns", &self.txns.len())
+            .field("tracked_lines", &self.states.len())
+            .finish()
+    }
+}
+
+impl Directory {
+    /// Creates a directory with the L2 geometry and timing from `cfg`.
+    pub fn new(cfg: &SocConfig) -> Self {
+        Self {
+            l2: TagArray::new(cfg.l2),
+            states: HashMap::new(),
+            txns: HashMap::new(),
+            delayed: BinaryHeap::new(),
+            seq: 0,
+            l2_hit: cfg.timing.l2_hit,
+            dram: cfg.timing.dram,
+            counters: DirCounters::default(),
+        }
+    }
+
+    /// Snapshot of the performance counters.
+    pub fn dir_counters(&self) -> &DirCounters {
+        &self.counters
+    }
+
+    fn schedule(&mut self, at: u64, line: u64, kind: DelayedKind) {
+        self.seq += 1;
+        self.delayed.push(Reverse(Delayed { at, seq: self.seq, line, kind }));
+    }
+
+    fn on_request(&mut self, ctx: &mut Ctx<'_>, line: u64, req: Req) {
+        match req.kind {
+            ReqKind::GetS => self.counters.gets += 1,
+            ReqKind::GetM => self.counters.getm += 1,
+        }
+        if let Some(txn) = self.txns.get_mut(&line) {
+            txn.queue.push_back(req);
+            return;
+        }
+        let mut queue = VecDeque::new();
+        queue.push_back(req);
+        self.txns.insert(line, Txn { queue, phase: Phase::WaitAccess });
+        self.start_access(ctx, line, req.no_fetch);
+    }
+
+    fn start_access(&mut self, ctx: &mut Ctx<'_>, line: u64, no_fetch: bool) {
+        if self.l2.touch(line).is_some() {
+            self.counters.l2_hits += 1;
+            self.schedule(ctx.cycle + self.l2_hit, line, DelayedKind::Proceed);
+        } else if no_fetch {
+            // Full-line write: install tags without touching DRAM.
+            self.counters.wc_installs += 1;
+            self.schedule(ctx.cycle + self.l2_hit, line, DelayedKind::Fill);
+        } else {
+            self.counters.fills += 1;
+            self.schedule(ctx.cycle + self.l2_hit + self.dram, line, DelayedKind::Fill);
+        }
+    }
+
+    fn fill(&mut self, ctx: &mut Ctx<'_>, line: u64) {
+        let txns = &self.txns;
+        let result = self
+            .l2
+            .insert_with_victim_filter(line, LineState::S, |l| txns.contains_key(&l));
+        match result {
+            Err(()) => {
+                // every victim candidate is mid-transaction; retry shortly
+                self.schedule(ctx.cycle + 1, line, DelayedKind::Fill);
+            }
+            Ok(None) => self.proceed(ctx, line),
+            Ok(Some((vline, _))) => {
+                let holders = self
+                    .states
+                    .get(&vline)
+                    .map(|s| s.holders())
+                    .unwrap_or_default();
+                if holders.is_empty() {
+                    self.states.remove(&vline);
+                    self.proceed(ctx, line);
+                } else {
+                    self.counters.recalls += 1;
+                    self.txns.insert(
+                        vline,
+                        Txn { queue: VecDeque::new(), phase: Phase::BlockedVictim { parent: line } },
+                    );
+                    for h in &holders {
+                        self.counters.inv_sent += 1;
+                        ctx.send(*h, Msg::Inv { line: vline });
+                    }
+                    self.txns.get_mut(&line).expect("txn").phase =
+                        Phase::WaitVictim { vline, remaining: holders.len() as u32 };
+                }
+            }
+        }
+    }
+
+    fn proceed(&mut self, ctx: &mut Ctx<'_>, line: u64) {
+        let req = *self
+            .txns
+            .get(&line)
+            .and_then(|t| t.queue.front())
+            .expect("proceed with empty queue");
+        let state = self.states.get(&line).cloned();
+        match (req.kind, state) {
+            (ReqKind::GetS, None) => {
+                self.states.insert(line, DirState::Shared(vec![req.from]));
+                self.grant(ctx, line, req, Msg::DataS { line });
+            }
+            (ReqKind::GetS, Some(DirState::Shared(mut set))) => {
+                if !set.contains(&req.from) {
+                    set.push(req.from);
+                }
+                self.states.insert(line, DirState::Shared(set));
+                self.grant(ctx, line, req, Msg::DataS { line });
+            }
+            (ReqKind::GetS, Some(DirState::Owned(o))) if o == req.from => {
+                self.states.insert(line, DirState::Shared(vec![req.from]));
+                self.grant(ctx, line, req, Msg::DataS { line });
+            }
+            (ReqKind::GetS, Some(DirState::Owned(o))) => {
+                self.counters.downgrades += 1;
+                ctx.send(o, Msg::Downgrade { line });
+                self.txns.get_mut(&line).expect("txn").phase =
+                    Phase::WaitDowngradeAck { prev_owner: o };
+            }
+            (ReqKind::GetM, None) => {
+                self.states.insert(line, DirState::Owned(req.from));
+                self.grant(ctx, line, req, Msg::DataM { line });
+            }
+            (ReqKind::GetM, Some(DirState::Shared(set))) => {
+                let targets: Vec<CompId> =
+                    set.iter().copied().filter(|c| *c != req.from).collect();
+                if targets.is_empty() {
+                    self.states.insert(line, DirState::Owned(req.from));
+                    self.grant(ctx, line, req, Msg::DataM { line });
+                } else {
+                    for t in &targets {
+                        self.counters.inv_sent += 1;
+                        ctx.send(*t, Msg::Inv { line });
+                    }
+                    self.txns.get_mut(&line).expect("txn").phase =
+                        Phase::WaitInvAcks { remaining: targets.len() as u32 };
+                }
+            }
+            (ReqKind::GetM, Some(DirState::Owned(o))) if o == req.from => {
+                self.grant(ctx, line, req, Msg::DataM { line });
+            }
+            (ReqKind::GetM, Some(DirState::Owned(o))) => {
+                self.counters.inv_sent += 1;
+                ctx.send(o, Msg::Inv { line });
+                self.txns.get_mut(&line).expect("txn").phase =
+                    Phase::WaitInvAcks { remaining: 1 };
+            }
+        }
+    }
+
+    fn grant(&mut self, ctx: &mut Ctx<'_>, line: u64, req: Req, msg: Msg) {
+        ctx.send(req.from, msg);
+        let txn = self.txns.get_mut(&line).expect("txn");
+        txn.queue.pop_front();
+        txn.phase = Phase::WaitAccess;
+        if txn.queue.is_empty() {
+            self.txns.remove(&line);
+        } else {
+            // Serialize back-to-back requests through the tag pipeline.
+            self.schedule(ctx.cycle + self.l2_hit, line, DelayedKind::Proceed);
+        }
+    }
+
+    fn on_inv_ack(&mut self, ctx: &mut Ctx<'_>, line: u64) {
+        enum Next {
+            GrantM,
+            Victim { parent: u64 },
+            Pending,
+        }
+        let next = {
+            let txn = match self.txns.get_mut(&line) {
+                Some(t) => t,
+                None => return, // stale ack (benign)
+            };
+            match &mut txn.phase {
+                Phase::WaitInvAcks { remaining } => {
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        Next::GrantM
+                    } else {
+                        Next::Pending
+                    }
+                }
+                Phase::BlockedVictim { parent } => Next::Victim { parent: *parent },
+                _ => Next::Pending,
+            }
+        };
+        match next {
+            Next::Pending => {}
+            Next::GrantM => {
+                let req = *self
+                    .txns
+                    .get(&line)
+                    .and_then(|t| t.queue.front())
+                    .expect("GetM txn");
+                self.states.insert(line, DirState::Owned(req.from));
+                self.grant(ctx, line, req, Msg::DataM { line });
+            }
+            Next::Victim { parent } => {
+                let done = {
+                    let ptxn = self.txns.get_mut(&parent).expect("parent txn");
+                    match &mut ptxn.phase {
+                        Phase::WaitVictim { remaining, .. } => {
+                            *remaining -= 1;
+                            *remaining == 0
+                        }
+                        _ => unreachable!("victim parent in wrong phase"),
+                    }
+                };
+                if done {
+                    self.states.remove(&line);
+                    let vtxn = self.txns.remove(&line).expect("victim txn");
+                    self.proceed(ctx, parent);
+                    // Requests that queued on the victim while it was being
+                    // recalled start over as fresh transactions.
+                    for req in vtxn.queue {
+                        self.on_request(ctx, line, req);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_downgrade_ack(&mut self, ctx: &mut Ctx<'_>, line: u64) {
+        let prev_owner = match self.txns.get(&line) {
+            Some(Txn { phase: Phase::WaitDowngradeAck { prev_owner }, .. }) => *prev_owner,
+            _ => return, // stale ack
+        };
+        let req = *self
+            .txns
+            .get(&line)
+            .and_then(|t| t.queue.front())
+            .expect("GetS txn");
+        let mut set = vec![prev_owner];
+        if req.from != prev_owner {
+            set.push(req.from);
+        }
+        self.states.insert(line, DirState::Shared(set));
+        self.grant(ctx, line, req, Msg::DataS { line });
+    }
+
+    fn on_put(&mut self, line: u64, from: CompId) {
+        if self.txns.contains_key(&line) {
+            // A transaction is mid-flight on this line; the eviction will be
+            // reconciled by the always-ack rule. Dropping the notification
+            // leaves at worst a stale sharer, which is benign.
+            return;
+        }
+        match self.states.get_mut(&line) {
+            Some(DirState::Shared(set)) => {
+                set.retain(|c| *c != from);
+                if set.is_empty() {
+                    self.states.remove(&line);
+                }
+            }
+            Some(DirState::Owned(o)) if *o == from => {
+                self.states.remove(&line);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Component for Directory {
+    fn name(&self) -> &str {
+        "directory"
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) {
+        while let Some(Envelope { src, msg }) = ctx.recv() {
+            match msg {
+                Msg::GetS { line } => self.on_request(
+                    ctx,
+                    line,
+                    Req { kind: ReqKind::GetS, from: src, no_fetch: false },
+                ),
+                Msg::GetM { line, no_fetch } => self.on_request(
+                    ctx,
+                    line,
+                    Req { kind: ReqKind::GetM, from: src, no_fetch },
+                ),
+                Msg::InvAck { line } => self.on_inv_ack(ctx, line),
+                Msg::DowngradeAck { line } => self.on_downgrade_ack(ctx, line),
+                Msg::PutLine { line, .. } => self.on_put(line, src),
+                other => panic!("directory received unexpected message {other:?}"),
+            }
+        }
+        while let Some(Reverse(d)) = self.delayed.peek() {
+            if d.at > ctx.cycle {
+                break;
+            }
+            let Reverse(d) = self.delayed.pop().expect("peeked");
+            if !self.txns.contains_key(&d.line) {
+                continue; // transaction satisfied through another path
+            }
+            match d.kind {
+                DelayedKind::Proceed => self.proceed(ctx, d.line),
+                DelayedKind::Fill => self.fill(ctx, d.line),
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.txns.is_empty() && self.delayed.is_empty()
+    }
+
+    fn counters(&self) -> Vec<(String, u64)> {
+        let c = &self.counters;
+        vec![
+            ("gets".into(), c.gets),
+            ("getm".into(), c.getm),
+            ("inv_sent".into(), c.inv_sent),
+            ("downgrades".into(), c.downgrades),
+            ("l2_hits".into(), c.l2_hits),
+            ("fills".into(), c.fills),
+            ("recalls".into(), c.recalls),
+            ("wc_installs".into(), c.wc_installs),
+        ]
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

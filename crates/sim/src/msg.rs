@@ -1,0 +1,110 @@
+//! Messages exchanged over the NoC.
+//!
+//! Coherence traffic follows a three-hop MESI directory protocol: agents
+//! request lines from the [`crate::directory::Directory`] with `GetS`/`GetM`,
+//! the directory invalidates or downgrades other holders, and grants arrive
+//! as `DataS`/`DataM`. MMIO requests are routed by physical address to the
+//! owning device. Interrupts are point-to-point `Irq` messages.
+
+use crate::component::CompId;
+
+/// A message payload. The sender is carried in the [`Envelope`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg {
+    /// Agent asks the directory for shared (read) permission on a line.
+    GetS { line: u64 },
+    /// Agent asks the directory for exclusive (write) permission on a line.
+    /// `no_fetch` promises a full-line overwrite, letting the directory
+    /// skip the DRAM fill on a miss (write-combining stores).
+    GetM { line: u64, no_fetch: bool },
+    /// Agent notifies the directory that it silently dropped or wrote back
+    /// a line (eviction). `dirty` is informational; data lives in `PhysMem`.
+    PutLine { line: u64, dirty: bool },
+    /// Directory tells an agent to invalidate its copy. Must be acknowledged
+    /// even if the agent no longer holds the line.
+    Inv { line: u64 },
+    /// Acknowledgement of [`Msg::Inv`].
+    InvAck { line: u64 },
+    /// Directory tells the exclusive owner to downgrade to shared. Must be
+    /// acknowledged even if the agent no longer holds the line.
+    Downgrade { line: u64 },
+    /// Acknowledgement of [`Msg::Downgrade`].
+    DowngradeAck { line: u64 },
+    /// Directory grants shared permission (carries a data payload's worth of
+    /// flits on the NoC; the bytes themselves live in `PhysMem`).
+    DataS { line: u64 },
+    /// Directory grants exclusive permission.
+    DataM { line: u64 },
+    /// Uncached read of a device register.
+    MmioRead { pa: u64, tag: u64 },
+    /// Uncached write of a device register.
+    MmioWrite { pa: u64, value: u64, tag: u64 },
+    /// Response to [`Msg::MmioRead`]. Devices may hold the response to model
+    /// blocking device semantics (e.g. popping an empty hardware FIFO).
+    MmioReadResp { tag: u64, value: u64 },
+    /// Response to [`Msg::MmioWrite`]; MMIO stores are non-posted and the
+    /// issuing core stalls until this arrives (paper §2.1).
+    MmioWriteResp { tag: u64 },
+    /// Interrupt delivery to a core, with a device-defined payload (for the
+    /// Cohort engine: the faulting virtual address).
+    Irq { irq: u32, payload: u64 },
+}
+
+impl Msg {
+    /// Payload size in bytes used for NoC serialization latency. Coherence
+    /// data grants carry a full cache line; everything else is head-flit
+    /// sized control traffic.
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            Msg::DataS { .. } | Msg::DataM { .. } => crate::LINE_BYTES,
+            Msg::MmioWrite { .. } | Msg::MmioReadResp { .. } => 8,
+            _ => 0,
+        }
+    }
+
+    /// The cache line this message concerns, if it is coherence traffic.
+    pub fn line(&self) -> Option<u64> {
+        match self {
+            Msg::GetS { line }
+            | Msg::GetM { line, .. }
+            | Msg::PutLine { line, .. }
+            | Msg::Inv { line }
+            | Msg::InvAck { line }
+            | Msg::Downgrade { line }
+            | Msg::DowngradeAck { line }
+            | Msg::DataS { line }
+            | Msg::DataM { line } => Some(*line),
+            _ => None,
+        }
+    }
+}
+
+/// A routed message: payload plus its source component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Component that sent the message.
+    pub src: CompId,
+    /// The payload.
+    pub msg: Msg,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_messages_are_line_sized() {
+        assert_eq!(Msg::DataS { line: 0 }.payload_bytes(), crate::LINE_BYTES);
+        assert_eq!(Msg::GetS { line: 0 }.payload_bytes(), 0);
+        assert_eq!(
+            Msg::MmioWrite { pa: 0, value: 1, tag: 0 }.payload_bytes(),
+            8
+        );
+    }
+
+    #[test]
+    fn line_extraction() {
+        assert_eq!(Msg::Inv { line: 0x40 }.line(), Some(0x40));
+        assert_eq!(Msg::MmioRead { pa: 0x40, tag: 1 }.line(), None);
+    }
+}

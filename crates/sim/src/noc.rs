@@ -1,0 +1,191 @@
+//! A latency-model 2-D mesh network-on-chip.
+//!
+//! Latency between two tiles is `noc_base + hops * noc_per_hop +
+//! serialization`, where serialization charges one extra cycle per 8-byte
+//! flit beyond the head flit. Messages between the same pair with equal
+//! latency are delivered in FIFO order (a monotonically increasing sequence
+//! number breaks ties), which is what the directory protocol relies on.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::component::{CompId, TileCoord};
+use crate::config::TimingConfig;
+use crate::msg::Envelope;
+
+#[derive(Debug)]
+struct InFlight {
+    at: u64,
+    seq: u64,
+    dst: CompId,
+    env: Envelope,
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for InFlight {}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The mesh interconnect: computes delivery times and holds in-flight
+/// messages.
+#[derive(Debug)]
+pub struct Noc {
+    base: u64,
+    per_hop: u64,
+    heap: BinaryHeap<Reverse<InFlight>>,
+    seq: u64,
+    delivered: u64,
+    flits: u64,
+}
+
+impl Noc {
+    /// Creates a NoC using the latency constants from `timing`.
+    pub fn new(timing: &TimingConfig) -> Self {
+        Self {
+            base: timing.noc_base,
+            per_hop: timing.noc_per_hop,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            delivered: 0,
+            flits: 0,
+        }
+    }
+
+    /// Latency in cycles for a message of `payload_bytes` between two tiles.
+    pub fn latency(&self, from: TileCoord, to: TileCoord, payload_bytes: u64) -> u64 {
+        let serialization = payload_bytes / 8; // one cycle per body flit
+        self.base + from.hops_to(to) * self.per_hop + serialization
+    }
+
+    /// Injects a message at `cycle`; it will be delivered after the routing
+    /// latency (always at least one cycle later).
+    pub fn inject(
+        &mut self,
+        cycle: u64,
+        from: TileCoord,
+        to: TileCoord,
+        dst: CompId,
+        env: Envelope,
+    ) {
+        self.inject_delayed(cycle, from, to, dst, env, 0);
+    }
+
+    /// Like [`Noc::inject`] with extra sender-side delay before injection.
+    pub fn inject_delayed(
+        &mut self,
+        cycle: u64,
+        from: TileCoord,
+        to: TileCoord,
+        dst: CompId,
+        env: Envelope,
+        extra: u64,
+    ) {
+        let lat = (self.latency(from, to, env.msg.payload_bytes()) + extra).max(1);
+        self.seq += 1;
+        self.flits += 1 + env.msg.payload_bytes() / 8;
+        self.heap.push(Reverse(InFlight { at: cycle + lat, seq: self.seq, dst, env }));
+    }
+
+    /// Pops every message due at or before `cycle`.
+    pub fn deliver_due(&mut self, cycle: u64, mut sink: impl FnMut(CompId, Envelope)) {
+        while let Some(Reverse(head)) = self.heap.peek() {
+            if head.at > cycle {
+                break;
+            }
+            let Reverse(m) = self.heap.pop().expect("peeked");
+            self.delivered += 1;
+            sink(m.dst, m.env);
+        }
+    }
+
+    /// Cycle of the earliest pending delivery, if any (used to fast-forward
+    /// quiescent periods).
+    pub fn next_delivery(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(m)| m.at)
+    }
+
+    /// True when no messages are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Total flits injected so far (1 head flit + 1 per 8 payload bytes).
+    pub fn flits(&self) -> u64 {
+        self.flits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::Msg;
+
+    fn env(line: u64) -> Envelope {
+        Envelope { src: CompId(0), msg: Msg::GetS { line } }
+    }
+
+    #[test]
+    fn latency_grows_with_distance_and_size() {
+        let noc = Noc::new(&TimingConfig::default());
+        let a = TileCoord::new(0, 0);
+        let b = TileCoord::new(1, 1);
+        assert!(noc.latency(a, b, 0) > noc.latency(a, a, 0));
+        assert!(noc.latency(a, b, 64) > noc.latency(a, b, 0));
+    }
+
+    #[test]
+    fn fifo_between_same_pair() {
+        let mut noc = Noc::new(&TimingConfig::default());
+        let a = TileCoord::new(0, 0);
+        noc.inject(0, a, a, CompId(1), env(0x40));
+        noc.inject(0, a, a, CompId(1), env(0x80));
+        let mut seen = Vec::new();
+        noc.deliver_due(100, |_, e| seen.push(e.msg.line().unwrap()));
+        assert_eq!(seen, vec![0x40, 0x80]);
+        assert!(noc.is_empty());
+    }
+
+    #[test]
+    fn not_delivered_early() {
+        let mut noc = Noc::new(&TimingConfig::default());
+        let a = TileCoord::new(0, 0);
+        let b = TileCoord::new(3, 0);
+        noc.inject(0, a, b, CompId(1), env(0));
+        let mut n = 0;
+        noc.deliver_due(1, |_, _| n += 1);
+        assert_eq!(n, 0, "3-hop message cannot arrive after 1 cycle");
+        assert!(noc.next_delivery().unwrap() > 1);
+        noc.deliver_due(1000, |_, _| n += 1);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn minimum_one_cycle() {
+        let mut timing = TimingConfig::default();
+        timing.noc_base = 0;
+        timing.noc_per_hop = 0;
+        let mut noc = Noc::new(&timing);
+        let a = TileCoord::new(0, 0);
+        noc.inject(5, a, a, CompId(0), env(0));
+        let mut n = 0;
+        noc.deliver_due(5, |_, _| n += 1);
+        assert_eq!(n, 0, "same-cycle delivery is not allowed");
+    }
+}

@@ -1,0 +1,270 @@
+//! Agent-side coherence port: a private cache plus the request/response
+//! logic for talking to the directory.
+//!
+//! Reused by the in-order cores, the Cohort engine's memory transaction
+//! engine (with a tiny line buffer instead of a full cache) and the MAPLE
+//! baseline unit — all of them participate in coherence the same way, which
+//! is exactly the premise of queue coherence.
+
+use crate::cache::{LineState, TagArray};
+use crate::component::{CompId, Ctx};
+use crate::config::CacheConfig;
+use crate::line_of;
+use crate::msg::{Envelope, Msg};
+use std::collections::HashMap;
+
+/// Result of issuing an access to the port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The line is held with sufficient permission; data is available at
+    /// `ready_at`.
+    Hit {
+        /// Cycle at which the access completes.
+        ready_at: u64,
+    },
+    /// A directory transaction was issued (or joined); a
+    /// [`PortEvent::Completed`] with the same token will follow.
+    Pending,
+    /// The access conflicts with an in-flight transaction on the same line
+    /// (e.g. a write behind a pending read); retry next cycle.
+    Retry,
+}
+
+/// Asynchronous notifications from the port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortEvent {
+    /// A previously `Pending` access with this token now holds the line.
+    Completed {
+        /// Caller-chosen identifier passed to [`CoherentPort::request`].
+        token: u64,
+    },
+    /// The directory invalidated `line` (another agent is writing it, or an
+    /// inclusive eviction recalled it). This is the signal the Cohort
+    /// engine's reader coherency manager monitors.
+    Invalidated {
+        /// The invalidated line address.
+        line: u64,
+    },
+    /// The directory downgraded our exclusive copy of `line` to shared
+    /// (another agent is reading it).
+    Downgraded {
+        /// The downgraded line address.
+        line: u64,
+    },
+}
+
+#[derive(Debug)]
+struct PendingLine {
+    want_m: bool,
+    tokens: Vec<u64>,
+}
+
+/// Counters exposed by a port.
+#[derive(Debug, Default, Clone)]
+pub struct PortCounters {
+    /// Accesses that hit in the private cache.
+    pub hits: u64,
+    /// Accesses that required a directory transaction.
+    pub misses: u64,
+    /// Invalidations received.
+    pub invs: u64,
+    /// Downgrades received.
+    pub downgrades: u64,
+    /// Lines evicted (capacity) from the private cache.
+    pub evictions: u64,
+}
+
+/// A private cache front-end speaking the directory protocol.
+#[derive(Debug)]
+pub struct CoherentPort {
+    dir: CompId,
+    cache: TagArray,
+    hit_latency: u64,
+    pending: HashMap<u64, PendingLine>,
+    pinned: std::collections::HashSet<u64>,
+    counters: PortCounters,
+}
+
+impl CoherentPort {
+    /// Creates a port with a private cache of geometry `cache_cfg`, talking
+    /// to the directory component `dir`.
+    pub fn new(dir: CompId, cache_cfg: CacheConfig, hit_latency: u64) -> Self {
+        Self {
+            dir,
+            cache: TagArray::new(cache_cfg),
+            hit_latency,
+            pending: HashMap::new(),
+            pinned: std::collections::HashSet::new(),
+            counters: PortCounters::default(),
+        }
+    }
+
+    /// Pins `line`: it will never be chosen as a capacity victim (it may
+    /// still be invalidated by the directory). Used by the Cohort engine to
+    /// keep its reader-coherency-manager's monitored pointer lines
+    /// resident, so a writer's invalidation is guaranteed to be observed.
+    pub fn pin(&mut self, line: u64) {
+        self.pinned.insert(line);
+    }
+
+    /// Removes a pin.
+    pub fn unpin(&mut self, line: u64) {
+        self.pinned.remove(&line);
+    }
+
+    /// Removes all pins.
+    pub fn unpin_all(&mut self) {
+        self.pinned.clear();
+    }
+
+    /// Issues a read (`write == false`) or write (`write == true`) access to
+    /// the byte at `pa`. `token` identifies the access in a later
+    /// [`PortEvent::Completed`].
+    pub fn request(&mut self, ctx: &mut Ctx<'_>, pa: u64, write: bool, token: u64) -> Outcome {
+        self.request_opts(ctx, pa, write, token, false)
+    }
+
+    /// Like [`CoherentPort::request`], with `full_line` promising that a
+    /// write will overwrite the whole cache line (the directory may then
+    /// skip fetching stale data from DRAM).
+    pub fn request_opts(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        pa: u64,
+        write: bool,
+        token: u64,
+        full_line: bool,
+    ) -> Outcome {
+        let line = line_of(pa);
+        match self.cache.touch(line) {
+            Some(LineState::M) => {
+                self.counters.hits += 1;
+                Outcome::Hit { ready_at: ctx.cycle + self.hit_latency }
+            }
+            Some(LineState::S) if !write => {
+                self.counters.hits += 1;
+                Outcome::Hit { ready_at: ctx.cycle + self.hit_latency }
+            }
+            held => {
+                // Miss, or an S->M upgrade.
+                if let Some(p) = self.pending.get_mut(&line) {
+                    if write && !p.want_m {
+                        return Outcome::Retry;
+                    }
+                    p.tokens.push(token);
+                    return Outcome::Pending;
+                }
+                debug_assert!(
+                    !(held.is_some() && !write),
+                    "read of held line should have hit"
+                );
+                self.counters.misses += 1;
+                let msg = if write {
+                    Msg::GetM { line, no_fetch: full_line }
+                } else {
+                    Msg::GetS { line }
+                };
+                ctx.send(self.dir, msg);
+                self.pending.insert(line, PendingLine { want_m: write, tokens: vec![token] });
+                Outcome::Pending
+            }
+        }
+    }
+
+    /// True if the port could handle `msg` (coherence traffic).
+    pub fn wants(msg: &Msg) -> bool {
+        matches!(
+            msg,
+            Msg::DataS { .. } | Msg::DataM { .. } | Msg::Inv { .. } | Msg::Downgrade { .. }
+        )
+    }
+
+    /// Processes one coherence message addressed to this agent, emitting
+    /// zero or more [`PortEvent`]s.
+    pub fn handle(&mut self, env: &Envelope, ctx: &mut Ctx<'_>) -> Vec<PortEvent> {
+        let mut events = Vec::new();
+        match env.msg {
+            Msg::DataS { line } | Msg::DataM { line } => {
+                let state = if matches!(env.msg, Msg::DataM { .. }) {
+                    LineState::M
+                } else {
+                    LineState::S
+                };
+                let pinned = &self.pinned;
+                match self.cache.insert_with_victim_filter(line, state, |l| pinned.contains(&l)) {
+                    Ok(Some((vline, vstate))) => {
+                        self.counters.evictions += 1;
+                        ctx.send(
+                            self.dir,
+                            Msg::PutLine { line: vline, dirty: vstate == LineState::M },
+                        );
+                    }
+                    Ok(None) => {}
+                    Err(()) => {
+                        // Every victim candidate is pinned: complete the
+                        // access uncached and immediately relinquish the
+                        // permission so the directory state stays tidy.
+                        ctx.send(
+                            self.dir,
+                            Msg::PutLine { line, dirty: state == LineState::M },
+                        );
+                    }
+                }
+                if let Some(p) = self.pending.remove(&line) {
+                    for token in p.tokens {
+                        events.push(PortEvent::Completed { token });
+                    }
+                }
+            }
+            Msg::Inv { line } => {
+                self.counters.invs += 1;
+                self.cache.remove(line);
+                ctx.send(self.dir, Msg::InvAck { line });
+                events.push(PortEvent::Invalidated { line });
+            }
+            Msg::Downgrade { line } => {
+                self.counters.downgrades += 1;
+                if self.cache.state(line) == Some(LineState::M) {
+                    self.cache.set_state(line, LineState::S);
+                }
+                ctx.send(self.dir, Msg::DowngradeAck { line });
+                events.push(PortEvent::Downgraded { line });
+            }
+            ref other => panic!("port received non-coherence message {other:?}"),
+        }
+        events
+    }
+
+    /// Voluntarily relinquishes a line (used by endpoints that stream data
+    /// and will not touch the line again), notifying the directory.
+    pub fn relinquish(&mut self, ctx: &mut Ctx<'_>, line: u64) {
+        if let Some(st) = self.cache.remove(line) {
+            ctx.send(self.dir, Msg::PutLine { line, dirty: st == LineState::M });
+        }
+    }
+
+    /// Current cached state of the line containing `pa`.
+    pub fn state_of(&self, pa: u64) -> Option<LineState> {
+        self.cache.state(line_of(pa))
+    }
+
+    /// True when no directory transactions are outstanding.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn port_counters(&self) -> &PortCounters {
+        &self.counters
+    }
+
+    /// The directory this port talks to.
+    pub fn dir(&self) -> CompId {
+        self.dir
+    }
+
+    /// Hit latency in cycles.
+    pub fn hit_latency(&self) -> u64 {
+        self.hit_latency
+    }
+}

@@ -1,0 +1,495 @@
+//! The SoC top level: owns components, functional memory and the NoC, and
+//! advances simulated time.
+
+use std::collections::VecDeque;
+
+use crate::component::{CompId, Component, Ctx, MmioMap, Outgoing, TileCoord};
+use crate::config::SocConfig;
+use crate::mem::PhysMem;
+use crate::msg::Envelope;
+use crate::noc::Noc;
+
+struct Slot {
+    comp: Option<Box<dyn Component>>,
+    tile: TileCoord,
+    inbox: VecDeque<Envelope>,
+}
+
+/// Result of [`Soc::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Cycle at which the run stopped.
+    pub cycle: u64,
+    /// True if the SoC went quiescent (all components idle, no messages in
+    /// flight); false if the cycle budget was exhausted first.
+    pub quiescent: bool,
+}
+
+/// The simulated system-on-chip.
+pub struct Soc {
+    /// Current cycle.
+    pub cycle: u64,
+    /// Functional physical memory.
+    pub mem: PhysMem,
+    noc: Noc,
+    slots: Vec<Slot>,
+    mmio_map: MmioMap,
+    cfg: SocConfig,
+    outbox: Vec<Outgoing>,
+}
+
+impl std::fmt::Debug for Soc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Soc")
+            .field("cycle", &self.cycle)
+            .field("components", &self.slots.len())
+            .finish()
+    }
+}
+
+impl Soc {
+    /// Creates an empty SoC with configuration `cfg`.
+    pub fn new(cfg: SocConfig) -> Self {
+        Self {
+            cycle: 0,
+            mem: PhysMem::new(),
+            noc: Noc::new(&cfg.timing),
+            slots: Vec::new(),
+            mmio_map: MmioMap::default(),
+            cfg,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// The configuration this SoC was built with.
+    pub fn config(&self) -> &SocConfig {
+        &self.cfg
+    }
+
+    /// Adds a component at `tile`, returning its id.
+    pub fn add_component(&mut self, tile: TileCoord, comp: Box<dyn Component>) -> CompId {
+        self.slots.push(Slot { comp: Some(comp), tile, inbox: VecDeque::new() });
+        CompId(self.slots.len() - 1)
+    }
+
+    /// Routes the MMIO physical-address `range` to `comp`.
+    pub fn map_mmio(&mut self, range: std::ops::Range<u64>, comp: CompId) {
+        self.mmio_map.map(range, comp);
+    }
+
+    /// Advances the SoC by one cycle.
+    pub fn step(&mut self) {
+        let slots = &mut self.slots;
+        self.noc.deliver_due(self.cycle, |dst, env| {
+            slots[dst.0].inbox.push_back(env);
+        });
+        for i in 0..self.slots.len() {
+            let mut comp = self.slots[i].comp.take().expect("component present");
+            {
+                let mut ctx = Ctx {
+                    cycle: self.cycle,
+                    self_id: CompId(i),
+                    mem: &mut self.mem,
+                    inbox: &mut self.slots[i].inbox,
+                    outbox: &mut self.outbox,
+                    mmio_map: &self.mmio_map,
+                };
+                comp.step(&mut ctx);
+            }
+            self.slots[i].comp = Some(comp);
+            let src_tile = self.slots[i].tile;
+            for out in self.outbox.drain(..) {
+                let dst_tile = self.slots[out.dst.0].tile;
+                self.noc.inject_delayed(
+                    self.cycle,
+                    src_tile,
+                    dst_tile,
+                    out.dst,
+                    out.env,
+                    out.extra_delay,
+                );
+            }
+        }
+        self.cycle += 1;
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.noc.is_empty()
+            && self
+                .slots
+                .iter()
+                .all(|s| s.inbox.is_empty() && s.comp.as_ref().is_some_and(|c| c.is_idle()))
+    }
+
+    /// Runs until the SoC is quiescent or `max_cycles` elapse.
+    pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
+        let deadline = self.cycle + max_cycles;
+        while self.cycle < deadline {
+            if self.is_quiescent() {
+                return RunOutcome { cycle: self.cycle, quiescent: true };
+            }
+            self.step();
+        }
+        RunOutcome { cycle: self.cycle, quiescent: self.is_quiescent() }
+    }
+
+    /// Runs until `pred` on the SoC becomes true, quiescence, or the budget
+    /// is exhausted. Returns true if the predicate fired.
+    pub fn run_until(&mut self, max_cycles: u64, mut pred: impl FnMut(&Soc) -> bool) -> bool {
+        let deadline = self.cycle + max_cycles;
+        while self.cycle < deadline {
+            if pred(self) {
+                return true;
+            }
+            if self.is_quiescent() {
+                return pred(self);
+            }
+            self.step();
+        }
+        false
+    }
+
+    /// Immutable typed access to a component.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn component<T: 'static>(&self, id: CompId) -> Option<&T> {
+        self.slots[id.0]
+            .comp
+            .as_ref()
+            .and_then(|c| c.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutable typed access to a component.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn component_mut<T: 'static>(&mut self, id: CompId) -> Option<&mut T> {
+        self.slots[id.0]
+            .comp
+            .as_mut()
+            .and_then(|c| c.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Name and counters of every component, for diagnostics.
+    pub fn all_counters(&self) -> Vec<(String, Vec<(String, u64)>)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                s.comp
+                    .as_ref()
+                    .map(|c| (format!("{}#{i}", c.name()), c.counters()))
+            })
+            .collect()
+    }
+
+    /// Total messages the NoC has delivered.
+    pub fn noc_delivered(&self) -> u64 {
+        self.noc.delivered()
+    }
+
+    /// Total flits the NoC has carried.
+    pub fn noc_flits(&self) -> u64 {
+        self.noc.flits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::TileCoord;
+    use crate::core::InOrderCore;
+    use crate::directory::Directory;
+    use crate::program::{Op, Program};
+
+    fn build(program: Program) -> (Soc, CompId) {
+        let cfg = SocConfig::default();
+        let mut soc = Soc::new(cfg.clone());
+        let dir = soc.add_component(TileCoord::new(0, 0), Box::new(Directory::new(&cfg)));
+        let core = InOrderCore::new(dir, &cfg, program);
+        let core_id = soc.add_component(TileCoord::new(1, 0), Box::new(core));
+        (soc, core_id)
+    }
+
+    #[test]
+    fn empty_program_quiesces_immediately() {
+        let (mut soc, _) = build(Program::new());
+        let out = soc.run(1000);
+        assert!(out.quiescent);
+        assert!(out.cycle < 10);
+    }
+
+    #[test]
+    fn store_reaches_memory() {
+        let mut p = Program::new();
+        p.push(Op::Store { va: 0x1000, value: 0xdead });
+        p.push(Op::Fence);
+        let (mut soc, core) = build(p);
+        let out = soc.run(100_000);
+        assert!(out.quiescent, "stalled at cycle {}", out.cycle);
+        assert_eq!(soc.mem.read_u64(0x1000), 0xdead);
+        let c = soc.component::<InOrderCore>(core).unwrap();
+        assert!(c.is_done());
+        assert!(c.core_counters().instret >= 2);
+    }
+
+    #[test]
+    fn load_records_value() {
+        let mut p = Program::new();
+        p.push(Op::Store { va: 0x40, value: 7 });
+        p.push(Op::Fence);
+        p.push(Op::Load { va: 0x40, record: true });
+        let (mut soc, core) = build(p);
+        assert!(soc.run(100_000).quiescent);
+        let c = soc.component::<InOrderCore>(core).unwrap();
+        assert_eq!(c.recorded(), &[7]);
+    }
+
+    #[test]
+    fn store_to_load_forwarding() {
+        // Load issued while the store is still buffered must see the value.
+        let mut p = Program::new();
+        p.push(Op::Store { va: 0x80, value: 99 });
+        p.push(Op::Load { va: 0x80, record: true });
+        let (mut soc, core) = build(p);
+        assert!(soc.run(100_000).quiescent);
+        let c = soc.component::<InOrderCore>(core).unwrap();
+        assert_eq!(c.recorded(), &[99]);
+    }
+
+    #[test]
+    fn wait_ge_spins_until_satisfied() {
+        // Core 1 publishes a flag; core 2 spins on it.
+        let cfg = SocConfig::default();
+        let mut soc = Soc::new(cfg.clone());
+        let dir = soc.add_component(TileCoord::new(0, 0), Box::new(Directory::new(&cfg)));
+        let mut producer = Program::new();
+        producer.push(Op::Alu(200)); // delay
+        producer.push(Op::Store { va: 0x2000, value: 5 });
+        producer.push(Op::Fence);
+        let mut consumer = Program::new();
+        consumer.push(Op::WaitGe { va: 0x2000, value: 5 });
+        consumer.push(Op::Load { va: 0x2000, record: true });
+        let p = InOrderCore::new(dir, &cfg, producer);
+        let c = InOrderCore::new(dir, &cfg, consumer);
+        soc.add_component(TileCoord::new(1, 0), Box::new(p));
+        let cid = soc.add_component(TileCoord::new(0, 1), Box::new(c));
+        let out = soc.run(1_000_000);
+        assert!(out.quiescent, "deadlock at {}", out.cycle);
+        assert!(out.cycle >= 200, "consumer cannot finish before producer");
+        let cc = soc.component::<InOrderCore>(cid).unwrap();
+        assert_eq!(cc.recorded(), &[5]);
+        assert!(cc.core_counters().spin_iters > 1);
+    }
+
+    #[test]
+    fn two_cores_contend_on_one_line() {
+        let cfg = SocConfig::default();
+        let mut soc = Soc::new(cfg.clone());
+        let dir = soc.add_component(TileCoord::new(0, 0), Box::new(Directory::new(&cfg)));
+        let mut a = Program::new();
+        let mut b = Program::new();
+        for i in 0..20 {
+            a.push(Op::Store { va: 0x3000, value: i });
+            a.push(Op::Fence);
+            b.push(Op::Store { va: 0x3000, value: 1000 + i });
+            b.push(Op::Fence);
+        }
+        soc.add_component(TileCoord::new(1, 0), Box::new(InOrderCore::new(dir, &cfg, a)));
+        soc.add_component(TileCoord::new(0, 1), Box::new(InOrderCore::new(dir, &cfg, b)));
+        let out = soc.run(1_000_000);
+        assert!(out.quiescent, "coherence deadlock at {}", out.cycle);
+        let v = soc.mem.read_u64(0x3000);
+        assert!(v == 19 || v == 1019, "final value from one of the cores, got {v}");
+        let d = soc
+            .component::<Directory>(CompId(0))
+            .unwrap()
+            .dir_counters()
+            .clone();
+        assert!(d.inv_sent > 0, "ping-pong must generate invalidations");
+    }
+
+    #[test]
+    fn capacity_misses_beyond_l2() {
+        // Touch far more lines than L2 capacity; re-touching them must miss
+        // again (the Figs. 8/9 capacity effect at queue size 8192).
+        let cfg = SocConfig::default();
+        let lines = 2 * cfg.l2.capacity_bytes / crate::LINE_BYTES;
+        let mut p = Program::new();
+        for pass in 0..2 {
+            for i in 0..lines {
+                p.push(Op::Store { va: i * crate::LINE_BYTES, value: i + pass });
+            }
+        }
+        p.push(Op::Fence);
+        let (mut soc, _) = build(p);
+        let out = soc.run(10_000_000);
+        assert!(out.quiescent, "stuck at {}", out.cycle);
+        let d = soc.component::<Directory>(CompId(0)).unwrap();
+        assert!(
+            d.dir_counters().fills > lines,
+            "second pass must refill: fills={} lines={lines}",
+            d.dir_counters().fills
+        );
+        assert_eq!(soc.mem.read_u64((lines - 1) * crate::LINE_BYTES), lines);
+    }
+
+    #[test]
+    fn three_readers_one_writer_invalidation_storm() {
+        // Three cores read a line; a writer's GetM must invalidate all of
+        // them and the final value must win.
+        let cfg = SocConfig::default();
+        let mut soc = Soc::new(cfg.clone());
+        let dir = soc.add_component(TileCoord::new(0, 0), Box::new(Directory::new(&cfg)));
+        let mut writer = Program::new();
+        writer.push(Op::Alu(500)); // let the readers cache the line first
+        writer.push(Op::Store { va: 0x9000, value: 77 });
+        writer.push(Op::Fence);
+        soc.add_component(TileCoord::new(1, 0), Box::new(InOrderCore::new(dir, &cfg, writer)));
+        let mut readers = Vec::new();
+        for i in 0..3u16 {
+            let mut p = Program::new();
+            p.push(Op::Load { va: 0x9000, record: true }); // warm S copy
+            p.push(Op::WaitGe { va: 0x9000, value: 77 });
+            p.push(Op::Load { va: 0x9000, record: true });
+            let id =
+                soc.add_component(TileCoord::new(0, 1 + i), Box::new(InOrderCore::new(dir, &cfg, p)));
+            readers.push(id);
+        }
+        let out = soc.run(1_000_000);
+        assert!(out.quiescent, "stuck at {}", out.cycle);
+        for id in readers {
+            let c = soc.component::<InOrderCore>(id).unwrap();
+            assert_eq!(c.recorded()[1], 77, "all readers observe the write");
+        }
+        let d = soc.component::<Directory>(CompId(0)).unwrap();
+        assert!(d.dir_counters().inv_sent >= 3, "all shared copies invalidated");
+    }
+
+    #[test]
+    fn store_buffer_acquires_lines_in_parallel() {
+        // With MSHR-style prefetching, back-to-back stores to distinct
+        // lines should be faster than serialized line acquisitions.
+        let mut fast_cfg = SocConfig::default();
+        fast_cfg.timing.sb_mshrs = 4;
+        let mut slow_cfg = SocConfig::default();
+        slow_cfg.timing.sb_mshrs = 1;
+        let mk = || {
+            let mut p = Program::new();
+            for i in 0..64u64 {
+                p.push(Op::Store { va: 0x4000 + i * crate::LINE_BYTES, value: i });
+            }
+            p.push(Op::Fence);
+            p
+        };
+        let run = |cfg: SocConfig| {
+            let mut soc = Soc::new(cfg.clone());
+            let dir = soc.add_component(TileCoord::new(0, 0), Box::new(Directory::new(&cfg)));
+            let core =
+                soc.add_component(TileCoord::new(1, 0), Box::new(InOrderCore::new(dir, &cfg, mk())));
+            assert!(soc.run(1_000_000).quiescent);
+            soc.component::<InOrderCore>(core).unwrap().core_counters().done_at
+        };
+        let fast = run(fast_cfg);
+        let slow = run(slow_cfg);
+        assert!(fast < slow, "mshr=4 ({fast}) must beat mshr=1 ({slow})");
+    }
+
+    #[test]
+    fn full_line_write_skips_dram() {
+        // A no-fetch GetM should complete without the DRAM fill penalty.
+        use crate::msg::Msg;
+        use crate::port::{CoherentPort, Outcome};
+        // Drive the protocol directly through a tiny probe component.
+        struct Probe {
+            port: CoherentPort,
+            issued: bool,
+            done_at: Option<u64>,
+            full_line: bool,
+        }
+        impl Component for Probe {
+            fn name(&self) -> &str {
+                "probe"
+            }
+            fn step(&mut self, ctx: &mut crate::component::Ctx<'_>) {
+                while let Some(env) = ctx.recv() {
+                    if CoherentPort::wants(&env.msg) {
+                        for ev in self.port.handle(&env, ctx) {
+                            if matches!(ev, crate::port::PortEvent::Completed { .. }) {
+                                self.done_at = Some(ctx.cycle);
+                            }
+                        }
+                    } else if !matches!(env.msg, Msg::MmioWriteResp { .. }) {
+                        panic!("unexpected {:?}", env.msg);
+                    }
+                }
+                if !self.issued {
+                    self.issued = true;
+                    match self.port.request_opts(ctx, 0xa000, true, 1, self.full_line) {
+                        Outcome::Pending => {}
+                        other => panic!("expected a miss, got {other:?}"),
+                    }
+                }
+            }
+            fn is_idle(&self) -> bool {
+                self.done_at.is_some()
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let time = |full_line: bool| {
+            let cfg = SocConfig::default();
+            let mut soc = Soc::new(cfg.clone());
+            let dir = soc.add_component(TileCoord::new(0, 0), Box::new(Directory::new(&cfg)));
+            let probe = Probe {
+                port: CoherentPort::new(dir, cfg.l1, cfg.timing.l1_hit),
+                issued: false,
+                done_at: None,
+                full_line,
+            };
+            let id = soc.add_component(TileCoord::new(1, 0), Box::new(probe));
+            assert!(soc.run(100_000).quiescent);
+            soc.component::<Probe>(id).unwrap().done_at.unwrap()
+        };
+        let with_fetch = time(false);
+        let no_fetch = time(true);
+        assert!(
+            with_fetch >= no_fetch + SocConfig::default().timing.dram,
+            "no-fetch {no_fetch} vs fetch {with_fetch}"
+        );
+    }
+
+    #[test]
+    fn inclusive_eviction_recalls_holders() {
+        // An L2 smaller than the private cache forces inclusive evictions
+        // of lines the core still holds: the directory must recall them.
+        use crate::config::CacheConfig;
+        let mut cfg = SocConfig::default();
+        cfg.l2 = CacheConfig::new(4 * crate::LINE_BYTES, 2); // 4 lines total
+        let mut p = Program::new();
+        for i in 0..32u64 {
+            p.push(Op::Store { va: i * crate::LINE_BYTES, value: i });
+            p.push(Op::Fence);
+        }
+        // Read everything back to also exercise recalled-line refetches.
+        for i in 0..32u64 {
+            p.push(Op::Load { va: i * crate::LINE_BYTES, record: true });
+        }
+        let mut soc = Soc::new(cfg.clone());
+        let dir = soc.add_component(TileCoord::new(0, 0), Box::new(Directory::new(&cfg)));
+        let core = InOrderCore::new(dir, &cfg, p);
+        let core_id = soc.add_component(TileCoord::new(1, 0), Box::new(core));
+        let out = soc.run(10_000_000);
+        assert!(out.quiescent, "stuck at {}", out.cycle);
+        let d = soc.component::<Directory>(CompId(0)).unwrap();
+        assert!(d.dir_counters().recalls > 0, "must observe inclusive recalls");
+        let c = soc.component::<InOrderCore>(core_id).unwrap();
+        let expect: Vec<u64> = (0..32).collect();
+        assert_eq!(c.recorded(), &expect[..], "recalled data must survive");
+    }
+}

@@ -1,0 +1,37 @@
+//! Address translation hook for core-side accesses.
+//!
+//! Cores translate through a [`Translator`] at zero modelled cost (their
+//! MMUs are not the object of study); the Cohort engine and MAPLE unit
+//! model their MMUs explicitly (TLB + page-table walks with real timing)
+//! in their own crates.
+
+use crate::mem::PhysMem;
+
+/// Virtual-to-physical translation for core memory operations.
+pub trait Translator: Send {
+    /// Translates `va`; `None` denotes a fault (the core panics — core-side
+    /// faults are outside the modelled experiments).
+    fn translate(&self, mem: &PhysMem, va: u64) -> Option<u64>;
+}
+
+/// The identity mapping, used when programs address physical memory
+/// directly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Identity;
+
+impl Translator for Identity {
+    fn translate(&self, _mem: &PhysMem, va: u64) -> Option<u64> {
+        Some(va)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_identity() {
+        let mem = PhysMem::new();
+        assert_eq!(Identity.translate(&mem, 0xabc), Some(0xabc));
+    }
+}

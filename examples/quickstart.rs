@@ -1,0 +1,52 @@
+//! Quickstart: Software-Oriented Acceleration in five minutes.
+//!
+//! The Cohort idea (ASPLOS 2023): software talks to accelerators through
+//! the shared-memory SPSC queues it already uses between threads. This
+//! example takes an ordinary producer/consumer program and swaps the
+//! consumer thread for a SHA-256 accelerator — the producer code does not
+//! change at all.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cohort::native::{cohort_register, pop_blocking, push_blocking};
+use cohort_accel::sha256::{sha256_raw_block, Sha256Accel};
+use cohort_queue::spsc_channel;
+
+fn main() {
+    // Step 1: two perfectly ordinary SPSC queues (paper Table 1:
+    // fifo_init).
+    let (mut to_acc, acc_in) = spsc_channel::<u64>(256);
+    let (acc_out, mut from_acc) = spsc_channel::<u64>(256);
+
+    // Step 2: cohort_register — where a software consumer thread would
+    // have been spawned, connect an accelerator instead.
+    let handle = cohort_register(Box::new(Sha256Accel::new()), acc_in, acc_out, None);
+    println!("registered SHA-256 accelerator between two SPSC queues");
+
+    // Step 3: the producer just pushes; the accelerator's results are
+    // popped like any other thread's output. One SHA block = 8 pushes of
+    // 64 bits, one digest = 4 pops (paper §5.3).
+    let message = *b"one message block of exactly sixty-four bytes for SHA-256 !!!!!!";
+    for chunk in message.chunks_exact(8) {
+        push_blocking(&mut to_acc, u64::from_le_bytes(chunk.try_into().unwrap()));
+    }
+    let mut digest = Vec::new();
+    for _ in 0..4 {
+        digest.extend_from_slice(&pop_blocking(&mut from_acc).to_le_bytes());
+    }
+
+    println!("digest: {}", hex(&digest));
+    assert_eq!(digest, sha256_raw_block(&message).to_vec());
+    println!("verified against the software SHA-256 implementation");
+
+    // Step 4: cohort_unregister.
+    let stats = handle.unregister();
+    println!(
+        "unregistered: {} words in, {} words out",
+        stats.words_in, stats.words_out
+    );
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}

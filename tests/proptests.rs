@@ -1,0 +1,264 @@
+//! Property-based tests over the core data structures and invariants.
+
+use cohort_accel::aes128::Aes128;
+use cohort_accel::h264::bits::{BitReader, BitWriter};
+use cohort_accel::h264::cavlc::{decode_block, encode_block};
+use cohort_accel::h264::encoder::{decode_macroblock, H264Encoder, MB_BYTES};
+use cohort_accel::ratchet::Ratchet;
+use cohort_accel::sha256::{sha256, Sha256};
+use cohort_os::frame::FrameAllocator;
+use cohort_os::sv39::{self, pte_flags, PageSize};
+use cohort_queue::mpsc::mpsc_channel;
+use cohort_queue::typed::{typed, QueueElement};
+use cohort_queue::{spsc_channel, QueueLayout};
+use cohort_sim::mem::PhysMem;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The SPSC queue behaves exactly like a FIFO under any interleaving
+    /// of pushes, pops, staged pushes and publications.
+    #[test]
+    fn spsc_matches_model(ops in prop::collection::vec(0u8..5, 1..200), cap in 1usize..16) {
+        let (mut tx, mut rx) = spsc_channel::<u64>(cap);
+        let mut model: std::collections::VecDeque<u64> = Default::default();
+        let mut staged: Vec<u64> = Vec::new();
+        let mut next = 0u64;
+        for op in ops {
+            match op {
+                0 => {
+                    // stage
+                    if tx.stage(next).is_ok() {
+                        staged.push(next);
+                        next += 1;
+                    } else {
+                        prop_assert!(model.len() + staged.len() >= cap);
+                    }
+                }
+                1 => {
+                    // publish
+                    tx.publish();
+                    model.extend(staged.drain(..));
+                }
+                2 => {
+                    // push (stage + publish)
+                    if tx.push(next).is_ok() {
+                        model.extend(staged.drain(..));
+                        model.push_back(next);
+                        next += 1;
+                    }
+                }
+                _ => {
+                    // pop
+                    let got = rx.pop();
+                    prop_assert_eq!(got, model.pop_front());
+                }
+            }
+        }
+        tx.publish();
+        model.extend(staged.drain(..));
+        while let Some(expect) = model.pop_front() {
+            prop_assert_eq!(rx.pop(), Some(expect));
+        }
+        prop_assert_eq!(rx.pop(), None);
+    }
+
+    /// Bytes pushed through a ratchet come out identical in order.
+    #[test]
+    fn ratchet_roundtrip(data in prop::collection::vec(any::<u8>(), 0..512), block in 1usize..96) {
+        let mut r = Ratchet::new(block);
+        r.push_bytes(&data);
+        let mut out = Vec::new();
+        while let Some(b) = r.pop_block() {
+            out.extend(b);
+        }
+        prop_assert_eq!(&out[..], &data[..out.len()]);
+        prop_assert!(data.len() - out.len() < block, "at most a partial block retained");
+        if let Some(tail) = r.flush_padded() {
+            prop_assert_eq!(&tail[..data.len() - out.len()], &data[out.len()..]);
+        }
+    }
+
+    /// Any quantized 4x4 coefficient block survives the CAVLC encoder +
+    /// decoder byte-exactly.
+    #[test]
+    fn cavlc_roundtrip(levels in prop::collection::vec(-3000i32..3000, 16)) {
+        let block: [i32; 16] = levels.try_into().unwrap();
+        let mut w = BitWriter::new();
+        encode_block(&mut w, &block);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let decoded = decode_block(&mut r).expect("decodes");
+        prop_assert_eq!(decoded, block);
+    }
+
+    /// Exp-Golomb ue/se codes round-trip arbitrary sequences.
+    #[test]
+    fn exp_golomb_roundtrip(values in prop::collection::vec(any::<i32>(), 0..64)) {
+        let mut w = BitWriter::new();
+        for &v in &values {
+            if v >= 0 {
+                w.put_ue(v as u32);
+            } else {
+                w.put_se(v);
+            }
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            if v >= 0 {
+                prop_assert_eq!(r.get_ue().unwrap(), v as u32);
+            } else {
+                prop_assert_eq!(r.get_se().unwrap(), v);
+            }
+        }
+    }
+
+    /// AES decrypt inverts encrypt for arbitrary keys and blocks.
+    #[test]
+    fn aes_roundtrip(key in prop::array::uniform16(any::<u8>()), block in prop::array::uniform16(any::<u8>())) {
+        let aes = Aes128::new(&key);
+        prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+    }
+
+    /// SHA-256 streaming is split-invariant.
+    #[test]
+    fn sha_split_invariance(data in prop::collection::vec(any::<u8>(), 0..300), split in 0usize..300) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    /// H.264 macroblock decode reproduces the encoder's reconstruction
+    /// for arbitrary content and QP.
+    #[test]
+    fn h264_decoder_matches_encoder(seed in any::<u32>(), qp in 0u8..52) {
+        let mut x = seed;
+        let mb: [u8; MB_BYTES] = core::array::from_fn(|_| {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            (x >> 24) as u8
+        });
+        let enc = H264Encoder::new(qp);
+        let (bits, recon) = enc.encode_macroblock(&mb);
+        let decoded = decode_macroblock(&bits).expect("decodes");
+        prop_assert_eq!(decoded, recon);
+    }
+
+    /// Sv39: for any set of disjoint 4 KiB mappings, the walker agrees
+    /// with the mapping and unmapped addresses fault.
+    #[test]
+    fn sv39_walk_agrees_with_mappings(pages in prop::collection::btree_set(0u64..512, 1..24)) {
+        let mut mem = PhysMem::new();
+        let mut frames = FrameAllocator::new(0x100_0000, 0x800_0000);
+        let root = frames.alloc();
+        let mut expect = std::collections::HashMap::new();
+        for &p in &pages {
+            let va = 0x4000_0000 + p * 4096;
+            let pa = frames.alloc();
+            sv39::map(&mut mem, root, va, pa, PageSize::Base, pte_flags::DATA, || frames.alloc());
+            expect.insert(va, pa);
+        }
+        for &p in &pages {
+            let va = 0x4000_0000 + p * 4096;
+            let r = sv39::walk(&mem, root, va + 123).expect("mapped");
+            prop_assert_eq!(r.pa, expect[&va] + 123);
+        }
+        // An address beyond the mapped window faults.
+        prop_assert!(sv39::walk(&mem, root, 0x4000_0000 + 600 * 4096).is_none());
+    }
+
+    /// Queue layouts never alias: indices and data are on disjoint lines
+    /// and the descriptor validates, for any geometry.
+    #[test]
+    fn queue_layout_invariants(elem_words in 1u32..16, len in 1u32..512) {
+        let layout = QueueLayout::standard(0x10_000, elem_words * 8, len);
+        let d = layout.descriptor;
+        prop_assert!(d.validate().is_ok());
+        prop_assert!(d.base_va >= layout.region_start);
+        prop_assert!(d.base_va + d.data_bytes() <= layout.region_end());
+        prop_assert_ne!(d.write_index_va / 64, d.read_index_va / 64);
+    }
+
+    /// The MPSC queue under a single producer behaves like a FIFO for any
+    /// push/pop interleaving.
+    #[test]
+    fn mpsc_single_producer_matches_model(ops in prop::collection::vec(any::<bool>(), 1..200), cap in 2usize..16) {
+        let (tx, mut rx) = mpsc_channel::<u64>(cap);
+        let mut model: std::collections::VecDeque<u64> = Default::default();
+        let mut next = 0u64;
+        for push in ops {
+            if push {
+                match tx.push(next) {
+                    Ok(()) => {
+                        model.push_back(next);
+                        next += 1;
+                    }
+                    Err(_) => prop_assert_eq!(model.len(), cap),
+                }
+            } else {
+                prop_assert_eq!(rx.pop(), model.pop_front());
+            }
+        }
+        while let Some(e) = model.pop_front() {
+            prop_assert_eq!(rx.pop(), Some(e));
+        }
+        prop_assert_eq!(rx.pop(), None);
+    }
+
+    /// Typed queue elements round-trip over word queues for any content.
+    #[test]
+    fn typed_wide_roundtrip(values in prop::collection::vec(prop::array::uniform4(any::<u64>()), 0..16)) {
+        let (p, c) = spsc_channel::<u64>(256);
+        let (mut tx, mut rx) = typed::<[u64; 4]>(p, c);
+        for v in &values {
+            tx.push(*v).unwrap();
+        }
+        for v in &values {
+            prop_assert_eq!(rx.pop(), Some(*v));
+        }
+        prop_assert_eq!(rx.pop(), None);
+        prop_assert_eq!(<[u64; 4] as QueueElement>::WORDS, 4);
+    }
+
+    /// HMAC keys longer than a block hash down to the same MAC as their
+    /// digest used directly (RFC 2104 key preprocessing).
+    #[test]
+    fn hmac_long_key_equivalence(key in prop::collection::vec(any::<u8>(), 65..128), data in prop::collection::vec(any::<u8>(), 0..64)) {
+        use cohort_accel::hmac::hmac_sha256;
+        use cohort_accel::sha256::sha256;
+        let direct = hmac_sha256(&key, &data);
+        let via_digest = hmac_sha256(&sha256(&key), &data);
+        prop_assert_eq!(direct, via_digest);
+    }
+
+    /// AES-CTR encryption is an involution for any key/counter/payload.
+    #[test]
+    fn aes_ctr_involution(key in prop::array::uniform16(any::<u8>()), ctr in prop::array::uniform16(any::<u8>()), data in prop::collection::vec(any::<u8>(), 0..128)) {
+        use cohort_accel::aes128::Aes128;
+        use cohort_accel::aesctr::ctr_xor;
+        let cipher = Aes128::new(&key);
+        let mut buf = data.clone();
+        ctr_xor(&cipher, &ctr, &mut buf);
+        ctr_xor(&cipher, &ctr, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    /// PhysMem reads always return what was last written, across page
+    /// boundaries.
+    #[test]
+    fn physmem_write_read(ops in prop::collection::vec((0u64..20_000, any::<u64>()), 1..64)) {
+        let mut mem = PhysMem::new();
+        let mut model = std::collections::HashMap::new();
+        for &(addr, value) in &ops {
+            let addr = addr & !7; // aligned words for the model
+            mem.write_u64(addr, value);
+            model.insert(addr, value);
+        }
+        for (&addr, &value) in &model {
+            prop_assert_eq!(mem.read_u64(addr), value);
+        }
+    }
+}
