@@ -63,10 +63,10 @@ impl H264Encoder {
                 let res = Self::residual(mb, by, bx);
                 let (z, rec) = reconstruct(&res, self.qp);
                 encode_block(&mut w, &z);
-                for i in 0..16 {
+                for (i, &v) in rec.iter().enumerate() {
                     let (r, c) = (i / 4, i % 4);
                     recon[(by * 4 + r) * MB_DIM + bx * 4 + c] =
-                        (rec[i] + 128).clamp(0, 255) as u8;
+                        (v + 128).clamp(0, 255) as u8;
                 }
             }
         }
@@ -103,10 +103,10 @@ pub fn decode_macroblock(bytes: &[u8]) -> Result<[u8; MB_BYTES], CavlcError> {
             let z = decode_block(&mut r)?;
             let w = dequantize(&z, qp);
             let rec = inverse4x4(&w);
-            for i in 0..16 {
+            for (i, &v) in rec.iter().enumerate() {
                 let (rr, cc) = (i / 4, i % 4);
                 recon[(by * 4 + rr) * MB_DIM + bx * 4 + cc] =
-                    (rec[i] + 128).clamp(0, 255) as u8;
+                    (v + 128).clamp(0, 255) as u8;
             }
         }
     }
@@ -179,7 +179,7 @@ pub fn decode_image(bytes: &[u8]) -> Result<(usize, usize, Vec<u8>), CavlcError>
         return Err(CavlcError::Malformed(format!("dimensions {width}x{height}")));
     }
     // Header occupies whole bytes after RBSP trailing bits.
-    let header_bytes = r.bit_pos().div_ceil(8) + usize::from(r.bit_pos() % 8 == 0);
+    let header_bytes = r.bit_pos().div_ceil(8) + usize::from(r.bit_pos().is_multiple_of(8));
     let frames = decode_stream(&bytes[header_bytes..])?;
     let mbs_x = width.div_ceil(MB_DIM);
     let mbs_y = height.div_ceil(MB_DIM);

@@ -23,15 +23,17 @@ fn main() {
     write(
         "fig8.md",
         format!(
-            "# Figure 8 — Program latency with SHA accelerator\n\n{}",
-            report::latency_figure(&mut sweep, Workload::Sha)
+            "# Figure 8 — Program latency with SHA accelerator\n\n{}\n## Observability counters (Cohort, batch 64)\n\n{}",
+            report::latency_figure(&mut sweep, Workload::Sha),
+            report::stats_figure(&mut sweep, Workload::Sha)
         ),
     );
     write(
         "fig9.md",
         format!(
-            "# Figure 9 — Program latency with AES accelerator\n\n{}",
-            report::latency_figure(&mut sweep, Workload::Aes)
+            "# Figure 9 — Program latency with AES accelerator\n\n{}\n## Observability counters (Cohort, batch 64)\n\n{}",
+            report::latency_figure(&mut sweep, Workload::Aes),
+            report::stats_figure(&mut sweep, Workload::Aes)
         ),
     );
     let t3 = format!(

@@ -6,4 +6,6 @@ fn main() {
     let mut sweep = Sweep::new_verbose();
     println!("# Figure 9 — Program latency with AES accelerator\n");
     println!("{}", report::latency_figure(&mut sweep, Workload::Aes));
+    println!("## Observability counters (Cohort, batch 64)\n");
+    println!("{}", report::stats_figure(&mut sweep, Workload::Aes));
 }

@@ -4,12 +4,15 @@
 //! cargo run --release -p cohort-bench --bin socrun -- \
 //!     [--workload sha|aes] [--mode cohort|mmio|dma|chain|interfered] \
 //!     [--queue N] [--batch N] [--backoff N] [--policy eager|lazy|huge] \
-//!     [--tlb N] [--counters]
+//!     [--tlb N] [--counters] [--stats FILE] [--trace FILE]
 //! ```
 //!
 //! Prints latency, IPC and (with `--counters`) every component's
 //! performance counters for one configuration — the quickest way to poke
-//! at the model.
+//! at the model. `--stats FILE` writes the stats-registry snapshot
+//! (counters + histogram summaries) as JSON; `--trace FILE` enables the
+//! cycle-stamped event trace and writes Chrome `trace_event` JSON that
+//! loads in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
 
 use cohort::scenarios::{
     run_cohort, run_cohort_chain, run_cohort_interfered, run_dma, run_mmio, RunResult, Scenario,
@@ -21,7 +24,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: socrun [--workload sha|aes] [--mode cohort|mmio|dma|chain|interfered]\n\
          \u{20}             [--queue N] [--batch N] [--backoff N] [--policy eager|lazy|huge]\n\
-         \u{20}             [--tlb N] [--counters]"
+         \u{20}             [--tlb N] [--counters] [--stats FILE] [--trace FILE]"
     );
     std::process::exit(2)
 }
@@ -35,6 +38,8 @@ fn main() {
     let mut policy = MapPolicy::Eager;
     let mut tlb: Option<usize> = None;
     let mut counters = false;
+    let mut stats_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -62,6 +67,8 @@ fn main() {
             }
             "--tlb" => tlb = Some(value().parse().unwrap_or_else(|_| usage())),
             "--counters" => counters = true,
+            "--stats" => stats_path = Some(value()),
+            "--trace" => trace_path = Some(value()),
             _ => usage(),
         }
     }
@@ -74,6 +81,7 @@ fn main() {
     if let Some(t) = tlb {
         scenario.soc.tlb_entries = t;
     }
+    scenario.trace = trace_path.is_some();
 
     let start = std::time::Instant::now();
     let r: RunResult = match mode.as_str() {
@@ -106,6 +114,21 @@ fn main() {
                 println!("  {comp}: {}", nonzero.join(" "));
             }
         }
+    }
+    if let Some(path) = &stats_path {
+        std::fs::write(path, &r.stats_json).unwrap_or_else(|e| {
+            eprintln!("socrun: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("stats: wrote {path}");
+    }
+    if let Some(path) = &trace_path {
+        let json = r.trace_json.as_deref().unwrap_or("[]");
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("socrun: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("trace: wrote {path} (load in https://ui.perfetto.dev)");
     }
     if !r.verified {
         std::process::exit(1);

@@ -60,7 +60,8 @@ pub fn table3_block(
     }
     s.push('\n');
 
-    let rows: [(&str, Box<dyn FnMut(&mut Sweep, u64) -> f64>, &[f64]); 3] = [
+    type RowFn = Box<dyn FnMut(&mut Sweep, u64) -> f64>;
+    let rows: [(&str, RowFn, &[f64]); 3] = [
         (
             "Vs MMIO",
             Box::new(move |sw, qs| sw.speedup(workload, PEAK_BATCH, Mode::Mmio, qs)),
@@ -104,6 +105,46 @@ pub fn ipc_figure(sweep: &mut Sweep, workload: Workload) -> String {
         s.push_str(&format!("| {qs} | {m:.2} | {d:.2} |\n"));
     }
     s.push_str("\n(Cohort batching factor 64; higher is better)\n");
+    s
+}
+
+/// Renders the observability companion table for one workload: engine and
+/// memory-system counters per queue size for the Cohort mode at the peak
+/// batching factor. These come from the same memoized runs as the latency
+/// and IPC figures, so appending this table to a report costs no extra
+/// simulation.
+pub fn stats_figure(sweep: &mut Sweep, workload: Workload) -> String {
+    let mode = Mode::Cohort { batch: PEAK_BATCH };
+    let mut s = String::new();
+    s.push_str(
+        "| Queue size | L1 hits | L1 misses | L2 hits | DRAM fills | Invs | NoC msgs | Eng consumed | Eng backoffs | RCM invs | TLB misses |
+",
+    );
+    s.push_str("|---|---|---|---|---|---|---|---|---|---|---|
+");
+    for &qs in &QUEUE_SIZES {
+        let core = |sw: &mut Sweep, n| sw.stat(workload, mode, qs, "core", n);
+        let dir = |sw: &mut Sweep, n| sw.stat(workload, mode, qs, "directory", n);
+        let eng = |sw: &mut Sweep, n| sw.stat(workload, mode, qs, "cohort-engine", n);
+        let noc = dir(sweep, "gets") + dir(sweep, "getm"); // request msgs
+        s.push_str(&format!(
+            "| {qs} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |
+",
+            core(sweep, "l1_hits"),
+            core(sweep, "l1_misses"),
+            dir(sweep, "l2_hits"),
+            dir(sweep, "fills"),
+            dir(sweep, "inv_sent"),
+            noc,
+            eng(sweep, "consumed"),
+            eng(sweep, "backoffs"),
+            eng(sweep, "rcm_invalidations"),
+            eng(sweep, "tlb_misses"),
+        ));
+    }
+    s.push_str("
+(observability-registry counters for the Cohort runs above; see `socrun --stats` for the full registry including histograms)
+");
     s
 }
 

@@ -101,6 +101,21 @@ impl Sweep {
         s / b
     }
 
+    /// Looks up one observability counter (by component prefix and name)
+    /// from a memoized run; missing counters read as zero.
+    pub fn stat(
+        &mut self,
+        workload: Workload,
+        mode: Mode,
+        queue_size: u64,
+        comp_prefix: &str,
+        name: &str,
+    ) -> u64 {
+        self.run(workload, mode, queue_size)
+            .counter(comp_prefix, name)
+            .unwrap_or(0)
+    }
+
     /// IPC speedup of Cohort over a baseline (Figs. 10/11).
     pub fn ipc_speedup(&mut self, workload: Workload, batch: u64, baseline: Mode, queue_size: u64) -> f64 {
         let c = self

@@ -24,7 +24,7 @@ pub fn push_blocking<T>(producer: &mut Producer<T>, mut value: T) {
             Err(e) => {
                 value = e.0;
                 spins += 1;
-                if spins % 64 == 0 {
+                if spins.is_multiple_of(64) {
                     // Be a good citizen on oversubscribed machines.
                     std::thread::yield_now();
                 } else {
@@ -43,7 +43,7 @@ pub fn pop_blocking<T>(consumer: &mut Consumer<T>) -> T {
             return v;
         }
         spins += 1;
-        if spins % 64 == 0 {
+        if spins.is_multiple_of(64) {
             std::thread::yield_now();
         } else {
             std::hint::spin_loop();

@@ -151,7 +151,7 @@ impl CohortRing {
                 return c;
             }
             spins += 1;
-            if spins % 64 == 0 {
+            if spins.is_multiple_of(64) {
                 std::thread::yield_now();
             } else {
                 std::hint::spin_loop();

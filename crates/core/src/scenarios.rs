@@ -141,6 +141,9 @@ pub struct Scenario {
     pub seed: u64,
     /// Software cost constants.
     pub costs: BaselineCosts,
+    /// When true, the SoC's structured event trace is enabled for the run
+    /// and the Chrome `trace_event` JSON lands in [`RunResult::trace_json`].
+    pub trace: bool,
 }
 
 impl Scenario {
@@ -155,6 +158,7 @@ impl Scenario {
             backoff: 700,
             seed: 0x5eed,
             costs: BaselineCosts::default(),
+            trace: false,
         }
     }
 
@@ -193,6 +197,11 @@ pub struct RunResult {
     pub verified: bool,
     /// Named counters gathered from all components.
     pub counters: Vec<(String, Vec<(String, u64)>)>,
+    /// Stats-registry snapshot (counters + histogram summaries) as JSON.
+    pub stats_json: String,
+    /// Chrome `trace_event` JSON, present when the scenario enabled
+    /// tracing. Loadable in Perfetto / `chrome://tracing`.
+    pub trace_json: Option<String>,
 }
 
 impl RunResult {
@@ -220,6 +229,7 @@ fn cycle_budget(queue_size: u64) -> u64 {
 }
 
 fn finish_run(mut sys: SimSystem, scenario: &Scenario) -> RunResult {
+    sys.soc.set_tracing(scenario.trace);
     let outcome = sys.soc.run(cycle_budget(scenario.queue_size));
     let core = sys.core();
     assert!(
@@ -233,10 +243,12 @@ fn finish_run(mut sys: SimSystem, scenario: &Scenario) -> RunResult {
     let verified = recorded == expected;
     RunResult {
         cycles: core.core_counters().done_at,
-        instret: core.core_counters().instret,
+        instret: core.core_counters().instret.get(),
         recorded,
         verified,
         counters: sys.soc.all_counters(),
+        stats_json: sys.soc.stats_json(),
+        trace_json: scenario.trace.then(|| sys.soc.trace_json()),
     }
 }
 
@@ -556,6 +568,8 @@ pub struct CustomRun {
     pub soc: SocConfig,
     /// Mapping policy.
     pub policy: MapPolicy,
+    /// When true, the run records the structured event trace.
+    pub trace: bool,
 }
 
 impl CustomRun {
@@ -574,6 +588,7 @@ impl CustomRun {
             backoff: 700,
             soc: SocConfig::default(),
             policy: MapPolicy::Eager,
+            trace: false,
         }
     }
 
@@ -582,7 +597,7 @@ impl CustomRun {
     /// # Panics
     /// Panics if the benchmark does not complete within the cycle budget.
     pub fn run(self) -> RunResult {
-        let CustomRun { accel, csr, input, expected, batch, backoff, soc, policy } = self;
+        let CustomRun { accel, csr, input, expected, batch, backoff, soc, policy, trace } = self;
         let spec = SystemSpec {
             cfg: soc,
             policy,
@@ -607,7 +622,7 @@ impl CustomRun {
         for (i, &w) in input.iter().enumerate() {
             program.push(Op::Alu(2));
             program.push(Op::Store { va: in_q.descriptor.element_va(i as u64), value: w });
-            if (i as u64 + 1) % batch == 0 || i as u64 + 1 == n {
+            if (i as u64 + 1).is_multiple_of(batch) || i as u64 + 1 == n {
                 program.push(Op::Fence);
                 program.push(Op::Store {
                     va: in_q.descriptor.write_index_va,
@@ -629,6 +644,7 @@ impl CustomRun {
         program.push(Op::Fence);
         program.append(driver.unregister_ops());
         install_and_arm_plain(&mut sys, program);
+        sys.soc.set_tracing(trace);
         let outcome = sys.soc.run(50_000_000);
         let core = sys.core();
         assert!(
@@ -641,10 +657,12 @@ impl CustomRun {
         let verified = recorded == expected;
         RunResult {
             cycles: core.core_counters().done_at,
-            instret: core.core_counters().instret,
+            instret: core.core_counters().instret.get(),
             recorded,
             verified,
             counters: sys.soc.all_counters(),
+            stats_json: sys.soc.stats_json(),
+            trace_json: trace.then(|| sys.soc.trace_json()),
         }
     }
 }
@@ -704,7 +722,7 @@ pub fn run_cohort_chain(scenario: &Scenario) -> RunResult {
     for (i, &w) in data.iter().enumerate() {
         program.push(Op::Alu(scenario.costs.push_loop_alu));
         program.push(Op::Store { va: encrypt_q.descriptor.element_va(i as u64), value: w });
-        if (i as u64 + 1) % batch == 0 || i as u64 + 1 == n {
+        if (i as u64 + 1).is_multiple_of(batch) || i as u64 + 1 == n {
             program.push(Op::Fence);
             program.push(Op::Alu(1));
             program.push(Op::Store {
@@ -725,6 +743,7 @@ pub fn run_cohort_chain(scenario: &Scenario) -> RunResult {
 
     install_and_arm_plain(&mut sys, program);
 
+    sys.soc.set_tracing(scenario.trace);
     let outcome = sys.soc.run(cycle_budget(scenario.queue_size));
     let core = sys.core();
     assert!(
@@ -740,10 +759,12 @@ pub fn run_cohort_chain(scenario: &Scenario) -> RunResult {
     let verified = recorded == expected;
     RunResult {
         cycles: core.core_counters().done_at,
-        instret: core.core_counters().instret,
+        instret: core.core_counters().instret.get(),
         recorded,
         verified,
         counters: sys.soc.all_counters(),
+        stats_json: sys.soc.stats_json(),
+        trace_json: scenario.trace.then(|| sys.soc.trace_json()),
     }
 }
 

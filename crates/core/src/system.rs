@@ -63,6 +63,7 @@ impl std::fmt::Debug for SimSystem {
 }
 
 /// What accelerator-hosting hardware to instantiate.
+#[derive(Default)]
 pub struct SystemSpec {
     /// SoC configuration.
     pub cfg: SocConfig,
@@ -78,17 +79,6 @@ pub struct SystemSpec {
     pub extra_core_programs: Vec<Program>,
 }
 
-impl Default for SystemSpec {
-    fn default() -> Self {
-        Self {
-            cfg: SocConfig::default(),
-            policy: MapPolicy::default(),
-            engine_accels: Vec::new(),
-            maple_accel: None,
-            extra_core_programs: Vec::new(),
-        }
-    }
-}
 
 impl SimSystem {
     /// Builds the SoC: directory at (0,0), the benchmark core at (0,1),

@@ -1,0 +1,240 @@
+//! A minimal, dependency-free drop-in for the subset of the `criterion`
+//! API this workspace's benches use.
+//!
+//! The build must work fully offline, so instead of pulling criterion from
+//! crates.io the benches link against this shim. It implements the same
+//! surface (`Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Throughput`, `BenchmarkId`, the `criterion_group!`
+//! / `criterion_main!` macros) with a straightforward
+//! calibrate-then-sample wall-clock harness:
+//!
+//! * each benchmark is warmed up, then the iteration count is calibrated so
+//!   one sample takes at least [`TARGET_SAMPLE`];
+//! * `sample_size` samples are collected and the median per-iteration time
+//!   is reported, together with derived throughput when a [`Throughput`]
+//!   was configured.
+//!
+//! Output is one line per benchmark:
+//! `group/id  time: 123.4 ns/iter  thrpt: 162.1 Melem/s  (n=10)`.
+
+use std::time::{Duration, Instant};
+
+/// Minimum measured duration of one sample after calibration.
+const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+
+/// Per-sample throughput annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier `group/function/parameter` for parameterised benchmarks.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The per-benchmark timing context passed to the closure.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by [`Bencher::iter`].
+    ns_per_iter: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records its median per-iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and calibrate the per-sample iteration count.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE || iters >= 1 << 24 {
+                break;
+            }
+            // Grow geometrically towards the target sample duration.
+            iters = if elapsed.is_zero() {
+                iters * 16
+            } else {
+                let scale = TARGET_SAMPLE.as_secs_f64() / elapsed.as_secs_f64();
+                ((iters as f64 * scale * 1.2) as u64).clamp(iters + 1, iters * 16)
+            };
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        self.ns_per_iter = samples[samples.len() / 2] * 1e9;
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rate numbers.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher { ns_per_iter: 0.0, sample_size: self.sample_size };
+        f(&mut b);
+        let mut line = format!(
+            "{}/{id}  time: {}  (n={})",
+            self.name,
+            fmt_time(b.ns_per_iter),
+            self.sample_size
+        );
+        if let Some(t) = self.throughput {
+            line.push_str(&format!("  thrpt: {}", fmt_throughput(t, b.ns_per_iter)));
+        }
+        println!("{line}");
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.to_string();
+        self.run_one(&id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} \u{b5}s/iter", ns / 1_000.0)
+    } else {
+        format!("{:.3} ms/iter", ns / 1_000_000.0)
+    }
+}
+
+fn fmt_throughput(t: Throughput, ns_per_iter: f64) -> String {
+    let per_sec = |n: u64| n as f64 / (ns_per_iter / 1e9);
+    match t {
+        Throughput::Elements(n) => format!("{:.1} Melem/s", per_sec(n) / 1e6),
+        Throughput::Bytes(n) => format!("{:.1} MiB/s", per_sec(n) / (1024.0 * 1024.0)),
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a benchmark entry point running each listed function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a set of [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { ns_per_iter: 0.0, sample_size: 2 };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x
+        });
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn group_runs_and_formats() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(1)).sample_size(2);
+        g.bench_with_input(BenchmarkId::new("id", 3), &3, |b, &n| {
+            b.iter(|| std::hint::black_box(n * 2));
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_time(12.0).contains("ns"));
+        assert!(fmt_time(12_000.0).contains("s/iter"));
+        assert!(fmt_time(12_000_000.0).contains("ms"));
+    }
+}

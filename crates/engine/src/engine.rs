@@ -24,11 +24,13 @@
 
 use cohort_os::driver::regs;
 use cohort_os::mmu::{DeviceMmu, TlbResult, WalkMachine, WalkStep};
-use cohort_sim::component::{CompId, Component, Ctx};
+use cohort_sim::component::{CompId, Component, Ctx, Observability};
 use cohort_sim::config::{CacheConfig, SocConfig};
 use cohort_sim::line_of;
 use cohort_sim::msg::Msg;
 use cohort_sim::port::{CoherentPort, Outcome, PortEvent};
+use cohort_sim::stats::{Counter, Histogram};
+use cohort_sim::trace::Trace;
 use cohort_sim::LINE_BYTES;
 
 use cohort_accel::timing::TimedAccel;
@@ -199,21 +201,27 @@ impl QueueRegs {
 }
 
 /// Performance counters of the engine (paper §5.1: "performance counter
-/// data comes from each Cohort Engine").
+/// data comes from each Cohort Engine"). Fields are registry-backed
+/// [`Counter`] handles: once the engine is attached to a SoC the same
+/// cells are visible through the [`cohort_sim::stats::Stats`] registry.
 #[derive(Debug, Default, Clone)]
 pub struct EngineCounters {
     /// Elements consumed from the input queue.
-    pub consumed: u64,
+    pub consumed: Counter,
     /// Elements produced into the output queue.
-    pub produced: u64,
+    pub produced: Counter,
     /// Write-index line invalidations the RCM observed.
-    pub rcm_invalidations: u64,
+    pub rcm_invalidations: Counter,
     /// Backoff windows taken.
-    pub backoffs: u64,
+    pub backoffs: Counter,
     /// Page faults raised to the core.
-    pub faults: u64,
+    pub faults: Counter,
     /// Read-index re-reads because the output ring looked full.
-    pub full_stalls: u64,
+    pub full_stalls: Counter,
+    /// TLB hits, mirrored from the device MMU each step.
+    pub tlb_hits: Counter,
+    /// TLB misses, mirrored from the device MMU each step.
+    pub tlb_misses: Counter,
 }
 
 /// The Cohort engine component. Construct with [`CohortEngine::new`], map
@@ -249,6 +257,14 @@ pub struct CohortEngine {
     /// Producer-side staging buffer (accelerator words awaiting a flush).
     stage: Vec<u8>,
     counters: EngineCounters,
+    in_occupancy: Histogram,
+    out_occupancy: Histogram,
+    trace: Option<Trace>,
+    tid: u64,
+    /// Cycle the consumer entered its current state (trace spans).
+    cons_since: u64,
+    /// Cycle the producer entered its current state (trace spans).
+    prod_since: u64,
     irq_outstanding: bool,
     /// A CSR-buffer read is outstanding on the consumer channel.
     csr_pending: bool,
@@ -260,8 +276,8 @@ impl std::fmt::Debug for CohortEngine {
             .field("enabled", &self.enabled)
             .field("cons", &self.cons)
             .field("prod", &self.prod)
-            .field("consumed", &self.counters.consumed)
-            .field("produced", &self.counters.produced)
+            .field("consumed", &self.counters.consumed.get())
+            .field("produced", &self.counters.produced.get())
             .finish()
     }
 }
@@ -316,6 +332,12 @@ impl CohortEngine {
             mmio_latency: cfg.timing.mmio_device,
             stage: Vec::new(),
             counters: EngineCounters::default(),
+            in_occupancy: Histogram::new(),
+            out_occupancy: Histogram::new(),
+            trace: None,
+            tid: 0,
+            cons_since: 0,
+            prod_since: 0,
             irq_outstanding: false,
             csr_pending: false,
         }
@@ -421,8 +443,8 @@ impl CohortEngine {
     fn on_mmio_read(&self, pa: u64) -> u64 {
         let off = pa - self.mmio_base;
         match off {
-            regs::CONSUMED => self.counters.consumed,
-            regs::PRODUCED => self.counters.produced,
+            regs::CONSUMED => self.counters.consumed.get(),
+            regs::PRODUCED => self.counters.produced.get(),
             _ => self.reg(off),
         }
     }
@@ -447,7 +469,7 @@ impl CohortEngine {
             }
             PortEvent::Invalidated { line } => {
                 if self.rcm_in_line == Some(line) {
-                    self.counters.rcm_invalidations += 1;
+                    self.counters.rcm_invalidations.inc();
                     self.rcm_in_dirty = true;
                 }
                 if self.rcm_out_line == Some(line) {
@@ -483,7 +505,7 @@ impl CohortEngine {
             }
             WalkStep::Fault => {
                 self.mmu.note_fault();
-                self.counters.faults += 1;
+                self.counters.faults.inc();
                 let va = self.channels[ch_idx].walk.expect("walk").va();
                 self.channels[ch_idx].walk = None;
                 self.channels[ch_idx].state = ChState::WaitFault;
@@ -720,7 +742,7 @@ impl CohortEngine {
                     self.cons = ConsState::Fetch { n };
                 } else if self.rcm_in_pending() {
                     // Missed publications while busy: re-read after backoff.
-                    self.counters.backoffs += 1;
+                    self.counters.backoffs.inc();
                     self.cons = ConsState::Backoff { until: ctx.cycle + self.backoff };
                 } else {
                     self.cons = ConsState::Waiting;
@@ -728,7 +750,7 @@ impl CohortEngine {
             }
             ConsState::Waiting => {
                 if self.rcm_in_pending() {
-                    self.counters.backoffs += 1;
+                    self.counters.backoffs.inc();
                     self.cons = ConsState::Backoff { until: ctx.cycle + self.backoff };
                 }
             }
@@ -762,7 +784,7 @@ impl CohortEngine {
                         return;
                     }
                     self.rd += n;
-                    self.counters.consumed += n;
+                    self.counters.consumed.add(n);
                     self.channels[CH_CONS].start_write_opts(
                         self.in_q.rd_va,
                         self.rd.to_le_bytes().to_vec(),
@@ -823,7 +845,7 @@ impl CohortEngine {
                 if free == 0 {
                     // Ring full by our view: wait for the consumer to move
                     // its read index (invalidation on the pinned rd line).
-                    self.counters.full_stalls += 1;
+                    self.counters.full_stalls.inc();
                     if self.rcm_out_pending() {
                         self.prod = ProdState::BackoffFull { until: ctx.cycle + self.backoff };
                     }
@@ -866,7 +888,7 @@ impl CohortEngine {
             ProdState::WcmDrain { n, until } => {
                 if ctx.cycle >= until && self.mte_free(CH_PROD) {
                     self.wr += n;
-                    self.counters.produced += n;
+                    self.counters.produced.add(n);
                     self.channels[CH_PROD].start_write_opts(
                         self.out_q.wr_va,
                         self.wr.to_le_bytes().to_vec(),
@@ -898,9 +920,103 @@ impl CohortEngine {
     }
 }
 
+impl ConsState {
+    fn label(&self) -> &'static str {
+        match self {
+            ConsState::Off => "cons:Off",
+            ConsState::Csr => "cons:Csr",
+            ConsState::InitRd => "cons:InitRd",
+            ConsState::InitWr => "cons:InitWr",
+            ConsState::Judge => "cons:Judge",
+            ConsState::Waiting => "cons:Waiting",
+            ConsState::Backoff { .. } => "cons:Backoff",
+            ConsState::ReadWr => "cons:ReadWr",
+            ConsState::Fetch { .. } => "cons:Fetch",
+            ConsState::Feed { .. } => "cons:Feed",
+            ConsState::UpdateRd => "cons:UpdateRd",
+        }
+    }
+}
+
+impl ProdState {
+    fn label(&self) -> &'static str {
+        match self {
+            ProdState::Off => "prod:Off",
+            ProdState::InitRd => "prod:InitRd",
+            ProdState::InitWr => "prod:InitWr",
+            ProdState::Collect => "prod:Collect",
+            ProdState::BackoffFull { .. } => "prod:BackoffFull",
+            ProdState::ReadRd => "prod:ReadRd",
+            ProdState::WriteData { .. } => "prod:WriteData",
+            ProdState::WcmDrain { .. } => "prod:WcmDrain",
+            ProdState::UpdateWr => "prod:UpdateWr",
+        }
+    }
+}
+
+impl CohortEngine {
+    /// Emits state-residency spans when the consumer/producer state
+    /// machines changed label this step, and advances the enter stamps.
+    fn trace_state_spans(&mut self, cycle: u64, prev_cons: &'static str, prev_prod: &'static str) {
+        let Some(trace) = self.trace.as_ref().filter(|t| t.is_enabled()) else {
+            // Keep the stamps fresh so spans are correct once enabled.
+            if self.cons.label() != prev_cons {
+                self.cons_since = cycle;
+            }
+            if self.prod.label() != prev_prod {
+                self.prod_since = cycle;
+            }
+            return;
+        };
+        if self.cons.label() != prev_cons {
+            trace.complete(
+                self.tid,
+                "engine",
+                prev_cons,
+                self.cons_since,
+                cycle.saturating_sub(self.cons_since).max(1),
+                vec![("next", self.cons.label().into())],
+            );
+            self.cons_since = cycle;
+        }
+        if self.prod.label() != prev_prod {
+            trace.complete(
+                self.tid,
+                "engine",
+                prev_prod,
+                self.prod_since,
+                cycle.saturating_sub(self.prod_since).max(1),
+                vec![("next", self.prod.label().into())],
+            );
+            self.prod_since = cycle;
+        }
+    }
+}
+
 impl Component for CohortEngine {
     fn name(&self) -> &str {
         "cohort-engine"
+    }
+
+    fn attach(&mut self, obs: &Observability) {
+        let c = &self.counters;
+        for (name, counter) in [
+            ("consumed", &c.consumed),
+            ("produced", &c.produced),
+            ("rcm_invalidations", &c.rcm_invalidations),
+            ("backoffs", &c.backoffs),
+            ("faults", &c.faults),
+            ("full_stalls", &c.full_stalls),
+            ("tlb_hits", &c.tlb_hits),
+            ("tlb_misses", &c.tlb_misses),
+        ] {
+            obs.adopt_counter(name, counter);
+        }
+        obs.adopt_histogram("in_queue_occupancy", &self.in_occupancy);
+        obs.adopt_histogram("out_queue_occupancy", &self.out_occupancy);
+        self.port.port_counters().register(obs, "mte");
+        self.trace = Some(obs.trace.clone());
+        self.tid = obs.tid;
     }
 
     fn step(&mut self, ctx: &mut Ctx<'_>) {
@@ -936,8 +1052,17 @@ impl Component for CohortEngine {
             self.advance_channel(ctx, i);
         }
         self.accel.step(ctx.cycle);
+        let (prev_cons, prev_prod) = (self.cons.label(), self.prod.label());
         self.step_consumer(ctx);
         self.step_producer(ctx);
+        self.trace_state_spans(ctx.cycle, prev_cons, prev_prod);
+        // Mirror the MMU's plain counters into the registry-backed cells
+        // and sample queue occupancy as seen by the engine.
+        let m = self.mmu.counters();
+        self.counters.tlb_hits.set(m.hits);
+        self.counters.tlb_misses.set(m.misses);
+        self.in_occupancy.record(self.known_wr.saturating_sub(self.rd));
+        self.out_occupancy.record(self.wr.saturating_sub(self.known_rd));
     }
 
     fn is_idle(&self) -> bool {
@@ -957,12 +1082,12 @@ impl Component for CohortEngine {
         let c = &self.counters;
         let m = self.mmu.counters();
         vec![
-            ("consumed".into(), c.consumed),
-            ("produced".into(), c.produced),
-            ("rcm_invalidations".into(), c.rcm_invalidations),
-            ("backoffs".into(), c.backoffs),
-            ("faults".into(), c.faults),
-            ("full_stalls".into(), c.full_stalls),
+            ("consumed".into(), c.consumed.get()),
+            ("produced".into(), c.produced.get()),
+            ("rcm_invalidations".into(), c.rcm_invalidations.get()),
+            ("backoffs".into(), c.backoffs.get()),
+            ("faults".into(), c.faults.get()),
+            ("full_stalls".into(), c.full_stalls.get()),
             ("tlb_hits".into(), m.hits),
             ("tlb_misses".into(), m.misses),
             ("tlb_flushes".into(), m.flushes),

@@ -68,9 +68,9 @@ impl Rig {
     fn engine_counter(&self, name: &str) -> u64 {
         let e = self.soc.component::<CohortEngine>(self.engine).unwrap();
         match name {
-            "consumed" => e.engine_counters().consumed,
-            "produced" => e.engine_counters().produced,
-            "rcm" => e.engine_counters().rcm_invalidations,
+            "consumed" => e.engine_counters().consumed.get(),
+            "produced" => e.engine_counters().produced.get(),
+            "rcm" => e.engine_counters().rcm_invalidations.get(),
             "tlb_flushes" => e.mmu_counters().flushes,
             "tlb_misses" => e.mmu_counters().misses,
             other => panic!("unknown counter {other}"),

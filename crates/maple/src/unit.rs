@@ -2,7 +2,8 @@
 
 use cohort_accel::timing::TimedAccel;
 use cohort_os::mmu::{DeviceMmu, TlbResult, WalkMachine, WalkStep};
-use cohort_sim::component::{CompId, Component, Ctx};
+use cohort_sim::component::{CompId, Component, Ctx, Observability};
+use cohort_sim::stats::Counter;
 use cohort_sim::config::{CacheConfig, SocConfig};
 use cohort_sim::msg::Msg;
 use cohort_sim::port::{CoherentPort, Outcome, PortEvent};
@@ -42,19 +43,21 @@ enum Access {
     Hit { at: u64, pa: u64, len: usize, write: bool },
 }
 
-/// Performance counters of the MAPLE unit.
+/// Performance counters of the MAPLE unit. Registry-backed: after
+/// [`Component::attach`] the same cells are visible through the SoC's
+/// [`cohort_sim::stats::Stats`] registry.
 #[derive(Debug, Default, Clone)]
 pub struct MapleCounters {
     /// MMIO words pushed.
-    pub mmio_pushes: u64,
+    pub mmio_pushes: Counter,
     /// MMIO words popped.
-    pub mmio_pops: u64,
+    pub mmio_pops: Counter,
     /// DMA transfers completed.
-    pub dma_transfers: u64,
+    pub dma_transfers: Counter,
     /// Input bytes moved by DMA.
-    pub dma_in_bytes: u64,
+    pub dma_in_bytes: Counter,
     /// Output bytes moved by DMA.
-    pub dma_out_bytes: u64,
+    pub dma_out_bytes: Counter,
 }
 
 /// The MAPLE baseline unit. Map `mmio_base..mmio_base + regs::BANK_BYTES`.
@@ -137,7 +140,7 @@ impl MapleUnit {
                 // response (the core stalls — §2.1 semantics).
                 if self.accel.ready(ctx.cycle) {
                     self.accel.push_word(value);
-                    self.counters.mmio_pushes += 1;
+                    self.counters.mmio_pushes.inc();
                     ctx.send_delayed(src, Msg::MmioWriteResp { tag }, self.mmio_latency);
                 } else {
                     self.held.push_back(HeldMmio::Push { src, tag, value });
@@ -185,7 +188,7 @@ impl MapleUnit {
         match off {
             regs::POP => {
                 if let Some(w) = self.accel.pop_word(ctx.cycle) {
-                    self.counters.mmio_pops += 1;
+                    self.counters.mmio_pops.inc();
                     ctx.send_delayed(src, Msg::MmioReadResp { tag, value: w }, self.mmio_latency);
                 } else {
                     self.held.push_back(HeldMmio::Pop { src, tag });
@@ -210,7 +213,7 @@ impl MapleUnit {
                 HeldMmio::Push { src, tag, value } => {
                     if self.accel.ready(ctx.cycle) {
                         self.accel.push_word(value);
-                        self.counters.mmio_pushes += 1;
+                        self.counters.mmio_pushes.inc();
                         ctx.send_delayed(src, Msg::MmioWriteResp { tag }, self.mmio_latency);
                     } else {
                         remaining.push_back(h);
@@ -218,7 +221,7 @@ impl MapleUnit {
                 }
                 HeldMmio::Pop { src, tag } => {
                     if let Some(w) = self.accel.pop_word(ctx.cycle) {
-                        self.counters.mmio_pops += 1;
+                        self.counters.mmio_pops.inc();
                         ctx.send_delayed(src, Msg::MmioReadResp { tag, value: w }, self.mmio_latency);
                     } else {
                         remaining.push_back(h);
@@ -302,13 +305,13 @@ impl MapleUnit {
             let bytes: Vec<u8> = self.out_stage.drain(..n).collect();
             ctx.mem.write_bytes(pa, &bytes);
             self.dst_off += n as u64;
-            self.counters.dma_out_bytes += n as u64;
+            self.counters.dma_out_bytes.add(n as u64);
         } else {
             let mut buf = vec![0u8; len];
             ctx.mem.read_bytes(pa, &mut buf);
             self.in_buf.extend(buf);
             self.src_off += len as u64;
-            self.counters.dma_in_bytes += len as u64;
+            self.counters.dma_in_bytes.add(len as u64);
         }
         self.access = Access::None;
     }
@@ -360,7 +363,7 @@ impl MapleUnit {
             && matches!(self.access, Access::None)
         {
             self.dma_state = DmaState::Idle;
-            self.counters.dma_transfers += 1;
+            self.counters.dma_transfers.inc();
         }
     }
 }
@@ -422,14 +425,31 @@ impl Component for MapleUnit {
             && self.port.is_idle()
     }
 
+    fn attach(&mut self, obs: &Observability) {
+        let c = &self.counters;
+        for (name, counter) in [
+            ("mmio_pushes", &c.mmio_pushes),
+            ("mmio_pops", &c.mmio_pops),
+            ("dma_transfers", &c.dma_transfers),
+            ("dma_in_bytes", &c.dma_in_bytes),
+            ("dma_out_bytes", &c.dma_out_bytes),
+        ] {
+            obs.adopt_counter(name, counter);
+        }
+        self.port.port_counters().register(obs, "port");
+    }
+
     fn counters(&self) -> Vec<(String, u64)> {
         let c = &self.counters;
+        let m = self.mmu.counters();
         vec![
-            ("mmio_pushes".into(), c.mmio_pushes),
-            ("mmio_pops".into(), c.mmio_pops),
-            ("dma_transfers".into(), c.dma_transfers),
-            ("dma_in_bytes".into(), c.dma_in_bytes),
-            ("dma_out_bytes".into(), c.dma_out_bytes),
+            ("mmio_pushes".into(), c.mmio_pushes.get()),
+            ("mmio_pops".into(), c.mmio_pops.get()),
+            ("dma_transfers".into(), c.dma_transfers.get()),
+            ("dma_in_bytes".into(), c.dma_in_bytes.get()),
+            ("dma_out_bytes".into(), c.dma_out_bytes.get()),
+            ("tlb_hits".into(), m.hits),
+            ("tlb_misses".into(), m.misses),
         ]
     }
 

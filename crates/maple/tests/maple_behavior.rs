@@ -86,7 +86,7 @@ fn mmio_pop_blocks_until_compute_finishes() {
     assert_eq!(got, expect);
     // The blocking pop must have stalled the core for the pipeline latency.
     let core = rig.soc.component::<InOrderCore>(rig.core).unwrap();
-    assert!(core.core_counters().mmio_stall_cycles as i64 >= 66);
+    assert!(core.core_counters().mmio_stall_cycles.get() as i64 >= 66);
 }
 
 #[test]
@@ -148,8 +148,8 @@ fn dma_transfer_through_mmu() {
         .soc
         .component::<MapleUnit>(cohort_sim::component::CompId(2))
         .unwrap();
-    assert_eq!(maple.maple_counters().dma_transfers, 1);
-    assert_eq!(maple.maple_counters().dma_in_bytes, 256);
+    assert_eq!(maple.maple_counters().dma_transfers.get(), 1);
+    assert_eq!(maple.maple_counters().dma_in_bytes.get(), 256);
 }
 
 #[test]

@@ -72,7 +72,7 @@ impl QueueDescriptor {
     /// # Errors
     /// Returns a [`DescriptorError`] describing the violated invariant.
     pub fn validate(&self) -> Result<(), DescriptorError> {
-        if self.element_bytes == 0 || self.element_bytes % 8 != 0 {
+        if self.element_bytes == 0 || !self.element_bytes.is_multiple_of(8) {
             return Err(DescriptorError::BadElementSize(self.element_bytes));
         }
         if self.length == 0 {

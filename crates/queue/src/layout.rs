@@ -33,7 +33,7 @@ impl QueueLayout {
     pub fn standard(base_va: u64, element_bytes: u32, length: u32) -> Self {
         assert_eq!(base_va % LINE_BYTES, 0, "queue base must be line aligned");
         assert!(
-            element_bytes > 0 && element_bytes % 8 == 0,
+            element_bytes > 0 && element_bytes.is_multiple_of(8),
             "element size must be a positive multiple of 8"
         );
         assert!(length > 0, "length must be positive");

@@ -36,6 +36,7 @@ pub mod batch;
 pub mod descriptor;
 pub mod layout;
 pub mod mpsc;
+pub mod pad;
 pub mod spsc;
 pub mod typed;
 

@@ -10,7 +10,7 @@
 //! standard Vyukov construction. The matching hardware descriptor would
 //! need the sequence stride; [`MpscDescriptor`] sketches it.
 
-use crossbeam::utils::CachePadded;
+use crate::pad::CachePadded;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicU64, Ordering};

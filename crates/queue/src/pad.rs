@@ -1,0 +1,55 @@
+//! Cache-line padding for the ring indices.
+//!
+//! The read and write indices must live on separate cache lines — the whole
+//! queue-coherence protocol (paper §3.2) hinges on the producer's
+//! write-index line and the consumer's read-index line ping-ponging
+//! independently. This is a dependency-free stand-in for
+//! `crossbeam_utils::CachePadded`, aligned to 128 bytes to also defeat
+//! adjacent-line prefetchers.
+
+/// Aligns and pads `T` to its own 128-byte slot.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in padding.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_and_sized() {
+        assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 128);
+        assert!(std::mem::size_of::<CachePadded<u64>>() >= 128);
+    }
+
+    #[test]
+    fn derefs_to_inner() {
+        let mut p = CachePadded::new(7u64);
+        assert_eq!(*p, 7);
+        *p = 9;
+        assert_eq!(*p, 9);
+    }
+}

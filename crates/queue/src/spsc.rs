@@ -11,7 +11,7 @@
 //! and `publish` explicitly — the software batching optimisation of §5.3 —
 //! and consumers can symmetrically delay their read-index release.
 
-use crossbeam::utils::CachePadded;
+use crate::pad::CachePadded;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -159,8 +159,21 @@ impl<T> Producer<T> {
     }
 
     /// Elements staged but not yet published.
+    ///
+    /// Acquire pairs with [`Producer::publish`]'s release store so that an
+    /// observer holding a shared reference (e.g. a stats probe on another
+    /// thread) never sees a write index ahead of the published elements.
     pub fn staged_len(&self) -> usize {
-        (self.staged - self.inner.write.load(Ordering::Relaxed)) as usize
+        (self.staged - self.inner.write.load(Ordering::Acquire)) as usize
+    }
+
+    /// Published-but-unconsumed elements as seen from the producer side.
+    ///
+    /// Pure observer: only atomic loads, callable through `&self`.
+    pub fn observed_len(&self) -> usize {
+        let write = self.inner.write.load(Ordering::Acquire);
+        let read = self.inner.read.load(Ordering::Acquire);
+        (write - read) as usize
     }
 
     /// Free slots available to the producer right now.
@@ -203,15 +216,24 @@ impl<T> Consumer<T> {
         Some(v)
     }
 
+    /// Published-but-unconsumed elements, observable through `&self`.
+    ///
+    /// Pure observer: a single acquire load of the write index against the
+    /// consumer's local position, with no write-cache refresh. Safe to call
+    /// from code that only holds a shared reference (stats probes, asserts).
+    pub fn observed_len(&self) -> usize {
+        let write = self.inner.write.load(Ordering::Acquire);
+        (write - self.staged) as usize
+    }
+
     /// Elements currently observable by the consumer.
-    pub fn len(&mut self) -> usize {
-        self.write_cache = self.inner.write.load(Ordering::Acquire);
-        (self.write_cache - self.staged) as usize
+    pub fn len(&self) -> usize {
+        self.observed_len()
     }
 
     /// True if no published elements are pending.
-    pub fn is_empty(&mut self) -> bool {
-        self.len() == 0
+    pub fn is_empty(&self) -> bool {
+        self.observed_len() == 0
     }
 }
 

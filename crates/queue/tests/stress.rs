@@ -1,0 +1,169 @@
+//! Cross-thread stress tests for the queue crate.
+//!
+//! These exercise the paths the unit tests only cover single-threaded:
+//! multi-producer contention on a ring small enough to wrap thousands of
+//! times (so ticket reservation, slot-sequence publication and the
+//! full-ring detection all race for real), and the batched adapters'
+//! flush-on-error path with the producer and consumer on separate threads.
+
+use cohort_queue::{mpsc_channel, spsc_channel, BatchConsumer, BatchProducer};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// Many producers hammer a ring so small that every element wraps the ring
+/// hundreds of times; the full-ring error path (seq < ticket) is hit
+/// constantly. Every element must arrive exactly once and per-producer
+/// order must hold.
+#[test]
+fn mpsc_full_ring_wrap_contention() {
+    const PRODUCERS: u64 = 8;
+    const PER: u64 = 1_500;
+    // Capacity far below producer count: pushes fail with "full" most of
+    // the time, so the reservation protocol runs under maximum contention.
+    let (tx, mut rx) = mpsc_channel::<(u64, u64)>(4);
+    let full_errors = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for p in 0..PRODUCERS {
+        let tx = tx.clone();
+        let full_errors = Arc::clone(&full_errors);
+        handles.push(thread::spawn(move || {
+            for i in 0..PER {
+                loop {
+                    match tx.push((p, i)) {
+                        Ok(()) => break,
+                        Err(_) => {
+                            full_errors.fetch_add(1, Ordering::Relaxed);
+                            thread::yield_now();
+                        }
+                    }
+                }
+            }
+        }));
+    }
+    drop(tx);
+    let mut next = [0u64; PRODUCERS as usize];
+    let mut total = 0u64;
+    while total < PRODUCERS * PER {
+        if let Some((p, i)) = rx.pop() {
+            assert_eq!(i, next[p as usize], "producer {p} reordered");
+            next[p as usize] += 1;
+            total += 1;
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+    assert_eq!(rx.pop(), None, "no phantom elements after drain");
+    // With capacity 4 and 32k elements the ring must have wrapped and the
+    // full path must have fired; if it never did the test lost its point.
+    assert!(
+        full_errors.load(Ordering::Relaxed) > 0,
+        "expected contention on a capacity-4 ring"
+    );
+}
+
+/// `full_queue_error_still_publishes_staged`, but with a real consumer
+/// thread: the producer batches far beyond the ring capacity, so progress
+/// is only possible because the failed push publishes the staged partial
+/// batch. A deadlock here means the flush-on-error path regressed.
+#[test]
+fn batch_producer_flush_on_error_across_threads() {
+    const N: u64 = 20_000;
+    // batch (64) > capacity (8): a full batch can never fit, so every
+    // publication happens through the error path.
+    let (tx, mut rx) = spsc_channel::<u64>(8);
+    let mut btx = BatchProducer::new(tx, 64);
+    let producer = thread::spawn(move || {
+        for i in 0..N {
+            loop {
+                match btx.push(i) {
+                    Ok(()) => break,
+                    // push() already flushed the staged elements; just
+                    // wait for the consumer to drain.
+                    Err(_) => thread::yield_now(),
+                }
+            }
+        }
+        // Drop flushes the final partial batch.
+    });
+    let mut expect = 0u64;
+    while expect < N {
+        if let Some(v) = rx.pop() {
+            assert_eq!(v, expect, "FIFO order through the error-flush path");
+            expect += 1;
+        } else {
+            thread::yield_now();
+        }
+    }
+    producer.join().unwrap();
+}
+
+/// Symmetric consumer-side test: a `BatchConsumer` whose delayed releases
+/// are the only thing standing between the producer and a full ring. The
+/// consumer's batch boundary (and final flush) must free slots or the
+/// producer thread never finishes.
+#[test]
+fn batch_consumer_release_unblocks_producer_across_threads() {
+    const N: u64 = 20_000;
+    let (mut tx, rx) = spsc_channel::<u64>(16);
+    let mut brx = BatchConsumer::new(rx, 4);
+    let producer = thread::spawn(move || {
+        for i in 0..N {
+            loop {
+                match tx.push(i) {
+                    Ok(()) => break,
+                    Err(_) => thread::yield_now(),
+                }
+            }
+        }
+    });
+    let mut expect = 0u64;
+    while expect < N {
+        if let Some(v) = brx.pop() {
+            assert_eq!(v, expect);
+            expect += 1;
+        } else {
+            thread::yield_now();
+        }
+    }
+    producer.join().unwrap();
+    brx.flush();
+}
+
+/// The `&self` observers must be callable while the producer thread is
+/// live, and must never report more elements than have been published.
+#[test]
+fn shared_ref_observers_race_with_producer() {
+    const N: u64 = 20_000;
+    let (mut tx, rx) = spsc_channel::<u64>(32);
+    let produced = Arc::new(AtomicU64::new(0));
+    let produced2 = Arc::clone(&produced);
+    let producer = thread::spawn(move || {
+        for i in 0..N {
+            // Count first, publish second: observed_len() <= produced is
+            // then an invariant the consumer thread can check.
+            produced2.fetch_add(1, Ordering::SeqCst);
+            while tx.push(i).is_err() {
+                thread::yield_now();
+            }
+        }
+    });
+    let mut rx = rx;
+    let mut seen = 0u64;
+    while seen < N {
+        // &self observers: no &mut needed, only atomic loads inside.
+        let observed = rx.observed_len() as u64;
+        assert!(
+            seen + observed <= produced.load(Ordering::SeqCst),
+            "observer saw unpublished elements"
+        );
+        assert_eq!(rx.is_empty(), observed == 0);
+        if let Some(v) = rx.pop() {
+            assert_eq!(v, seen);
+            seen += 1;
+        } else {
+            thread::yield_now();
+        }
+    }
+    producer.join().unwrap();
+}

@@ -148,6 +148,7 @@ impl TagArray {
     /// `busy` returns true (e.g. lines with an in-flight directory
     /// transaction). Returns `Err(())` if the set is full of busy lines;
     /// the caller should retry later.
+    #[allow(clippy::result_unit_err)]
     pub fn insert_with_victim_filter(
         &mut self,
         line: u64,
@@ -173,7 +174,7 @@ impl TagArray {
         let victim_idx = self.entries[range.clone()]
             .iter()
             .enumerate()
-            .filter(|(_, e)| e.map_or(false, |e| !busy(e.tag)))
+            .filter(|(_, e)| e.is_some_and(|e| !busy(e.tag)))
             .min_by_key(|(_, e)| e.map(|e| e.lru))
             .map(|(i, _)| i);
         match victim_idx {

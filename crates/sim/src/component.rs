@@ -5,6 +5,8 @@ use std::collections::VecDeque;
 
 use crate::mem::PhysMem;
 use crate::msg::{Envelope, Msg};
+use crate::stats::{Counter, Histogram, Stats};
+use crate::trace::Trace;
 
 /// Index of a component within its [`crate::soc::Soc`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -119,6 +121,46 @@ impl<'a> Ctx<'a> {
     }
 }
 
+/// The observability context handed to a component when it joins a SoC
+/// ([`Component::attach`]): the shared [`Stats`] registry, the shared
+/// [`Trace`] handle, and the component's scope (`name#id`).
+///
+/// Helper methods create registry entries under the component's scope, so
+/// two engines never collide on counter names.
+#[derive(Debug, Clone)]
+pub struct Observability {
+    /// The SoC-wide stats registry.
+    pub stats: Stats,
+    /// The SoC-wide event trace.
+    pub trace: Trace,
+    /// Scope prefix (`name#id`) for registry names.
+    pub scope: String,
+    /// Trace thread id (the component's [`CompId`] index).
+    pub tid: u64,
+}
+
+impl Observability {
+    /// Gets or creates the scoped counter `scope.name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.stats.counter(&format!("{}.{name}", self.scope))
+    }
+
+    /// Registers an existing counter handle as `scope.name`.
+    pub fn adopt_counter(&self, name: &str, counter: &Counter) {
+        self.stats.adopt_counter(&format!("{}.{name}", self.scope), counter);
+    }
+
+    /// Gets or creates the scoped histogram `scope.name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.stats.histogram(&format!("{}.{name}", self.scope))
+    }
+
+    /// Registers an existing histogram handle as `scope.name`.
+    pub fn adopt_histogram(&self, name: &str, histogram: &Histogram) {
+        self.stats.adopt_histogram(&format!("{}.{name}", self.scope), histogram);
+    }
+}
+
 /// A simulated hardware component: a core, the directory, the Cohort engine,
 /// a MAPLE unit, ...
 ///
@@ -128,6 +170,15 @@ impl<'a> Ctx<'a> {
 pub trait Component {
     /// Short human-readable name, used in stats dumps.
     fn name(&self) -> &str;
+
+    /// Called once when the component is added to a SoC
+    /// ([`crate::soc::Soc::add_component`]). Implementations register
+    /// their counters/histograms in `obs.stats` and keep a clone of
+    /// `obs.trace` for event emission. The default does nothing, so
+    /// simple probe components need not care.
+    fn attach(&mut self, obs: &Observability) {
+        let _ = obs;
+    }
 
     /// Advances the component by one cycle.
     fn step(&mut self, ctx: &mut Ctx<'_>);

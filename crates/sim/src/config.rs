@@ -23,7 +23,7 @@ impl CacheConfig {
     pub fn new(capacity_bytes: u64, ways: u32) -> Self {
         let line_per_way = capacity_bytes / u64::from(ways);
         assert!(
-            line_per_way % crate::LINE_BYTES == 0 && line_per_way > 0,
+            line_per_way.is_multiple_of(crate::LINE_BYTES) && line_per_way > 0,
             "capacity {capacity_bytes} not divisible into {ways} ways of whole lines"
         );
         Self { capacity_bytes, ways }

@@ -8,12 +8,13 @@
 //! page-fault path. It retires at most one instruction per cycle and
 //! reports the counters the paper's IPC analysis (§6.2) needs.
 
-use crate::component::{CompId, Component, Ctx};
+use crate::component::{CompId, Component, Ctx, Observability};
 use crate::config::SocConfig;
 use crate::mem::PhysMem;
 use crate::msg::Msg;
 use crate::port::{CoherentPort, Outcome, PortEvent};
 use crate::program::{Op, Program};
+use crate::stats::Counter;
 use crate::translate::{Identity, Translator};
 use std::collections::{HashMap, VecDeque};
 
@@ -33,8 +34,16 @@ pub enum HandlerAction {
     /// Run arbitrary host logic against guest memory (e.g. map a page into
     /// the page tables), then optionally perform one blocking MMIO write
     /// `(pa, value)`. Receives the interrupt payload.
-    Custom(Box<dyn FnMut(&mut PhysMem, u64) -> Option<(u64, u64)> + Send>),
+    Custom(CustomHandler),
 }
+
+/// Host logic run on interrupt: may touch guest memory, then optionally
+/// request one blocking MMIO write `(pa, value)`.
+pub type CustomHandler = Box<dyn FnMut(&mut PhysMem, u64) -> Option<(u64, u64)> + Send>;
+
+/// Kernel page-fault path: maps the faulting page and returns true, or
+/// returns false for a fatal fault.
+pub type FaultHook = Box<dyn FnMut(&mut PhysMem, u64) -> bool + Send>;
 
 impl std::fmt::Debug for HandlerAction {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -78,31 +87,58 @@ enum CState {
     Done,
 }
 
-/// Performance counters for one core.
+/// Performance counters for one core. Event counts are registry-backed
+/// [`Counter`] handles ([`crate::stats::Stats`]); `done_at` is a cycle
+/// stamp, not a count, and stays a plain integer.
 #[derive(Debug, Default, Clone)]
 pub struct CoreCounters {
     /// Retired instructions.
-    pub instret: u64,
+    pub instret: Counter,
     /// Cycle at which the program finished (0 if still running).
     pub done_at: u64,
     /// Cached loads issued.
-    pub loads: u64,
+    pub loads: Counter,
     /// Stores issued.
-    pub stores: u64,
+    pub stores: Counter,
     /// MMIO operations issued.
-    pub mmio_ops: u64,
+    pub mmio_ops: Counter,
     /// Cycles stalled waiting for MMIO responses.
-    pub mmio_stall_cycles: u64,
+    pub mmio_stall_cycles: Counter,
     /// Cycles stalled waiting for cache misses.
-    pub mem_stall_cycles: u64,
+    pub mem_stall_cycles: Counter,
     /// Spin-loop iterations executed.
-    pub spin_iters: u64,
+    pub spin_iters: Counter,
     /// Cycles the store buffer was full and blocked a store.
-    pub sb_full_stalls: u64,
+    pub sb_full_stalls: Counter,
     /// Interrupts taken.
-    pub irqs: u64,
+    pub irqs: Counter,
     /// Core-side demand page faults taken.
-    pub core_faults: u64,
+    pub core_faults: Counter,
+}
+
+impl CoreCounters {
+    fn reset(&mut self) {
+        let Self {
+            instret,
+            done_at,
+            loads,
+            stores,
+            mmio_ops,
+            mmio_stall_cycles,
+            mem_stall_cycles,
+            spin_iters,
+            sb_full_stalls,
+            irqs,
+            core_faults,
+        } = self;
+        for c in [
+            instret, loads, stores, mmio_ops, mmio_stall_cycles, mem_stall_cycles,
+            spin_iters, sb_full_stalls, irqs, core_faults,
+        ] {
+            c.reset();
+        }
+        *done_at = 0;
+    }
 }
 
 /// The in-order core component.
@@ -123,9 +159,8 @@ pub struct InOrderCore {
     mmio_tag: u64,
     irq_pending: VecDeque<(u32, u64)>,
     handlers: HashMap<u32, IrqHandler>,
-    /// Kernel page-fault path for the core's own accesses: maps the page
-    /// and returns true, or returns false for a fatal fault.
-    fault_hook: Option<Box<dyn FnMut(&mut PhysMem, u64) -> bool + Send>>,
+    /// Kernel page-fault path for the core's own accesses.
+    fault_hook: Option<FaultHook>,
     trap_cost: u64,
     trap_insts: u64,
     counters: CoreCounters,
@@ -136,7 +171,7 @@ impl std::fmt::Debug for InOrderCore {
         f.debug_struct("InOrderCore")
             .field("pc", &self.pc)
             .field("state", &self.state)
-            .field("instret", &self.counters.instret)
+            .field("instret", &self.counters.instret.get())
             .finish()
     }
 }
@@ -170,7 +205,7 @@ impl InOrderCore {
 
     /// Installs the kernel's demand-paging path for this core's own
     /// accesses (unmapped VA -> trap, map, retry).
-    pub fn set_fault_hook(&mut self, hook: Box<dyn FnMut(&mut PhysMem, u64) -> bool + Send>) {
+    pub fn set_fault_hook(&mut self, hook: FaultHook) {
         self.fault_hook = Some(hook);
     }
 
@@ -191,7 +226,7 @@ impl InOrderCore {
         self.sb_waiting = false;
         self.recorded.clear();
         self.irq_pending.clear();
-        self.counters = CoreCounters::default();
+        self.counters.reset();
     }
 
     /// Registers an interrupt handler for `irq`.
@@ -226,8 +261,8 @@ impl InOrderCore {
             .as_mut()
             .unwrap_or_else(|| panic!("core-side page fault at va {va:#x} with no handler"));
         assert!(hook(ctx.mem, va), "fatal core-side page fault at va {va:#x}");
-        self.counters.core_faults += 1;
-        self.counters.instret += self.trap_insts;
+        self.counters.core_faults.inc();
+        self.counters.instret.add(self.trap_insts);
         self.busy_until = ctx.cycle + self.trap_cost;
         None
     }
@@ -311,15 +346,15 @@ impl InOrderCore {
         if record {
             self.recorded.push(v);
         }
-        self.counters.instret += 1;
+        self.counters.instret.inc();
         self.pc += 1;
         self.state = CState::Ready;
         self.busy_until = ctx.cycle;
     }
 
     fn spin_check(&mut self, ctx: &mut Ctx<'_>, pa: u64, value: u64) {
-        self.counters.spin_iters += 1;
-        self.counters.instret += self.spin_insts; // load + compare + branch
+        self.counters.spin_iters.inc();
+        self.counters.instret.add(self.spin_insts); // load + compare + branch
         let v = ctx.mem.read_u64(pa);
         if v >= value {
             self.pc += 1;
@@ -340,8 +375,8 @@ impl InOrderCore {
             panic!("core has no handler for irq {irq}");
         };
         self.irq_pending.pop_front();
-        self.counters.irqs += 1;
-        self.counters.instret += handler.entry_insts;
+        self.counters.irqs.inc();
+        self.counters.instret.add(handler.entry_insts);
         let entry_cycles = handler.entry_cycles;
         let mmio = match &mut handler.action {
             HandlerAction::MmioWrite { pa, value } => Some((*pa, *value)),
@@ -367,7 +402,7 @@ impl InOrderCore {
             .mmio_target(pa)
             .unwrap_or_else(|| panic!("no MMIO device at {pa:#x}"));
         self.mmio_tag += 1;
-        self.counters.mmio_ops += 1;
+        self.counters.mmio_ops.inc();
         ctx.send(dst, Msg::MmioWrite { pa, value, tag: self.mmio_tag });
     }
 
@@ -382,18 +417,18 @@ impl InOrderCore {
         let op = self.ops[self.pc].clone();
         match op {
             Op::Alu(n) => {
-                self.counters.instret += u64::from(n);
+                self.counters.instret.add(u64::from(n));
                 self.busy_until = ctx.cycle + u64::from(n);
                 self.pc += 1;
             }
             Op::Load { va, record } => {
                 let Some(pa) = self.translate(ctx, va) else { return };
-                self.counters.loads += 1;
+                self.counters.loads.inc();
                 if let Some(v) = self.sb_forward(pa) {
                     if record {
                         self.recorded.push(v);
                     }
-                    self.counters.instret += 1;
+                    self.counters.instret.inc();
                     self.busy_until = ctx.cycle + 1;
                     self.pc += 1;
                     return;
@@ -408,13 +443,13 @@ impl InOrderCore {
             }
             Op::Store { va, value } => {
                 if self.sb.len() >= self.sb_limit {
-                    self.counters.sb_full_stalls += 1;
+                    self.counters.sb_full_stalls.inc();
                     self.busy_until = ctx.cycle + 1;
                     return;
                 }
                 let Some(pa) = self.translate(ctx, va) else { return };
-                self.counters.stores += 1;
-                self.counters.instret += 1;
+                self.counters.stores.inc();
+                self.counters.instret.inc();
                 self.sb.push_back((pa, value));
                 self.busy_until = ctx.cycle + 1;
                 self.pc += 1;
@@ -431,7 +466,7 @@ impl InOrderCore {
             }
             Op::Fence => {
                 if self.sb.is_empty() && !self.sb_waiting {
-                    self.counters.instret += 1;
+                    self.counters.instret.inc();
                     self.busy_until = ctx.cycle + 1;
                     self.pc += 1;
                 } else {
@@ -443,7 +478,7 @@ impl InOrderCore {
                     .mmio_target(pa)
                     .unwrap_or_else(|| panic!("no MMIO device at {pa:#x}"));
                 self.mmio_tag += 1;
-                self.counters.mmio_ops += 1;
+                self.counters.mmio_ops.inc();
                 ctx.send(dst, Msg::MmioRead { pa, tag: self.mmio_tag });
                 self.state = CState::WaitMmio { record };
             }
@@ -452,7 +487,7 @@ impl InOrderCore {
                 self.state = CState::WaitMmio { record: false };
             }
             Op::KernelCost { cycles, insts } => {
-                self.counters.instret += insts;
+                self.counters.instret.add(insts);
                 self.busy_until = ctx.cycle + cycles;
                 self.pc += 1;
             }
@@ -463,6 +498,25 @@ impl InOrderCore {
 impl Component for InOrderCore {
     fn name(&self) -> &str {
         "core"
+    }
+
+    fn attach(&mut self, obs: &Observability) {
+        let c = &self.counters;
+        for (name, counter) in [
+            ("instret", &c.instret),
+            ("loads", &c.loads),
+            ("stores", &c.stores),
+            ("mmio_ops", &c.mmio_ops),
+            ("mmio_stall_cycles", &c.mmio_stall_cycles),
+            ("mem_stall_cycles", &c.mem_stall_cycles),
+            ("spin_iters", &c.spin_iters),
+            ("sb_full_stalls", &c.sb_full_stalls),
+            ("irqs", &c.irqs),
+            ("core_faults", &c.core_faults),
+        ] {
+            obs.adopt_counter(name, counter);
+        }
+        self.port.port_counters().register(obs, "l1");
     }
 
     fn step(&mut self, ctx: &mut Ctx<'_>) {
@@ -478,7 +532,7 @@ impl Component for InOrderCore {
                         if record {
                             self.recorded.push(*value);
                         }
-                        self.counters.instret += 1;
+                        self.counters.instret.inc();
                         self.pc += 1;
                         self.state = CState::Ready;
                         self.busy_until = ctx.cycle + 1;
@@ -486,7 +540,7 @@ impl Component for InOrderCore {
                 }
                 Msg::MmioWriteResp { .. } => match self.state {
                     CState::WaitMmio { .. } => {
-                        self.counters.instret += 1;
+                        self.counters.instret.inc();
                         self.pc += 1;
                         self.state = CState::Ready;
                         self.busy_until = ctx.cycle + 1;
@@ -510,10 +564,10 @@ impl Component for InOrderCore {
         // 3. Stall accounting.
         match self.state {
             CState::WaitMmio { .. } | CState::WaitHandlerMmio => {
-                self.counters.mmio_stall_cycles += 1
+                self.counters.mmio_stall_cycles.inc()
             }
             CState::WaitLoad { .. } | CState::WaitSpin { .. } => {
-                self.counters.mem_stall_cycles += 1
+                self.counters.mem_stall_cycles.inc()
             }
             _ => {}
         }
@@ -544,18 +598,21 @@ impl Component for InOrderCore {
 
     fn counters(&self) -> Vec<(String, u64)> {
         let c = &self.counters;
+        let l1 = self.port.port_counters();
         vec![
-            ("instret".into(), c.instret),
+            ("l1_hits".into(), l1.hits.get()),
+            ("l1_misses".into(), l1.misses.get()),
+            ("instret".into(), c.instret.get()),
             ("done_at".into(), c.done_at),
-            ("loads".into(), c.loads),
-            ("stores".into(), c.stores),
-            ("mmio_ops".into(), c.mmio_ops),
-            ("mmio_stall_cycles".into(), c.mmio_stall_cycles),
-            ("mem_stall_cycles".into(), c.mem_stall_cycles),
-            ("spin_iters".into(), c.spin_iters),
-            ("sb_full_stalls".into(), c.sb_full_stalls),
-            ("irqs".into(), c.irqs),
-            ("core_faults".into(), c.core_faults),
+            ("loads".into(), c.loads.get()),
+            ("stores".into(), c.stores.get()),
+            ("mmio_ops".into(), c.mmio_ops.get()),
+            ("mmio_stall_cycles".into(), c.mmio_stall_cycles.get()),
+            ("mem_stall_cycles".into(), c.mem_stall_cycles.get()),
+            ("spin_iters".into(), c.spin_iters.get()),
+            ("sb_full_stalls".into(), c.sb_full_stalls.get()),
+            ("irqs".into(), c.irqs.get()),
+            ("core_faults".into(), c.core_faults.get()),
         ]
     }
 

@@ -18,9 +18,11 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use crate::cache::{LineState, TagArray};
-use crate::component::{CompId, Component, Ctx};
+use crate::component::{CompId, Component, Ctx, Observability};
 use crate::config::SocConfig;
 use crate::msg::{Envelope, Msg};
+use crate::stats::Counter;
+use crate::trace::Trace;
 
 /// Directory-side sharing state for a line cached above the L2.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -106,25 +108,27 @@ impl Ord for Delayed {
     }
 }
 
-/// Performance counters exposed by the directory.
+/// Performance counters exposed by the directory. Fields are
+/// registry-backed [`crate::stats::Counter`] handles shared with the
+/// stats registry once the directory is attached to a SoC.
 #[derive(Debug, Default, Clone)]
 pub struct DirCounters {
     /// `GetS` requests served.
-    pub gets: u64,
+    pub gets: Counter,
     /// `GetM` requests served.
-    pub getm: u64,
+    pub getm: Counter,
     /// Invalidations sent (GetM + recalls).
-    pub inv_sent: u64,
+    pub inv_sent: Counter,
     /// Downgrades sent.
-    pub downgrades: u64,
+    pub downgrades: Counter,
     /// L2 tag hits.
-    pub l2_hits: u64,
+    pub l2_hits: Counter,
     /// DRAM fills.
-    pub fills: u64,
+    pub fills: Counter,
     /// Inclusive-eviction recalls.
-    pub recalls: u64,
+    pub recalls: Counter,
     /// Full-line-write installs that skipped the DRAM fill.
-    pub wc_installs: u64,
+    pub wc_installs: Counter,
 }
 
 /// The shared L2 + directory component. See module docs.
@@ -137,6 +141,8 @@ pub struct Directory {
     l2_hit: u64,
     dram: u64,
     counters: DirCounters,
+    trace: Option<Trace>,
+    tid: u64,
 }
 
 impl std::fmt::Debug for Directory {
@@ -160,6 +166,8 @@ impl Directory {
             l2_hit: cfg.timing.l2_hit,
             dram: cfg.timing.dram,
             counters: DirCounters::default(),
+            trace: None,
+            tid: 0,
         }
     }
 
@@ -173,10 +181,23 @@ impl Directory {
         self.delayed.push(Reverse(Delayed { at, seq: self.seq, line, kind }));
     }
 
+    /// Emits a coherence-transition instant event when tracing is on.
+    fn trace_coh(&self, cycle: u64, name: &'static str, line: u64, agent: CompId) {
+        if let Some(t) = self.trace.as_ref().filter(|t| t.is_enabled()) {
+            t.instant(
+                self.tid,
+                "coherence",
+                name,
+                cycle,
+                vec![("line", format!("{line:#x}")), ("agent", agent.to_string())],
+            );
+        }
+    }
+
     fn on_request(&mut self, ctx: &mut Ctx<'_>, line: u64, req: Req) {
         match req.kind {
-            ReqKind::GetS => self.counters.gets += 1,
-            ReqKind::GetM => self.counters.getm += 1,
+            ReqKind::GetS => self.counters.gets.inc(),
+            ReqKind::GetM => self.counters.getm.inc(),
         }
         if let Some(txn) = self.txns.get_mut(&line) {
             txn.queue.push_back(req);
@@ -190,14 +211,14 @@ impl Directory {
 
     fn start_access(&mut self, ctx: &mut Ctx<'_>, line: u64, no_fetch: bool) {
         if self.l2.touch(line).is_some() {
-            self.counters.l2_hits += 1;
+            self.counters.l2_hits.inc();
             self.schedule(ctx.cycle + self.l2_hit, line, DelayedKind::Proceed);
         } else if no_fetch {
             // Full-line write: install tags without touching DRAM.
-            self.counters.wc_installs += 1;
+            self.counters.wc_installs.inc();
             self.schedule(ctx.cycle + self.l2_hit, line, DelayedKind::Fill);
         } else {
-            self.counters.fills += 1;
+            self.counters.fills.inc();
             self.schedule(ctx.cycle + self.l2_hit + self.dram, line, DelayedKind::Fill);
         }
     }
@@ -223,13 +244,14 @@ impl Directory {
                     self.states.remove(&vline);
                     self.proceed(ctx, line);
                 } else {
-                    self.counters.recalls += 1;
+                    self.counters.recalls.inc();
                     self.txns.insert(
                         vline,
                         Txn { queue: VecDeque::new(), phase: Phase::BlockedVictim { parent: line } },
                     );
                     for h in &holders {
-                        self.counters.inv_sent += 1;
+                        self.counters.inv_sent.inc();
+                        self.trace_coh(ctx.cycle, "Recall", vline, *h);
                         ctx.send(*h, Msg::Inv { line: vline });
                     }
                     self.txns.get_mut(&line).expect("txn").phase =
@@ -263,7 +285,8 @@ impl Directory {
                 self.grant(ctx, line, req, Msg::DataS { line });
             }
             (ReqKind::GetS, Some(DirState::Owned(o))) => {
-                self.counters.downgrades += 1;
+                self.counters.downgrades.inc();
+                self.trace_coh(ctx.cycle, "Downgrade", line, o);
                 ctx.send(o, Msg::Downgrade { line });
                 self.txns.get_mut(&line).expect("txn").phase =
                     Phase::WaitDowngradeAck { prev_owner: o };
@@ -280,7 +303,8 @@ impl Directory {
                     self.grant(ctx, line, req, Msg::DataM { line });
                 } else {
                     for t in &targets {
-                        self.counters.inv_sent += 1;
+                        self.counters.inv_sent.inc();
+                        self.trace_coh(ctx.cycle, "Inv", line, *t);
                         ctx.send(*t, Msg::Inv { line });
                     }
                     self.txns.get_mut(&line).expect("txn").phase =
@@ -291,7 +315,8 @@ impl Directory {
                 self.grant(ctx, line, req, Msg::DataM { line });
             }
             (ReqKind::GetM, Some(DirState::Owned(o))) => {
-                self.counters.inv_sent += 1;
+                self.counters.inv_sent.inc();
+                self.trace_coh(ctx.cycle, "Inv", line, o);
                 ctx.send(o, Msg::Inv { line });
                 self.txns.get_mut(&line).expect("txn").phase =
                     Phase::WaitInvAcks { remaining: 1 };
@@ -300,6 +325,7 @@ impl Directory {
     }
 
     fn grant(&mut self, ctx: &mut Ctx<'_>, line: u64, req: Req, msg: Msg) {
+        self.trace_coh(ctx.cycle, msg.kind(), line, req.from);
         ctx.send(req.from, msg);
         let txn = self.txns.get_mut(&line).expect("txn");
         txn.queue.pop_front();
@@ -455,17 +481,35 @@ impl Component for Directory {
         self.txns.is_empty() && self.delayed.is_empty()
     }
 
+    fn attach(&mut self, obs: &Observability) {
+        let c = &self.counters;
+        for (name, counter) in [
+            ("gets", &c.gets),
+            ("getm", &c.getm),
+            ("inv_sent", &c.inv_sent),
+            ("downgrades", &c.downgrades),
+            ("l2_hits", &c.l2_hits),
+            ("fills", &c.fills),
+            ("recalls", &c.recalls),
+            ("wc_installs", &c.wc_installs),
+        ] {
+            obs.adopt_counter(name, counter);
+        }
+        self.trace = Some(obs.trace.clone());
+        self.tid = obs.tid;
+    }
+
     fn counters(&self) -> Vec<(String, u64)> {
         let c = &self.counters;
         vec![
-            ("gets".into(), c.gets),
-            ("getm".into(), c.getm),
-            ("inv_sent".into(), c.inv_sent),
-            ("downgrades".into(), c.downgrades),
-            ("l2_hits".into(), c.l2_hits),
-            ("fills".into(), c.fills),
-            ("recalls".into(), c.recalls),
-            ("wc_installs".into(), c.wc_installs),
+            ("gets".into(), c.gets.get()),
+            ("getm".into(), c.getm.get()),
+            ("inv_sent".into(), c.inv_sent.get()),
+            ("downgrades".into(), c.downgrades.get()),
+            ("l2_hits".into(), c.l2_hits.get()),
+            ("fills".into(), c.fills.get()),
+            ("recalls".into(), c.recalls.get()),
+            ("wc_installs".into(), c.wc_installs.get()),
         ]
     }
 

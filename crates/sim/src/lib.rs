@@ -60,6 +60,8 @@ pub mod noc;
 pub mod port;
 pub mod program;
 pub mod soc;
+pub mod stats;
+pub mod trace;
 pub mod translate;
 
 /// Bytes per cache line across the simulated SoC.
@@ -80,6 +82,6 @@ mod tests {
         assert_eq!(line_of(0), 0);
         assert_eq!(line_of(63), 0);
         assert_eq!(line_of(64), 64);
-        assert_eq!(line_of(0x1234), 0x1200 + 0x34 / 64 * 64);
+        assert_eq!(line_of(0x1234), 0x1200);
     }
 }

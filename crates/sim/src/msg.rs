@@ -62,6 +62,26 @@ impl Msg {
         }
     }
 
+    /// Short kind name, used as the trace-event label for NoC flights.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Msg::GetS { .. } => "GetS",
+            Msg::GetM { .. } => "GetM",
+            Msg::PutLine { .. } => "PutLine",
+            Msg::Inv { .. } => "Inv",
+            Msg::InvAck { .. } => "InvAck",
+            Msg::Downgrade { .. } => "Downgrade",
+            Msg::DowngradeAck { .. } => "DowngradeAck",
+            Msg::DataS { .. } => "DataS",
+            Msg::DataM { .. } => "DataM",
+            Msg::MmioRead { .. } => "MmioRead",
+            Msg::MmioWrite { .. } => "MmioWrite",
+            Msg::MmioReadResp { .. } => "MmioReadResp",
+            Msg::MmioWriteResp { .. } => "MmioWriteResp",
+            Msg::Irq { .. } => "Irq",
+        }
+    }
+
     /// The cache line this message concerns, if it is coherence traffic.
     pub fn line(&self) -> Option<u64> {
         match self {

@@ -12,6 +12,12 @@ use std::collections::BinaryHeap;
 use crate::component::{CompId, TileCoord};
 use crate::config::TimingConfig;
 use crate::msg::Envelope;
+use crate::stats::{Counter, Histogram, Stats};
+use crate::trace::Trace;
+
+/// Trace thread id used for NoC flight events (components use their own
+/// [`CompId`] index; this is far above any realistic component count).
+pub const NOC_TRACE_TID: u64 = 1 << 32;
 
 #[derive(Debug)]
 struct InFlight {
@@ -46,8 +52,11 @@ pub struct Noc {
     per_hop: u64,
     heap: BinaryHeap<Reverse<InFlight>>,
     seq: u64,
-    delivered: u64,
-    flits: u64,
+    delivered: Counter,
+    flits: Counter,
+    hop_latency: Histogram,
+    hops: Histogram,
+    trace: Option<Trace>,
 }
 
 impl Noc {
@@ -58,9 +67,23 @@ impl Noc {
             per_hop: timing.noc_per_hop,
             heap: BinaryHeap::new(),
             seq: 0,
-            delivered: 0,
-            flits: 0,
+            delivered: Counter::new(),
+            flits: Counter::new(),
+            hop_latency: Histogram::new(),
+            hops: Histogram::new(),
+            trace: None,
         }
+    }
+
+    /// Registers the NoC's counters and histograms in `stats` and keeps a
+    /// trace handle for per-message flight events. Called by the SoC.
+    pub fn attach(&mut self, stats: &Stats, trace: &Trace) {
+        stats.adopt_counter("noc.delivered", &self.delivered);
+        stats.adopt_counter("noc.flits", &self.flits);
+        stats.adopt_histogram("noc.hop_latency", &self.hop_latency);
+        stats.adopt_histogram("noc.hops", &self.hops);
+        trace.name_thread(NOC_TRACE_TID, "noc");
+        self.trace = Some(trace.clone());
     }
 
     /// Latency in cycles for a message of `payload_bytes` between two tiles.
@@ -94,7 +117,20 @@ impl Noc {
     ) {
         let lat = (self.latency(from, to, env.msg.payload_bytes()) + extra).max(1);
         self.seq += 1;
-        self.flits += 1 + env.msg.payload_bytes() / 8;
+        self.flits.add(1 + env.msg.payload_bytes() / 8);
+        self.hop_latency.record(lat);
+        self.hops.record(from.hops_to(to));
+        if let Some(trace) = self.trace.as_ref().filter(|t| t.is_enabled()) {
+            let mut args = vec![
+                ("src", env.src.to_string()),
+                ("dst", dst.to_string()),
+                ("hops", from.hops_to(to).to_string()),
+            ];
+            if let Some(line) = env.msg.line() {
+                args.push(("line", format!("{line:#x}")));
+            }
+            trace.complete(NOC_TRACE_TID, "noc", env.msg.kind(), cycle, lat, args);
+        }
         self.heap.push(Reverse(InFlight { at: cycle + lat, seq: self.seq, dst, env }));
     }
 
@@ -105,7 +141,7 @@ impl Noc {
                 break;
             }
             let Reverse(m) = self.heap.pop().expect("peeked");
-            self.delivered += 1;
+            self.delivered.inc();
             sink(m.dst, m.env);
         }
     }
@@ -123,12 +159,18 @@ impl Noc {
 
     /// Total messages delivered so far.
     pub fn delivered(&self) -> u64 {
-        self.delivered
+        self.delivered.get()
     }
 
     /// Total flits injected so far (1 head flit + 1 per 8 payload bytes).
     pub fn flits(&self) -> u64 {
-        self.flits
+        self.flits.get()
+    }
+
+    /// Per-message latency distribution (cycles from injection to
+    /// delivery, including sender-side delay).
+    pub fn hop_latency(&self) -> &Histogram {
+        &self.hop_latency
     }
 }
 
@@ -178,9 +220,7 @@ mod tests {
 
     #[test]
     fn minimum_one_cycle() {
-        let mut timing = TimingConfig::default();
-        timing.noc_base = 0;
-        timing.noc_per_hop = 0;
+        let timing = TimingConfig { noc_base: 0, noc_per_hop: 0, ..TimingConfig::default() };
         let mut noc = Noc::new(&timing);
         let a = TileCoord::new(0, 0);
         noc.inject(5, a, a, CompId(0), env(0));

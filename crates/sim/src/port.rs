@@ -9,8 +9,10 @@
 use crate::cache::{LineState, TagArray};
 use crate::component::{CompId, Ctx};
 use crate::config::CacheConfig;
+use crate::component::Observability;
 use crate::line_of;
 use crate::msg::{Envelope, Msg};
+use crate::stats::Counter;
 use std::collections::HashMap;
 
 /// Result of issuing an access to the port.
@@ -59,19 +61,33 @@ struct PendingLine {
     tokens: Vec<u64>,
 }
 
-/// Counters exposed by a port.
+/// Counters exposed by a port. Fields are registry-backed
+/// [`Counter`] handles: cloning shares the cells, and adopting them into a
+/// [`crate::stats::Stats`] registry makes them visible in snapshots.
 #[derive(Debug, Default, Clone)]
 pub struct PortCounters {
     /// Accesses that hit in the private cache.
-    pub hits: u64,
+    pub hits: Counter,
     /// Accesses that required a directory transaction.
-    pub misses: u64,
+    pub misses: Counter,
     /// Invalidations received.
-    pub invs: u64,
+    pub invs: Counter,
     /// Downgrades received.
-    pub downgrades: u64,
+    pub downgrades: Counter,
     /// Lines evicted (capacity) from the private cache.
-    pub evictions: u64,
+    pub evictions: Counter,
+}
+
+impl PortCounters {
+    /// Registers every counter under `obs`'s scope with a `prefix.` name
+    /// (e.g. `l1.hits`); owners call this from their `attach`.
+    pub fn register(&self, obs: &Observability, prefix: &str) {
+        obs.adopt_counter(&format!("{prefix}.hits"), &self.hits);
+        obs.adopt_counter(&format!("{prefix}.misses"), &self.misses);
+        obs.adopt_counter(&format!("{prefix}.invs"), &self.invs);
+        obs.adopt_counter(&format!("{prefix}.downgrades"), &self.downgrades);
+        obs.adopt_counter(&format!("{prefix}.evictions"), &self.evictions);
+    }
 }
 
 /// A private cache front-end speaking the directory protocol.
@@ -138,11 +154,11 @@ impl CoherentPort {
         let line = line_of(pa);
         match self.cache.touch(line) {
             Some(LineState::M) => {
-                self.counters.hits += 1;
+                self.counters.hits.inc();
                 Outcome::Hit { ready_at: ctx.cycle + self.hit_latency }
             }
             Some(LineState::S) if !write => {
-                self.counters.hits += 1;
+                self.counters.hits.inc();
                 Outcome::Hit { ready_at: ctx.cycle + self.hit_latency }
             }
             held => {
@@ -155,10 +171,10 @@ impl CoherentPort {
                     return Outcome::Pending;
                 }
                 debug_assert!(
-                    !(held.is_some() && !write),
+                    held.is_none() || write,
                     "read of held line should have hit"
                 );
-                self.counters.misses += 1;
+                self.counters.misses.inc();
                 let msg = if write {
                     Msg::GetM { line, no_fetch: full_line }
                 } else {
@@ -193,7 +209,7 @@ impl CoherentPort {
                 let pinned = &self.pinned;
                 match self.cache.insert_with_victim_filter(line, state, |l| pinned.contains(&l)) {
                     Ok(Some((vline, vstate))) => {
-                        self.counters.evictions += 1;
+                        self.counters.evictions.inc();
                         ctx.send(
                             self.dir,
                             Msg::PutLine { line: vline, dirty: vstate == LineState::M },
@@ -217,13 +233,13 @@ impl CoherentPort {
                 }
             }
             Msg::Inv { line } => {
-                self.counters.invs += 1;
+                self.counters.invs.inc();
                 self.cache.remove(line);
                 ctx.send(self.dir, Msg::InvAck { line });
                 events.push(PortEvent::Invalidated { line });
             }
             Msg::Downgrade { line } => {
-                self.counters.downgrades += 1;
+                self.counters.downgrades.inc();
                 if self.cache.state(line) == Some(LineState::M) {
                     self.cache.set_state(line, LineState::S);
                 }

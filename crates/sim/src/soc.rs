@@ -3,11 +3,13 @@
 
 use std::collections::VecDeque;
 
-use crate::component::{CompId, Component, Ctx, MmioMap, Outgoing, TileCoord};
+use crate::component::{CompId, Component, Ctx, MmioMap, Observability, Outgoing, TileCoord};
 use crate::config::SocConfig;
 use crate::mem::PhysMem;
 use crate::msg::Envelope;
 use crate::noc::Noc;
+use crate::stats::Stats;
+use crate::trace::Trace;
 
 struct Slot {
     comp: Option<Box<dyn Component>>,
@@ -36,6 +38,8 @@ pub struct Soc {
     mmio_map: MmioMap,
     cfg: SocConfig,
     outbox: Vec<Outgoing>,
+    stats: Stats,
+    trace: Trace,
 }
 
 impl std::fmt::Debug for Soc {
@@ -50,14 +54,20 @@ impl std::fmt::Debug for Soc {
 impl Soc {
     /// Creates an empty SoC with configuration `cfg`.
     pub fn new(cfg: SocConfig) -> Self {
+        let stats = Stats::new();
+        let trace = Trace::default();
+        let mut noc = Noc::new(&cfg.timing);
+        noc.attach(&stats, &trace);
         Self {
             cycle: 0,
             mem: PhysMem::new(),
-            noc: Noc::new(&cfg.timing),
+            noc,
             slots: Vec::new(),
             mmio_map: MmioMap::default(),
             cfg,
             outbox: Vec::new(),
+            stats,
+            trace,
         }
     }
 
@@ -66,10 +76,40 @@ impl Soc {
         &self.cfg
     }
 
-    /// Adds a component at `tile`, returning its id.
-    pub fn add_component(&mut self, tile: TileCoord, comp: Box<dyn Component>) -> CompId {
+    /// The SoC-wide stats registry. Components register into it when added;
+    /// harness code may also snapshot it mid-run.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The SoC-wide event trace (disabled until
+    /// [`Soc::set_tracing`] turns it on).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Enables or disables structured event tracing. Cheap to toggle; with
+    /// tracing off the emit paths reduce to one atomic load.
+    pub fn set_tracing(&self, on: bool) {
+        self.trace.set_enabled(on);
+    }
+
+    /// Adds a component at `tile`, returning its id. The component's
+    /// [`Component::attach`] hook runs here with scope `name#id`, so its
+    /// counters are registered before its first step.
+    pub fn add_component(&mut self, tile: TileCoord, mut comp: Box<dyn Component>) -> CompId {
+        let id = CompId(self.slots.len());
+        let scope = format!("{}#{}", comp.name(), id.0);
+        self.trace.name_thread(id.0 as u64, &scope);
+        let obs = Observability {
+            stats: self.stats.clone(),
+            trace: self.trace.clone(),
+            scope,
+            tid: id.0 as u64,
+        };
+        comp.attach(&obs);
         self.slots.push(Slot { comp: Some(comp), tile, inbox: VecDeque::new() });
-        CompId(self.slots.len() - 1)
+        id
     }
 
     /// Routes the MMIO physical-address `range` to `comp`.
@@ -193,6 +233,17 @@ impl Soc {
     pub fn noc_flits(&self) -> u64 {
         self.noc.flits()
     }
+
+    /// The stats registry rendered as JSON (see [`Stats::to_json`]).
+    pub fn stats_json(&self) -> String {
+        self.stats.to_json()
+    }
+
+    /// The event trace rendered as Chrome `trace_event` JSON, loadable in
+    /// Perfetto / `chrome://tracing`.
+    pub fn trace_json(&self) -> String {
+        self.trace.to_chrome_json()
+    }
 }
 
 #[cfg(test)]
@@ -231,7 +282,7 @@ mod tests {
         assert_eq!(soc.mem.read_u64(0x1000), 0xdead);
         let c = soc.component::<InOrderCore>(core).unwrap();
         assert!(c.is_done());
-        assert!(c.core_counters().instret >= 2);
+        assert!(c.core_counters().instret.get() >= 2);
     }
 
     #[test]
@@ -280,7 +331,7 @@ mod tests {
         assert!(out.cycle >= 200, "consumer cannot finish before producer");
         let cc = soc.component::<InOrderCore>(cid).unwrap();
         assert_eq!(cc.recorded(), &[5]);
-        assert!(cc.core_counters().spin_iters > 1);
+        assert!(cc.core_counters().spin_iters.get() > 1);
     }
 
     #[test]
@@ -307,7 +358,7 @@ mod tests {
             .unwrap()
             .dir_counters()
             .clone();
-        assert!(d.inv_sent > 0, "ping-pong must generate invalidations");
+        assert!(d.inv_sent.get() > 0, "ping-pong must generate invalidations");
     }
 
     #[test]
@@ -328,9 +379,9 @@ mod tests {
         assert!(out.quiescent, "stuck at {}", out.cycle);
         let d = soc.component::<Directory>(CompId(0)).unwrap();
         assert!(
-            d.dir_counters().fills > lines,
+            d.dir_counters().fills.get() > lines,
             "second pass must refill: fills={} lines={lines}",
-            d.dir_counters().fills
+            d.dir_counters().fills.get()
         );
         assert_eq!(soc.mem.read_u64((lines - 1) * crate::LINE_BYTES), lines);
     }
@@ -364,7 +415,7 @@ mod tests {
             assert_eq!(c.recorded()[1], 77, "all readers observe the write");
         }
         let d = soc.component::<Directory>(CompId(0)).unwrap();
-        assert!(d.dir_counters().inv_sent >= 3, "all shared copies invalidated");
+        assert!(d.dir_counters().inv_sent.get() >= 3, "all shared copies invalidated");
     }
 
     #[test]
@@ -469,8 +520,8 @@ mod tests {
         // An L2 smaller than the private cache forces inclusive evictions
         // of lines the core still holds: the directory must recall them.
         use crate::config::CacheConfig;
-        let mut cfg = SocConfig::default();
-        cfg.l2 = CacheConfig::new(4 * crate::LINE_BYTES, 2); // 4 lines total
+        // 4 lines of L2 total.
+        let cfg = SocConfig { l2: CacheConfig::new(4 * crate::LINE_BYTES, 2), ..SocConfig::default() };
         let mut p = Program::new();
         for i in 0..32u64 {
             p.push(Op::Store { va: i * crate::LINE_BYTES, value: i });
@@ -487,7 +538,7 @@ mod tests {
         let out = soc.run(10_000_000);
         assert!(out.quiescent, "stuck at {}", out.cycle);
         let d = soc.component::<Directory>(CompId(0)).unwrap();
-        assert!(d.dir_counters().recalls > 0, "must observe inclusive recalls");
+        assert!(d.dir_counters().recalls.get() > 0, "must observe inclusive recalls");
         let c = soc.component::<InOrderCore>(core_id).unwrap();
         let expect: Vec<u64> = (0..32).collect();
         assert_eq!(c.recorded(), &expect[..], "recalled data must survive");

@@ -1,0 +1,80 @@
+//! End-to-end checks of the observability layer: a traced crypto run must
+//! yield a stats-registry snapshot with per-level cache counters, NoC
+//! counters, and engine backoff/TLB counters, plus a Chrome `trace_event`
+//! JSON document (the format Perfetto and `chrome://tracing` load).
+
+use cohort::scenarios::{run_cohort, Scenario, Workload};
+
+/// Pulls `"key":value` (or `"key":{...}` presence) out of the hand-rolled
+/// JSON without a parser dependency.
+fn has_key(json: &str, key: &str) -> bool {
+    json.contains(&format!("\"{key}\""))
+}
+
+fn counter_value(json: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = json.find(&pat)? + pat.len();
+    let rest = &json[start..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+#[test]
+fn traced_crypto_run_produces_stats_and_trace_json() {
+    let mut scenario = Scenario::new(Workload::Aes, 128, 8);
+    scenario.trace = true;
+    let r = run_cohort(&scenario);
+    assert!(r.verified);
+
+    // Stats registry: cache hit/miss per level, NoC, engine backoff + TLB.
+    let stats = &r.stats_json;
+    for key in [
+        "core#1.l1.hits",
+        "core#1.l1.misses",
+        "directory#0.l2_hits",
+        "directory#0.fills",
+        "noc.delivered",
+        "noc.flits",
+        "cohort-engine#2.backoffs",
+        "cohort-engine#2.tlb_hits",
+        "cohort-engine#2.tlb_misses",
+    ] {
+        assert!(has_key(stats, key), "stats missing {key}: {stats}");
+    }
+    assert!(has_key(stats, "noc.hop_latency"), "hop-latency histogram");
+    assert!(
+        has_key(stats, "cohort-engine#2.in_queue_occupancy"),
+        "queue-occupancy histogram"
+    );
+    let consumed = counter_value(stats, "cohort-engine#2.consumed");
+    assert_eq!(consumed, Some(128), "engine consumed all inputs: {stats}");
+    assert!(counter_value(stats, "noc.delivered").unwrap() > 0);
+    assert!(counter_value(stats, "core#1.l1.hits").unwrap() > 0);
+
+    // Trace: Chrome trace_event JSON with NoC flights, coherence instants
+    // and engine state-machine spans.
+    let trace = r.trace_json.as_deref().expect("trace enabled").trim();
+    assert!(trace.starts_with('{') && trace.ends_with('}'));
+    assert!(has_key(trace, "traceEvents"));
+    for needle in [
+        "\"ph\": \"X\"",          // complete events
+        "\"ph\": \"i\"",          // coherence instants
+        "\"ph\": \"M\"",          // thread-name metadata
+        "\"cat\": \"noc\"",
+        "\"cat\": \"coherence\"",
+        "\"cat\": \"engine\"",
+        "\"name\": \"cons:",      // consumer state spans
+        "\"name\": \"prod:",      // producer state spans
+    ] {
+        assert!(trace.contains(needle), "trace missing {needle}");
+    }
+}
+
+#[test]
+fn untraced_run_has_stats_but_no_trace() {
+    let r = run_cohort(&Scenario::new(Workload::Sha, 64, 8));
+    assert!(r.verified);
+    assert!(r.trace_json.is_none());
+    // Stats are always collected — tracing off does not disable counters.
+    assert!(counter_value(&r.stats_json, "cohort-engine#2.consumed").unwrap() > 0);
+}

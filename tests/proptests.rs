@@ -1,4 +1,9 @@
-//! Property-based tests over the core data structures and invariants.
+//! Property-style tests over the core data structures and invariants.
+//!
+//! These were originally written with `proptest`; to keep the workspace
+//! building fully offline they now use a deterministic splitmix64 case
+//! generator ([`Rng`]) with a fixed seed per property — every run explores
+//! the same case set, so failures are trivially reproducible.
 
 use cohort_accel::aes128::Aes128;
 use cohort_accel::h264::bits::{BitReader, BitWriter};
@@ -12,37 +17,70 @@ use cohort_queue::mpsc::mpsc_channel;
 use cohort_queue::typed::{typed, QueueElement};
 use cohort_queue::{spsc_channel, QueueLayout};
 use cohort_sim::mem::PhysMem;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// The SPSC queue behaves exactly like a FIFO under any interleaving
-    /// of pushes, pops, staged pushes and publications.
-    #[test]
-    fn spsc_matches_model(ops in prop::collection::vec(0u8..5, 1..200), cap in 1usize..16) {
+/// Deterministic splitmix64 generator used to synthesise test cases.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next_u64() as u8).collect()
+    }
+
+    fn array<const N: usize>(&mut self) -> [u8; N] {
+        let mut a = [0u8; N];
+        for b in &mut a {
+            *b = self.next_u64() as u8;
+        }
+        a
+    }
+}
+
+/// The SPSC queue behaves exactly like a FIFO under any interleaving of
+/// pushes, pops, staged pushes and publications.
+#[test]
+fn spsc_matches_model() {
+    let mut rng = Rng::new(0x5b5c);
+    for _ in 0..CASES {
+        let cap = rng.range(1, 16) as usize;
+        let n_ops = rng.range(1, 200);
         let (mut tx, mut rx) = spsc_channel::<u64>(cap);
         let mut model: std::collections::VecDeque<u64> = Default::default();
         let mut staged: Vec<u64> = Vec::new();
         let mut next = 0u64;
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match rng.range(0, 5) {
                 0 => {
-                    // stage
                     if tx.stage(next).is_ok() {
                         staged.push(next);
                         next += 1;
                     } else {
-                        prop_assert!(model.len() + staged.len() >= cap);
+                        assert!(model.len() + staged.len() >= cap);
                     }
                 }
                 1 => {
-                    // publish
                     tx.publish();
                     model.extend(staged.drain(..));
                 }
                 2 => {
-                    // push (stage + publish)
                     if tx.push(next).is_ok() {
                         model.extend(staged.drain(..));
                         model.push_back(next);
@@ -50,52 +88,64 @@ proptest! {
                     }
                 }
                 _ => {
-                    // pop
-                    let got = rx.pop();
-                    prop_assert_eq!(got, model.pop_front());
+                    assert_eq!(rx.pop(), model.pop_front());
                 }
             }
         }
         tx.publish();
         model.extend(staged.drain(..));
         while let Some(expect) = model.pop_front() {
-            prop_assert_eq!(rx.pop(), Some(expect));
+            assert_eq!(rx.pop(), Some(expect));
         }
-        prop_assert_eq!(rx.pop(), None);
+        assert_eq!(rx.pop(), None);
     }
+}
 
-    /// Bytes pushed through a ratchet come out identical in order.
-    #[test]
-    fn ratchet_roundtrip(data in prop::collection::vec(any::<u8>(), 0..512), block in 1usize..96) {
+/// Bytes pushed through a ratchet come out identical in order.
+#[test]
+fn ratchet_roundtrip() {
+    let mut rng = Rng::new(0x4a7c);
+    for _ in 0..CASES {
+        let len = rng.range(0, 512) as usize;
+        let data = rng.bytes(len);
+        let block = rng.range(1, 96) as usize;
         let mut r = Ratchet::new(block);
         r.push_bytes(&data);
         let mut out = Vec::new();
         while let Some(b) = r.pop_block() {
             out.extend(b);
         }
-        prop_assert_eq!(&out[..], &data[..out.len()]);
-        prop_assert!(data.len() - out.len() < block, "at most a partial block retained");
+        assert_eq!(&out[..], &data[..out.len()]);
+        assert!(data.len() - out.len() < block, "at most a partial block retained");
         if let Some(tail) = r.flush_padded() {
-            prop_assert_eq!(&tail[..data.len() - out.len()], &data[out.len()..]);
+            assert_eq!(&tail[..data.len() - out.len()], &data[out.len()..]);
         }
     }
+}
 
-    /// Any quantized 4x4 coefficient block survives the CAVLC encoder +
-    /// decoder byte-exactly.
-    #[test]
-    fn cavlc_roundtrip(levels in prop::collection::vec(-3000i32..3000, 16)) {
-        let block: [i32; 16] = levels.try_into().unwrap();
+/// Any quantized 4x4 coefficient block survives the CAVLC encoder + decoder
+/// byte-exactly.
+#[test]
+fn cavlc_roundtrip() {
+    let mut rng = Rng::new(0xca01);
+    for _ in 0..CASES {
+        let block: [i32; 16] = core::array::from_fn(|_| rng.range(0, 6000) as i32 - 3000);
         let mut w = BitWriter::new();
         encode_block(&mut w, &block);
         let bytes = w.into_bytes();
         let mut r = BitReader::new(&bytes);
         let decoded = decode_block(&mut r).expect("decodes");
-        prop_assert_eq!(decoded, block);
+        assert_eq!(decoded, block);
     }
+}
 
-    /// Exp-Golomb ue/se codes round-trip arbitrary sequences.
-    #[test]
-    fn exp_golomb_roundtrip(values in prop::collection::vec(any::<i32>(), 0..64)) {
+/// Exp-Golomb ue/se codes round-trip arbitrary sequences.
+#[test]
+fn exp_golomb_roundtrip() {
+    let mut rng = Rng::new(0xe601);
+    for _ in 0..CASES {
+        let values: Vec<i32> =
+            (0..rng.range(0, 64)).map(|_| rng.next_u64() as u32 as i32).collect();
         let mut w = BitWriter::new();
         for &v in &values {
             if v >= 0 {
@@ -108,35 +158,49 @@ proptest! {
         let mut r = BitReader::new(&bytes);
         for &v in &values {
             if v >= 0 {
-                prop_assert_eq!(r.get_ue().unwrap(), v as u32);
+                assert_eq!(r.get_ue().unwrap(), v as u32);
             } else {
-                prop_assert_eq!(r.get_se().unwrap(), v);
+                assert_eq!(r.get_se().unwrap(), v);
             }
         }
     }
+}
 
-    /// AES decrypt inverts encrypt for arbitrary keys and blocks.
-    #[test]
-    fn aes_roundtrip(key in prop::array::uniform16(any::<u8>()), block in prop::array::uniform16(any::<u8>())) {
+/// AES decrypt inverts encrypt for arbitrary keys and blocks.
+#[test]
+fn aes_roundtrip() {
+    let mut rng = Rng::new(0xae5);
+    for _ in 0..CASES {
+        let key: [u8; 16] = rng.array();
+        let block: [u8; 16] = rng.array();
         let aes = Aes128::new(&key);
-        prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+        assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
     }
+}
 
-    /// SHA-256 streaming is split-invariant.
-    #[test]
-    fn sha_split_invariance(data in prop::collection::vec(any::<u8>(), 0..300), split in 0usize..300) {
-        let split = split.min(data.len());
+/// SHA-256 streaming is split-invariant.
+#[test]
+fn sha_split_invariance() {
+    let mut rng = Rng::new(0x5a);
+    for _ in 0..CASES {
+        let len = rng.range(0, 300) as usize;
+        let data = rng.bytes(len);
+        let split = (rng.range(0, 300) as usize).min(data.len());
         let mut h = Sha256::new();
         h.update(&data[..split]);
         h.update(&data[split..]);
-        prop_assert_eq!(h.finalize(), sha256(&data));
+        assert_eq!(h.finalize(), sha256(&data));
     }
+}
 
-    /// H.264 macroblock decode reproduces the encoder's reconstruction
-    /// for arbitrary content and QP.
-    #[test]
-    fn h264_decoder_matches_encoder(seed in any::<u32>(), qp in 0u8..52) {
-        let mut x = seed;
+/// H.264 macroblock decode reproduces the encoder's reconstruction for
+/// arbitrary content and QP.
+#[test]
+fn h264_decoder_matches_encoder() {
+    let mut rng = Rng::new(0x264);
+    for _ in 0..CASES {
+        let qp = rng.range(0, 52) as u8;
+        let mut x = rng.next_u64() as u32;
         let mb: [u8; MB_BYTES] = core::array::from_fn(|_| {
             x = x.wrapping_mul(1664525).wrapping_add(1013904223);
             (x >> 24) as u8
@@ -144,13 +208,20 @@ proptest! {
         let enc = H264Encoder::new(qp);
         let (bits, recon) = enc.encode_macroblock(&mb);
         let decoded = decode_macroblock(&bits).expect("decodes");
-        prop_assert_eq!(decoded, recon);
+        assert_eq!(decoded, recon);
     }
+}
 
-    /// Sv39: for any set of disjoint 4 KiB mappings, the walker agrees
-    /// with the mapping and unmapped addresses fault.
-    #[test]
-    fn sv39_walk_agrees_with_mappings(pages in prop::collection::btree_set(0u64..512, 1..24)) {
+/// Sv39: for any set of disjoint 4 KiB mappings, the walker agrees with the
+/// mapping and unmapped addresses fault.
+#[test]
+fn sv39_walk_agrees_with_mappings() {
+    let mut rng = Rng::new(0x539);
+    for _ in 0..CASES {
+        let mut pages = std::collections::BTreeSet::new();
+        for _ in 0..rng.range(1, 24) {
+            pages.insert(rng.range(0, 512));
+        }
         let mut mem = PhysMem::new();
         let mut frames = FrameAllocator::new(0x100_0000, 0x800_0000);
         let root = frames.alloc();
@@ -164,101 +235,133 @@ proptest! {
         for &p in &pages {
             let va = 0x4000_0000 + p * 4096;
             let r = sv39::walk(&mem, root, va + 123).expect("mapped");
-            prop_assert_eq!(r.pa, expect[&va] + 123);
+            assert_eq!(r.pa, expect[&va] + 123);
         }
         // An address beyond the mapped window faults.
-        prop_assert!(sv39::walk(&mem, root, 0x4000_0000 + 600 * 4096).is_none());
+        assert!(sv39::walk(&mem, root, 0x4000_0000 + 600 * 4096).is_none());
     }
+}
 
-    /// Queue layouts never alias: indices and data are on disjoint lines
-    /// and the descriptor validates, for any geometry.
-    #[test]
-    fn queue_layout_invariants(elem_words in 1u32..16, len in 1u32..512) {
+/// Queue layouts never alias: indices and data are on disjoint lines and
+/// the descriptor validates, for any geometry.
+#[test]
+fn queue_layout_invariants() {
+    let mut rng = Rng::new(0x1a07);
+    for _ in 0..CASES {
+        let elem_words = rng.range(1, 16) as u32;
+        let len = rng.range(1, 512) as u32;
         let layout = QueueLayout::standard(0x10_000, elem_words * 8, len);
         let d = layout.descriptor;
-        prop_assert!(d.validate().is_ok());
-        prop_assert!(d.base_va >= layout.region_start);
-        prop_assert!(d.base_va + d.data_bytes() <= layout.region_end());
-        prop_assert_ne!(d.write_index_va / 64, d.read_index_va / 64);
+        assert!(d.validate().is_ok());
+        assert!(d.base_va >= layout.region_start);
+        assert!(d.base_va + d.data_bytes() <= layout.region_end());
+        assert_ne!(d.write_index_va / 64, d.read_index_va / 64);
     }
+}
 
-    /// The MPSC queue under a single producer behaves like a FIFO for any
-    /// push/pop interleaving.
-    #[test]
-    fn mpsc_single_producer_matches_model(ops in prop::collection::vec(any::<bool>(), 1..200), cap in 2usize..16) {
+/// The MPSC queue under a single producer behaves like a FIFO for any
+/// push/pop interleaving.
+#[test]
+fn mpsc_single_producer_matches_model() {
+    let mut rng = Rng::new(0x355c);
+    for _ in 0..CASES {
+        let cap = rng.range(2, 16) as usize;
+        let n_ops = rng.range(1, 200);
         let (tx, mut rx) = mpsc_channel::<u64>(cap);
         let mut model: std::collections::VecDeque<u64> = Default::default();
         let mut next = 0u64;
-        for push in ops {
-            if push {
+        for _ in 0..n_ops {
+            if rng.range(0, 2) == 0 {
                 match tx.push(next) {
                     Ok(()) => {
                         model.push_back(next);
                         next += 1;
                     }
-                    Err(_) => prop_assert_eq!(model.len(), cap),
+                    Err(_) => assert_eq!(model.len(), cap),
                 }
             } else {
-                prop_assert_eq!(rx.pop(), model.pop_front());
+                assert_eq!(rx.pop(), model.pop_front());
             }
         }
         while let Some(e) = model.pop_front() {
-            prop_assert_eq!(rx.pop(), Some(e));
+            assert_eq!(rx.pop(), Some(e));
         }
-        prop_assert_eq!(rx.pop(), None);
+        assert_eq!(rx.pop(), None);
     }
+}
 
-    /// Typed queue elements round-trip over word queues for any content.
-    #[test]
-    fn typed_wide_roundtrip(values in prop::collection::vec(prop::array::uniform4(any::<u64>()), 0..16)) {
+/// Typed queue elements round-trip over word queues for any content.
+#[test]
+fn typed_wide_roundtrip() {
+    let mut rng = Rng::new(0x717e);
+    for _ in 0..CASES {
+        let values: Vec<[u64; 4]> = (0..rng.range(0, 16))
+            .map(|_| core::array::from_fn(|_| rng.next_u64()))
+            .collect();
         let (p, c) = spsc_channel::<u64>(256);
         let (mut tx, mut rx) = typed::<[u64; 4]>(p, c);
         for v in &values {
             tx.push(*v).unwrap();
         }
         for v in &values {
-            prop_assert_eq!(rx.pop(), Some(*v));
+            assert_eq!(rx.pop(), Some(*v));
         }
-        prop_assert_eq!(rx.pop(), None);
-        prop_assert_eq!(<[u64; 4] as QueueElement>::WORDS, 4);
+        assert_eq!(rx.pop(), None);
+        assert_eq!(<[u64; 4] as QueueElement>::WORDS, 4);
     }
+}
 
-    /// HMAC keys longer than a block hash down to the same MAC as their
-    /// digest used directly (RFC 2104 key preprocessing).
-    #[test]
-    fn hmac_long_key_equivalence(key in prop::collection::vec(any::<u8>(), 65..128), data in prop::collection::vec(any::<u8>(), 0..64)) {
-        use cohort_accel::hmac::hmac_sha256;
-        use cohort_accel::sha256::sha256;
+/// HMAC keys longer than a block hash down to the same MAC as their digest
+/// used directly (RFC 2104 key preprocessing).
+#[test]
+fn hmac_long_key_equivalence() {
+    use cohort_accel::hmac::hmac_sha256;
+    let mut rng = Rng::new(0x6ac);
+    for _ in 0..CASES {
+        let key_len = rng.range(65, 128) as usize;
+        let key = rng.bytes(key_len);
+        let data_len = rng.range(0, 64) as usize;
+        let data = rng.bytes(data_len);
         let direct = hmac_sha256(&key, &data);
         let via_digest = hmac_sha256(&sha256(&key), &data);
-        prop_assert_eq!(direct, via_digest);
+        assert_eq!(direct, via_digest);
     }
+}
 
-    /// AES-CTR encryption is an involution for any key/counter/payload.
-    #[test]
-    fn aes_ctr_involution(key in prop::array::uniform16(any::<u8>()), ctr in prop::array::uniform16(any::<u8>()), data in prop::collection::vec(any::<u8>(), 0..128)) {
-        use cohort_accel::aes128::Aes128;
-        use cohort_accel::aesctr::ctr_xor;
+/// AES-CTR encryption is an involution for any key/counter/payload.
+#[test]
+fn aes_ctr_involution() {
+    use cohort_accel::aesctr::ctr_xor;
+    let mut rng = Rng::new(0xc7);
+    for _ in 0..CASES {
+        let key: [u8; 16] = rng.array();
+        let ctr: [u8; 16] = rng.array();
+        let len = rng.range(0, 128) as usize;
+        let data = rng.bytes(len);
         let cipher = Aes128::new(&key);
         let mut buf = data.clone();
         ctr_xor(&cipher, &ctr, &mut buf);
         ctr_xor(&cipher, &ctr, &mut buf);
-        prop_assert_eq!(buf, data);
+        assert_eq!(buf, data);
     }
+}
 
-    /// PhysMem reads always return what was last written, across page
-    /// boundaries.
-    #[test]
-    fn physmem_write_read(ops in prop::collection::vec((0u64..20_000, any::<u64>()), 1..64)) {
+/// PhysMem reads always return what was last written, across page
+/// boundaries.
+#[test]
+fn physmem_write_read() {
+    let mut rng = Rng::new(0x3e3);
+    for _ in 0..CASES {
         let mut mem = PhysMem::new();
         let mut model = std::collections::HashMap::new();
-        for &(addr, value) in &ops {
-            let addr = addr & !7; // aligned words for the model
+        for _ in 0..rng.range(1, 64) {
+            let addr = rng.range(0, 20_000) & !7; // aligned words for the model
+            let value = rng.next_u64();
             mem.write_u64(addr, value);
             model.insert(addr, value);
         }
         for (&addr, &value) in &model {
-            prop_assert_eq!(mem.read_u64(addr), value);
+            assert_eq!(mem.read_u64(addr), value);
         }
     }
 }
