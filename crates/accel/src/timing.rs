@@ -120,6 +120,19 @@ impl TimedAccel {
             && self.out_bytes.len() < 8
     }
 
+    /// Drains every complete buffered output word at once, ignoring the
+    /// one-word-per-cycle pacing. Used by the engine's watchdog abort path
+    /// to rescue produced-but-unstaged data before halting; sub-word
+    /// residue (an incomplete word) stays behind.
+    pub fn drain_words(&mut self) -> Vec<u64> {
+        let mut out = Vec::new();
+        while self.out_bytes.len() >= 8 {
+            let bytes: Vec<u8> = self.out_bytes.drain(..8).collect();
+            out.push(u64::from_le_bytes(bytes.try_into().expect("8 bytes")));
+        }
+        out
+    }
+
     /// Resets pipeline and buffers (configuration retained).
     pub fn reset(&mut self) {
         self.accel.reset();
@@ -192,6 +205,19 @@ mod tests {
         assert!(t.pop_word(10).is_some());
         assert!(t.pop_word(10).is_none(), "only one word per cycle");
         assert!(t.pop_word(11).is_some());
+    }
+
+    #[test]
+    fn drain_words_ignores_pacing() {
+        let mut t = TimedAccel::new(Box::new(NullFifo::with_geometry(8, 1)));
+        t.push_word(1);
+        t.step(0);
+        t.step(5);
+        t.push_word(2);
+        t.step(5);
+        t.step(10);
+        assert_eq!(t.drain_words(), vec![1, 2], "all words in one call");
+        assert_eq!(t.output_len(), 0);
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! cargo run --release -p cohort-bench --bin socrun -- \
-//!     [--workload sha|aes] [--mode cohort|mmio|dma|chain|interfered] \
+//!     [--workload sha|aes] [--mode cohort|mmio|dma|chain|interfered|chaos] \
 //!     [--queue N] [--batch N] [--backoff N] [--policy eager|lazy|huge] \
-//!     [--tlb N] [--counters] [--stats FILE] [--trace FILE]
+//!     [--tlb N] [--faults SPEC] [--watchdog N] [--counters] \
+//!     [--stats FILE] [--trace FILE]
 //! ```
 //!
 //! Prints latency, IPC and (with `--counters`) every component's
@@ -13,18 +14,28 @@
 //! (counters + histogram summaries) as JSON; `--trace FILE` enables the
 //! cycle-stamped event trace and writes Chrome `trace_event` JSON that
 //! loads in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! `--faults` takes a deterministic fault-injection spec, e.g.
+//! `stall@5000:forever;storm@20000:2` or `random:seed=7,count=4` (see
+//! `cohort_sim::faultinject::FaultPlan::parse` for the grammar); `chaos`
+//! mode runs the Cohort benchmark with the full recovery stack armed, and
+//! `--watchdog` overrides the engine's forward-progress budget.
 
 use cohort::scenarios::{
-    run_cohort, run_cohort_chain, run_cohort_interfered, run_dma, run_mmio, RunResult, Scenario,
-    Workload,
+    run_cohort, run_cohort_chain, run_cohort_chaos, run_cohort_interfered, run_dma, run_mmio,
+    RunResult, Scenario, Workload,
 };
 use cohort_os::addrspace::MapPolicy;
+use cohort_sim::faultinject::FaultPlan;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: socrun [--workload sha|aes] [--mode cohort|mmio|dma|chain|interfered]\n\
+        "usage: socrun [--workload sha|aes] [--mode cohort|mmio|dma|chain|interfered|chaos]\n\
          \u{20}             [--queue N] [--batch N] [--backoff N] [--policy eager|lazy|huge]\n\
-         \u{20}             [--tlb N] [--counters] [--stats FILE] [--trace FILE]"
+         \u{20}             [--tlb N] [--faults SPEC] [--watchdog N] [--counters]\n\
+         \u{20}             [--stats FILE] [--trace FILE]\n\
+         fault spec: stall@C:D|forever; spike@C:D:F; storm@C:P; corrupt@C;\n\
+         \u{20}           random:seed=S,count=N,from=A,to=B (semicolon-separated)"
     );
     std::process::exit(2)
 }
@@ -37,6 +48,8 @@ fn main() {
     let mut backoff: Option<u64> = None;
     let mut policy = MapPolicy::Eager;
     let mut tlb: Option<usize> = None;
+    let mut faults: Option<FaultPlan> = None;
+    let mut watchdog: Option<u64> = None;
     let mut counters = false;
     let mut stats_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
@@ -66,6 +79,13 @@ fn main() {
                 }
             }
             "--tlb" => tlb = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--faults" => {
+                faults = Some(FaultPlan::parse(&value()).unwrap_or_else(|e| {
+                    eprintln!("socrun: {e}");
+                    usage()
+                }))
+            }
+            "--watchdog" => watchdog = Some(value().parse().unwrap_or_else(|_| usage())),
             "--counters" => counters = true,
             "--stats" => stats_path = Some(value()),
             "--trace" => trace_path = Some(value()),
@@ -81,6 +101,16 @@ fn main() {
     if let Some(t) = tlb {
         scenario.soc.tlb_entries = t;
     }
+    if let Some(plan) = faults {
+        scenario.soc.faults = plan;
+        // A fault plan without an explicit mode means the chaos runner.
+        if mode == "cohort" {
+            mode = "chaos".to_string();
+        }
+    }
+    if let Some(w) = watchdog {
+        scenario.watchdog = w;
+    }
     scenario.trace = trace_path.is_some();
 
     let start = std::time::Instant::now();
@@ -90,6 +120,7 @@ fn main() {
         "dma" => run_dma(&scenario),
         "chain" => run_cohort_chain(&scenario),
         "interfered" => run_cohort_interfered(&scenario),
+        "chaos" => run_cohort_chaos(&scenario),
         _ => usage(),
     };
     let wall = start.elapsed();

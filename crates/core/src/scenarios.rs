@@ -16,10 +16,14 @@ use cohort_accel::aes128::{Aes128, Aes128Accel};
 use cohort_accel::sha256::{sha256_raw_block, Sha256Accel};
 use cohort_maple::regs as maple_regs;
 use cohort_os::addrspace::MapPolicy;
+use cohort_os::driver::{fault_in, swap_store, SoftwareFallback};
+use cohort_os::sv39::PAGE_BYTES;
 use cohort_os::CohortDriver;
 use cohort_sim::config::SocConfig;
 use cohort_sim::core::InOrderCore;
+use cohort_sim::faultinject::{FaultInjector, StormHook};
 use cohort_sim::program::{Op, Program};
+use std::sync::Arc;
 
 /// The two accelerators of interest (Table 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -144,6 +148,9 @@ pub struct Scenario {
     /// When true, the SoC's structured event trace is enabled for the run
     /// and the Chrome `trace_event` JSON lands in [`RunResult::trace_json`].
     pub trace: bool,
+    /// Engine forward-progress watchdog budget in cycles (0 = disabled;
+    /// [`run_cohort_chaos`] substitutes a default when left at 0).
+    pub watchdog: u64,
 }
 
 impl Scenario {
@@ -159,6 +166,7 @@ impl Scenario {
             seed: 0x5eed,
             costs: BaselineCosts::default(),
             trace: false,
+            watchdog: 0,
         }
     }
 
@@ -319,6 +327,153 @@ fn install_and_arm(sys: &mut SimSystem, driver: &CohortDriver, program: Program)
     if lazy {
         driver.install_fault_handler(core, vm);
     }
+}
+
+/// Default watchdog budget armed by [`run_cohort_chaos`] when the scenario
+/// leaves [`Scenario::watchdog`] at 0. Long enough that healthy backoff
+/// idling never trips it, short enough that a wedged engine is detected
+/// well inside the cycle budget.
+pub const CHAOS_DEFAULT_WATCHDOG: u64 = 150_000;
+
+/// Runs the Cohort benchmark under the fault-injection plan carried in
+/// `scenario.soc.faults`, with the full recovery stack armed:
+///
+/// * the engine forward-progress watchdog ([`Scenario::watchdog`], or
+///   [`CHAOS_DEFAULT_WATCHDOG`] when 0);
+/// * the page-fault interrupt handler with a swap backing store, so
+///   storm-evicted pages come back with their contents;
+/// * a storm hook that evicts queue data pages round-robin through that
+///   swap store;
+/// * the error-interrupt handler with bounded retry (2) and a software
+///   fallback that recomputes the whole output stream and publishes the
+///   final write index — the graceful-degradation contract.
+///
+/// The run must still record the exact fault-free output: chaos is allowed
+/// to cost cycles, never correctness.
+pub fn run_cohort_chaos(scenario: &Scenario) -> RunResult {
+    let spec = SystemSpec {
+        cfg: scenario.soc.clone(),
+        policy: scenario.policy,
+        engine_accels: vec![scenario.workload.make_accel()],
+        ..SystemSpec::default()
+    };
+    let mut sys = SimSystem::build(spec, Program::new());
+
+    let n = scenario.queue_size;
+    let m = scenario.output_words();
+    let in_q = sys.alloc_queue(8, n as u32);
+    let out_q = sys.alloc_queue(8, m.max(1) as u32);
+    let csr = scenario.workload.csr().map(|bytes| {
+        let va = sys.alloc_buffer(bytes.len() as u64, 64);
+        (va, bytes)
+    });
+    if let Some((va, bytes)) = &csr {
+        if scenario.policy == MapPolicy::Lazy {
+            let mut space = sys.space.clone();
+            let mut va_page = *va & !4095;
+            while va_page < va + bytes.len() as u64 {
+                if space.translate(&sys.soc.mem, va_page).is_none() {
+                    space.handle_fault(&mut sys.soc.mem, &mut sys.frames, va_page);
+                }
+                va_page += 4096;
+            }
+        }
+        sys.write_guest(*va, bytes);
+    }
+
+    let driver = sys.drivers[0].clone();
+    let root_pa = sys.space.root_pa();
+    let mut program = driver.register_ops(
+        root_pa,
+        &in_q.descriptor,
+        &out_q.descriptor,
+        csr.as_ref().map(|(va, b)| (*va, b.len() as u64)),
+        scenario.backoff,
+    );
+    let watchdog =
+        if scenario.watchdog == 0 { CHAOS_DEFAULT_WATCHDOG } else { scenario.watchdog };
+    program.append(driver.watchdog_ops(watchdog));
+    push_pop_body(&mut program, scenario, &in_q, &out_q);
+    program.append(driver.unregister_ops());
+
+    // One kernel mm view shared by every recovery path, plus the swap
+    // store that keeps storm evictions lossless.
+    let vm = CohortDriver::shared_vm(sys.space.clone(), sys.frames.clone());
+    let swap = swap_store();
+
+    // Storm hook: evict queue data pages round-robin, stashing contents in
+    // the swap store so the next fault pages them back in intact.
+    if let Some(inj_id) = sys.injector {
+        let mut candidates: Vec<u64> = Vec::new();
+        for q in [&in_q, &out_q] {
+            let d = &q.descriptor;
+            let mut page = d.base_va & !(PAGE_BYTES - 1);
+            while page < d.base_va + d.data_bytes() {
+                candidates.push(page);
+                page += PAGE_BYTES;
+            }
+        }
+        let storm_vm = Arc::clone(&vm);
+        let storm_swap = swap.clone();
+        let mut next = 0usize;
+        let hook: StormHook = Box::new(move |mem, pages| {
+            let mut evicted = 0u64;
+            let mut g = storm_vm.lock().expect("vm lock");
+            let (space, _frames) = &mut *g;
+            for _ in 0..pages {
+                if candidates.is_empty() {
+                    break;
+                }
+                let va = candidates[next % candidates.len()];
+                next += 1;
+                if let Some(pa) = space.translate(mem, va) {
+                    let mut bytes = vec![0u8; PAGE_BYTES as usize];
+                    mem.read_bytes(pa, &mut bytes);
+                    storm_swap.lock().expect("swap lock").insert(va, bytes);
+                    if space.unmap(mem, va) {
+                        evicted += 1;
+                    }
+                }
+            }
+            evicted
+        });
+        sys.soc
+            .component_mut::<FaultInjector>(inj_id)
+            .expect("injector present")
+            .set_storm_hook(hook);
+    }
+
+    // Software fallback for exhausted retries: the kernel recomputes the
+    // entire output stream and publishes the final write index. Recomputing
+    // from scratch keeps the path idempotent — partial hardware progress
+    // before the failure is simply overwritten.
+    let expected = scenario.workload.reference_outputs(&scenario.input_words());
+    let fb_vm = Arc::clone(&vm);
+    let fb_swap = swap.clone();
+    let out_desc = out_q.descriptor;
+    let total = expected.len() as u64;
+    let fallback: SoftwareFallback = Box::new(move |mem| {
+        for (j, &w) in expected.iter().enumerate() {
+            let va = out_desc.element_va(j as u64);
+            fault_in(mem, &fb_vm, Some(&fb_swap), va);
+            let pa = fb_vm.lock().expect("vm lock").0.translate(mem, va).expect("mapped");
+            mem.write_u64(pa, w);
+        }
+        let wr_va = out_desc.write_index_va;
+        fault_in(mem, &fb_vm, Some(&fb_swap), wr_va);
+        let pa = fb_vm.lock().expect("vm lock").0.translate(mem, wr_va).expect("mapped");
+        mem.write_u64(pa, total);
+    });
+
+    let core_id = sys.core;
+    let core = sys
+        .soc
+        .component_mut::<InOrderCore>(core_id)
+        .expect("core present");
+    core.load_program(program);
+    driver.install_fault_handler_with_swap(core, Arc::clone(&vm), swap.clone());
+    driver.install_error_handler(core, 2, Some(fallback));
+    finish_run(sys, scenario)
 }
 
 /// Runs the MMIO baseline (§5.1): word-at-a-time, fully blocking accesses,

@@ -15,6 +15,7 @@ use cohort_sim::component::{CompId, TileCoord};
 use cohort_sim::config::SocConfig;
 use cohort_sim::core::InOrderCore;
 use cohort_sim::directory::Directory;
+use cohort_sim::faultinject::FaultInjector;
 use cohort_sim::program::Program;
 use cohort_sim::soc::Soc;
 
@@ -45,6 +46,8 @@ pub struct SimSystem {
     pub maple: Option<CompId>,
     /// Additional (interference) cores.
     pub extra_cores: Vec<CompId>,
+    /// The fault injector, when the config carries a non-empty plan.
+    pub injector: Option<CompId>,
     /// Physical frame allocator (guest DRAM).
     pub frames: FrameAllocator,
     /// The benchmark process's address space.
@@ -100,7 +103,8 @@ impl SimSystem {
         for (i, accel) in engine_accels.into_iter().enumerate() {
             let mmio = ENGINE_MMIO_BASE + (i as u64) * ENGINE_MMIO_STRIDE;
             let irq = COHORT_IRQ + i as u32;
-            let engine = CohortEngine::new(dir, &cfg, mmio, core, irq, accel);
+            let mut engine = CohortEngine::new(dir, &cfg, mmio, core, irq, accel);
+            engine.set_fault_state(soc.fault_state().clone());
             let tile = TileCoord::new(1, i as u16);
             let id = soc.add_component(tile, Box::new(engine));
             soc.map_mmio(mmio..mmio + regs::BANK_BYTES, id);
@@ -115,6 +119,17 @@ impl SimSystem {
             extra_cores.push(soc.add_component(TileCoord::new(0, 2 + i as u16), Box::new(c)));
         }
 
+        // Fault injector rides on its own tile so its MMIO pokes traverse
+        // the NoC like any other agent's. Descriptor corruption targets
+        // engine 0's IN_BASE_VA register with a misaligned garbage value —
+        // the hardened engine must reject it, not wedge on it.
+        let injector = (!cfg.faults.is_empty()).then(|| {
+            let mut inj = FaultInjector::new(&cfg.faults, soc.fault_state().clone());
+            inj.set_tlb_flush_pa(ENGINE_MMIO_BASE + regs::TLB_FLUSH);
+            inj.set_corrupt_writes(vec![(ENGINE_MMIO_BASE + regs::IN_BASE_VA, 0x1234_5677)]);
+            soc.add_component(TileCoord::new(2, 0), Box::new(inj))
+        });
+
         let maple = maple_accel.map(|accel| {
             let unit = MapleUnit::new(dir, &cfg, MAPLE_MMIO_BASE, accel);
             let id = soc.add_component(TileCoord::new(1, 1), Box::new(unit));
@@ -125,12 +140,15 @@ impl SimSystem {
             id
         });
 
-        Self { soc, dir, core, engines, maple, extra_cores, frames, space, drivers }
+        Self { soc, dir, core, engines, maple, extra_cores, injector, frames, space, drivers }
     }
 
     /// Allocates a standard-layout queue in the benchmark process's heap
-    /// (cache-line aligned; `malloc`-style, paper §4.2.4).
+    /// (cache-line aligned; `malloc`-style, paper §4.2.4). The requested
+    /// length is rounded up to a power of two — the capacity the hardened
+    /// engine's descriptor validation accepts.
     pub fn alloc_queue(&mut self, element_bytes: u32, length: u32) -> QueueLayout {
+        let length = length.next_power_of_two();
         let bytes = QueueLayout::standard(0, element_bytes, length).region_bytes;
         let va = self
             .space

@@ -24,8 +24,10 @@
 
 use cohort_os::driver::regs;
 use cohort_os::mmu::{DeviceMmu, TlbResult, WalkMachine, WalkStep};
+use cohort_queue::QueueDescriptor;
 use cohort_sim::component::{CompId, Component, Ctx, Observability};
 use cohort_sim::config::{CacheConfig, SocConfig};
+use cohort_sim::faultinject::FaultState;
 use cohort_sim::line_of;
 use cohort_sim::msg::Msg;
 use cohort_sim::port::{CoherentPort, Outcome, PortEvent};
@@ -155,6 +157,9 @@ enum ConsState {
     Feed { fed: usize, n: u64 },
     /// Publishing the updated read index.
     UpdateRd,
+    /// Stopped by a sticky error (bad descriptor, CSR rejection or
+    /// watchdog trip); resumes when software clears `ERROR_STATUS`.
+    Halted,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -177,6 +182,9 @@ enum ProdState {
     WcmDrain { n: u64, until: u64 },
     /// Publishing the updated write index.
     UpdateWr,
+    /// Stopped by a sticky error; resumes when software clears
+    /// `ERROR_STATUS`.
+    Halted,
 }
 
 /// Runtime view of one registered queue.
@@ -222,6 +230,15 @@ pub struct EngineCounters {
     pub tlb_hits: Counter,
     /// TLB misses, mirrored from the device MMU each step.
     pub tlb_misses: Counter,
+    /// Forward-progress watchdog trips (each halts the engine).
+    pub watchdog_trips: Counter,
+    /// Error interrupts raised to the core.
+    pub error_irqs: Counter,
+    /// Elements rescued by the watchdog drain (staged/accelerator output
+    /// written back to the output queue during an abort).
+    pub drained_elems: Counter,
+    /// Times software cleared `ERROR_STATUS` and the engine resumed.
+    pub resumes: Counter,
 }
 
 /// The Cohort engine component. Construct with [`CohortEngine::new`], map
@@ -268,6 +285,33 @@ pub struct CohortEngine {
     irq_outstanding: bool,
     /// A CSR-buffer read is outstanding on the consumer channel.
     csr_pending: bool,
+    /// Sticky error bits (`regs::ERR_*`); nonzero halts both endpoints.
+    error_status: u64,
+    /// Cycle the current error condition began (trace span start).
+    error_since: u64,
+    /// An error interrupt is in flight / unacknowledged.
+    err_irq_outstanding: bool,
+    /// Forward-progress budget in cycles (0 = watchdog disabled).
+    watchdog_cycles: u64,
+    /// Last cycle the consumer endpoint demonstrably made progress.
+    cons_progress_at: u64,
+    /// Last observed consumer progress signature (state label, elements
+    /// consumed, channel offset).
+    cons_sig: (&'static str, u64, usize),
+    /// Last cycle the producer endpoint demonstrably made progress.
+    prod_progress_at: u64,
+    /// Last observed producer progress signature.
+    prod_sig: (&'static str, u64, usize, usize),
+    /// Current consumer backoff window (capped exponential, resets on
+    /// progress).
+    backoff_cons: u64,
+    /// Current producer backoff window.
+    backoff_prod: u64,
+    /// Distribution of backoff windows actually taken (log2 buckets via
+    /// the histogram's own bucketing).
+    backoff_window: Histogram,
+    /// SoC-wide fault switches (accelerator stall injection).
+    fault_state: Option<FaultState>,
 }
 
 impl std::fmt::Debug for CohortEngine {
@@ -340,7 +384,41 @@ impl CohortEngine {
             prod_since: 0,
             irq_outstanding: false,
             csr_pending: false,
+            error_status: 0,
+            error_since: 0,
+            err_irq_outstanding: false,
+            watchdog_cycles: 0,
+            cons_progress_at: 0,
+            cons_sig: ("", 0, 0),
+            prod_progress_at: 0,
+            prod_sig: ("", 0, 0, 0),
+            backoff_cons: 16,
+            backoff_prod: 16,
+            backoff_window: Histogram::new(),
+            fault_state: None,
         }
+    }
+
+    /// Connects the engine to the SoC-wide fault switches so injected
+    /// accelerator stalls gate the valid/ready interface.
+    pub fn set_fault_state(&mut self, faults: FaultState) {
+        self.fault_state = Some(faults);
+    }
+
+    /// Current sticky error bits (`regs::ERR_*`; 0 = healthy).
+    pub fn error_status(&self) -> u64 {
+        self.error_status
+    }
+
+    /// Arms the forward-progress watchdog directly (tests; the driver
+    /// path writes `regs::WATCHDOG`).
+    pub fn set_watchdog(&mut self, cycles: u64) {
+        self.watchdog_cycles = cycles;
+    }
+
+    /// True while the accelerator is held stalled by fault injection.
+    fn stalled(&self, cycle: u64) -> bool {
+        self.fault_state.as_ref().is_some_and(|f| f.accel_stalled(cycle))
     }
 
     /// Counter snapshot.
@@ -362,24 +440,45 @@ impl CohortEngine {
         self.raw_regs.get(&off).copied().unwrap_or(0)
     }
 
-    fn enable(&mut self) {
+    /// Validates the programmed queue geometry — the configure-time checks
+    /// of the hardened engine. A failure must NOT panic (a misprogrammed
+    /// device register is an error condition, not a model bug): it sets
+    /// the sticky `ERR_BAD_DESCRIPTOR` bit instead.
+    fn validated_queue(&self, wr: u64, rd: u64, base: u64, elem: u64, len: u64) -> Option<QueueRegs> {
+        let (Ok(elem32), Ok(len32)) = (u32::try_from(elem), u32::try_from(len)) else {
+            return None;
+        };
+        QueueDescriptor::try_new(wr, rd, base, elem32, len32).ok()?;
+        Some(QueueRegs { wr_va: wr, rd_va: rd, base_va: base, elem, len })
+    }
+
+    fn enable(&mut self, ctx: &mut Ctx<'_>) {
         self.enabled = true;
-        self.in_q = QueueRegs {
-            wr_va: self.reg(regs::IN_WR_VA),
-            rd_va: self.reg(regs::IN_RD_VA),
-            base_va: self.reg(regs::IN_BASE_VA),
-            elem: self.reg(regs::IN_ELEM).max(8),
-            len: self.reg(regs::IN_LEN).max(1),
+        let in_q = self.validated_queue(
+            self.reg(regs::IN_WR_VA),
+            self.reg(regs::IN_RD_VA),
+            self.reg(regs::IN_BASE_VA),
+            self.reg(regs::IN_ELEM),
+            self.reg(regs::IN_LEN),
+        );
+        let out_q = self.validated_queue(
+            self.reg(regs::OUT_WR_VA),
+            self.reg(regs::OUT_RD_VA),
+            self.reg(regs::OUT_BASE_VA),
+            self.reg(regs::OUT_ELEM),
+            self.reg(regs::OUT_LEN),
+        );
+        let (Some(in_q), Some(out_q)) = (in_q, out_q) else {
+            self.raise_error(ctx, regs::ERR_BAD_DESCRIPTOR);
+            return;
         };
-        self.out_q = QueueRegs {
-            wr_va: self.reg(regs::OUT_WR_VA),
-            rd_va: self.reg(regs::OUT_RD_VA),
-            base_va: self.reg(regs::OUT_BASE_VA),
-            elem: self.reg(regs::OUT_ELEM).max(8),
-            len: self.reg(regs::OUT_LEN).max(1),
-        };
+        self.in_q = in_q;
+        self.out_q = out_q;
         self.mmu.set_root(self.reg(regs::PT_ROOT_PA));
         self.backoff = self.reg(regs::BACKOFF);
+        self.backoff_cons = self.backoff;
+        self.backoff_prod = self.backoff;
+        self.watchdog_cycles = self.reg(regs::WATCHDOG);
         self.accel.reset();
         self.stage.clear();
         self.rd = 0;
@@ -390,8 +489,72 @@ impl CohortEngine {
         self.rcm_in_dirty = false;
         self.rcm_out_line = None;
         self.rcm_out_dirty = false;
+        self.cons_progress_at = ctx.cycle;
+        self.prod_progress_at = ctx.cycle;
         self.cons = if self.reg(regs::CSR_LEN) > 0 { ConsState::Csr } else { ConsState::InitRd };
         self.prod = ProdState::InitRd;
+    }
+
+    /// Latches `bits` into the sticky error register, halts both
+    /// endpoints (aborting any in-flight channel operation) and raises
+    /// the error interrupt. Idempotent for an already-halted engine.
+    fn raise_error(&mut self, ctx: &mut Ctx<'_>, bits: u64) {
+        if self.error_status == 0 {
+            self.error_since = ctx.cycle;
+        }
+        self.error_status |= bits;
+        self.cons = ConsState::Halted;
+        self.prod = ProdState::Halted;
+        self.csr_pending = false;
+        for ch in &mut self.channels {
+            *ch = Channel::new();
+        }
+        if let Some(trace) = self.trace.as_ref().filter(|t| t.is_enabled()) {
+            trace.instant(
+                self.tid,
+                "fault",
+                "error_irq",
+                ctx.cycle,
+                vec![("status", format!("{:#x}", self.error_status))],
+            );
+        }
+        if !self.err_irq_outstanding {
+            self.err_irq_outstanding = true;
+            self.counters.error_irqs.inc();
+            ctx.send(
+                self.irq_target,
+                Msg::Irq {
+                    irq: self.irq_num + regs::ERROR_IRQ_OFFSET,
+                    payload: self.error_status,
+                },
+            );
+        }
+    }
+
+    /// `ERROR_STATUS` write: clear the sticky bits and resume a halted
+    /// engine by re-running the enable sequence — queue indices are
+    /// re-read from memory, which stays authoritative across the abort.
+    fn clear_error(&mut self, ctx: &mut Ctx<'_>) {
+        let was_halted = self.error_status != 0;
+        self.error_status = 0;
+        self.err_irq_outstanding = false;
+        if !was_halted {
+            return;
+        }
+        self.counters.resumes.inc();
+        if let Some(trace) = self.trace.as_ref().filter(|t| t.is_enabled()) {
+            trace.complete(
+                self.tid,
+                "fault",
+                "error",
+                self.error_since,
+                ctx.cycle.saturating_sub(self.error_since).max(1),
+                vec![("resumed", "true".into())],
+            );
+        }
+        if self.enabled {
+            self.enable(ctx);
+        }
     }
 
     fn disable(&mut self, ctx: &mut Ctx<'_>) {
@@ -409,13 +572,36 @@ impl CohortEngine {
         self.port.unpin_all();
     }
 
+    /// True for registers that describe the queues / translation setup:
+    /// rewriting one while the engine runs invalidates its working state
+    /// (this is also the path a corrupted-descriptor fault injection
+    /// takes — the write lands, then the engine flags it).
+    fn is_config_reg(off: u64) -> bool {
+        matches!(
+            off,
+            regs::IN_WR_VA
+                | regs::IN_RD_VA
+                | regs::IN_BASE_VA
+                | regs::IN_ELEM
+                | regs::IN_LEN
+                | regs::OUT_WR_VA
+                | regs::OUT_RD_VA
+                | regs::OUT_BASE_VA
+                | regs::OUT_ELEM
+                | regs::OUT_LEN
+                | regs::PT_ROOT_PA
+                | regs::CSR_BASE_VA
+                | regs::CSR_LEN
+        )
+    }
+
     fn on_mmio_write(&mut self, ctx: &mut Ctx<'_>, pa: u64, value: u64) {
         let off = pa - self.mmio_base;
         match off {
             regs::ENABLE => {
                 self.raw_regs.insert(off, value);
                 if value != 0 {
-                    self.enable();
+                    self.enable(ctx);
                 } else {
                     self.disable(ctx);
                 }
@@ -432,10 +618,25 @@ impl CohortEngine {
             }
             regs::BACKOFF => {
                 self.backoff = value;
+                self.backoff_cons = value;
+                self.backoff_prod = value;
                 self.raw_regs.insert(off, value);
             }
+            regs::WATCHDOG => {
+                self.watchdog_cycles = value;
+                self.cons_progress_at = ctx.cycle;
+                self.prod_progress_at = ctx.cycle;
+                self.raw_regs.insert(off, value);
+            }
+            regs::ERROR_STATUS => self.clear_error(ctx),
             _ => {
                 self.raw_regs.insert(off, value);
+                if self.enabled && Self::is_config_reg(off) {
+                    // A descriptor register changed under a running
+                    // engine: its cached geometry is no longer
+                    // trustworthy. Stop before touching memory with it.
+                    self.raise_error(ctx, regs::ERR_BAD_DESCRIPTOR);
+                }
             }
         }
     }
@@ -445,6 +646,8 @@ impl CohortEngine {
         match off {
             regs::CONSUMED => self.counters.consumed.get(),
             regs::PRODUCED => self.counters.produced.get(),
+            regs::ERROR_STATUS => self.error_status,
+            regs::WATCHDOG => self.watchdog_cycles,
             _ => self.reg(off),
         }
     }
@@ -661,6 +864,27 @@ impl CohortEngine {
                 .is_some_and(|l| self.port.state_of(l).is_none())
     }
 
+    /// Takes one consumer-side backoff window: records it in the
+    /// `backoff_window` histogram, then doubles the next window up to
+    /// 16× the programmed base (capped exponential; reset to the base
+    /// whenever data actually moves). Returns the window's end cycle.
+    fn take_cons_backoff(&mut self, cycle: u64) -> u64 {
+        let win = self.backoff_cons;
+        self.backoff_window.record(win);
+        let cap = self.backoff.saturating_mul(16).max(self.backoff);
+        self.backoff_cons = win.saturating_mul(2).max(1).min(cap);
+        cycle + win
+    }
+
+    /// Producer-side twin of [`CohortEngine::take_cons_backoff`].
+    fn take_prod_backoff(&mut self, cycle: u64) -> u64 {
+        let win = self.backoff_prod;
+        self.backoff_window.record(win);
+        let cap = self.backoff.saturating_mul(16).max(self.backoff);
+        self.backoff_prod = win.saturating_mul(2).max(1).min(cap);
+        cycle + win
+    }
+
     /// MTE arbitration (Fig. 6): with a shared MTE an endpoint may only
     /// start a new operation when the other endpoint's is complete;
     /// otherwise one operation per endpoint may be in flight.
@@ -699,8 +923,11 @@ impl CohortEngine {
                 if let Some(buf) = self.channels[CH_CONS].take_done() {
                     if self.csr_pending {
                         self.csr_pending = false;
-                        if let Err(e) = self.accel.configure(&buf) {
-                            panic!("accelerator rejected CSR configuration: {e}");
+                        if self.accel.configure(&buf).is_err() {
+                            // A bad CSR buffer is user error, not a model
+                            // bug: latch it and wait for software.
+                            self.raise_error(ctx, regs::ERR_CSR_REJECTED);
+                            return;
                         }
                         // fall through to issue the rd read below
                     } else {
@@ -739,11 +966,13 @@ impl CohortEngine {
                     let va = self.in_q.slot_va(self.rd);
                     self.channels[CH_CONS].start_read_opts(va, (n * self.in_q.elem) as usize, true);
                     self.advance_channel(ctx, CH_CONS);
+                    self.backoff_cons = self.backoff; // progress: reset backoff
                     self.cons = ConsState::Fetch { n };
                 } else if self.rcm_in_pending() {
                     // Missed publications while busy: re-read after backoff.
                     self.counters.backoffs.inc();
-                    self.cons = ConsState::Backoff { until: ctx.cycle + self.backoff };
+                    let until = self.take_cons_backoff(ctx.cycle);
+                    self.cons = ConsState::Backoff { until };
                 } else {
                     self.cons = ConsState::Waiting;
                 }
@@ -751,7 +980,8 @@ impl CohortEngine {
             ConsState::Waiting => {
                 if self.rcm_in_pending() {
                     self.counters.backoffs.inc();
-                    self.cons = ConsState::Backoff { until: ctx.cycle + self.backoff };
+                    let until = self.take_cons_backoff(ctx.cycle);
+                    self.cons = ConsState::Backoff { until };
                 }
             }
             ConsState::Backoff { until } => {
@@ -770,7 +1000,8 @@ impl CohortEngine {
             ConsState::Feed { fed, n } => {
                 let data = std::mem::take(&mut self.channels[CH_CONS].buf);
                 let mut fed = fed;
-                if fed < data.len() && self.accel.ready(ctx.cycle) {
+                // A stalled accelerator holds ready low: nothing is fed.
+                if fed < data.len() && !self.stalled(ctx.cycle) && self.accel.ready(ctx.cycle) {
                     let word = u64::from_le_bytes(
                         data[fed..fed + 8].try_into().expect("8-byte word"),
                     );
@@ -803,12 +1034,18 @@ impl CohortEngine {
                     self.step_consumer(ctx);
                 }
             }
+            ConsState::Halted => {}
         }
     }
 
     fn step_producer(&mut self, ctx: &mut Ctx<'_>) {
         // Collect accelerator output continuously (up to one word/cycle).
-        if self.enabled && self.stage.len() < 4 * LINE_BYTES as usize {
+        // An injected accelerator stall holds valid low: no words emerge.
+        if self.enabled
+            && !matches!(self.prod, ProdState::Halted)
+            && !self.stalled(ctx.cycle)
+            && self.stage.len() < 4 * LINE_BYTES as usize
+        {
             if let Some(w) = self.accel.pop_word(ctx.cycle) {
                 self.stage.extend_from_slice(&w.to_le_bytes());
             }
@@ -847,7 +1084,8 @@ impl CohortEngine {
                     // its read index (invalidation on the pinned rd line).
                     self.counters.full_stalls.inc();
                     if self.rcm_out_pending() {
-                        self.prod = ProdState::BackoffFull { until: ctx.cycle + self.backoff };
+                        let until = self.take_prod_backoff(ctx.cycle);
+                        self.prod = ProdState::BackoffFull { until };
                     }
                     return;
                 }
@@ -867,6 +1105,7 @@ impl CohortEngine {
                 let data: Vec<u8> = self.stage.drain(..bytes).collect();
                 self.channels[CH_PROD].start_write_opts(self.out_q.slot_va(self.wr), data, true);
                 self.advance_channel(ctx, CH_PROD);
+                self.backoff_prod = self.backoff; // progress: reset backoff
                 self.prod = ProdState::WriteData { n };
             }
             ProdState::BackoffFull { until } => {
@@ -903,6 +1142,7 @@ impl CohortEngine {
                     self.prod = ProdState::Collect;
                 }
             }
+            ProdState::Halted => {}
         }
     }
 
@@ -917,6 +1157,126 @@ impl CohortEngine {
             self.channels[CH_PROD].start_read(self.out_q.rd_va, 8);
             self.advance_channel(ctx, CH_PROD);
         }
+    }
+
+    /// Functional (untimed) translation for the abort drain: TLB hit, or
+    /// a page-table walk executed in place with direct PTE reads. Returns
+    /// `None` on an unmapped page — the drain skips, it never faults.
+    fn translate_now(&mut self, ctx: &Ctx<'_>, va: u64) -> Option<u64> {
+        if let TlbResult::Hit { pa } = self.mmu.lookup(va) {
+            return Some(pa);
+        }
+        let mut walk = self.mmu.begin_walk(va);
+        let mut step = walk.step();
+        loop {
+            match step {
+                WalkStep::NeedPte { pa } => {
+                    let pte = ctx.mem.read_u64(pa);
+                    step = walk.feed(pte);
+                }
+                WalkStep::Done { va_page, pa_page, size, .. } => {
+                    self.mmu.insert(va_page, pa_page, size);
+                    match self.mmu.lookup(va) {
+                        TlbResult::Hit { pa } => return Some(pa),
+                        TlbResult::Miss => return None,
+                    }
+                }
+                WalkStep::Fault => return None,
+            }
+        }
+    }
+
+    /// The graceful-drain half of a watchdog abort: rescue every complete
+    /// output element still sitting in the accelerator or the staging
+    /// buffer by writing it into the output ring and publishing the write
+    /// index. Runs functionally (the timed datapath is what hung); data
+    /// lives in `PhysMem` so the write is immediately visible, and the
+    /// data-before-pointer order still holds. Returns elements rescued.
+    fn watchdog_drain(&mut self, ctx: &mut Ctx<'_>) -> u64 {
+        for w in self.accel.drain_words() {
+            self.stage.extend_from_slice(&w.to_le_bytes());
+        }
+        let elem = self.out_q.elem.max(8) as usize;
+        let mut drained = 0u64;
+        while self.stage.len() >= elem {
+            if self.out_q.len <= self.wr.wrapping_sub(self.known_rd) {
+                break; // ring full: the rest is lost (counted by caller)
+            }
+            let va = self.out_q.slot_va(self.wr);
+            let data: Vec<u8> = self.stage.drain(..elem).collect();
+            if let Some(pa) = self.translate_now(ctx, va) {
+                ctx.mem.write_bytes(pa, &data);
+                self.wr += 1;
+                drained += 1;
+            }
+        }
+        if drained > 0 {
+            if let Some(pa) = self.translate_now(ctx, self.out_q.wr_va) {
+                ctx.mem.write_u64(pa, self.wr);
+            }
+            self.counters.produced.add(drained);
+            self.counters.drained_elems.add(drained);
+        }
+        drained
+    }
+
+    /// The per-direction forward-progress watchdog. "Progress" is a
+    /// change in the endpoint's observable signature (state label, element
+    /// counter, channel offset); benign waiting states reset the timer. A
+    /// budget overrun aborts the in-flight transaction, drains staged
+    /// output, and latches the direction's watchdog error bit.
+    fn check_watchdog(&mut self, ctx: &mut Ctx<'_>) {
+        if self.watchdog_cycles == 0 || self.error_status != 0 {
+            return;
+        }
+        let cons_sig =
+            (self.cons.label(), self.counters.consumed.get(), self.channels[CH_CONS].offset);
+        let cons_benign =
+            matches!(self.cons, ConsState::Off | ConsState::Waiting | ConsState::Halted);
+        if cons_benign || cons_sig != self.cons_sig {
+            self.cons_sig = cons_sig;
+            self.cons_progress_at = ctx.cycle;
+        }
+        let prod_sig = (
+            self.prod.label(),
+            self.counters.produced.get(),
+            self.channels[CH_PROD].offset,
+            self.stage.len(),
+        );
+        let prod_benign = matches!(self.prod, ProdState::Off | ProdState::Halted)
+            || (matches!(self.prod, ProdState::Collect)
+                && self.stage.len() < self.out_q.elem as usize);
+        if prod_benign || prod_sig != self.prod_sig {
+            self.prod_sig = prod_sig;
+            self.prod_progress_at = ctx.cycle;
+        }
+        let cons_tripped = ctx.cycle.saturating_sub(self.cons_progress_at) > self.watchdog_cycles;
+        let prod_tripped = ctx.cycle.saturating_sub(self.prod_progress_at) > self.watchdog_cycles;
+        if !cons_tripped && !prod_tripped {
+            return;
+        }
+        self.counters.watchdog_trips.inc();
+        if let Some(trace) = self.trace.as_ref().filter(|t| t.is_enabled()) {
+            trace.instant(
+                self.tid,
+                "fault",
+                "watchdog_trip",
+                ctx.cycle,
+                vec![
+                    ("cons", self.cons.label().into()),
+                    ("prod", self.prod.label().into()),
+                ],
+            );
+        }
+        self.watchdog_drain(ctx);
+        let mut bits = 0;
+        if cons_tripped {
+            bits |= regs::ERR_WATCHDOG_CONS;
+        }
+        if prod_tripped {
+            bits |= regs::ERR_WATCHDOG_PROD;
+        }
+        self.raise_error(ctx, bits);
     }
 }
 
@@ -934,6 +1294,7 @@ impl ConsState {
             ConsState::Fetch { .. } => "cons:Fetch",
             ConsState::Feed { .. } => "cons:Feed",
             ConsState::UpdateRd => "cons:UpdateRd",
+            ConsState::Halted => "cons:Halted",
         }
     }
 }
@@ -950,6 +1311,7 @@ impl ProdState {
             ProdState::WriteData { .. } => "prod:WriteData",
             ProdState::WcmDrain { .. } => "prod:WcmDrain",
             ProdState::UpdateWr => "prod:UpdateWr",
+            ProdState::Halted => "prod:Halted",
         }
     }
 }
@@ -1009,11 +1371,16 @@ impl Component for CohortEngine {
             ("full_stalls", &c.full_stalls),
             ("tlb_hits", &c.tlb_hits),
             ("tlb_misses", &c.tlb_misses),
+            ("watchdog_trips", &c.watchdog_trips),
+            ("error_irqs", &c.error_irqs),
+            ("drained_elems", &c.drained_elems),
+            ("resumes", &c.resumes),
         ] {
             obs.adopt_counter(name, counter);
         }
         obs.adopt_histogram("in_queue_occupancy", &self.in_occupancy);
         obs.adopt_histogram("out_queue_occupancy", &self.out_occupancy);
+        obs.adopt_histogram("backoff_window", &self.backoff_window);
         self.port.port_counters().register(obs, "mte");
         self.trace = Some(obs.trace.clone());
         self.tid = obs.tid;
@@ -1051,10 +1418,15 @@ impl Component for CohortEngine {
         for i in 0..2 {
             self.advance_channel(ctx, i);
         }
-        self.accel.step(ctx.cycle);
+        // An injected stall freezes the accelerator pipeline entirely: no
+        // launches, no retirements, valid/ready both held low.
+        if !self.stalled(ctx.cycle) {
+            self.accel.step(ctx.cycle);
+        }
         let (prev_cons, prev_prod) = (self.cons.label(), self.prod.label());
         self.step_consumer(ctx);
         self.step_producer(ctx);
+        self.check_watchdog(ctx);
         self.trace_state_spans(ctx.cycle, prev_cons, prev_prod);
         // Mirror the MMU's plain counters into the registry-backed cells
         // and sample queue occupancy as seen by the engine.
@@ -1069,13 +1441,18 @@ impl Component for CohortEngine {
         if !self.enabled {
             return true;
         }
+        // A halted engine is quiescent: it does nothing until software
+        // clears ERROR_STATUS, regardless of residual staged data.
+        let halted = matches!(self.cons, ConsState::Halted)
+            && matches!(self.prod, ProdState::Halted);
         self.channels.iter().all(Channel::idle)
-            && matches!(self.cons, ConsState::Waiting | ConsState::Off)
-            && matches!(self.prod, ProdState::Collect | ProdState::Off)
-            && !self.rcm_in_pending()
-            && self.stage.len() < self.out_q.elem as usize
-            && self.accel.is_idle(0)
             && self.port.is_idle()
+            && (halted
+                || (matches!(self.cons, ConsState::Waiting | ConsState::Off)
+                    && matches!(self.prod, ProdState::Collect | ProdState::Off)
+                    && !self.rcm_in_pending()
+                    && self.stage.len() < self.out_q.elem as usize
+                    && self.accel.is_idle(0)))
     }
 
     fn counters(&self) -> Vec<(String, u64)> {
@@ -1091,6 +1468,10 @@ impl Component for CohortEngine {
             ("tlb_hits".into(), m.hits),
             ("tlb_misses".into(), m.misses),
             ("tlb_flushes".into(), m.flushes),
+            ("watchdog_trips".into(), c.watchdog_trips.get()),
+            ("error_irqs".into(), c.error_irqs.get()),
+            ("drained_elems".into(), c.drained_elems.get()),
+            ("resumes".into(), c.resumes.get()),
         ]
     }
 

@@ -13,8 +13,9 @@ use cohort_os::CohortDriver;
 use cohort_queue::QueueLayout;
 use cohort_sim::component::TileCoord;
 use cohort_sim::config::SocConfig;
-use cohort_sim::core::InOrderCore;
+use cohort_sim::core::{HandlerAction, InOrderCore, IrqHandler};
 use cohort_sim::directory::Directory;
+use cohort_sim::faultinject::{FaultState, FOREVER};
 use cohort_sim::program::{Op, Program};
 use cohort_sim::soc::Soc;
 
@@ -73,9 +74,64 @@ impl Rig {
             "rcm" => e.engine_counters().rcm_invalidations.get(),
             "tlb_flushes" => e.mmu_counters().flushes,
             "tlb_misses" => e.mmu_counters().misses,
+            "backoffs" => e.engine_counters().backoffs.get(),
+            "watchdog_trips" => e.engine_counters().watchdog_trips.get(),
+            "error_irqs" => e.engine_counters().error_irqs.get(),
+            "resumes" => e.engine_counters().resumes.get(),
             other => panic!("unknown counter {other}"),
         }
     }
+
+    fn error_status(&self) -> u64 {
+        self.soc.component::<CohortEngine>(self.engine).unwrap().error_status()
+    }
+
+    /// Absorbs the engine's error IRQ without kernel-side action, so tests
+    /// can inspect the halted engine directly.
+    fn install_noop_error_handler(&mut self) {
+        let core = self.soc.component_mut::<InOrderCore>(self.core).unwrap();
+        core.register_irq_handler(
+            IRQ + regs::ERROR_IRQ_OFFSET,
+            IrqHandler {
+                entry_cycles: 10,
+                entry_insts: 5,
+                action: HandlerAction::Custom(Box::new(|_, _| None)),
+            },
+        );
+    }
+}
+
+/// The driver's register-programming sequence, but with one register
+/// overridden — the hand-rolled path for feeding the engine a descriptor
+/// the (validating) driver would refuse to write.
+fn raw_register_program(
+    root: u64,
+    in_q: &QueueLayout,
+    out_q: &QueueLayout,
+    override_reg: (u64, u64),
+) -> Program {
+    let i = &in_q.descriptor;
+    let o = &out_q.descriptor;
+    let mut p = Program::new();
+    for (off, value) in [
+        (regs::IN_WR_VA, i.write_index_va),
+        (regs::IN_RD_VA, i.read_index_va),
+        (regs::IN_BASE_VA, i.base_va),
+        (regs::IN_ELEM, u64::from(i.element_bytes)),
+        (regs::IN_LEN, u64::from(i.length)),
+        (regs::OUT_WR_VA, o.write_index_va),
+        (regs::OUT_RD_VA, o.read_index_va),
+        (regs::OUT_BASE_VA, o.base_va),
+        (regs::OUT_ELEM, u64::from(o.element_bytes)),
+        (regs::OUT_LEN, u64::from(o.length)),
+        (regs::PT_ROOT_PA, root),
+        (regs::BACKOFF, 32),
+        (regs::ENABLE, 1),
+    ] {
+        let value = if off == override_reg.0 { override_reg.1 } else { value };
+        p.push(Op::MmioStore { pa: ENGINE_MMIO + off, value });
+    }
+    p
 }
 
 fn stream_program(
@@ -306,4 +362,123 @@ fn engine_reports_status_over_mmio() {
     rig.run();
     let core = rig.soc.component::<InOrderCore>(rig.core).unwrap();
     assert_eq!(core.recorded(), &[8, 8]);
+}
+
+#[test]
+fn bad_descriptor_sets_sticky_error_instead_of_panicking() {
+    let mut rig = rig(Box::new(NullFifo::new()));
+    let in_q = rig.alloc_queue(8, 8);
+    let out_q = rig.alloc_queue(8, 8);
+    rig.install_noop_error_handler();
+    let root = rig.space.root_pa();
+    // A length of 48 is not a power of two: the engine must refuse it at
+    // configure time, halt, and latch the sticky bit — never touch memory.
+    let mut p = raw_register_program(root, &in_q, &out_q, (regs::IN_LEN, 48));
+    p.push(Op::MmioLoad { pa: ENGINE_MMIO + regs::ERROR_STATUS, record: true });
+    rig.load(p);
+    rig.run();
+    let core = rig.soc.component::<InOrderCore>(rig.core).unwrap();
+    assert_eq!(core.recorded(), &[regs::ERR_BAD_DESCRIPTOR]);
+    assert_eq!(rig.engine_counter("error_irqs"), 1);
+    assert_eq!(rig.engine_counter("consumed"), 0, "no memory traffic on a bad config");
+}
+
+#[test]
+fn error_status_write_resumes_engine_after_software_fix() {
+    let mut rig = rig(Box::new(NullFifo::new()));
+    let in_q = rig.alloc_queue(8, 8);
+    let out_q = rig.alloc_queue(8, 8);
+    rig.install_noop_error_handler();
+    let root = rig.space.root_pa();
+    // Enable with a broken input length: engine halts with the sticky bit.
+    let mut p = raw_register_program(root, &in_q, &out_q, (regs::IN_LEN, 48));
+    // Kernel repair path: fix the register, then clear ERROR_STATUS. The
+    // clear re-runs the enable sequence against in-memory queue state.
+    p.push(Op::MmioStore { pa: ENGINE_MMIO + regs::IN_LEN, value: 8 });
+    p.push(Op::MmioStore { pa: ENGINE_MMIO + regs::ERROR_STATUS, value: 0 });
+    for i in 0..4u64 {
+        p.push(Op::Store { va: in_q.descriptor.element_va(i), value: i + 1 });
+    }
+    p.push(Op::Fence);
+    p.push(Op::Store { va: in_q.descriptor.write_index_va, value: 4 });
+    p.push(Op::WaitGe { va: out_q.descriptor.write_index_va, value: 4 });
+    for j in 0..4u64 {
+        p.push(Op::Load { va: out_q.descriptor.element_va(j), record: true });
+    }
+    p.push(Op::MmioLoad { pa: ENGINE_MMIO + regs::ERROR_STATUS, record: true });
+    p.append(rig.driver.unregister_ops());
+    rig.load(p);
+    rig.run();
+    let core = rig.soc.component::<InOrderCore>(rig.core).unwrap();
+    assert_eq!(core.recorded(), &[1, 2, 3, 4, 0], "stream works after resume, status clear");
+    assert_eq!(rig.engine_counter("resumes"), 1);
+}
+
+#[test]
+fn watchdog_trips_on_stalled_accelerator() {
+    let mut rig = rig(Box::new(NullFifo::new()));
+    let in_q = rig.alloc_queue(8, 8);
+    let out_q = rig.alloc_queue(8, 8);
+    rig.install_noop_error_handler();
+    // Wedge the accelerator for the whole run.
+    let state = FaultState::default();
+    state.stall_accel(FOREVER);
+    rig.soc
+        .component_mut::<CohortEngine>(rig.engine)
+        .unwrap()
+        .set_fault_state(state);
+    let root = rig.space.root_pa();
+    let mut p = rig
+        .driver
+        .register_ops(root, &in_q.descriptor, &out_q.descriptor, None, 32);
+    p.append(rig.driver.watchdog_ops(3_000));
+    for i in 0..8u64 {
+        p.push(Op::Store { va: in_q.descriptor.element_va(i), value: i });
+    }
+    p.push(Op::Fence);
+    p.push(Op::Store { va: in_q.descriptor.write_index_va, value: 8 });
+    // No WaitGe: the output never comes. The watchdog must detect the
+    // wedge, halt the engine and let the SoC quiesce — no deadlock.
+    rig.load(p);
+    rig.run();
+    assert_eq!(rig.engine_counter("watchdog_trips"), 1);
+    assert_ne!(rig.error_status() & regs::ERR_WATCHDOG_CONS, 0, "consumer flagged");
+    assert_eq!(rig.engine_counter("error_irqs"), 1);
+}
+
+#[test]
+fn backoff_grows_exponentially_while_starved() {
+    let mut rig = rig(Box::new(NullFifo::new()));
+    let in_q = rig.alloc_queue(8, 8);
+    let out_q = rig.alloc_queue(8, 8);
+    let root = rig.space.root_pa();
+    // Base window 16, then ~20k cycles with an empty input queue: a fixed
+    // window would re-poll ~1200 times; the capped exponential window
+    // (16 -> 256) stays far below that.
+    let mut p = rig
+        .driver
+        .register_ops(root, &in_q.descriptor, &out_q.descriptor, None, 16);
+    p.push(Op::Alu(1));
+    p.push(Op::KernelCost { cycles: 20_000, insts: 10 });
+    for i in 0..4u64 {
+        p.push(Op::Store { va: in_q.descriptor.element_va(i), value: i + 7 });
+    }
+    p.push(Op::Fence);
+    p.push(Op::Store { va: in_q.descriptor.write_index_va, value: 4 });
+    p.push(Op::WaitGe { va: out_q.descriptor.write_index_va, value: 4 });
+    for j in 0..4u64 {
+        p.push(Op::Load { va: out_q.descriptor.element_va(j), record: true });
+    }
+    p.append(rig.driver.unregister_ops());
+    rig.load(p);
+    rig.run();
+    let core = rig.soc.component::<InOrderCore>(rig.core).unwrap();
+    assert_eq!(core.recorded(), &[7, 8, 9, 10], "stream still correct after deep backoff");
+    let backoffs = rig.engine_counter("backoffs");
+    assert!(backoffs > 0, "the starved engine must have backed off");
+    assert!(backoffs < 600, "exponential growth: got {backoffs} polls, fixed would be ~1200");
+    assert!(
+        rig.soc.stats_json().contains("backoff_window"),
+        "window histogram registered in stats"
+    );
 }

@@ -14,8 +14,10 @@ use crate::addrspace::AddressSpace;
 use crate::frame::FrameAllocator;
 use std::sync::{Arc, Mutex};
 use cohort_sim::core::{HandlerAction, InOrderCore, IrqHandler};
+use cohort_sim::mem::PhysMem;
 use cohort_sim::program::{Op, Program};
-use cohort_queue::QueueDescriptor;
+use cohort_queue::{DescriptorError, QueueDescriptor};
+use std::collections::HashMap;
 
 /// The Cohort engine's uncached configuration register map: byte offsets
 /// from the engine's MMIO base, each register 8 bytes (paper §4.2: the
@@ -61,8 +63,36 @@ pub mod regs {
     pub const CONSUMED: u64 = 0x88;
     /// Read-only: elements produced into the output queue.
     pub const PRODUCED: u64 = 0x90;
+    /// Sticky error-status register. Reads return the accumulated
+    /// [`ERR_BAD_DESCRIPTOR`]/[`ERR_WATCHDOG_CONS`]/… bits; any write
+    /// clears them and resumes a halted engine (re-reading the queue
+    /// indices from memory, so software may fix state first).
+    pub const ERROR_STATUS: u64 = 0x98;
+    /// Watchdog budget in cycles: if an enabled endpoint makes no forward
+    /// progress for this many cycles the engine aborts the in-flight
+    /// transaction, drains staged data and raises the error interrupt.
+    /// 0 (the reset value) disables the watchdog.
+    pub const WATCHDOG: u64 = 0xA0;
     /// Size of the register bank in bytes.
     pub const BANK_BYTES: u64 = 0x100;
+
+    // The error/watchdog registers must land inside the bank.
+    const _: () = assert!(ERROR_STATUS < BANK_BYTES);
+    const _: () = assert!(WATCHDOG < BANK_BYTES);
+
+    /// [`ERROR_STATUS`] bit: a configuration register failed validation
+    /// (bad geometry, or a config write while enabled).
+    pub const ERR_BAD_DESCRIPTOR: u64 = 1 << 0;
+    /// [`ERROR_STATUS`] bit: the consumer endpoint tripped the watchdog.
+    pub const ERR_WATCHDOG_CONS: u64 = 1 << 1;
+    /// [`ERROR_STATUS`] bit: the producer endpoint tripped the watchdog.
+    pub const ERR_WATCHDOG_PROD: u64 = 1 << 2;
+    /// [`ERROR_STATUS`] bit: the accelerator rejected its CSR buffer.
+    pub const ERR_CSR_REJECTED: u64 = 1 << 3;
+
+    /// The error interrupt line is the engine's page-fault line plus this
+    /// offset, so the two handlers stay distinct per engine.
+    pub const ERROR_IRQ_OFFSET: u32 = 32;
 }
 
 /// Cost model for the modelled syscalls, in cycles/instructions. These
@@ -85,6 +115,10 @@ impl Default for SyscallCost {
 /// Shared kernel memory-management state: one address space + frame pool
 /// visible to every fault handler (engine interrupt path and core path).
 pub type SharedVm = Arc<Mutex<(AddressSpace, FrameAllocator)>>;
+
+/// A software recovery path run (with functional memory access) when the
+/// engine's error retries are exhausted — the graceful-degradation hook.
+pub type SoftwareFallback = Box<dyn FnMut(&mut PhysMem) + Send>;
 
 /// The Cohort driver: knows where one engine's registers live and which
 /// interrupt line it raises.
@@ -140,6 +174,36 @@ impl CohortDriver {
     ) -> Program {
         input.validate().expect("input descriptor invalid");
         output.validate().expect("output descriptor invalid");
+        self.build_register(root_pa, input, output, csr, backoff)
+    }
+
+    /// Fallible form of [`CohortDriver::register_ops`]: returns the
+    /// violated invariant instead of panicking, for callers that want to
+    /// surface `cohort_register` failure as an errno rather than a crash.
+    ///
+    /// # Errors
+    /// Returns the first [`DescriptorError`] found in either descriptor.
+    pub fn try_register_ops(
+        &self,
+        root_pa: u64,
+        input: &QueueDescriptor,
+        output: &QueueDescriptor,
+        csr: Option<(u64, u64)>,
+        backoff: u64,
+    ) -> Result<Program, DescriptorError> {
+        input.validate()?;
+        output.validate()?;
+        Ok(self.build_register(root_pa, input, output, csr, backoff))
+    }
+
+    fn build_register(
+        &self,
+        root_pa: u64,
+        input: &QueueDescriptor,
+        output: &QueueDescriptor,
+        csr: Option<(u64, u64)>,
+        backoff: u64,
+    ) -> Program {
         let mut p = Program::new();
         p.push(Op::KernelCost { cycles: self.cost.cycles, insts: self.cost.insts });
         let writes = [
@@ -188,43 +252,132 @@ impl CohortDriver {
         p
     }
 
+    /// Arms (or, with 0, disarms) the engine's forward-progress watchdog.
+    /// Deliberately cheap: one register write, usable while enabled.
+    pub fn watchdog_ops(&self, cycles: u64) -> Program {
+        let mut p = Program::new();
+        p.push(Op::KernelCost { cycles: 40, insts: 30 });
+        p.push(Op::MmioStore { pa: self.reg(regs::WATCHDOG), value: cycles });
+        p
+    }
+
     /// Installs the demand-paging machinery on `core`: the engine's
     /// page-fault interrupt handler (map the page, poke the resolve
     /// register; §4.2.4/§4.4) and the kernel's fault path for the core's
     /// own accesses. Both share one view of the address space and frame
     /// pool, exactly like the real kernel's mm.
     pub fn install_fault_handler(&self, core: &mut InOrderCore, vm: SharedVm) {
+        self.install_fault_machinery(core, vm, None);
+    }
+
+    /// [`CohortDriver::install_fault_handler`] with a swap backing store:
+    /// when a freshly mapped page has stashed contents (a fault-injection
+    /// storm paged it out), the handler copies them into the new frame —
+    /// the model of a page-in from swap. Required for storm recovery to be
+    /// data-lossless.
+    pub fn install_fault_handler_with_swap(
+        &self,
+        core: &mut InOrderCore,
+        vm: SharedVm,
+        swap: SwapStore,
+    ) {
+        self.install_fault_machinery(core, vm, Some(swap));
+    }
+
+    fn install_fault_machinery(
+        &self,
+        core: &mut InOrderCore,
+        vm: SharedVm,
+        swap: Option<SwapStore>,
+    ) {
         let resolve_reg = self.reg(regs::FAULT_RESOLVE);
         let engine_vm = Arc::clone(&vm);
+        let engine_swap = swap.clone();
         core.register_irq_handler(
             self.irq,
             IrqHandler {
                 entry_cycles: 400,
                 entry_insts: 300,
                 action: HandlerAction::Custom(Box::new(move |mem, faulting_va| {
-                    let mut g = engine_vm.lock().expect("vm lock");
-                    let (space, frames) = &mut *g;
-                    if space.translate(mem, faulting_va).is_none() {
-                        space.handle_fault(mem, frames, faulting_va);
-                    }
+                    fault_in(mem, &engine_vm, engine_swap.as_ref(), faulting_va);
                     Some((resolve_reg, 0))
                 })),
             },
         );
         core.set_fault_hook(Box::new(move |mem, va| {
-            let mut g = vm.lock().expect("vm lock");
-            let (space, frames) = &mut *g;
-            if space.translate(mem, va).is_none() {
-                space.handle_fault(mem, frames, va);
-            }
+            fault_in(mem, &vm, swap.as_ref(), va);
             true
         }));
+    }
+
+    /// Installs the error-interrupt handler on `core`: on each engine
+    /// error IRQ the kernel clears [`regs::ERROR_STATUS`] (which resumes
+    /// the engine from the in-memory queue indices) up to `max_retries`
+    /// times; past that it runs `fallback` — the software-only queue path
+    /// of §4.4's graceful-degradation contract — and disables the engine.
+    pub fn install_error_handler(
+        &self,
+        core: &mut InOrderCore,
+        max_retries: u64,
+        mut fallback: Option<SoftwareFallback>,
+    ) {
+        let status_reg = self.reg(regs::ERROR_STATUS);
+        let enable_reg = self.reg(regs::ENABLE);
+        let mut tries = 0u64;
+        core.register_irq_handler(
+            self.irq + regs::ERROR_IRQ_OFFSET,
+            IrqHandler {
+                entry_cycles: 400,
+                entry_insts: 300,
+                action: HandlerAction::Custom(Box::new(move |mem, _error_bits| {
+                    if tries < max_retries {
+                        tries += 1;
+                        Some((status_reg, 0))
+                    } else {
+                        if let Some(f) = fallback.as_mut() {
+                            f(mem);
+                        }
+                        Some((enable_reg, 0))
+                    }
+                })),
+            },
+        );
     }
 
     /// Creates the shared kernel view of a process's memory management
     /// state used by [`CohortDriver::install_fault_handler`].
     pub fn shared_vm(space: AddressSpace, frames: FrameAllocator) -> SharedVm {
         Arc::new(Mutex::new((space, frames)))
+    }
+}
+
+/// Evicted-page backing store for fault-injection storms: page contents
+/// keyed by page-aligned VA. The storm stashes bytes here before unmapping;
+/// the swap-aware fault handler restores them on the next touch.
+pub type SwapStore = Arc<Mutex<HashMap<u64, Vec<u8>>>>;
+
+/// Creates an empty [`SwapStore`].
+pub fn swap_store() -> SwapStore {
+    Arc::new(Mutex::new(HashMap::new()))
+}
+
+/// The shared kernel fault path: map the page if unmapped, then page-in
+/// stashed contents from `swap` if the page had been evicted with state.
+/// Public so software fallback paths (graceful degradation after engine
+/// errors) can fault pages in exactly like the interrupt handlers do.
+pub fn fault_in(mem: &mut PhysMem, vm: &SharedVm, swap: Option<&SwapStore>, va: u64) {
+    use crate::sv39::PAGE_BYTES;
+    let mut g = vm.lock().expect("vm lock");
+    let (space, frames) = &mut *g;
+    if space.translate(mem, va).is_none() {
+        space.handle_fault(mem, frames, va);
+        if let Some(swap) = swap {
+            let page_va = va & !(PAGE_BYTES - 1);
+            if let Some(bytes) = swap.lock().expect("swap lock").remove(&page_va) {
+                let pa = space.translate(mem, page_va).expect("page just mapped");
+                mem.write_bytes(pa, &bytes);
+            }
+        }
     }
 }
 
@@ -285,5 +438,47 @@ mod tests {
         let (mut i, o) = descs();
         i.length = 0;
         let _ = d.register_ops(0, &i, &o, None, 0);
+    }
+
+    #[test]
+    fn try_register_returns_error_not_panic() {
+        use cohort_queue::DescriptorError;
+        let d = CohortDriver::new(0x4000_0000, 5);
+        let (i, mut o) = descs();
+        assert!(d.try_register_ops(0x100_0000, &i, &o, None, 32).is_ok());
+        o.length = 48; // not a power of two
+        assert_eq!(
+            d.try_register_ops(0x100_0000, &i, &o, None, 32),
+            Err(DescriptorError::NotPowerOfTwo(48))
+        );
+    }
+
+    #[test]
+    fn watchdog_program_writes_register() {
+        let d = CohortDriver::new(0x4000_0000, 5);
+        let p = d.watchdog_ops(50_000);
+        assert!(p.ops().iter().any(|op| matches!(
+            op,
+            Op::MmioStore { pa, value: 50_000 } if *pa == 0x4000_0000 + regs::WATCHDOG
+        )));
+    }
+
+    #[test]
+    fn error_register_offsets_are_inside_the_bank() {
+        // Bank-bounds checks live as `const` assertions in the regs module.
+        assert_ne!(regs::ERROR_STATUS, regs::PRODUCED);
+        // The four sticky bits are distinct one-hot values.
+        let bits = [
+            regs::ERR_BAD_DESCRIPTOR,
+            regs::ERR_WATCHDOG_CONS,
+            regs::ERR_WATCHDOG_PROD,
+            regs::ERR_CSR_REJECTED,
+        ];
+        for (n, b) in bits.iter().enumerate() {
+            assert_eq!(b.count_ones(), 1);
+            for later in &bits[n + 1..] {
+                assert_ne!(b, later);
+            }
+        }
     }
 }

@@ -25,13 +25,26 @@ pub struct QueueDescriptor {
     pub length: u32,
 }
 
+/// Largest element size the engine's staging datapath supports (one
+/// page): anything larger is a misprogrammed register, not a queue.
+pub const MAX_ELEMENT_BYTES: u32 = 4096;
+
 /// Errors from validating a descriptor.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DescriptorError {
-    /// Element size was zero or not 8-byte aligned.
+    /// Element size was zero, not 8-byte aligned, or over
+    /// [`MAX_ELEMENT_BYTES`].
     BadElementSize(u32),
     /// Length was zero.
     ZeroLength,
+    /// Length was not a power of two (the ring index arithmetic and the
+    /// engine's wrap logic require it).
+    NotPowerOfTwo(u32),
+    /// A virtual address was not 8-byte aligned.
+    Misaligned {
+        /// Which field (`"write"`, `"read"` or `"base"`).
+        which: &'static str,
+    },
     /// An index pointer aliases the data array.
     IndexAliasesData {
         /// Which pointer (`"write"` or `"read"`).
@@ -43,9 +56,19 @@ impl std::fmt::Display for DescriptorError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DescriptorError::BadElementSize(s) => {
-                write!(f, "element size {s} must be a positive multiple of 8")
+                write!(
+                    f,
+                    "element size {s} must be a positive multiple of 8 no larger than \
+                     {MAX_ELEMENT_BYTES}"
+                )
             }
             DescriptorError::ZeroLength => f.write_str("queue length must be positive"),
+            DescriptorError::NotPowerOfTwo(n) => {
+                write!(f, "queue length {n} must be a power of two")
+            }
+            DescriptorError::Misaligned { which } => {
+                write!(f, "{which} address is not 8-byte aligned")
+            }
             DescriptorError::IndexAliasesData { which } => {
                 write!(f, "{which} index pointer overlaps the data array")
             }
@@ -56,6 +79,24 @@ impl std::fmt::Display for DescriptorError {
 impl std::error::Error for DescriptorError {}
 
 impl QueueDescriptor {
+    /// Validated construction: builds a descriptor and checks every
+    /// structural invariant, so a `QueueDescriptor` obtained this way is
+    /// known-good before it reaches the driver or the engine.
+    ///
+    /// # Errors
+    /// Returns a [`DescriptorError`] describing the violated invariant.
+    pub fn try_new(
+        write_index_va: u64,
+        read_index_va: u64,
+        base_va: u64,
+        element_bytes: u32,
+        length: u32,
+    ) -> Result<Self, DescriptorError> {
+        let d = Self { write_index_va, read_index_va, base_va, element_bytes, length };
+        d.validate()?;
+        Ok(d)
+    }
+
     /// Total bytes occupied by the data array.
     pub fn data_bytes(&self) -> u64 {
         u64::from(self.element_bytes) * u64::from(self.length)
@@ -67,16 +108,32 @@ impl QueueDescriptor {
     }
 
     /// Checks structural invariants the Cohort driver enforces at
-    /// registration time.
+    /// registration time: element size bounds, power-of-two capacity,
+    /// pointer alignment, and index/data aliasing.
     ///
     /// # Errors
     /// Returns a [`DescriptorError`] describing the violated invariant.
     pub fn validate(&self) -> Result<(), DescriptorError> {
-        if self.element_bytes == 0 || !self.element_bytes.is_multiple_of(8) {
+        if self.element_bytes == 0
+            || !self.element_bytes.is_multiple_of(8)
+            || self.element_bytes > MAX_ELEMENT_BYTES
+        {
             return Err(DescriptorError::BadElementSize(self.element_bytes));
         }
         if self.length == 0 {
             return Err(DescriptorError::ZeroLength);
+        }
+        if !self.length.is_power_of_two() {
+            return Err(DescriptorError::NotPowerOfTwo(self.length));
+        }
+        for (which, va) in [
+            ("write", self.write_index_va),
+            ("read", self.read_index_va),
+            ("base", self.base_va),
+        ] {
+            if !va.is_multiple_of(8) {
+                return Err(DescriptorError::Misaligned { which });
+            }
         }
         let data = self.base_va..self.base_va + self.data_bytes();
         for (which, va) in [("write", self.write_index_va), ("read", self.read_index_va)] {
@@ -124,8 +181,34 @@ mod tests {
         d.element_bytes = 12;
         assert!(d.validate().is_err());
         let mut d = desc();
+        d.element_bytes = MAX_ELEMENT_BYTES + 8;
+        assert!(matches!(d.validate(), Err(DescriptorError::BadElementSize(_))));
+        let mut d = desc();
         d.length = 0;
         assert_eq!(d.validate(), Err(DescriptorError::ZeroLength));
+        let mut d = desc();
+        d.length = 100;
+        assert_eq!(d.validate(), Err(DescriptorError::NotPowerOfTwo(100)));
+    }
+
+    #[test]
+    fn rejects_misaligned_addresses() {
+        let mut d = desc();
+        d.read_index_va = 0x1044;
+        assert_eq!(d.validate(), Err(DescriptorError::Misaligned { which: "read" }));
+        let mut d = desc();
+        d.base_va = 0x1084;
+        assert_eq!(d.validate(), Err(DescriptorError::Misaligned { which: "base" }));
+    }
+
+    #[test]
+    fn try_new_validates() {
+        let d = QueueDescriptor::try_new(0x1000, 0x1040, 0x1080, 8, 64).expect("valid");
+        assert_eq!(d, desc());
+        assert_eq!(
+            QueueDescriptor::try_new(0x1000, 0x1040, 0x1080, 8, 100),
+            Err(DescriptorError::NotPowerOfTwo(100))
+        );
     }
 
     #[test]

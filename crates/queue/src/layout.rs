@@ -28,31 +28,19 @@ impl QueueLayout {
     /// line for the read index, then the data array (line-aligned, padded).
     ///
     /// # Panics
-    /// Panics if `base_va` is not cache-line aligned, `element_bytes` is
-    /// not a positive multiple of 8, or `length` is zero.
+    /// Panics if `base_va` is not cache-line aligned or the resulting
+    /// descriptor fails [`QueueDescriptor::validate`] (bad element size,
+    /// zero or non-power-of-two length, …).
     pub fn standard(base_va: u64, element_bytes: u32, length: u32) -> Self {
         assert_eq!(base_va % LINE_BYTES, 0, "queue base must be line aligned");
-        assert!(
-            element_bytes > 0 && element_bytes.is_multiple_of(8),
-            "element size must be a positive multiple of 8"
-        );
-        assert!(length > 0, "length must be positive");
         let write_index_va = base_va;
         let read_index_va = base_va + LINE_BYTES;
         let data_va = base_va + 2 * LINE_BYTES;
-        let data_bytes = u64::from(element_bytes) * u64::from(length);
-        let padded = data_bytes.div_ceil(LINE_BYTES) * LINE_BYTES;
-        Self {
-            descriptor: QueueDescriptor {
-                write_index_va,
-                read_index_va,
-                base_va: data_va,
-                element_bytes,
-                length,
-            },
-            region_start: base_va,
-            region_bytes: 2 * LINE_BYTES + padded,
-        }
+        let descriptor =
+            QueueDescriptor::try_new(write_index_va, read_index_va, data_va, element_bytes, length)
+                .unwrap_or_else(|e| panic!("invalid queue geometry: {e}"));
+        let padded = descriptor.data_bytes().div_ceil(LINE_BYTES) * LINE_BYTES;
+        Self { descriptor, region_start: base_va, region_bytes: 2 * LINE_BYTES + padded }
     }
 
     /// First address after the region (useful for bump allocation).
@@ -76,9 +64,15 @@ mod tests {
 
     #[test]
     fn region_covers_data() {
-        let l = QueueLayout::standard(0x2_0000, 8, 100);
+        let l = QueueLayout::standard(0x2_0000, 8, 128);
         assert!(l.region_end() >= l.descriptor.base_va + l.descriptor.data_bytes());
         assert_eq!(l.region_bytes % LINE_BYTES, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_length_rejected() {
+        let _ = QueueLayout::standard(0x2_0000, 8, 100);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod spsc;
 pub mod typed;
 
 pub use batch::{BatchConsumer, BatchProducer};
-pub use descriptor::QueueDescriptor;
+pub use descriptor::{DescriptorError, QueueDescriptor, MAX_ELEMENT_BYTES};
 pub use layout::QueueLayout;
 pub use mpsc::{mpsc_channel, MpscConsumer, MpscProducer};
 pub use spsc::{spsc_channel, Consumer, Producer, PushError};

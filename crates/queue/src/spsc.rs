@@ -14,7 +14,7 @@
 use crate::pad::CachePadded;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 struct Inner<T> {
@@ -24,6 +24,9 @@ struct Inner<T> {
     read: CachePadded<AtomicU64>,
     /// Producer-owned write index (elements published so far).
     write: CachePadded<AtomicU64>,
+    /// Set when either half is dropped or calls `close`: the peer's
+    /// blocking loop should stop waiting rather than spin forever.
+    closed: AtomicBool,
 }
 
 // SAFETY: the producer/consumer split guarantees exclusive slot access:
@@ -108,6 +111,7 @@ pub fn spsc_channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
         capacity: capacity as u64,
         read: CachePadded::new(AtomicU64::new(0)),
         write: CachePadded::new(AtomicU64::new(0)),
+        closed: AtomicBool::new(false),
     });
     (
         Producer { inner: Arc::clone(&inner), staged: 0, read_cache: 0 },
@@ -181,6 +185,27 @@ impl<T> Producer<T> {
         self.read_cache = self.inner.read.load(Ordering::Acquire);
         (self.inner.capacity - (self.staged - self.read_cache)) as usize
     }
+
+    /// Marks the ring closed (also done automatically on drop). Elements
+    /// already published remain poppable; the peer uses
+    /// [`Consumer::is_closed`] to stop waiting for more.
+    pub fn close(&mut self) {
+        self.inner.closed.store(true, Ordering::Release);
+    }
+
+    /// True once either half has been dropped or closed.
+    pub fn is_closed(&self) -> bool {
+        self.inner.closed.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        // Flush staged elements so they are visible (and eventually
+        // dropped by `Inner`), then tell the consumer no more are coming.
+        self.publish();
+        self.close();
+    }
 }
 
 impl<T> Consumer<T> {
@@ -234,6 +259,30 @@ impl<T> Consumer<T> {
     /// True if no published elements are pending.
     pub fn is_empty(&self) -> bool {
         self.observed_len() == 0
+    }
+
+    /// Marks the ring closed (also done automatically on drop): the
+    /// producer's blocking full-queue loop should give up rather than wait
+    /// for space that will never be released.
+    pub fn close(&mut self) {
+        self.inner.closed.store(true, Ordering::Release);
+    }
+
+    /// True once either half has been dropped or closed.
+    ///
+    /// A consumer should keep popping until the queue is *both* closed and
+    /// empty — close does not discard already-published elements.
+    pub fn is_closed(&self) -> bool {
+        self.inner.closed.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        // Release consumed slots for accurate `Inner` cleanup, then tell
+        // the producer nobody will ever free space again.
+        self.release();
+        self.close();
     }
 }
 
@@ -379,6 +428,38 @@ mod tests {
             // two left inside
         }
         assert_eq!(DROPS.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn producer_drop_publishes_and_closes() {
+        let (mut tx, mut rx) = spsc_channel::<u32>(8);
+        tx.push(1).unwrap();
+        tx.stage(2).unwrap(); // never explicitly published
+        assert!(!rx.is_closed());
+        drop(tx);
+        assert!(rx.is_closed());
+        assert_eq!(rx.pop(), Some(1), "published data survives close");
+        assert_eq!(rx.pop(), Some(2), "staged data is flushed on drop");
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn consumer_drop_closes_for_producer() {
+        let (mut tx, rx) = spsc_channel::<u32>(2);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        drop(rx);
+        assert!(tx.is_closed());
+        assert_eq!(tx.push(3), Err(PushError(3)), "still full, but detectably dead");
+    }
+
+    #[test]
+    fn explicit_close_without_drop() {
+        let (mut tx, mut rx) = spsc_channel::<u32>(4);
+        tx.push(7).unwrap();
+        tx.close();
+        assert!(tx.is_closed() && rx.is_closed());
+        assert_eq!(rx.pop(), Some(7));
     }
 
     #[test]

@@ -113,6 +113,8 @@ pub struct SocConfig {
     pub tlb_entries: usize,
     /// Lines held by the Cohort engine's memory transaction engine buffer.
     pub mte_lines: u64,
+    /// Deterministic fault-injection plan (empty by default: no faults).
+    pub faults: crate::faultinject::FaultPlan,
 }
 
 impl Default for SocConfig {
@@ -124,6 +126,7 @@ impl Default for SocConfig {
             timing: TimingConfig::default(),
             tlb_entries: 16,
             mte_lines: 8,
+            faults: crate::faultinject::FaultPlan::default(),
         }
     }
 }
@@ -144,6 +147,12 @@ impl SocConfig {
     /// Convenience builder-style override of the TLB size.
     pub fn with_tlb_entries(mut self, n: usize) -> Self {
         self.tlb_entries = n;
+        self
+    }
+
+    /// Convenience builder-style override of the fault-injection plan.
+    pub fn with_faults(mut self, faults: crate::faultinject::FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }

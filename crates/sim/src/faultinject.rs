@@ -1,0 +1,579 @@
+//! Deterministic, seed-driven fault injection.
+//!
+//! A [`FaultPlan`] describes *when* and *what* to perturb: explicit
+//! [`FaultEvent`]s pinned to cycles, plus an optional splitmix64-seeded
+//! [`RandomFaults`] schedule resolved deterministically by
+//! [`FaultPlan::schedule`]. The same seed and configuration always yield
+//! the same schedule, so chaos runs are exactly reproducible.
+//!
+//! Four fault classes are modelled:
+//!
+//! * **Accelerator stalls** ([`FaultKind::AccelStall`]) — the accelerator's
+//!   valid/ready interface is held low for N cycles (or [`FOREVER`]); the
+//!   engine's endpoints observe this through the shared [`FaultState`].
+//! * **NoC latency spikes** ([`FaultKind::LatencySpike`]) — every message
+//!   injected during the window takes `factor`× its modelled latency
+//!   (congestion, thermal throttling, a misbehaving neighbour).
+//! * **Page-fault storms** ([`FaultKind::PageFaultStorm`]) — lazily-mapped
+//!   pages are forcibly evicted mid-burst through a harness-provided
+//!   [`StormHook`] (the OS layer owns the page tables; the sim crate does
+//!   not), followed by an engine TLB flush so the evictions are observed.
+//! * **Corrupted descriptor writes** ([`FaultKind::CorruptDescriptor`]) —
+//!   garbage MMIO writes land in the engine's configuration registers
+//!   while it is enabled, exercising the sticky `ERROR_STATUS` path.
+//!
+//! The [`FaultInjector`] component owns the resolved schedule and applies
+//! each event on its due cycle; injections are counted in the stats
+//! registry and emitted as trace instants so Perfetto shows each fault
+//! next to the engine's recovery spans.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::component::{Component, Ctx, Observability};
+use crate::mem::PhysMem;
+use crate::msg::Msg;
+use crate::stats::Counter;
+use crate::trace::Trace;
+
+/// Stall duration meaning "until the end of the run" (never self-clears).
+pub const FOREVER: u64 = u64::MAX;
+
+/// The splitmix64 step: a tiny, high-quality, seedable PRNG used for every
+/// randomised schedule in the repo (same generator as the benches).
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One fault class with its parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Hold the accelerator's valid/ready interface low for `cycles`
+    /// (use [`FOREVER`] for a wedged accelerator).
+    AccelStall {
+        /// Stall duration in cycles.
+        cycles: u64,
+    },
+    /// Multiply every NoC message latency by `factor` for `cycles`.
+    LatencySpike {
+        /// Window length in cycles.
+        cycles: u64,
+        /// Multiplicative latency factor (≥ 1).
+        factor: u64,
+    },
+    /// Forcibly evict up to `pages` lazily-mapped pages and flush the
+    /// engine TLB, provoking page-fault recovery mid-burst.
+    PageFaultStorm {
+        /// Pages to evict.
+        pages: u64,
+    },
+    /// Write garbage into the engine's queue-descriptor registers while it
+    /// is enabled.
+    CorruptDescriptor,
+}
+
+impl FaultKind {
+    /// Short label used for trace events and counters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::AccelStall { .. } => "stall",
+            FaultKind::LatencySpike { .. } => "spike",
+            FaultKind::PageFaultStorm { .. } => "storm",
+            FaultKind::CorruptDescriptor => "corrupt",
+        }
+    }
+}
+
+/// A fault pinned to a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Cycle at which the fault fires (applied on the first step at or
+    /// after this cycle).
+    pub at_cycle: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A seeded random schedule: `count` faults drawn uniformly over
+/// `[from, to)` cycles, classes and parameters drawn from splitmix64.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomFaults {
+    /// PRNG seed; the whole schedule is a pure function of this.
+    pub seed: u64,
+    /// Number of faults to generate.
+    pub count: u64,
+    /// First cycle of the injection window (inclusive).
+    pub from: u64,
+    /// Last cycle of the injection window (exclusive).
+    pub to: u64,
+}
+
+impl Default for RandomFaults {
+    fn default() -> Self {
+        Self { seed: 0x5eed, count: 8, from: 0, to: 1_000_000 }
+    }
+}
+
+/// A complete fault-injection plan: explicit events plus an optional
+/// seeded random schedule. Lives in [`crate::config::SocConfig`]; the
+/// default plan is empty (no faults).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Explicit, cycle-pinned events.
+    pub events: Vec<FaultEvent>,
+    /// Optional seeded random schedule, merged in by
+    /// [`FaultPlan::schedule`].
+    pub random: Option<RandomFaults>,
+}
+
+impl FaultPlan {
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.random.is_none()
+    }
+
+    /// Builder-style: adds one explicit event.
+    pub fn at(mut self, at_cycle: u64, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at_cycle, kind });
+        self
+    }
+
+    /// Builder-style: sets the random schedule.
+    pub fn with_random(mut self, random: RandomFaults) -> Self {
+        self.random = Some(random);
+        self
+    }
+
+    /// Resolves the plan into a concrete schedule, sorted by cycle:
+    /// explicit events plus the deterministically generated random ones.
+    /// Calling this twice on equal plans yields identical schedules.
+    pub fn schedule(&self) -> Vec<FaultEvent> {
+        let mut out = self.events.clone();
+        if let Some(r) = self.random {
+            let span = r.to.saturating_sub(r.from).max(1);
+            let mut s = r.seed;
+            for _ in 0..r.count {
+                let at_cycle = r.from + splitmix64(&mut s) % span;
+                let class = splitmix64(&mut s) % 4;
+                let p = splitmix64(&mut s);
+                let kind = match class {
+                    0 => FaultKind::AccelStall { cycles: 200 + p % 2000 },
+                    1 => FaultKind::LatencySpike {
+                        cycles: 200 + p % 2000,
+                        factor: 2 + p % 6,
+                    },
+                    2 => FaultKind::PageFaultStorm { pages: 1 + p % 4 },
+                    _ => FaultKind::CorruptDescriptor,
+                };
+                out.push(FaultEvent { at_cycle, kind });
+            }
+        }
+        // Stable sort: same-cycle events keep their generation order.
+        out.sort_by_key(|e| e.at_cycle);
+        out
+    }
+
+    /// Parses a `socrun --faults` spec: semicolon-separated entries of
+    ///
+    /// * `stall@CYCLE:DUR` — `DUR` in cycles, or `forever`;
+    /// * `spike@CYCLE:DUR:FACTOR`;
+    /// * `storm@CYCLE:PAGES`;
+    /// * `corrupt@CYCLE`;
+    /// * `random:seed=S,count=N,from=A,to=B` — all keys optional
+    ///   (defaults: seed `0x5eed`, count 8, window `[0, 1000000)`).
+    ///
+    /// # Errors
+    /// Returns a human-readable message for malformed entries.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for entry in spec.split(';').map(str::trim).filter(|e| !e.is_empty()) {
+            if let Some(body) = entry.strip_prefix("random:").or(if entry == "random" {
+                Some("")
+            } else {
+                None
+            }) {
+                let mut r = RandomFaults::default();
+                for kv in body.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+                    let (key, value) = kv
+                        .split_once('=')
+                        .ok_or_else(|| format!("fault spec: expected key=value in {kv:?}"))?;
+                    let n = parse_u64(value)?;
+                    match key {
+                        "seed" => r.seed = n,
+                        "count" => r.count = n,
+                        "from" => r.from = n,
+                        "to" => r.to = n,
+                        other => return Err(format!("fault spec: unknown random key {other:?}")),
+                    }
+                }
+                if r.to <= r.from {
+                    return Err(format!("fault spec: empty window {}..{}", r.from, r.to));
+                }
+                plan.random = Some(r);
+                continue;
+            }
+            let (name, rest) = entry
+                .split_once('@')
+                .ok_or_else(|| format!("fault spec: expected kind@cycle in {entry:?}"))?;
+            let mut parts = rest.split(':');
+            let at_cycle = parse_u64(parts.next().unwrap_or(""))?;
+            let args: Vec<&str> = parts.collect();
+            let kind = match (name, args.as_slice()) {
+                ("stall", [d]) => FaultKind::AccelStall { cycles: parse_duration(d)? },
+                ("spike", [d, f]) => FaultKind::LatencySpike {
+                    cycles: parse_u64(d)?,
+                    factor: parse_u64(f)?.max(1),
+                },
+                ("storm", [p]) => FaultKind::PageFaultStorm { pages: parse_u64(p)?.max(1) },
+                ("corrupt", []) => FaultKind::CorruptDescriptor,
+                _ => {
+                    return Err(format!(
+                        "fault spec: bad entry {entry:?} (see `stall@C:D`, \
+                         `spike@C:D:F`, `storm@C:P`, `corrupt@C`, `random:...`)"
+                    ))
+                }
+            };
+            plan.events.push(FaultEvent { at_cycle, kind });
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    s.trim()
+        .parse::<u64>()
+        .map_err(|_| format!("fault spec: {s:?} is not a number"))
+}
+
+fn parse_duration(s: &str) -> Result<u64, String> {
+    if s.trim() == "forever" {
+        Ok(FOREVER)
+    } else {
+        parse_u64(s)
+    }
+}
+
+/// Live fault switches shared between the injector, the NoC and the
+/// engine. Cloning shares the cells (like [`Counter`]); the default state
+/// injects nothing.
+#[derive(Debug, Clone, Default)]
+pub struct FaultState {
+    /// Accelerator valid/ready held low while `cycle < stall_until`.
+    stall_until: Arc<AtomicU64>,
+    /// NoC latency multiplied while `cycle < spike_until`.
+    spike_until: Arc<AtomicU64>,
+    spike_factor: Arc<AtomicU64>,
+}
+
+impl FaultState {
+    /// Holds the accelerator interface low until `until` ([`FOREVER`] for
+    /// a permanently wedged accelerator).
+    pub fn stall_accel(&self, until: u64) {
+        self.stall_until.store(until, Ordering::Relaxed);
+    }
+
+    /// Clears an accelerator stall.
+    pub fn clear_accel_stall(&self) {
+        self.stall_until.store(0, Ordering::Relaxed);
+    }
+
+    /// True while the accelerator interface is held low.
+    pub fn accel_stalled(&self, cycle: u64) -> bool {
+        cycle < self.stall_until.load(Ordering::Relaxed)
+    }
+
+    /// Opens a latency-spike window: messages injected before `until`
+    /// take `factor`× their modelled latency.
+    pub fn set_latency_spike(&self, until: u64, factor: u64) {
+        self.spike_factor.store(factor.max(1), Ordering::Relaxed);
+        self.spike_until.store(until, Ordering::Relaxed);
+    }
+
+    /// The multiplicative NoC latency factor in effect at `cycle` (1 when
+    /// no spike window is open).
+    pub fn latency_factor(&self, cycle: u64) -> u64 {
+        if cycle < self.spike_until.load(Ordering::Relaxed) {
+            self.spike_factor.load(Ordering::Relaxed).max(1)
+        } else {
+            1
+        }
+    }
+}
+
+/// Harness-provided page evictor for [`FaultKind::PageFaultStorm`]: takes
+/// functional memory and the requested page count, returns pages actually
+/// evicted. The OS layer owns page tables, so the hook is injected from
+/// above rather than implemented here.
+pub type StormHook = Box<dyn FnMut(&mut PhysMem, u64) -> u64 + Send>;
+
+/// The fault-injection component: owns the resolved schedule and applies
+/// each event on its due cycle.
+pub struct FaultInjector {
+    schedule: VecDeque<FaultEvent>,
+    state: FaultState,
+    /// Engine TLB-flush register (storms flush so evictions are observed).
+    tlb_flush_pa: Option<u64>,
+    /// MMIO (pa, garbage) writes performed on [`FaultKind::CorruptDescriptor`].
+    corrupt_writes: Vec<(u64, u64)>,
+    storm_hook: Option<StormHook>,
+    stalls: Counter,
+    spikes: Counter,
+    storms: Counter,
+    corruptions: Counter,
+    evicted_pages: Counter,
+    trace: Option<Trace>,
+    tid: u64,
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("pending", &self.schedule.len())
+            .field("stalls", &self.stalls.get())
+            .field("spikes", &self.spikes.get())
+            .field("storms", &self.storms.get())
+            .field("corruptions", &self.corruptions.get())
+            .finish()
+    }
+}
+
+impl FaultInjector {
+    /// Creates an injector for `plan`, driving the shared `state` (obtain
+    /// it from [`crate::soc::Soc::fault_state`] so the NoC and engine see
+    /// the same switches).
+    pub fn new(plan: &FaultPlan, state: FaultState) -> Self {
+        Self {
+            schedule: plan.schedule().into(),
+            state,
+            tlb_flush_pa: None,
+            corrupt_writes: Vec::new(),
+            storm_hook: None,
+            stalls: Counter::new(),
+            spikes: Counter::new(),
+            storms: Counter::new(),
+            corruptions: Counter::new(),
+            evicted_pages: Counter::new(),
+            trace: None,
+            tid: 0,
+        }
+    }
+
+    /// Sets the engine's TLB-flush register address; page-fault storms
+    /// write it after evicting so stale translations are dropped.
+    pub fn set_tlb_flush_pa(&mut self, pa: u64) {
+        self.tlb_flush_pa = Some(pa);
+    }
+
+    /// Sets the garbage MMIO writes performed by a corrupt-descriptor
+    /// fault (typically the engine's `IN_*`/`OUT_*` registers).
+    pub fn set_corrupt_writes(&mut self, writes: Vec<(u64, u64)>) {
+        self.corrupt_writes = writes;
+    }
+
+    /// Installs the page evictor used by page-fault storms.
+    pub fn set_storm_hook(&mut self, hook: StormHook) {
+        self.storm_hook = Some(hook);
+    }
+
+    /// Events not yet applied.
+    pub fn pending(&self) -> usize {
+        self.schedule.len()
+    }
+
+    fn emit(&self, cycle: u64, kind: &FaultKind, args: Vec<(&'static str, String)>) {
+        if let Some(trace) = self.trace.as_ref().filter(|t| t.is_enabled()) {
+            trace.instant(self.tid, "fault", format!("fault:{}", kind.label()), cycle, args);
+        }
+    }
+
+    fn apply(&mut self, ctx: &mut Ctx<'_>, ev: FaultEvent) {
+        match ev.kind {
+            FaultKind::AccelStall { cycles } => {
+                let until =
+                    if cycles == FOREVER { FOREVER } else { ctx.cycle.saturating_add(cycles) };
+                self.state.stall_accel(until);
+                self.stalls.inc();
+                self.emit(ctx.cycle, &ev.kind, vec![("until", format!("{until}"))]);
+            }
+            FaultKind::LatencySpike { cycles, factor } => {
+                self.state.set_latency_spike(ctx.cycle.saturating_add(cycles), factor);
+                self.spikes.inc();
+                self.emit(ctx.cycle, &ev.kind, vec![("factor", format!("{factor}"))]);
+            }
+            FaultKind::PageFaultStorm { pages } => {
+                let evicted = match self.storm_hook.as_mut() {
+                    Some(hook) => hook(ctx.mem, pages),
+                    None => 0,
+                };
+                self.evicted_pages.add(evicted);
+                if let Some(pa) = self.tlb_flush_pa {
+                    if let Some(dst) = ctx.mmio_target(pa) {
+                        ctx.send(dst, Msg::MmioWrite { pa, value: 1, tag: 0xFA17 });
+                    }
+                }
+                self.storms.inc();
+                self.emit(ctx.cycle, &ev.kind, vec![("evicted", format!("{evicted}"))]);
+            }
+            FaultKind::CorruptDescriptor => {
+                for (pa, value) in self.corrupt_writes.clone() {
+                    if let Some(dst) = ctx.mmio_target(pa) {
+                        ctx.send(dst, Msg::MmioWrite { pa, value, tag: 0xFA17 });
+                    }
+                }
+                self.corruptions.inc();
+                self.emit(ctx.cycle, &ev.kind, vec![]);
+            }
+        }
+    }
+}
+
+impl Component for FaultInjector {
+    fn name(&self) -> &str {
+        "faultinject"
+    }
+
+    fn attach(&mut self, obs: &Observability) {
+        obs.adopt_counter("stalls", &self.stalls);
+        obs.adopt_counter("spikes", &self.spikes);
+        obs.adopt_counter("storms", &self.storms);
+        obs.adopt_counter("corruptions", &self.corruptions);
+        obs.adopt_counter("evicted_pages", &self.evicted_pages);
+        self.trace = Some(obs.trace.clone());
+        self.tid = obs.tid;
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) {
+        while let Some(env) = ctx.recv() {
+            match env.msg {
+                // Acks for the injector's own MMIO pokes.
+                Msg::MmioWriteResp { .. } | Msg::MmioReadResp { .. } => {}
+                ref other => panic!("fault injector received unexpected message {other:?}"),
+            }
+        }
+        while self.schedule.front().is_some_and(|e| e.at_cycle <= ctx.cycle) {
+            let ev = self.schedule.pop_front().expect("peeked");
+            self.apply(ctx, ev);
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.schedule.is_empty()
+    }
+
+    fn counters(&self) -> Vec<(String, u64)> {
+        vec![
+            ("stalls".into(), self.stalls.get()),
+            ("spikes".into(), self.spikes.get()),
+            ("storms".into(), self.storms.get()),
+            ("corruptions".into(), self.corruptions.get()),
+            ("evicted_pages".into(), self.evicted_pages.get()),
+        ]
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::default().is_empty());
+        assert!(FaultPlan::default().schedule().is_empty());
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_sorted() {
+        let plan = FaultPlan::default()
+            .at(500, FaultKind::CorruptDescriptor)
+            .with_random(RandomFaults { seed: 42, count: 16, from: 100, to: 10_000 });
+        let a = plan.schedule();
+        let b = plan.clone().schedule();
+        assert_eq!(a, b, "same plan, same schedule");
+        assert_eq!(a.len(), 17);
+        assert!(a.windows(2).all(|w| w[0].at_cycle <= w[1].at_cycle), "sorted");
+        assert!(a.iter().all(|e| e.at_cycle < 10_000));
+        let c = FaultPlan::default()
+            .with_random(RandomFaults { seed: 43, count: 16, from: 100, to: 10_000 })
+            .schedule();
+        assert_ne!(
+            a.iter().filter(|e| e.at_cycle != 500).copied().collect::<Vec<_>>(),
+            c,
+            "different seed, different schedule"
+        );
+    }
+
+    #[test]
+    fn parse_explicit_entries() {
+        let plan = FaultPlan::parse("stall@100:forever; spike@200:50:4; storm@300:2; corrupt@400")
+            .expect("valid spec");
+        assert_eq!(
+            plan.events,
+            vec![
+                FaultEvent { at_cycle: 100, kind: FaultKind::AccelStall { cycles: FOREVER } },
+                FaultEvent {
+                    at_cycle: 200,
+                    kind: FaultKind::LatencySpike { cycles: 50, factor: 4 }
+                },
+                FaultEvent { at_cycle: 300, kind: FaultKind::PageFaultStorm { pages: 2 } },
+                FaultEvent { at_cycle: 400, kind: FaultKind::CorruptDescriptor },
+            ]
+        );
+        assert!(plan.random.is_none());
+    }
+
+    #[test]
+    fn parse_random_with_defaults() {
+        let plan = FaultPlan::parse("random:seed=7,count=3").expect("valid spec");
+        let r = plan.random.expect("random schedule");
+        assert_eq!((r.seed, r.count), (7, 3));
+        assert_eq!((r.from, r.to), (RandomFaults::default().from, RandomFaults::default().to));
+        assert_eq!(plan.schedule().len(), 3);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("stall@oops:1").is_err());
+        assert!(FaultPlan::parse("flip@100:1").is_err());
+        assert!(FaultPlan::parse("spike@100:50").is_err(), "spike needs a factor");
+        assert!(FaultPlan::parse("random:to=0").is_err(), "empty window");
+    }
+
+    #[test]
+    fn fault_state_windows() {
+        let fs = FaultState::default();
+        assert!(!fs.accel_stalled(0));
+        fs.stall_accel(100);
+        assert!(fs.accel_stalled(99));
+        assert!(!fs.accel_stalled(100));
+        fs.stall_accel(FOREVER);
+        assert!(fs.accel_stalled(u64::MAX - 1));
+        fs.clear_accel_stall();
+        assert!(!fs.accel_stalled(0));
+
+        assert_eq!(fs.latency_factor(0), 1);
+        fs.set_latency_spike(50, 8);
+        assert_eq!(fs.latency_factor(49), 8);
+        assert_eq!(fs.latency_factor(50), 1);
+    }
+
+    #[test]
+    fn shared_state_is_visible_through_clones() {
+        let a = FaultState::default();
+        let b = a.clone();
+        a.stall_accel(10);
+        assert!(b.accel_stalled(5), "clones share the cells");
+    }
+}

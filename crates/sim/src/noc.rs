@@ -11,6 +11,7 @@ use std::collections::BinaryHeap;
 
 use crate::component::{CompId, TileCoord};
 use crate::config::TimingConfig;
+use crate::faultinject::FaultState;
 use crate::msg::Envelope;
 use crate::stats::{Counter, Histogram, Stats};
 use crate::trace::Trace;
@@ -57,6 +58,7 @@ pub struct Noc {
     hop_latency: Histogram,
     hops: Histogram,
     trace: Option<Trace>,
+    faults: Option<FaultState>,
 }
 
 impl Noc {
@@ -72,7 +74,15 @@ impl Noc {
             hop_latency: Histogram::new(),
             hops: Histogram::new(),
             trace: None,
+            faults: None,
         }
+    }
+
+    /// Connects the NoC to the shared fault switches: messages injected
+    /// inside a latency-spike window take `factor`× their modelled
+    /// latency. Called by the SoC.
+    pub fn set_fault_state(&mut self, faults: FaultState) {
+        self.faults = Some(faults);
     }
 
     /// Registers the NoC's counters and histograms in `stats` and keeps a
@@ -115,7 +125,10 @@ impl Noc {
         env: Envelope,
         extra: u64,
     ) {
-        let lat = (self.latency(from, to, env.msg.payload_bytes()) + extra).max(1);
+        let spike = self.faults.as_ref().map_or(1, |f| f.latency_factor(cycle));
+        let lat = (self.latency(from, to, env.msg.payload_bytes()) + extra)
+            .max(1)
+            .saturating_mul(spike);
         self.seq += 1;
         self.flits.add(1 + env.msg.payload_bytes() / 8);
         self.hop_latency.record(lat);
@@ -216,6 +229,24 @@ mod tests {
         assert!(noc.next_delivery().unwrap() > 1);
         noc.deliver_due(1000, |_, _| n += 1);
         assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn latency_spike_window_multiplies_and_closes() {
+        let mut noc = Noc::new(&TimingConfig::default());
+        let fs = FaultState::default();
+        noc.set_fault_state(fs.clone());
+        let a = TileCoord::new(0, 0);
+        let b = TileCoord::new(1, 0);
+        let base = noc.latency(a, b, 0);
+        fs.set_latency_spike(100, 4);
+        noc.inject(0, a, b, CompId(1), env(0x40)); // inside the window
+        assert_eq!(noc.next_delivery(), Some(4 * base));
+        noc.inject(100, a, b, CompId(1), env(0x80)); // window closed
+        let mut due: Vec<u64> = Vec::new();
+        noc.deliver_due(1_000, |_, e| due.push(e.msg.line().unwrap()));
+        assert_eq!(due.len(), 2);
+        assert_eq!(noc.hop_latency().count(), 2);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 
 use crate::component::{CompId, Component, Ctx, MmioMap, Observability, Outgoing, TileCoord};
 use crate::config::SocConfig;
+use crate::faultinject::FaultState;
 use crate::mem::PhysMem;
 use crate::msg::Envelope;
 use crate::noc::Noc;
@@ -40,6 +41,7 @@ pub struct Soc {
     outbox: Vec<Outgoing>,
     stats: Stats,
     trace: Trace,
+    faults: FaultState,
 }
 
 impl std::fmt::Debug for Soc {
@@ -56,8 +58,10 @@ impl Soc {
     pub fn new(cfg: SocConfig) -> Self {
         let stats = Stats::new();
         let trace = Trace::default();
+        let faults = FaultState::default();
         let mut noc = Noc::new(&cfg.timing);
         noc.attach(&stats, &trace);
+        noc.set_fault_state(faults.clone());
         Self {
             cycle: 0,
             mem: PhysMem::new(),
@@ -68,7 +72,15 @@ impl Soc {
             outbox: Vec::new(),
             stats,
             trace,
+            faults,
         }
+    }
+
+    /// The SoC-wide fault switches. Cloning shares the cells: hand clones
+    /// to components (e.g. the Cohort engine) so a
+    /// [`crate::faultinject::FaultInjector`] can perturb them live.
+    pub fn fault_state(&self) -> &FaultState {
+        &self.faults
     }
 
     /// The configuration this SoC was built with.

@@ -1,0 +1,114 @@
+//! End-to-end fault-injection recovery tests.
+//!
+//! The recovery contract (docs/architecture.md §7): every fault class must
+//! end in completion with the exact fault-free output, or a clean reported
+//! error state — never a deadlock, never a panic. These tests drive each
+//! class through [`cohort::scenarios::run_cohort_chaos`], which arms the
+//! whole stack: watchdog, swap-backed fault handler, storm hook, and the
+//! bounded-retry error handler with a software fallback.
+
+use cohort::scenarios::{run_cohort, run_cohort_chaos, RunResult, Scenario, Workload};
+use cohort_sim::config::SocConfig;
+use cohort_sim::faultinject::{FaultKind, FaultPlan, RandomFaults, FOREVER};
+
+/// A small SHA chaos scenario carrying `plan`.
+fn chaos_scenario(plan: FaultPlan) -> Scenario {
+    let mut s = Scenario::new(Workload::Sha, 64, 8);
+    s.soc = SocConfig::default().with_faults(plan);
+    s
+}
+
+/// Order-sensitive payload checksum.
+fn checksum(words: &[u64]) -> u64 {
+    words.iter().fold(0u64, |acc, &w| acc.rotate_left(7) ^ w)
+}
+
+fn engine_counter(r: &RunResult, name: &str) -> u64 {
+    r.counter("cohort-engine", name).unwrap_or_else(|| panic!("missing counter {name}"))
+}
+
+#[test]
+fn finite_stall_recovers_without_watchdog_trip() {
+    let plan = FaultPlan::default().at(5_000, FaultKind::AccelStall { cycles: 3_000 });
+    let r = run_cohort_chaos(&chaos_scenario(plan));
+    assert!(r.verified, "finite stall must not corrupt output");
+    assert_eq!(engine_counter(&r, "watchdog_trips"), 0, "stall shorter than the watchdog");
+    assert_eq!(engine_counter(&r, "error_irqs"), 0);
+}
+
+#[test]
+fn infinite_stall_trips_watchdog_and_degrades_to_software() {
+    let mut s = chaos_scenario(
+        FaultPlan::default().at(5_000, FaultKind::AccelStall { cycles: FOREVER }),
+    );
+    s.watchdog = 20_000; // detect the wedge quickly
+    let r = run_cohort_chaos(&s);
+    assert!(r.verified, "software fallback must reproduce the full digest stream");
+    assert!(engine_counter(&r, "watchdog_trips") >= 1, "the wedge must be detected");
+    assert!(engine_counter(&r, "error_irqs") >= 1, "and reported");
+}
+
+#[test]
+fn corrupted_descriptor_is_rejected_and_recovered() {
+    let plan = FaultPlan::default().at(8_000, FaultKind::CorruptDescriptor);
+    let r = run_cohort_chaos(&chaos_scenario(plan));
+    assert!(r.verified, "corruption must be rejected, then worked around");
+    assert!(engine_counter(&r, "error_irqs") >= 1, "bad descriptor must raise the error IRQ");
+}
+
+#[test]
+fn page_fault_storm_output_matches_fault_free_run() {
+    let plan = FaultPlan::default()
+        .at(6_000, FaultKind::PageFaultStorm { pages: 2 })
+        .at(20_000, FaultKind::PageFaultStorm { pages: 3 });
+    let scenario = chaos_scenario(plan);
+    let stormy = run_cohort_chaos(&scenario);
+    let clean = run_cohort(&Scenario::new(Workload::Sha, 64, 8));
+    assert!(stormy.verified && clean.verified);
+    assert_eq!(
+        checksum(&stormy.recorded),
+        checksum(&clean.recorded),
+        "storm recovery must be data-lossless"
+    );
+    assert!(stormy.cycles >= clean.cycles, "faults may cost cycles, never correctness");
+}
+
+#[test]
+fn latency_spike_completes_with_correct_output() {
+    let plan = FaultPlan::default().at(3_000, FaultKind::LatencySpike { cycles: 5_000, factor: 8 });
+    let r = run_cohort_chaos(&chaos_scenario(plan));
+    assert!(r.verified, "a slow NoC is still a correct NoC");
+}
+
+#[test]
+fn seeded_random_plan_is_deterministic_across_runs() {
+    let make = || {
+        let plan = FaultPlan::default()
+            .at(4_000, FaultKind::AccelStall { cycles: 2_000 })
+            .with_random(RandomFaults { seed: 0xC0FFEE, count: 4, from: 10_000, to: 60_000 });
+        let mut s = chaos_scenario(plan);
+        s.watchdog = 30_000;
+        s
+    };
+    let a = run_cohort_chaos(&make());
+    let b = run_cohort_chaos(&make());
+    assert!(a.verified && b.verified);
+    assert_eq!(a.cycles, b.cycles, "same seed, same cycle count");
+    assert_eq!(checksum(&a.recorded), checksum(&b.recorded));
+    assert_eq!(a.stats_json, b.stats_json, "whole stats snapshot must be identical");
+}
+
+#[test]
+fn chaos_transitions_are_visible_in_the_trace() {
+    let mut s = chaos_scenario(
+        FaultPlan::default().at(5_000, FaultKind::AccelStall { cycles: FOREVER }),
+    );
+    s.watchdog = 20_000;
+    s.trace = true;
+    let r = run_cohort_chaos(&s);
+    assert!(r.verified);
+    let trace = r.trace_json.expect("tracing enabled");
+    assert!(trace.contains("fault:stall"), "injection instant present");
+    assert!(trace.contains("watchdog_trip"), "watchdog trip instant present");
+    assert!(trace.contains("error_irq"), "error IRQ instant present");
+}

@@ -243,19 +243,33 @@ fn sv39_walk_agrees_with_mappings() {
 }
 
 /// Queue layouts never alias: indices and data are on disjoint lines and
-/// the descriptor validates, for any geometry.
+/// the descriptor validates, for any power-of-two geometry; non-power-of-two
+/// lengths are rejected by descriptor validation.
 #[test]
 fn queue_layout_invariants() {
     let mut rng = Rng::new(0x1a07);
     for _ in 0..CASES {
         let elem_words = rng.range(1, 16) as u32;
-        let len = rng.range(1, 512) as u32;
+        let len = 1u32 << rng.range(0, 10);
         let layout = QueueLayout::standard(0x10_000, elem_words * 8, len);
         let d = layout.descriptor;
         assert!(d.validate().is_ok());
         assert!(d.base_va >= layout.region_start);
         assert!(d.base_va + d.data_bytes() <= layout.region_end());
         assert_ne!(d.write_index_va / 64, d.read_index_va / 64);
+
+        // Any non-power-of-two length fails fallible construction.
+        let bad_len = rng.range(3, 512) as u32;
+        if !bad_len.is_power_of_two() {
+            assert!(cohort_queue::QueueDescriptor::try_new(
+                0x10_000,
+                0x10_040,
+                0x10_080,
+                elem_words * 8,
+                bad_len,
+            )
+            .is_err());
+        }
     }
 }
 
