@@ -41,7 +41,9 @@ impl std::error::Error for ConfigError {}
 impl ConfigError {
     /// Creates an error with the given reason.
     pub fn new(reason: impl Into<String>) -> Self {
-        Self { reason: reason.into() }
+        Self {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -97,6 +99,9 @@ mod tests {
     #[test]
     fn config_error_display() {
         let e = ConfigError::new("missing key");
-        assert_eq!(e.to_string(), "invalid accelerator configuration: missing key");
+        assert_eq!(
+            e.to_string(),
+            "invalid accelerator configuration: missing key"
+        );
     }
 }

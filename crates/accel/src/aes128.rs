@@ -146,8 +146,7 @@ impl Aes128 {
     fn inv_mix_columns(state: &mut [u8; 16]) {
         for c in 0..4 {
             let col: [u8; 4] = state[c * 4..c * 4 + 4].try_into().expect("col");
-            state[c * 4] =
-                gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+            state[c * 4] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
             state[c * 4 + 1] =
                 gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
             state[c * 4 + 2] =
@@ -227,7 +226,10 @@ impl Aes128Accel {
 
     /// Creates the accelerator with `key`.
     pub fn with_key(key: &[u8; 16]) -> Self {
-        Self { cipher: Aes128::new(key), direction: AesDirection::Encrypt }
+        Self {
+            cipher: Aes128::new(key),
+            direction: AesDirection::Encrypt,
+        }
     }
 }
 
@@ -291,7 +293,10 @@ mod tests {
             0x07, 0x34,
         ];
         let aes = Aes128::new(&key);
-        assert_eq!(hex(&aes.encrypt_block(&pt)), "3925841d02dc09fbdc118597196a0b32");
+        assert_eq!(
+            hex(&aes.encrypt_block(&pt)),
+            "3925841d02dc09fbdc118597196a0b32"
+        );
     }
 
     // FIPS 197 appendix C.1 (AES-128).

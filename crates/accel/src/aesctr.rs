@@ -54,7 +54,11 @@ impl AesCtrAccel {
 
     /// Creates the accelerator with a zero key and counter.
     pub fn new() -> Self {
-        Self { cipher: Aes128::new(&[0; 16]), iv: [0; 16], counter: [0; 16] }
+        Self {
+            cipher: Aes128::new(&[0; 16]),
+            iv: [0; 16],
+            counter: [0; 16],
+        }
     }
 }
 

@@ -154,7 +154,11 @@ pub fn encode_block(w: &mut BitWriter, block: &[i32; 16]) {
 
     // Levels in reverse scan order (highest frequency first).
     let levels_rev: Vec<i32> = positions.iter().rev().map(|&i| zz[i]).collect();
-    let trailing_ones = levels_rev.iter().take(3).take_while(|l| l.abs() == 1).count();
+    let trailing_ones = levels_rev
+        .iter()
+        .take(3)
+        .take_while(|l| l.abs() == 1)
+        .count();
     w.put_bits(trailing_ones as u32, 2);
 
     // Trailing-one sign bits (1 = negative).
@@ -163,7 +167,11 @@ pub fn encode_block(w: &mut BitWriter, block: &[i32; 16]) {
     }
 
     // Remaining levels with adaptive suffix length.
-    let mut suffix_length: u8 = if total_coeff > 10 && trailing_ones < 3 { 1 } else { 0 };
+    let mut suffix_length: u8 = if total_coeff > 10 && trailing_ones < 3 {
+        1
+    } else {
+        0
+    };
     for (i, &level) in levels_rev[trailing_ones..].iter().enumerate() {
         debug_assert_ne!(level, 0);
         let mut level_code: i64 = if level > 0 {
@@ -223,7 +231,11 @@ pub fn decode_block(r: &mut BitReader<'_>) -> Result<[i32; 16], CavlcError> {
         levels_rev.push(if neg { -1 } else { 1 });
     }
 
-    let mut suffix_length: u8 = if total_coeff > 10 && trailing_ones < 3 { 1 } else { 0 };
+    let mut suffix_length: u8 = if total_coeff > 10 && trailing_ones < 3 {
+        1
+    } else {
+        0
+    };
     for i in 0..total_coeff - trailing_ones {
         let mut level_code = i64::from(get_level(r, suffix_length)?);
         if i == 0 && trailing_ones < 3 {
@@ -241,7 +253,11 @@ pub fn decode_block(r: &mut BitReader<'_>) -> Result<[i32; 16], CavlcError> {
         update_suffix_length(&mut suffix_length, level.unsigned_abs());
     }
 
-    let total_zeros = if total_coeff < 16 { r.get_ue()? as usize } else { 0 };
+    let total_zeros = if total_coeff < 16 {
+        r.get_ue()? as usize
+    } else {
+        0
+    };
     if total_coeff + total_zeros > 16 {
         return Err(CavlcError::Malformed(format!(
             "total_coeff {total_coeff} + total_zeros {total_zeros} > 16"
@@ -252,9 +268,15 @@ pub fn decode_block(r: &mut BitReader<'_>) -> Result<[i32; 16], CavlcError> {
     let mut runs = Vec::with_capacity(total_coeff);
     let mut zeros_left = total_zeros;
     for _ in 0..total_coeff - 1 {
-        let run = if zeros_left > 0 { r.get_ue()? as usize } else { 0 };
+        let run = if zeros_left > 0 {
+            r.get_ue()? as usize
+        } else {
+            0
+        };
         if run > zeros_left {
-            return Err(CavlcError::Malformed("run_before exceeds zeros_left".into()));
+            return Err(CavlcError::Malformed(
+                "run_before exceeds zeros_left".into(),
+            ));
         }
         runs.push(run);
         zeros_left -= run;
@@ -338,16 +360,15 @@ mod tests {
     #[test]
     fn sparse_high_frequency() {
         roundtrip(core::array::from_fn(|i| if i == 15 { -2 } else { 0 }));
-        roundtrip(core::array::from_fn(|i| if i == 15 || i == 0 { 3 } else { 0 }));
+        roundtrip(core::array::from_fn(
+            |i| if i == 15 || i == 0 { 3 } else { 0 },
+        ));
     }
 
     #[test]
     fn truncated_stream_errors() {
         let mut w = BitWriter::new();
-        encode_block(
-            &mut w,
-            &core::array::from_fn(|i| if i < 4 { 9 } else { 0 }),
-        );
+        encode_block(&mut w, &core::array::from_fn(|i| if i < 4 { 9 } else { 0 }));
         let bytes = w.into_bytes();
         let mut r = BitReader::new(&bytes[..bytes.len() - 1]);
         // May or may not fail depending on padding, but must not panic and

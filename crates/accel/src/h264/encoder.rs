@@ -65,8 +65,7 @@ impl H264Encoder {
                 encode_block(&mut w, &z);
                 for (i, &v) in rec.iter().enumerate() {
                     let (r, c) = (i / 4, i % 4);
-                    recon[(by * 4 + r) * MB_DIM + bx * 4 + c] =
-                        (v + 128).clamp(0, 255) as u8;
+                    recon[(by * 4 + r) * MB_DIM + bx * 4 + c] = (v + 128).clamp(0, 255) as u8;
                 }
             }
         }
@@ -105,8 +104,7 @@ pub fn decode_macroblock(bytes: &[u8]) -> Result<[u8; MB_BYTES], CavlcError> {
             let rec = inverse4x4(&w);
             for (i, &v) in rec.iter().enumerate() {
                 let (rr, cc) = (i / 4, i % 4);
-                recon[(by * 4 + rr) * MB_DIM + bx * 4 + cc] =
-                    (v + 128).clamp(0, 255) as u8;
+                recon[(by * 4 + rr) * MB_DIM + bx * 4 + cc] = (v + 128).clamp(0, 255) as u8;
             }
         }
     }
@@ -176,7 +174,9 @@ pub fn decode_image(bytes: &[u8]) -> Result<(usize, usize, Vec<u8>), CavlcError>
     let width = r.get_ue().map_err(CavlcError::from)? as usize;
     let height = r.get_ue().map_err(CavlcError::from)? as usize;
     if width == 0 || height == 0 || width * height > 1 << 26 {
-        return Err(CavlcError::Malformed(format!("dimensions {width}x{height}")));
+        return Err(CavlcError::Malformed(format!(
+            "dimensions {width}x{height}"
+        )));
     }
     // Header occupies whole bytes after RBSP trailing bits.
     let header_bytes = r.bit_pos().div_ceil(8) + usize::from(r.bit_pos().is_multiple_of(8));
@@ -263,7 +263,12 @@ mod tests {
 
     #[test]
     fn stream_roundtrip_multiframe() {
-        let frames = vec![gradient_mb(), textured_mb(1), [128u8; MB_BYTES], textured_mb(2)];
+        let frames = vec![
+            gradient_mb(),
+            textured_mb(1),
+            [128u8; MB_BYTES],
+            textured_mb(2),
+        ];
         let enc = H264Encoder::new(10);
         let stream = enc.encode_stream(&frames);
         let decoded = decode_stream(&stream).expect("stream decodes");

@@ -110,8 +110,7 @@ impl Accelerator for H264Accel {
                 if self.buf.len() < MB_BYTES {
                     return Vec::new();
                 }
-                let mb: [u8; MB_BYTES] =
-                    self.buf[..MB_BYTES].try_into().expect("one macroblock");
+                let mb: [u8; MB_BYTES] = self.buf[..MB_BYTES].try_into().expect("one macroblock");
                 self.buf.drain(..MB_BYTES);
                 let (bits, _) = self.encoder.encode_macroblock(&mb);
                 self.frames_done += 1;

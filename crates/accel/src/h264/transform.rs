@@ -157,9 +157,7 @@ mod tests {
 
     #[test]
     fn qp0_reconstruction_is_tight() {
-        let block: [i32; 16] = [
-            5, -3, 0, 2, 7, 1, -1, 0, -4, 2, 2, 2, 0, 0, 1, -2,
-        ];
+        let block: [i32; 16] = [5, -3, 0, 2, 7, 1, -1, 0, -4, 2, 2, 2, 0, 0, 1, -2];
         let (_z, rec) = reconstruct(&block, 0);
         for (a, b) in block.iter().zip(&rec) {
             assert!((a - b).abs() <= 1, "qp0: {a} vs {b}");

@@ -67,7 +67,9 @@ impl Accelerator for HmacAccel {
 
     fn configure(&mut self, csr: &[u8]) -> Result<(), ConfigError> {
         if csr.len() > 64 {
-            return Err(ConfigError::new("HMAC CSR keys longer than 64 bytes are not supported"));
+            return Err(ConfigError::new(
+                "HMAC CSR keys longer than 64 bytes are not supported",
+            ));
         }
         self.key = csr.to_vec();
         Ok(())
@@ -138,7 +140,10 @@ mod tests {
         let mut acc = HmacAccel::new();
         acc.configure(b"a key").unwrap();
         let block = [0x7fu8; 64];
-        assert_eq!(acc.process_block(&block), hmac_sha256(b"a key", &block).to_vec());
+        assert_eq!(
+            acc.process_block(&block),
+            hmac_sha256(b"a key", &block).to_vec()
+        );
         assert!(acc.configure(&[0u8; 65]).is_err());
     }
 }

@@ -23,7 +23,10 @@ impl Default for NullFifo {
 impl NullFifo {
     /// Creates a 64-bit-wide FIFO with a 1-cycle latency.
     pub fn new() -> Self {
-        Self { block_bytes: 8, latency: 1 }
+        Self {
+            block_bytes: 8,
+            latency: 1,
+        }
     }
 
     /// Creates a FIFO with a custom width and latency.
@@ -32,7 +35,10 @@ impl NullFifo {
     /// Panics if `block_bytes` is zero.
     pub fn with_geometry(block_bytes: usize, latency: u64) -> Self {
         assert!(block_bytes > 0, "block size must be positive");
-        Self { block_bytes, latency }
+        Self {
+            block_bytes,
+            latency,
+        }
     }
 }
 
@@ -51,7 +57,11 @@ impl Accelerator for NullFifo {
     }
 
     fn process_block(&mut self, input: &[u8]) -> Vec<u8> {
-        assert_eq!(input.len(), self.block_bytes, "nullfifo block size mismatch");
+        assert_eq!(
+            input.len(),
+            self.block_bytes,
+            "nullfifo block size mismatch"
+        );
         input.to_vec()
     }
 

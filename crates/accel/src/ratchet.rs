@@ -21,7 +21,10 @@ impl Ratchet {
     /// Panics if `block_bytes` is zero.
     pub fn new(block_bytes: usize) -> Self {
         assert!(block_bytes > 0, "ratchet block size must be positive");
-        Self { block_bytes, buf: VecDeque::new() }
+        Self {
+            block_bytes,
+            buf: VecDeque::new(),
+        }
     }
 
     /// Block size in bytes.

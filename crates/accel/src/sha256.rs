@@ -108,7 +108,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Creates a fresh context.
     pub fn new() -> Self {
-        Self { state: H0, buf: [0; 64], buf_len: 0, total_bytes: 0 }
+        Self {
+            state: H0,
+            buf: [0; 64],
+            buf_len: 0,
+            total_bytes: 0,
+        }
     }
 
     /// Absorbs `data`.
@@ -209,7 +214,10 @@ impl Sha256Accel {
 
     /// Creates the accelerator in [`Sha256Mode::RawPerBlock`].
     pub fn new() -> Self {
-        Self { mode: Sha256Mode::default(), state: H0 }
+        Self {
+            mode: Sha256Mode::default(),
+            state: H0,
+        }
     }
 
     /// Creates the accelerator in a specific mode.
@@ -287,7 +295,9 @@ mod tests {
     #[test]
     fn two_block_message() {
         assert_eq!(
-            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }
@@ -351,7 +361,11 @@ mod tests {
         acc.configure(&[1]).unwrap();
         let block = [9u8; 64];
         let d = acc.process_block(&block);
-        assert_eq!(d, sha256_raw_block(&block).to_vec(), "first chained block == raw");
+        assert_eq!(
+            d,
+            sha256_raw_block(&block).to_vec(),
+            "first chained block == raw"
+        );
         assert!(acc.configure(&[9]).is_err());
     }
 

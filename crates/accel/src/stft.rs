@@ -34,7 +34,10 @@ pub fn hann_q15(n: usize) -> Vec<i32> {
 pub fn fft_fixed(re: &mut [i32], im: &mut [i32]) {
     let n = re.len();
     assert_eq!(n, im.len(), "re/im length mismatch");
-    assert!(n.is_power_of_two() && n >= 2, "FFT size must be a power of two >= 2");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "FFT size must be a power of two >= 2"
+    );
     // Bit-reverse permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
@@ -110,8 +113,15 @@ impl StftAccel {
     /// # Panics
     /// Panics if `n` is not a power of two `>= 2`.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "frame size must be a power of two");
-        Self { n, window: hann_q15(n), windowed: true }
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "frame size must be a power of two"
+        );
+        Self {
+            n,
+            window: hann_q15(n),
+            windowed: true,
+        }
     }
 
     /// Frame size in samples.
@@ -232,7 +242,11 @@ mod tests {
         let peak = mag(bin);
         for k in 0..n / 2 {
             if k != bin {
-                assert!(mag(k) < peak / 4.0, "bin {k} too strong: {} vs {peak}", mag(k));
+                assert!(
+                    mag(k) < peak / 4.0,
+                    "bin {k} too strong: {} vs {peak}",
+                    mag(k)
+                );
             }
         }
     }

@@ -120,17 +120,47 @@ impl TimedAccel {
             && self.out_bytes.len() < 8
     }
 
-    /// Drains every complete buffered output word at once, ignoring the
-    /// one-word-per-cycle pacing. Used by the engine's watchdog abort path
-    /// to rescue produced-but-unstaged data before halting; sub-word
-    /// residue (an incomplete word) stays behind.
+    /// Drains every complete buffered output word at once, ignoring both
+    /// the one-word-per-cycle pacing and pipeline latency. Used by the
+    /// engine's watchdog abort path to rescue data before halting: the
+    /// in-flight block and any fully staged blocks are finished
+    /// *functionally* first — their input words were already consumed
+    /// from the queue (the read index advanced), so abandoning them would
+    /// lose elements across a failover. A partial ratchet block stays
+    /// behind untouched: its elements are refetched by whoever resumes.
+    /// Sub-word output residue (an incomplete word) also stays behind.
     pub fn drain_words(&mut self) -> Vec<u64> {
+        if let Some(out) = self.pending_out.take() {
+            self.out_bytes.extend(out);
+            self.blocks_done += 1;
+            self.busy_until = 0;
+        }
+        while let Some(block) = self.in_ratchet.pop_block() {
+            self.out_bytes.extend(self.accel.process_block(&block));
+            self.blocks_done += 1;
+        }
         let mut out = Vec::new();
         while self.out_bytes.len() >= 8 {
             let bytes: Vec<u8> = self.out_bytes.drain(..8).collect();
             out.push(u64::from_le_bytes(bytes.try_into().expect("8 bytes")));
         }
         out
+    }
+
+    /// Removes and returns the partial input block left in the staging
+    /// ratchet as 64-bit words. Input always arrives as whole words, so
+    /// the residue is word-aligned. Used by the failover checkpoint: the
+    /// read index already covers these words, so they must migrate to the
+    /// resuming engine rather than be refetched (the producer may lap the
+    /// ring during a long outage, so un-consuming them is unsound).
+    pub fn take_staged_words(&mut self) -> Vec<u64> {
+        let mut words = Vec::new();
+        while let Some(w) = self.in_ratchet.pop_word() {
+            words.push(w);
+        }
+        debug_assert!(self.in_ratchet.is_empty(), "input residue is word-aligned");
+        self.in_ratchet.clear();
+        words
     }
 
     /// Resets pipeline and buffers (configuration retained).
@@ -221,6 +251,35 @@ mod tests {
     }
 
     #[test]
+    fn drain_words_finishes_in_flight_and_staged_blocks() {
+        let mut t = TimedAccel::new(Box::new(Sha256Accel::new()));
+        // One block in flight…
+        for w in 0..8 {
+            t.push_word(w);
+        }
+        t.step(0); // launch, busy until 66
+                   // …and one fully staged behind it. Both consumed input already.
+        for w in 0..8 {
+            t.push_word(100 + w);
+        }
+        let words = t.drain_words();
+        assert_eq!(words.len(), 8, "two 32-byte digests rescued");
+        assert_eq!(t.blocks_done(), 2);
+        assert!(t.is_idle(1), "nothing left in flight after an abort drain");
+        // A partial block must NOT be processed: it migrates to the
+        // resuming engine instead via [`TimedAccel::take_staged_words`].
+        t.push_word(7);
+        assert_eq!(t.drain_words(), vec![], "partial block stays behind");
+        assert_eq!(
+            t.take_staged_words(),
+            vec![7],
+            "residue extracted for migration"
+        );
+        assert!(t.in_ratchet.is_empty());
+        t.reset();
+    }
+
+    #[test]
     fn not_ready_while_block_staged_and_busy() {
         let mut t = TimedAccel::new(Box::new(Sha256Accel::new()));
         for w in 0..8 {
@@ -232,7 +291,10 @@ mod tests {
             t.push_word(100 + w);
         }
         t.step(1);
-        assert!(!t.ready(1), "second block staged, pipeline busy: back-pressure");
+        assert!(
+            !t.ready(1),
+            "second block staged, pipeline busy: back-pressure"
+        );
         t.step(66);
         assert!(t.ready(67), "pipeline free again");
     }
@@ -256,7 +318,10 @@ mod tests {
             cycle += 1;
             assert!(cycle < 1000, "livelock");
         }
-        assert!(cycle >= 132, "two blocks cannot finish faster than 2x latency");
+        assert!(
+            cycle >= 132,
+            "two blocks cannot finish faster than 2x latency"
+        );
         assert_eq!(t.blocks_done(), 2);
     }
 }

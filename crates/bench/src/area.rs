@@ -124,10 +124,15 @@ pub fn aes_accel() -> Resources {
     // Per round: 128-bit state + 128-bit round-key pipeline registers.
     let regs = rounds * (128.0 + 128.0) * 2.9; // retimed pipeline duplication
     let luts = rounds * 128.0 * 2.6; // xor network + control
-    // T-tables: 4 tables x 256 x 32 bits per round stage group, mapped to
-    // BRAM (the paper notes AES BRAM exceeds an Ariane tile's caches).
+                                     // T-tables: 4 tables x 256 x 32 bits per round stage group, mapped to
+                                     // BRAM (the paper notes AES BRAM exceeds an Ariane tile's caches).
     let table_bits = rounds * 4.0 * 256.0 * 32.0 * 5.2;
-    Resources { luts, regs, bram: mem_bram(table_bits), dsp: 0.0 }
+    Resources {
+        luts,
+        regs,
+        bram: mem_bram(table_bits),
+        dsp: 0.0,
+    }
 }
 
 /// The SHA-256 accelerator (iterative, 1 round/cycle, K in logic).
@@ -136,7 +141,12 @@ pub fn sha_accel() -> Resources {
     let regs = 8.0 * 32.0 + 16.0 * 32.0 + 8.0 * 32.0 + 1386.0;
     // Round function: adders + sigma networks over 32-bit words.
     let luts = 32.0 * (6.0 * 4.0 + 8.0) * coef::LUT_PER_DATAPATH_BIT + 1000.0;
-    Resources { luts, regs, bram: 0.0, dsp: 0.0 }
+    Resources {
+        luts,
+        regs,
+        bram: 0.0,
+        dsp: 0.0,
+    }
 }
 
 /// The H.264 CAVLC encoder (hardh264).
@@ -156,7 +166,12 @@ pub fn h264_accel() -> Resources {
 pub fn tile_infra(cfg: &SocConfig) -> Resources {
     let l15_bits = 8.0 * 1024.0 * 8.0 * coef::CACHE_OVERHEAD;
     let l2_bits = cfg.l2.capacity_bytes as f64 * 8.0 * coef::CACHE_OVERHEAD / 4.0; // per-tile slice
-    let routers = Resources { luts: 9800.0, regs: 6300.0, bram: 0.0, dsp: 0.0 };
+    let routers = Resources {
+        luts: 9800.0,
+        regs: 6300.0,
+        bram: 0.0,
+        dsp: 0.0,
+    };
     let caches = Resources {
         luts: 14000.0,
         regs: 8500.0,
@@ -190,7 +205,10 @@ pub fn maple_unit(cfg: &SocConfig) -> Resources {
         bram: 0.0,
         dsp: 0.0,
     };
-    decoupling.plus(mmu(cfg)).plus(aes_accel()).plus(sha_accel())
+    decoupling
+        .plus(mmu(cfg))
+        .plus(aes_accel())
+        .plus(sha_accel())
 }
 
 /// One Table 4 row: block name, modelled resources, paper-reported values.
@@ -208,7 +226,11 @@ pub struct Table4Row {
 pub fn table4(cfg: &SocConfig) -> Vec<Table4Row> {
     let engine = cohort_engine(cfg);
     vec![
-        Table4Row { name: "Ariane Tile", model: ariane_tile(cfg), paper: (67083.0, 39879.0, 41.5) },
+        Table4Row {
+            name: "Ariane Tile",
+            model: ariane_tile(cfg),
+            paper: (67083.0, 39879.0, 41.5),
+        },
         Table4Row {
             name: "Empty Cohort Tile",
             model: cohort_tile(cfg),
@@ -234,9 +256,21 @@ pub fn table4(cfg: &SocConfig) -> Vec<Table4Row> {
             model: maple_unit(cfg),
             paper: (21066.0, 28276.0, 47.5),
         },
-        Table4Row { name: "AES Only", model: aes_accel(), paper: (3837.0, 8531.0, 47.5) },
-        Table4Row { name: "SHA Only", model: sha_accel(), paper: (2041.0, 2420.0, 0.0) },
-        Table4Row { name: "H264 Only", model: h264_accel(), paper: (6851.0, 5341.0, 4.0) },
+        Table4Row {
+            name: "AES Only",
+            model: aes_accel(),
+            paper: (3837.0, 8531.0, 47.5),
+        },
+        Table4Row {
+            name: "SHA Only",
+            model: sha_accel(),
+            paper: (2041.0, 2420.0, 0.0),
+        },
+        Table4Row {
+            name: "H264 Only",
+            model: h264_accel(),
+            paper: (6851.0, 5341.0, 4.0),
+        },
     ]
 }
 
@@ -286,7 +320,10 @@ mod tests {
         // "A tile with an empty Cohort Engine is about 39% ... of the
         // Ariane tile by LUTs."
         let frac = tile.luts / ariane.luts;
-        assert!((0.3..0.5).contains(&frac), "tile/ariane LUT fraction {frac}");
+        assert!(
+            (0.3..0.5).contains(&frac),
+            "tile/ariane LUT fraction {frac}"
+        );
         // Cohort engine uses no BRAM.
         assert_eq!(engine.bram, 0.0);
         // AES BRAM exceeds an Ariane tile's.
@@ -297,8 +334,16 @@ mod tests {
     fn mmu_is_small_and_scales_with_tlb() {
         let cfg = SocConfig::default();
         let m16 = mmu(&cfg);
-        assert!((m16.luts - 1081.0).abs() / 1081.0 < 0.3, "mmu luts {:.0}", m16.luts);
-        assert!((m16.regs - 1206.0).abs() / 1206.0 < 0.3, "mmu regs {:.0}", m16.regs);
+        assert!(
+            (m16.luts - 1081.0).abs() / 1081.0 < 0.3,
+            "mmu luts {:.0}",
+            m16.luts
+        );
+        assert!(
+            (m16.regs - 1206.0).abs() / 1206.0 < 0.3,
+            "mmu regs {:.0}",
+            m16.regs
+        );
         let big = mmu(&cfg.clone().with_tlb_entries(64));
         assert!(big.regs > 3.0 * m16.regs, "4x TLB roughly 4x state");
     }

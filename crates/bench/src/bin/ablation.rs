@@ -80,7 +80,10 @@ fn main() {
     md.push_str("| Accelerator | kcycles | cycles/element |\n|---|---|---|\n");
     let n = 1024u64;
     let input: Vec<u64> = (0..n).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)).collect();
-    for (label, block) in [("null FIFO, 64 B blocks", 64usize), ("null FIFO, 8 B words", 8)] {
+    for (label, block) in [
+        ("null FIFO, 64 B blocks", 64usize),
+        ("null FIFO, 8 B words", 8),
+    ] {
         let null = CustomRun::new(
             Box::new(NullFifo::with_geometry(block, 1)),
             input.clone(),

@@ -18,7 +18,10 @@ fn main() {
 
     write(
         "table2.md",
-        format!("# Table 2 — Benchmark Tuning Parameters\n\n{}", cohort_bench::params::table2_markdown()),
+        format!(
+            "# Table 2 — Benchmark Tuning Parameters\n\n{}",
+            cohort_bench::params::table2_markdown()
+        ),
     );
     write(
         "fig8.md",

@@ -9,12 +9,20 @@ fn main() {
     let diag = std::env::args().any(|a| a == "--diag");
     if diag {
         let r = run_cohort(&Scenario::new(Workload::Aes, 1024, 64));
-        println!("AES qs=1024 batch=64: cycles={} per-elem={:.1}", r.cycles, r.cycles as f64 / 1024.0);
+        println!(
+            "AES qs=1024 batch=64: cycles={} per-elem={:.1}",
+            r.cycles,
+            r.cycles as f64 / 1024.0
+        );
         for (comp, counters) in &r.counters {
             println!("  {comp}: {counters:?}");
         }
         let r = run_cohort(&Scenario::new(Workload::Sha, 1024, 64));
-        println!("SHA qs=1024 batch=64: cycles={} per-elem={:.1}", r.cycles, r.cycles as f64 / 1024.0);
+        println!(
+            "SHA qs=1024 batch=64: cycles={} per-elem={:.1}",
+            r.cycles,
+            r.cycles as f64 / 1024.0
+        );
         for (comp, counters) in &r.counters {
             println!("  {comp}: {counters:?}");
         }

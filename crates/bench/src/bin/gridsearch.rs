@@ -2,7 +2,14 @@
 //! best match the paper's Table 3 / Figs. 10-11 targets.
 use cohort::scenarios::{run_cohort, run_dma, run_mmio, Scenario, Workload};
 
-fn ratios(per_hop: u64, device: u64, backoff: u64, wcm: u64, dma_api: u32, shared: bool) -> Vec<(f64, f64, f64, &'static str)> {
+fn ratios(
+    per_hop: u64,
+    device: u64,
+    backoff: u64,
+    wcm: u64,
+    dma_api: u32,
+    shared: bool,
+) -> Vec<(f64, f64, f64, &'static str)> {
     // returns (measured, target, weight, label)
     let qs = 1024;
     let mk = |wl, batch| {
@@ -24,12 +31,42 @@ fn ratios(per_hop: u64, device: u64, backoff: u64, wcm: u64, dma_api: u32, share
     let aesm = run_mmio(&mk(Workload::Aes, 64));
     let aesd = run_dma(&mk(Workload::Aes, 64));
     vec![
-        (sham.cycles as f64 / sha64.cycles as f64, 7.0, 3.0, "sha_vs_mmio"),
-        (shad.cycles as f64 / sha64.cycles as f64, 9.5, 2.0, "sha_vs_dma"),
-        (sha8.cycles as f64 / sha64.cycles as f64, 2.85, 2.0, "sha_batching"),
-        (aesm.cycles as f64 / aes64.cycles as f64, 1.95, 3.0, "aes_vs_mmio"),
-        (aesd.cycles as f64 / aes64.cycles as f64, 1.85, 2.0, "aes_vs_dma"),
-        (aes2.cycles as f64 / aes64.cycles as f64, 6.7, 2.0, "aes_batching"),
+        (
+            sham.cycles as f64 / sha64.cycles as f64,
+            7.0,
+            3.0,
+            "sha_vs_mmio",
+        ),
+        (
+            shad.cycles as f64 / sha64.cycles as f64,
+            9.5,
+            2.0,
+            "sha_vs_dma",
+        ),
+        (
+            sha8.cycles as f64 / sha64.cycles as f64,
+            2.85,
+            2.0,
+            "sha_batching",
+        ),
+        (
+            aesm.cycles as f64 / aes64.cycles as f64,
+            1.95,
+            3.0,
+            "aes_vs_mmio",
+        ),
+        (
+            aesd.cycles as f64 / aes64.cycles as f64,
+            1.85,
+            2.0,
+            "aes_vs_dma",
+        ),
+        (
+            aes2.cycles as f64 / aes64.cycles as f64,
+            6.7,
+            2.0,
+            "aes_batching",
+        ),
         (sha64.ipc() / sham.ipc(), 4.0, 1.0, "sha_ipc_mmio"),
         (aes64.ipc() / aesm.ipc(), 2.6, 1.0, "aes_ipc_mmio"),
         (sha64.ipc() / shad.ipc(), 2.0, 1.0, "sha_ipc_dma"),

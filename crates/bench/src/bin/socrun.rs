@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run --release -p cohort-bench --bin socrun -- \
-//!     [--workload sha|aes] [--mode cohort|mmio|dma|chain|interfered|chaos] \
+//!     [--workload sha|aes] \
+//!     [--mode cohort|mmio|dma|chain|interfered|chaos|failover|dma-chaos] \
 //!     [--queue N] [--batch N] [--backoff N] [--policy eager|lazy|huge] \
 //!     [--tlb N] [--faults SPEC] [--watchdog N] [--counters] \
 //!     [--stats FILE] [--trace FILE]
@@ -16,25 +17,31 @@
 //! loads in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
 //!
 //! `--faults` takes a deterministic fault-injection spec, e.g.
-//! `stall@5000:forever;storm@20000:2` or `random:seed=7,count=4` (see
+//! `stall@5000:forever;storm@20000:2`, `kill@20000:1` (fail-stop engine 1),
+//! `maple-kill@15000` or `random:seed=7,count=4` (see
 //! `cohort_sim::faultinject::FaultPlan::parse` for the grammar); `chaos`
-//! mode runs the Cohort benchmark with the full recovery stack armed, and
+//! mode runs the Cohort benchmark with the full recovery stack armed,
+//! `failover` runs the AES→SHA chain with a cold spare and the failover
+//! orchestrator (a `kill@…` fault plan routes here by default),
+//! `dma-chaos` runs the DMA baseline hardened for MAPLE faults, and
 //! `--watchdog` overrides the engine's forward-progress budget.
 
 use cohort::scenarios::{
-    run_cohort, run_cohort_chain, run_cohort_chaos, run_cohort_interfered, run_dma, run_mmio,
-    RunResult, Scenario, Workload,
+    run_cohort, run_cohort_chain, run_cohort_chain_failover, run_cohort_chaos,
+    run_cohort_interfered, run_dma, run_dma_chaos, run_mmio, RunResult, Scenario, Workload,
 };
 use cohort_os::addrspace::MapPolicy;
-use cohort_sim::faultinject::FaultPlan;
+use cohort_sim::faultinject::{FaultKind, FaultPlan};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: socrun [--workload sha|aes] [--mode cohort|mmio|dma|chain|interfered|chaos]\n\
+        "usage: socrun [--workload sha|aes]\n\
+         \u{20}             [--mode cohort|mmio|dma|chain|interfered|chaos|failover|dma-chaos]\n\
          \u{20}             [--queue N] [--batch N] [--backoff N] [--policy eager|lazy|huge]\n\
          \u{20}             [--tlb N] [--faults SPEC] [--watchdog N] [--counters]\n\
          \u{20}             [--stats FILE] [--trace FILE]\n\
          fault spec: stall@C:D|forever; spike@C:D:F; storm@C:P; corrupt@C;\n\
+         \u{20}           kill@C[:E]; maple-stall@C:D; maple-kill@C;\n\
          \u{20}           random:seed=S,count=N,from=A,to=B (semicolon-separated)"
     );
     std::process::exit(2)
@@ -102,11 +109,28 @@ fn main() {
         scenario.soc.tlb_entries = t;
     }
     if let Some(plan) = faults {
-        scenario.soc.faults = plan;
-        // A fault plan without an explicit mode means the chaos runner.
+        // A fault plan without an explicit mode picks the runner armed to
+        // recover from it: engine fail-stops route to the chain-failover
+        // scenario, MAPLE faults to the hardened DMA baseline, everything
+        // else to the chaos runner.
         if mode == "cohort" {
-            mode = "chaos".to_string();
+            mode = if plan
+                .events
+                .iter()
+                .any(|e| matches!(e.kind, FaultKind::KillEngine { .. }))
+            {
+                "failover".to_string()
+            } else if plan
+                .events
+                .iter()
+                .any(|e| matches!(e.kind, FaultKind::KillMaple | FaultKind::MapleStall { .. }))
+            {
+                "dma-chaos".to_string()
+            } else {
+                "chaos".to_string()
+            };
         }
+        scenario.soc.faults = plan;
     }
     if let Some(w) = watchdog {
         scenario.watchdog = w;
@@ -121,6 +145,8 @@ fn main() {
         "chain" => run_cohort_chain(&scenario),
         "interfered" => run_cohort_interfered(&scenario),
         "chaos" => run_cohort_chaos(&scenario),
+        "failover" => run_cohort_chain_failover(&scenario),
+        "dma-chaos" => run_dma_chaos(&scenario),
         _ => usage(),
     };
     let wall = start.elapsed();

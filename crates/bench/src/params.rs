@@ -47,7 +47,9 @@ pub fn table2_markdown() -> String {
         AES_BATCHES[0],
         AES_BATCHES[AES_BATCHES.len() - 1]
     ));
-    s.push_str(&format!("| Baseline DMA granularity | {DMA_GRANULARITY} Bytes |\n"));
+    s.push_str(&format!(
+        "| Baseline DMA granularity | {DMA_GRANULARITY} Bytes |\n"
+    ));
     s
 }
 

@@ -1,9 +1,7 @@
 //! Markdown/CSV rendering of the reproduced figures and tables.
 
 use crate::area::{table4, Table4Row};
-use crate::params::{
-    min_batch, AES_BATCHES, PEAK_BATCH, QUEUE_SIZES, SHA_BATCHES, TABLE3_SIZES,
-};
+use crate::params::{min_batch, AES_BATCHES, PEAK_BATCH, QUEUE_SIZES, SHA_BATCHES, TABLE3_SIZES};
 use crate::sweep::{Mode, Sweep};
 use cohort::scenarios::Workload;
 use cohort_sim::config::SocConfig;
@@ -120,8 +118,10 @@ pub fn stats_figure(sweep: &mut Sweep, workload: Workload) -> String {
         "| Queue size | L1 hits | L1 misses | L2 hits | DRAM fills | Invs | NoC msgs | Eng consumed | Eng backoffs | RCM invs | TLB misses |
 ",
     );
-    s.push_str("|---|---|---|---|---|---|---|---|---|---|---|
-");
+    s.push_str(
+        "|---|---|---|---|---|---|---|---|---|---|---|
+",
+    );
     for &qs in &QUEUE_SIZES {
         let core = |sw: &mut Sweep, n| sw.stat(workload, mode, qs, "core", n);
         let dir = |sw: &mut Sweep, n| sw.stat(workload, mode, qs, "directory", n);

@@ -44,7 +44,10 @@ impl Sweep {
 
     /// Creates an empty sweep cache that logs each fresh simulation.
     pub fn new_verbose() -> Self {
-        Self { verbose: true, ..Self::default() }
+        Self {
+            verbose: true,
+            ..Self::default()
+        }
     }
 
     /// Runs (or recalls) one configuration.
@@ -83,7 +86,13 @@ impl Sweep {
     }
 
     /// Speedup of Cohort (given batch) over a baseline mode.
-    pub fn speedup(&mut self, workload: Workload, batch: u64, baseline: Mode, queue_size: u64) -> f64 {
+    pub fn speedup(
+        &mut self,
+        workload: Workload,
+        batch: u64,
+        baseline: Mode,
+        queue_size: u64,
+    ) -> f64 {
         let base = self.run(workload, baseline, queue_size).cycles as f64;
         let cohort = self
             .run(workload, Mode::Cohort { batch }, queue_size)
@@ -97,7 +106,9 @@ impl Sweep {
         let s = self
             .run(workload, Mode::Cohort { batch: small }, queue_size)
             .cycles as f64;
-        let b = self.run(workload, Mode::Cohort { batch }, queue_size).cycles as f64;
+        let b = self
+            .run(workload, Mode::Cohort { batch }, queue_size)
+            .cycles as f64;
         s / b
     }
 
@@ -117,10 +128,14 @@ impl Sweep {
     }
 
     /// IPC speedup of Cohort over a baseline (Figs. 10/11).
-    pub fn ipc_speedup(&mut self, workload: Workload, batch: u64, baseline: Mode, queue_size: u64) -> f64 {
-        let c = self
-            .run(workload, Mode::Cohort { batch }, queue_size)
-            .ipc();
+    pub fn ipc_speedup(
+        &mut self,
+        workload: Workload,
+        batch: u64,
+        baseline: Mode,
+        queue_size: u64,
+    ) -> f64 {
+        let c = self.run(workload, Mode::Cohort { batch }, queue_size).ipc();
         let b = self.run(workload, baseline, queue_size).ipc();
         c / b
     }
@@ -133,8 +148,12 @@ mod tests {
     #[test]
     fn memoization_returns_identical_results() {
         let mut sweep = Sweep::new();
-        let a = sweep.run(Workload::Sha, Mode::Cohort { batch: 8 }, 64).cycles;
-        let b = sweep.run(Workload::Sha, Mode::Cohort { batch: 8 }, 64).cycles;
+        let a = sweep
+            .run(Workload::Sha, Mode::Cohort { batch: 8 }, 64)
+            .cycles;
+        let b = sweep
+            .run(Workload::Sha, Mode::Cohort { batch: 8 }, 64)
+            .cycles;
         assert_eq!(a, b);
         assert_eq!(sweep.cache.len(), 1);
     }

@@ -164,7 +164,10 @@ pub fn cohort_register(
             }
         })
         .expect("spawn accelerator thread");
-    CohortHandle { stop, join: Some(join) }
+    CohortHandle {
+        stop,
+        join: Some(join),
+    }
 }
 
 #[cfg(test)]
@@ -231,7 +234,12 @@ mod tests {
         let (mut tx, enc_in) = spsc_channel::<u64>(256);
         let (enc_out, hash_in) = spsc_channel::<u64>(256);
         let (hash_out, mut rx) = spsc_channel::<u64>(256);
-        let h1 = cohort_register(Box::new(Aes128Accel::new()), enc_in, enc_out, Some(key.to_vec()));
+        let h1 = cohort_register(
+            Box::new(Aes128Accel::new()),
+            enc_in,
+            enc_out,
+            Some(key.to_vec()),
+        );
         let h2 = cohort_register(Box::new(Sha256Accel::new()), hash_in, hash_out, None);
 
         // 4 AES blocks = one SHA block of ciphertext.
@@ -269,7 +277,12 @@ mod tests {
         // software graph.
         let (mut tx2, acc_in2) = spsc_channel::<u64>(64);
         let (acc_out2, mut rx2) = spsc_channel::<u64>(64);
-        let h2 = cohort_register(Box::new(NullFifo::with_geometry(8, 0)), acc_in2, acc_out2, None);
+        let h2 = cohort_register(
+            Box::new(NullFifo::with_geometry(8, 0)),
+            acc_in2,
+            acc_out2,
+            None,
+        );
         push_blocking(&mut tx2, 9);
         assert_eq!(pop_blocking(&mut rx2), 9);
         h2.unregister();

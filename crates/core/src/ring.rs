@@ -103,7 +103,13 @@ impl CohortRing {
                         }
                         result.extend(accel.finish());
                         jobs += 1;
-                        push_blocking(&mut cq_tx, Cqe { user_data: sqe.user_data, result });
+                        push_blocking(
+                            &mut cq_tx,
+                            Cqe {
+                                user_data: sqe.user_data,
+                                result,
+                            },
+                        );
                     } else if stop_w.load(Ordering::Acquire) {
                         return jobs;
                     } else {
@@ -113,7 +119,14 @@ impl CohortRing {
                 }
             })
             .expect("spawn ring worker");
-        Self { sq, cq, stop, worker: Some(worker), submitted: 0, completed: 0 }
+        Self {
+            sq,
+            cq,
+            stop,
+            worker: Some(worker),
+            submitted: 0,
+            completed: 0,
+        }
     }
 
     /// Submits a job without blocking.
@@ -210,8 +223,11 @@ mod tests {
     fn tags_flow_through_in_order() {
         let mut ring = CohortRing::new(Box::new(NullFifo::new()), None, 16);
         for tag in 0..8u64 {
-            ring.submit(Sqe { user_data: tag, payload: vec![tag as u8; 8] })
-                .unwrap();
+            ring.submit(Sqe {
+                user_data: tag,
+                payload: vec![tag as u8; 8],
+            })
+            .unwrap();
         }
         for tag in 0..8u64 {
             let c = ring.wait_complete();
@@ -225,7 +241,11 @@ mod tests {
     fn multi_block_sha_job() {
         let mut ring = CohortRing::new(Box::new(Sha256Accel::new()), None, 4);
         let payload = vec![0x11u8; 192]; // three blocks
-        ring.submit(Sqe { user_data: 1, payload: payload.clone() }).unwrap();
+        ring.submit(Sqe {
+            user_data: 1,
+            payload: payload.clone(),
+        })
+        .unwrap();
         let c = ring.wait_complete();
         let mut expect = Vec::new();
         for b in payload.chunks_exact(64) {
@@ -238,7 +258,11 @@ mod tests {
     #[test]
     fn partial_final_block_is_zero_padded() {
         let mut ring = CohortRing::new(Box::new(Sha256Accel::new()), None, 4);
-        ring.submit(Sqe { user_data: 2, payload: vec![0x22; 70] }).unwrap();
+        ring.submit(Sqe {
+            user_data: 2,
+            payload: vec![0x22; 70],
+        })
+        .unwrap();
         let c = ring.wait_complete();
         let b1 = [0x22u8; 64];
         let mut b2 = [0u8; 64];
@@ -256,7 +280,10 @@ mod tests {
         let mut accepted = 0;
         let mut rejected = 0;
         for tag in 0..50u64 {
-            match ring.submit(Sqe { user_data: tag, payload: vec![0; 64] }) {
+            match ring.submit(Sqe {
+                user_data: tag,
+                payload: vec![0; 64],
+            }) {
                 Ok(()) => accepted += 1,
                 Err(RingFull(_)) => rejected += 1,
             }
@@ -269,9 +296,12 @@ mod tests {
     #[test]
     fn aes_ring_with_csr() {
         let key = *b"ring mode aes k!";
-        let mut ring =
-            CohortRing::new(Box::new(Aes128Accel::new()), Some(key.to_vec()), 8);
-        ring.submit(Sqe { user_data: 9, payload: vec![0x33; 32] }).unwrap();
+        let mut ring = CohortRing::new(Box::new(Aes128Accel::new()), Some(key.to_vec()), 8);
+        ring.submit(Sqe {
+            user_data: 9,
+            payload: vec![0x33; 32],
+        })
+        .unwrap();
         let c = ring.wait_complete();
         let aes = Aes128::new(&key);
         let mut expect = Vec::new();
@@ -285,7 +315,11 @@ mod tests {
     #[test]
     fn drop_without_shutdown_does_not_hang() {
         let mut ring = CohortRing::new(Box::new(NullFifo::new()), None, 2);
-        ring.submit(Sqe { user_data: 0, payload: vec![1; 8] }).unwrap();
+        ring.submit(Sqe {
+            user_data: 0,
+            payload: vec![1; 8],
+        })
+        .unwrap();
         drop(ring); // must not deadlock
     }
 }

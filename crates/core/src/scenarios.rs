@@ -16,12 +16,12 @@ use cohort_accel::aes128::{Aes128, Aes128Accel};
 use cohort_accel::sha256::{sha256_raw_block, Sha256Accel};
 use cohort_maple::regs as maple_regs;
 use cohort_os::addrspace::MapPolicy;
-use cohort_os::driver::{fault_in, swap_store, SoftwareFallback};
+use cohort_os::driver::{fault_in, swap_store, FailoverConfig, ProgressProbe, SoftwareFallback};
 use cohort_os::sv39::PAGE_BYTES;
 use cohort_os::CohortDriver;
 use cohort_sim::config::SocConfig;
 use cohort_sim::core::InOrderCore;
-use cohort_sim::faultinject::{FaultInjector, StormHook};
+use cohort_sim::faultinject::{FaultInjector, FaultKind, FaultPlan, StormHook};
 use cohort_sim::program::{Op, Program};
 use std::sync::Arc;
 
@@ -186,8 +186,7 @@ impl Scenario {
 
     /// Output element count for this input size.
     pub fn output_words(&self) -> u64 {
-        self.queue_size * self.workload.words_out_per_block()
-            / self.workload.words_in_per_block()
+        self.queue_size * self.workload.words_out_per_block() / self.workload.words_in_per_block()
     }
 }
 
@@ -390,8 +389,11 @@ pub fn run_cohort_chaos(scenario: &Scenario) -> RunResult {
         csr.as_ref().map(|(va, b)| (*va, b.len() as u64)),
         scenario.backoff,
     );
-    let watchdog =
-        if scenario.watchdog == 0 { CHAOS_DEFAULT_WATCHDOG } else { scenario.watchdog };
+    let watchdog = if scenario.watchdog == 0 {
+        CHAOS_DEFAULT_WATCHDOG
+    } else {
+        scenario.watchdog
+    };
     program.append(driver.watchdog_ops(watchdog));
     push_pop_body(&mut program, scenario, &in_q, &out_q);
     program.append(driver.unregister_ops());
@@ -456,14 +458,35 @@ pub fn run_cohort_chaos(scenario: &Scenario) -> RunResult {
         for (j, &w) in expected.iter().enumerate() {
             let va = out_desc.element_va(j as u64);
             fault_in(mem, &fb_vm, Some(&fb_swap), va);
-            let pa = fb_vm.lock().expect("vm lock").0.translate(mem, va).expect("mapped");
+            let pa = fb_vm
+                .lock()
+                .expect("vm lock")
+                .0
+                .translate(mem, va)
+                .expect("mapped");
             mem.write_u64(pa, w);
         }
         let wr_va = out_desc.write_index_va;
         fault_in(mem, &fb_vm, Some(&fb_swap), wr_va);
-        let pa = fb_vm.lock().expect("vm lock").0.translate(mem, wr_va).expect("mapped");
+        let pa = fb_vm
+            .lock()
+            .expect("vm lock")
+            .0
+            .translate(mem, wr_va)
+            .expect("mapped");
         mem.write_u64(pa, total);
     });
+
+    // Forward-progress probe: strictly grows while the engine moves
+    // elements, so the error handler can reset its bounded-retry budget
+    // after a recovery demonstrably succeeded.
+    let ec = sys.engine(0).engine_counters();
+    let (consumed, produced, drained) = (
+        ec.consumed.clone(),
+        ec.produced.clone(),
+        ec.drained_elems.clone(),
+    );
+    let probe: ProgressProbe = Box::new(move || consumed.get() + produced.get() + drained.get());
 
     let core_id = sys.core;
     let core = sys
@@ -472,7 +495,7 @@ pub fn run_cohort_chaos(scenario: &Scenario) -> RunResult {
         .expect("core present");
     core.load_program(program);
     driver.install_fault_handler_with_swap(core, Arc::clone(&vm), swap.clone());
-    driver.install_error_handler(core, 2, Some(fallback));
+    driver.install_error_handler_with_probe(core, 2, Some(fallback), Some(probe));
     finish_run(sys, scenario)
 }
 
@@ -512,11 +535,17 @@ pub fn run_mmio(scenario: &Scenario) -> RunResult {
     for block in data.chunks(wpb_in) {
         for &w in block {
             program.push(Op::Alu(costs.mmio_loop_alu));
-            program.push(Op::MmioStore { pa: MAPLE_MMIO_BASE + maple_regs::PUSH, value: w });
+            program.push(Op::MmioStore {
+                pa: MAPLE_MMIO_BASE + maple_regs::PUSH,
+                value: w,
+            });
         }
         for _ in 0..wpb_out {
             program.push(Op::Alu(costs.mmio_loop_alu));
-            program.push(Op::MmioLoad { pa: MAPLE_MMIO_BASE + maple_regs::POP, record: true });
+            program.push(Op::MmioLoad {
+                pa: MAPLE_MMIO_BASE + maple_regs::POP,
+                record: true,
+            });
         }
     }
 
@@ -544,7 +573,10 @@ pub fn run_dma(scenario: &Scenario) -> RunResult {
     let root_pa = sys.space.root_pa();
 
     let mut program = Program::new();
-    program.push(Op::MmioStore { pa: MAPLE_MMIO_BASE + maple_regs::DMA_PTROOT, value: root_pa });
+    program.push(Op::MmioStore {
+        pa: MAPLE_MMIO_BASE + maple_regs::DMA_PTROOT,
+        value: root_pa,
+    });
     if let Some(csr) = scenario.workload.csr() {
         for chunk in csr.chunks(8) {
             let mut word = [0u8; 8];
@@ -565,7 +597,10 @@ pub fn run_dma(scenario: &Scenario) -> RunResult {
     let costs = scenario.costs;
     for (i, &w) in data.iter().enumerate() {
         program.push(Op::Alu(costs.push_loop_alu));
-        program.push(Op::Store { va: in_va + (i as u64) * 8, value: w });
+        program.push(Op::Store {
+            va: in_va + (i as u64) * 8,
+            value: w,
+        });
     }
     program.push(Op::Fence);
 
@@ -582,11 +617,26 @@ pub fn run_dma(scenario: &Scenario) -> RunResult {
             cycles: u64::from(costs.dma_api_alu),
             insts: u64::from(costs.dma_api_alu) / 5,
         });
-        program.push(Op::MmioStore { pa: MAPLE_MMIO_BASE + maple_regs::DMA_SRC, value: in_va + src_off });
-        program.push(Op::MmioStore { pa: MAPLE_MMIO_BASE + maple_regs::DMA_DST, value: out_va + dst_off });
-        program.push(Op::MmioStore { pa: MAPLE_MMIO_BASE + maple_regs::DMA_LEN, value: len });
-        program.push(Op::MmioStore { pa: MAPLE_MMIO_BASE + maple_regs::DMA_START, value: 1 });
-        program.push(Op::MmioLoad { pa: MAPLE_MMIO_BASE + maple_regs::DMA_DONE, record: false });
+        program.push(Op::MmioStore {
+            pa: MAPLE_MMIO_BASE + maple_regs::DMA_SRC,
+            value: in_va + src_off,
+        });
+        program.push(Op::MmioStore {
+            pa: MAPLE_MMIO_BASE + maple_regs::DMA_DST,
+            value: out_va + dst_off,
+        });
+        program.push(Op::MmioStore {
+            pa: MAPLE_MMIO_BASE + maple_regs::DMA_LEN,
+            value: len,
+        });
+        program.push(Op::MmioStore {
+            pa: MAPLE_MMIO_BASE + maple_regs::DMA_START,
+            value: 1,
+        });
+        program.push(Op::MmioLoad {
+            pa: MAPLE_MMIO_BASE + maple_regs::DMA_DONE,
+            record: false,
+        });
         src_off += len;
         dst_off += len * ratio_out / ratio_in;
     }
@@ -594,11 +644,140 @@ pub fn run_dma(scenario: &Scenario) -> RunResult {
     // Read the results back.
     for j in 0..m {
         program.push(Op::Alu(costs.pop_loop_alu));
-        program.push(Op::Load { va: out_va + j * 8, record: true });
+        program.push(Op::Load {
+            va: out_va + j * 8,
+            record: true,
+        });
     }
 
     install_and_arm_plain(&mut sys, program);
     finish_run(sys, scenario)
+}
+
+/// The coherent-DMA (decoupled access-execute) baseline of [`run_dma`]
+/// under the fault plan in `scenario.soc.faults`, hardened for MAPLE
+/// faults: every `DMA_DONE` completion word is recorded, and the final
+/// outputs are read back from guest memory after the run.
+///
+/// An injected stall only delays completion, so a stalled run still
+/// verifies. A fail-stopped MAPLE answers its blocking MMIO with
+/// [`cohort_maple::DEAD_SENTINEL`] instead of holding the core forever —
+/// the run always terminates, and the sentinel in the recorded `DMA_DONE`
+/// stream is the clean error report software acts on (`verified` is then
+/// false and `maple.fail_stops` counts the abort).
+pub fn run_dma_chaos(scenario: &Scenario) -> RunResult {
+    let spec = SystemSpec {
+        cfg: scenario.soc.clone(),
+        policy: scenario.policy,
+        maple_accel: Some(scenario.workload.make_accel()),
+        ..SystemSpec::default()
+    };
+    let mut sys = SimSystem::build(spec, Program::new());
+
+    let n = scenario.queue_size;
+    let m = scenario.output_words();
+    let in_va = sys.alloc_buffer(n * 8, 64);
+    let out_va = sys.alloc_buffer(m.max(1) * 8, 64);
+    let root_pa = sys.space.root_pa();
+
+    let mut program = Program::new();
+    program.push(Op::MmioStore {
+        pa: MAPLE_MMIO_BASE + maple_regs::DMA_PTROOT,
+        value: root_pa,
+    });
+    if let Some(csr) = scenario.workload.csr() {
+        for chunk in csr.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            program.push(Op::MmioStore {
+                pa: MAPLE_MMIO_BASE + maple_regs::CSR_DATA,
+                value: u64::from_le_bytes(word),
+            });
+        }
+        program.push(Op::MmioStore {
+            pa: MAPLE_MMIO_BASE + maple_regs::CSR_COMMIT,
+            value: csr.len() as u64,
+        });
+    }
+
+    let data = scenario.input_words();
+    let costs = scenario.costs;
+    for (i, &w) in data.iter().enumerate() {
+        program.push(Op::Alu(costs.push_loop_alu));
+        program.push(Op::Store {
+            va: in_va + (i as u64) * 8,
+            value: w,
+        });
+    }
+    program.push(Op::Fence);
+
+    let block = costs.dma_block_bytes;
+    let in_bytes = n * 8;
+    let ratio_out = scenario.workload.words_out_per_block() * 8;
+    let ratio_in = scenario.workload.words_in_per_block() * 8;
+    let mut src_off = 0u64;
+    let mut dst_off = 0u64;
+    while src_off < in_bytes {
+        let len = block.min(in_bytes - src_off);
+        program.push(Op::KernelCost {
+            cycles: u64::from(costs.dma_api_alu),
+            insts: u64::from(costs.dma_api_alu) / 5,
+        });
+        program.push(Op::MmioStore {
+            pa: MAPLE_MMIO_BASE + maple_regs::DMA_SRC,
+            value: in_va + src_off,
+        });
+        program.push(Op::MmioStore {
+            pa: MAPLE_MMIO_BASE + maple_regs::DMA_DST,
+            value: out_va + dst_off,
+        });
+        program.push(Op::MmioStore {
+            pa: MAPLE_MMIO_BASE + maple_regs::DMA_LEN,
+            value: len,
+        });
+        program.push(Op::MmioStore {
+            pa: MAPLE_MMIO_BASE + maple_regs::DMA_START,
+            value: 1,
+        });
+        // Recorded: the per-block completion word software checks for the
+        // dead-unit sentinel.
+        program.push(Op::MmioLoad {
+            pa: MAPLE_MMIO_BASE + maple_regs::DMA_DONE,
+            record: true,
+        });
+        src_off += len;
+        dst_off += len * ratio_out / ratio_in;
+    }
+
+    install_and_arm_plain(&mut sys, program);
+    sys.soc.set_tracing(scenario.trace);
+    let outcome = sys.soc.run(cycle_budget(scenario.queue_size));
+    let core = sys.core();
+    assert!(
+        core.is_done(),
+        "DMA chaos run did not terminate: quiescent={} cycle={} — a dead \
+         MAPLE must answer blocking MMIO with the sentinel, never hang",
+        outcome.quiescent,
+        outcome.cycle,
+    );
+    let recorded = core.recorded().to_vec();
+    let detected = recorded.contains(&cohort_maple::DEAD_SENTINEL);
+    let out_bytes = sys.read_guest(out_va, (m.max(1) * 8) as usize);
+    let outputs: Vec<u64> = out_bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8B")))
+        .collect();
+    let expected = scenario.workload.reference_outputs(&data);
+    let verified = !detected && outputs == expected;
+    RunResult {
+        cycles: core.core_counters().done_at,
+        instret: core.core_counters().instret.get(),
+        recorded,
+        verified,
+        counters: sys.soc.all_counters(),
+        stats_json: sys.soc.stats_json(),
+        trace_json: scenario.trace.then(|| sys.soc.trace_json()),
+    }
 }
 
 /// Runs the Cohort benchmark while a second Ariane core (the platform has
@@ -622,7 +801,10 @@ pub fn run_cohort_interfered(scenario: &Scenario) -> RunResult {
     let passes = (scenario.queue_size / 64).max(2);
     for p in 0..passes {
         for line in 0..footprint / 64 {
-            noise.push(Op::Store { va: buf + line * 64, value: p ^ line });
+            noise.push(Op::Store {
+                va: buf + line * 64,
+                value: p ^ line,
+            });
         }
     }
     noise.push(Op::Fence);
@@ -670,8 +852,10 @@ fn push_pop_body(
     let m = scenario.output_words();
     let batch = scenario.batch;
     let costs = scenario.costs;
-    let out_per_in =
-        (scenario.workload.words_out_per_block(), scenario.workload.words_in_per_block());
+    let out_per_in = (
+        scenario.workload.words_out_per_block(),
+        scenario.workload.words_in_per_block(),
+    );
     let wpb_out = scenario.workload.words_out_per_block();
     let mut i = 0u64;
     let mut j = 0u64;
@@ -679,25 +863,40 @@ fn push_pop_body(
         let push_end = (i + batch).min(n);
         while i < push_end {
             program.push(Op::Alu(costs.push_loop_alu));
-            program.push(Op::Store { va: in_q.descriptor.element_va(i), value: data[i as usize] });
+            program.push(Op::Store {
+                va: in_q.descriptor.element_va(i),
+                value: data[i as usize],
+            });
             i += 1;
         }
         program.push(Op::Fence);
         program.push(Op::Alu(1));
-        program.push(Op::Store { va: in_q.descriptor.write_index_va, value: i });
+        program.push(Op::Store {
+            va: in_q.descriptor.write_index_va,
+            value: i,
+        });
         let pop_end = (i * out_per_in.0 / out_per_in.1).min(m);
         while j < pop_end {
             let block_end = (j + wpb_out).min(pop_end);
-            program.push(Op::WaitGe { va: out_q.descriptor.write_index_va, value: block_end });
+            program.push(Op::WaitGe {
+                va: out_q.descriptor.write_index_va,
+                value: block_end,
+            });
             while j < block_end {
                 program.push(Op::Alu(costs.pop_loop_alu));
-                program.push(Op::Load { va: out_q.descriptor.element_va(j), record: true });
+                program.push(Op::Load {
+                    va: out_q.descriptor.element_va(j),
+                    record: true,
+                });
                 j += 1;
             }
         }
         if pop_end > 0 {
             program.push(Op::Alu(1));
-            program.push(Op::Store { va: out_q.descriptor.read_index_va, value: pop_end });
+            program.push(Op::Store {
+                va: out_q.descriptor.read_index_va,
+                value: pop_end,
+            });
         }
     }
     program.push(Op::Fence);
@@ -752,7 +951,17 @@ impl CustomRun {
     /// # Panics
     /// Panics if the benchmark does not complete within the cycle budget.
     pub fn run(self) -> RunResult {
-        let CustomRun { accel, csr, input, expected, batch, backoff, soc, policy, trace } = self;
+        let CustomRun {
+            accel,
+            csr,
+            input,
+            expected,
+            batch,
+            backoff,
+            soc,
+            policy,
+            trace,
+        } = self;
         let spec = SystemSpec {
             cfg: soc,
             policy,
@@ -776,7 +985,10 @@ impl CustomRun {
         let batch = batch.max(1);
         for (i, &w) in input.iter().enumerate() {
             program.push(Op::Alu(2));
-            program.push(Op::Store { va: in_q.descriptor.element_va(i as u64), value: w });
+            program.push(Op::Store {
+                va: in_q.descriptor.element_va(i as u64),
+                value: w,
+            });
             if (i as u64 + 1).is_multiple_of(batch) || i as u64 + 1 == n {
                 program.push(Op::Fence);
                 program.push(Op::Store {
@@ -788,13 +1000,22 @@ impl CustomRun {
         let mut j = 0u64;
         while j < m {
             let end = (j + batch).min(m);
-            program.push(Op::WaitGe { va: out_q.descriptor.write_index_va, value: end });
+            program.push(Op::WaitGe {
+                va: out_q.descriptor.write_index_va,
+                value: end,
+            });
             while j < end {
                 program.push(Op::Alu(2));
-                program.push(Op::Load { va: out_q.descriptor.element_va(j), record: true });
+                program.push(Op::Load {
+                    va: out_q.descriptor.element_va(j),
+                    record: true,
+                });
                 j += 1;
             }
-            program.push(Op::Store { va: out_q.descriptor.read_index_va, value: j });
+            program.push(Op::Store {
+                va: out_q.descriptor.read_index_va,
+                value: j,
+            });
         }
         program.push(Op::Fence);
         program.append(driver.unregister_ops());
@@ -876,7 +1097,10 @@ pub fn run_cohort_chain(scenario: &Scenario) -> RunResult {
     let batch = scenario.batch;
     for (i, &w) in data.iter().enumerate() {
         program.push(Op::Alu(scenario.costs.push_loop_alu));
-        program.push(Op::Store { va: encrypt_q.descriptor.element_va(i as u64), value: w });
+        program.push(Op::Store {
+            va: encrypt_q.descriptor.element_va(i as u64),
+            value: w,
+        });
         if (i as u64 + 1).is_multiple_of(batch) || i as u64 + 1 == n {
             program.push(Op::Fence);
             program.push(Op::Alu(1));
@@ -887,17 +1111,31 @@ pub fn run_cohort_chain(scenario: &Scenario) -> RunResult {
         }
     }
     for j in 0..m {
-        program.push(Op::WaitGe { va: result_q.descriptor.write_index_va, value: j + 1 });
+        program.push(Op::WaitGe {
+            va: result_q.descriptor.write_index_va,
+            value: j + 1,
+        });
         program.push(Op::Alu(scenario.costs.pop_loop_alu));
-        program.push(Op::Load { va: result_q.descriptor.element_va(j), record: true });
+        program.push(Op::Load {
+            va: result_q.descriptor.element_va(j),
+            record: true,
+        });
     }
-    program.push(Op::Store { va: result_q.descriptor.read_index_va, value: m });
+    program.push(Op::Store {
+        va: result_q.descriptor.read_index_va,
+        value: m,
+    });
     program.push(Op::Fence);
     program.append(sha_driver.unregister_ops());
     program.append(aes_driver.unregister_ops());
 
     install_and_arm_plain(&mut sys, program);
+    finish_chain_run(sys, scenario)
+}
 
+/// Runs the chain to completion and verifies the digests against the
+/// host-side AES-then-SHA reference.
+fn finish_chain_run(mut sys: SimSystem, scenario: &Scenario) -> RunResult {
     sys.soc.set_tracing(scenario.trace);
     let outcome = sys.soc.run(cycle_budget(scenario.queue_size));
     let core = sys.core();
@@ -909,7 +1147,7 @@ pub fn run_cohort_chain(scenario: &Scenario) -> RunResult {
     );
     let recorded = core.recorded().to_vec();
     // Host reference: AES-ECB then raw-block SHA-256.
-    let ct_words = Workload::Aes.reference_outputs(&data);
+    let ct_words = Workload::Aes.reference_outputs(&scenario.input_words());
     let expected = Workload::Sha.reference_outputs(&ct_words);
     let verified = recorded == expected;
     RunResult {
@@ -921,6 +1159,164 @@ pub fn run_cohort_chain(scenario: &Scenario) -> RunResult {
         stats_json: sys.soc.stats_json(),
         trace_json: scenario.trace.then(|| sys.soc.trace_json()),
     }
+}
+
+/// Cycle at which [`run_cohort_chain_failover`] kills the victim engine
+/// when the scenario carries no explicit fault plan: late enough that
+/// registration finished and the pipeline is mid-flight, early enough
+/// that plenty of elements remain to migrate.
+pub const DEFAULT_CHAIN_KILL_CYCLE: u64 = 20_000;
+
+/// The chained AES→SHA scenario of [`run_cohort_chain`] with a fail-stop
+/// fault killing the middle (SHA, engine 1) engine mid-pipeline and the
+/// failover stack armed: a third, cold-spare SHA engine; the victim's
+/// forward-progress watchdog (quiesce + drain + spill on trip); and the
+/// failover orchestrator on the victim's error IRQ, which checkpoints the
+/// authoritative queue indices from coherent memory, fences the victim
+/// behind a bumped epoch, and rebinds the same descriptors on the spare.
+///
+/// The run must record the exact fault-free digest stream — failover is
+/// allowed to cost cycles, never elements.
+///
+/// When `scenario.soc.faults` is empty a single
+/// `kill@`[`DEFAULT_CHAIN_KILL_CYCLE`]`:1` fault is injected; pass an
+/// explicit plan to control timing.
+///
+/// # Panics
+/// Panics if `queue_size` is not a multiple of 8 or the run wedges.
+pub fn run_cohort_chain_failover(scenario: &Scenario) -> RunResult {
+    assert_eq!(scenario.queue_size % 8, 0, "chain needs whole SHA blocks");
+    let mut cfg = scenario.soc.clone();
+    if cfg.faults.is_empty() {
+        cfg.faults = FaultPlan::default().at(
+            DEFAULT_CHAIN_KILL_CYCLE,
+            FaultKind::KillEngine { engine: 1 },
+        );
+    }
+    let spec = SystemSpec {
+        cfg,
+        policy: scenario.policy,
+        engine_accels: vec![
+            Box::new(Aes128Accel::new()),
+            Box::new(Sha256Accel::new()),
+            // The cold spare the victim's queues migrate onto.
+            Box::new(Sha256Accel::new()),
+        ],
+        ..SystemSpec::default()
+    };
+    let mut sys = SimSystem::build(spec, Program::new());
+
+    let n = scenario.queue_size;
+    let m = n / 2;
+    let encrypt_q = sys.alloc_queue(8, n as u32);
+    let hash_q = sys.alloc_queue(8, n as u32);
+    let result_q = sys.alloc_queue(8, m as u32);
+    let key_va = sys.alloc_buffer(16, 64);
+    sys.write_guest(key_va, &AES_KEY);
+
+    // The victim's checkpoint spill page. The engine addresses it
+    // physically, so resolve (and, under lazy mapping, fault in) the
+    // page-aligned buffer up front.
+    let spill_va = sys.alloc_buffer(PAGE_BYTES, PAGE_BYTES);
+    if sys.space.translate(&sys.soc.mem, spill_va).is_none() {
+        let mut space = sys.space.clone();
+        space.handle_fault(&mut sys.soc.mem, &mut sys.frames, spill_va);
+    }
+    let spill_pa = sys
+        .space
+        .translate(&sys.soc.mem, spill_va)
+        .expect("spill page mapped");
+
+    let aes_driver = sys.drivers[0].clone();
+    let sha_driver = sys.drivers[1].clone();
+    let spare_driver = sys.drivers[2].clone();
+    let root_pa = sys.space.root_pa();
+    let watchdog = if scenario.watchdog == 0 {
+        CHAOS_DEFAULT_WATCHDOG
+    } else {
+        scenario.watchdog
+    };
+
+    let mut program = aes_driver.register_ops(
+        root_pa,
+        &encrypt_q.descriptor,
+        &hash_q.descriptor,
+        Some((key_va, 16)),
+        scenario.backoff,
+    );
+    program.append(sha_driver.register_ops(
+        root_pa,
+        &hash_q.descriptor,
+        &result_q.descriptor,
+        None,
+        scenario.backoff,
+    ));
+    // Only the victim is watchdogged: during the outage the AES producer
+    // legitimately spins on a full hash queue — a state the watchdog does
+    // not treat as benign — while the healthy SHA states all are.
+    program.append(sha_driver.watchdog_ops(watchdog));
+    program.append(sha_driver.spill_ops(spill_pa));
+
+    let data = scenario.input_words();
+    let batch = scenario.batch;
+    for (i, &w) in data.iter().enumerate() {
+        program.push(Op::Alu(scenario.costs.push_loop_alu));
+        program.push(Op::Store {
+            va: encrypt_q.descriptor.element_va(i as u64),
+            value: w,
+        });
+        if (i as u64 + 1).is_multiple_of(batch) || i as u64 + 1 == n {
+            program.push(Op::Fence);
+            program.push(Op::Alu(1));
+            program.push(Op::Store {
+                va: encrypt_q.descriptor.write_index_va,
+                value: i as u64 + 1,
+            });
+        }
+    }
+    for j in 0..m {
+        program.push(Op::WaitGe {
+            va: result_q.descriptor.write_index_va,
+            value: j + 1,
+        });
+        program.push(Op::Alu(scenario.costs.pop_loop_alu));
+        program.push(Op::Load {
+            va: result_q.descriptor.element_va(j),
+            record: true,
+        });
+    }
+    program.push(Op::Store {
+        va: result_q.descriptor.read_index_va,
+        value: m,
+    });
+    program.push(Op::Fence);
+    program.append(spare_driver.unregister_ops());
+    program.append(sha_driver.unregister_ops());
+    program.append(aes_driver.unregister_ops());
+
+    install_and_arm_plain(&mut sys, program);
+
+    let vm = CohortDriver::shared_vm(sys.space.clone(), sys.frames.clone());
+    let core_id = sys.core;
+    let core = sys
+        .soc
+        .component_mut::<InOrderCore>(core_id)
+        .expect("core present");
+    sha_driver.install_failover_handler(
+        core,
+        FailoverConfig {
+            spare: spare_driver,
+            vm,
+            root_pa,
+            input: hash_q.descriptor,
+            output: result_q.descriptor,
+            csr: None,
+            backoff: scenario.backoff,
+            watchdog,
+            spill_pa,
+        },
+    );
+    finish_chain_run(sys, scenario)
 }
 
 fn install_and_arm_plain(sys: &mut SimSystem, program: Program) {

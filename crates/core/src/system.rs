@@ -82,12 +82,17 @@ pub struct SystemSpec {
     pub extra_core_programs: Vec<Program>,
 }
 
-
 impl SimSystem {
     /// Builds the SoC: directory at (0,0), the benchmark core at (0,1),
     /// Cohort engines at (1,0), (1,1), ... and MAPLE at (1,1) or beyond.
     pub fn build(spec: SystemSpec, program: Program) -> Self {
-        let SystemSpec { cfg, policy, engine_accels, maple_accel, extra_core_programs } = spec;
+        let SystemSpec {
+            cfg,
+            policy,
+            engine_accels,
+            maple_accel,
+            extra_core_programs,
+        } = spec;
         let mut soc = Soc::new(cfg.clone());
         let dir = soc.add_component(TileCoord::new(0, 0), Box::new(Directory::new(&cfg)));
 
@@ -105,6 +110,7 @@ impl SimSystem {
             let irq = COHORT_IRQ + i as u32;
             let mut engine = CohortEngine::new(dir, &cfg, mmio, core, irq, accel);
             engine.set_fault_state(soc.fault_state().clone());
+            engine.set_engine_index(i as u64);
             let tile = TileCoord::new(1, i as u16);
             let id = soc.add_component(tile, Box::new(engine));
             soc.map_mmio(mmio..mmio + regs::BANK_BYTES, id);
@@ -131,7 +137,8 @@ impl SimSystem {
         });
 
         let maple = maple_accel.map(|accel| {
-            let unit = MapleUnit::new(dir, &cfg, MAPLE_MMIO_BASE, accel);
+            let mut unit = MapleUnit::new(dir, &cfg, MAPLE_MMIO_BASE, accel);
+            unit.set_fault_state(soc.fault_state().clone());
             let id = soc.add_component(TileCoord::new(1, 1), Box::new(unit));
             soc.map_mmio(
                 MAPLE_MMIO_BASE..MAPLE_MMIO_BASE + cohort_maple::regs::BANK_BYTES,
@@ -140,7 +147,18 @@ impl SimSystem {
             id
         });
 
-        Self { soc, dir, core, engines, maple, extra_cores, injector, frames, space, drivers }
+        Self {
+            soc,
+            dir,
+            core,
+            engines,
+            maple,
+            extra_cores,
+            injector,
+            frames,
+            space,
+            drivers,
+        }
     }
 
     /// Allocates a standard-layout queue in the benchmark process's heap

@@ -40,7 +40,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Creates an id rendered as `name/parameter`.
     pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        Self { id: format!("{}/{}", name.into(), parameter) }
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
     }
 }
 
@@ -114,7 +116,10 @@ impl BenchmarkGroup<'_> {
     }
 
     fn run_one(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
-        let mut b = Bencher { ns_per_iter: 0.0, sample_size: self.sample_size };
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            sample_size: self.sample_size,
+        };
         f(&mut b);
         let mut line = format!(
             "{}/{id}  time: {}  (n={})",
@@ -211,7 +216,10 @@ mod tests {
 
     #[test]
     fn bencher_measures_something() {
-        let mut b = Bencher { ns_per_iter: 0.0, sample_size: 2 };
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            sample_size: 2,
+        };
         let mut x = 0u64;
         b.iter(|| {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);

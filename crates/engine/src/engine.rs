@@ -60,7 +60,12 @@ enum ChState {
     /// The port access is outstanding.
     AccessWait { pa: u64, seg: usize, write: bool },
     /// The access hit; completes at the embedded cycle.
-    AccessHit { at: u64, pa: u64, seg: usize, write: bool },
+    AccessHit {
+        at: u64,
+        pa: u64,
+        seg: usize,
+        write: bool,
+    },
 }
 
 #[derive(Debug)]
@@ -148,13 +153,20 @@ enum ConsState {
     /// Armed: RCM watches the write-index line for invalidations.
     Waiting,
     /// Invalidations observed; waiting out the backoff window.
-    Backoff { until: u64 },
+    Backoff {
+        until: u64,
+    },
     /// Re-reading the write index after backoff.
     ReadWr,
     /// Fetching `n` elements of data.
-    Fetch { n: u64 },
+    Fetch {
+        n: u64,
+    },
     /// Streaming fetched words into the accelerator.
-    Feed { fed: usize, n: u64 },
+    Feed {
+        fed: usize,
+        n: u64,
+    },
     /// Publishing the updated read index.
     UpdateRd,
     /// Stopped by a sticky error (bad descriptor, CSR rejection or
@@ -173,13 +185,20 @@ enum ProdState {
     Collect,
     /// Output queue looked full; waiting out the backoff window after a
     /// read-index invalidation.
-    BackoffFull { until: u64 },
+    BackoffFull {
+        until: u64,
+    },
     /// Re-reading the read index.
     ReadRd,
     /// Writing `n` elements of data.
-    WriteData { n: u64 },
+    WriteData {
+        n: u64,
+    },
     /// WCM ordering drain between data write and index publication.
-    WcmDrain { n: u64, until: u64 },
+    WcmDrain {
+        n: u64,
+        until: u64,
+    },
     /// Publishing the updated write index.
     UpdateWr,
     /// Stopped by a sticky error; resumes when software clears
@@ -239,6 +258,33 @@ pub struct EngineCounters {
     pub drained_elems: Counter,
     /// Times software cleared `ERROR_STATUS` and the engine resumed.
     pub resumes: Counter,
+    /// Failover rebinds onto this engine (enables with `FAILOVER_T0` set).
+    pub rebinds: Counter,
+}
+
+/// Snapshot of the engine's migratable state, exported by
+/// [`CohortEngine::checkpoint`]: internal index views, bytes staged in
+/// the datapath, and the binding epoch. Failover tests use it to argue
+/// the exactly-once invariant; the orchestrator itself trusts only the
+/// indices in coherent memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineCheckpoint {
+    /// Elements consumed from the input queue (internal view).
+    pub rd: u64,
+    /// Elements produced into the output queue (internal view).
+    pub wr: u64,
+    /// Last input write index observed.
+    pub known_wr: u64,
+    /// Last output read index observed.
+    pub known_rd: u64,
+    /// Bytes in the producer staging buffer.
+    pub staged_bytes: usize,
+    /// Bytes buffered at the accelerator output.
+    pub accel_output_bytes: usize,
+    /// Epoch of the currently bound descriptors.
+    pub bound_epoch: u64,
+    /// True once a fail-stop fault froze the datapath.
+    pub dead: bool,
 }
 
 /// The Cohort engine component. Construct with [`CohortEngine::new`], map
@@ -312,6 +358,27 @@ pub struct CohortEngine {
     backoff_window: Histogram,
     /// SoC-wide fault switches (accelerator stall injection).
     fault_state: Option<FaultState>,
+    /// This engine's index in the SoC-wide fail-stop kill mask.
+    engine_index: u64,
+    /// Lowest queue-binding epoch this engine may run (`EPOCH_FENCE`).
+    /// Monotonic; survives disable — the exactly-once fence.
+    min_epoch: u64,
+    /// Epoch of the currently bound descriptors.
+    bound_epoch: u64,
+    /// First cycle the frozen datapath was observed (fail-stop fault).
+    dead_since: Option<u64>,
+    /// Armed after a failover enable: `(detect_cycle, produced_then)` —
+    /// the first element produced past the baseline closes the
+    /// detect→first-element latency measurement.
+    resume_watch: Option<(u64, u64)>,
+    /// Fault latch → error-IRQ handler completion, in cycles.
+    error_irq_latency: Histogram,
+    /// Fail-stop onset → watchdog detection, in cycles.
+    failover_detect: Histogram,
+    /// Detection → spare rebind (its failover enable), in cycles.
+    failover_rebind: Histogram,
+    /// Detection → first element produced by the spare, in cycles.
+    failover_resume: Histogram,
 }
 
 impl std::fmt::Debug for CohortEngine {
@@ -348,11 +415,7 @@ impl CohortEngine {
             irq_target,
             irq_num,
             // Fully associative line buffer: pins can never jam a set.
-            port: CoherentPort::new(
-                dir,
-                CacheConfig::new(lines * LINE_BYTES, lines as u32),
-                1,
-            ),
+            port: CoherentPort::new(dir, CacheConfig::new(lines * LINE_BYTES, lines as u32), 1),
             mmu: DeviceMmu::new(cfg.tlb_entries),
             accel: TimedAccel::new(accel),
             raw_regs: std::collections::HashMap::new(),
@@ -396,6 +459,15 @@ impl CohortEngine {
             backoff_prod: 16,
             backoff_window: Histogram::new(),
             fault_state: None,
+            engine_index: 0,
+            min_epoch: 0,
+            bound_epoch: 0,
+            dead_since: None,
+            resume_watch: None,
+            error_irq_latency: Histogram::new(),
+            failover_detect: Histogram::new(),
+            failover_rebind: Histogram::new(),
+            failover_resume: Histogram::new(),
         }
     }
 
@@ -403,6 +475,38 @@ impl CohortEngine {
     /// accelerator stalls gate the valid/ready interface.
     pub fn set_fault_state(&mut self, faults: FaultState) {
         self.fault_state = Some(faults);
+    }
+
+    /// Sets this engine's index in the SoC-wide fail-stop kill mask, so a
+    /// `kill@C:E` fault wedges exactly engine `E`.
+    pub fn set_engine_index(&mut self, index: u64) {
+        self.engine_index = index;
+    }
+
+    /// True once a fail-stop fault has permanently frozen the datapath.
+    /// The register file and the watchdog survive (the dead-man's-handle
+    /// model): MMIO stays serviceable so software can fence and disable
+    /// the victim, and the watchdog detects the wedge.
+    fn killed(&self) -> bool {
+        self.fault_state
+            .as_ref()
+            .is_some_and(|f| f.engine_killed(self.engine_index))
+    }
+
+    /// A point-in-time summary of the engine's migratable state, for
+    /// tests and diagnostics. The authoritative queue indices live in
+    /// coherent memory; these are the engine's internal views.
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        EngineCheckpoint {
+            rd: self.rd,
+            wr: self.wr,
+            known_wr: self.known_wr,
+            known_rd: self.known_rd,
+            staged_bytes: self.stage.len(),
+            accel_output_bytes: self.accel.output_len(),
+            bound_epoch: self.bound_epoch,
+            dead: self.killed(),
+        }
     }
 
     /// Current sticky error bits (`regs::ERR_*`; 0 = healthy).
@@ -418,7 +522,9 @@ impl CohortEngine {
 
     /// True while the accelerator is held stalled by fault injection.
     fn stalled(&self, cycle: u64) -> bool {
-        self.fault_state.as_ref().is_some_and(|f| f.accel_stalled(cycle))
+        self.fault_state
+            .as_ref()
+            .is_some_and(|f| f.accel_stalled(cycle))
     }
 
     /// Counter snapshot.
@@ -444,16 +550,41 @@ impl CohortEngine {
     /// of the hardened engine. A failure must NOT panic (a misprogrammed
     /// device register is an error condition, not a model bug): it sets
     /// the sticky `ERR_BAD_DESCRIPTOR` bit instead.
-    fn validated_queue(&self, wr: u64, rd: u64, base: u64, elem: u64, len: u64) -> Option<QueueRegs> {
+    fn validated_queue(
+        &self,
+        wr: u64,
+        rd: u64,
+        base: u64,
+        elem: u64,
+        len: u64,
+    ) -> Option<QueueRegs> {
         let (Ok(elem32), Ok(len32)) = (u32::try_from(elem), u32::try_from(len)) else {
             return None;
         };
         QueueDescriptor::try_new(wr, rd, base, elem32, len32).ok()?;
-        Some(QueueRegs { wr_va: wr, rd_va: rd, base_va: base, elem, len })
+        Some(QueueRegs {
+            wr_va: wr,
+            rd_va: rd,
+            base_va: base,
+            elem,
+            len,
+        })
     }
 
     fn enable(&mut self, ctx: &mut Ctx<'_>) {
         self.enabled = true;
+        if self.killed() {
+            // The datapath is fail-stopped: re-enabling cannot revive it.
+            self.raise_error(ctx, regs::ERR_ENGINE_DEAD);
+            return;
+        }
+        let epoch = self.reg(regs::IN_EPOCH).min(self.reg(regs::OUT_EPOCH));
+        if epoch < self.min_epoch {
+            // A binding older than the fence: after queue migration this
+            // engine must never touch (or republish) those indices again.
+            self.raise_error(ctx, regs::ERR_STALE_EPOCH);
+            return;
+        }
         let in_q = self.validated_queue(
             self.reg(regs::IN_WR_VA),
             self.reg(regs::IN_RD_VA),
@@ -474,6 +605,7 @@ impl CohortEngine {
         };
         self.in_q = in_q;
         self.out_q = out_q;
+        self.bound_epoch = epoch;
         self.mmu.set_root(self.reg(regs::PT_ROOT_PA));
         self.backoff = self.reg(regs::BACKOFF);
         self.backoff_cons = self.backoff;
@@ -491,8 +623,61 @@ impl CohortEngine {
         self.rcm_out_dirty = false;
         self.cons_progress_at = ctx.cycle;
         self.prod_progress_at = ctx.cycle;
-        self.cons = if self.reg(regs::CSR_LEN) > 0 { ConsState::Csr } else { ConsState::InitRd };
+        self.cons_sig = ("", 0, 0);
+        self.prod_sig = ("", 0, 0, 0);
+        self.cons = if self.reg(regs::CSR_LEN) > 0 {
+            ConsState::Csr
+        } else {
+            ConsState::InitRd
+        };
         self.prod = ProdState::InitRd;
+        // Restore any checkpoint spill (a consume-once no-op when empty),
+        // so datapath residue an abort rescued is processed exactly once.
+        self.restore_spill(ctx);
+        let t0 = self.reg(regs::FAILOVER_T0);
+        if t0 > 0 {
+            // This is a failover rebind: consume the detection stamp and
+            // publish the detect→rebind / detect→first-element latencies.
+            self.raw_regs.insert(regs::FAILOVER_T0, 0);
+            self.counters.rebinds.inc();
+            self.failover_rebind.record(ctx.cycle.saturating_sub(t0));
+            self.resume_watch = Some((t0, self.counters.produced.get()));
+            if let Some(trace) = self.trace.as_ref().filter(|t| t.is_enabled()) {
+                trace.instant(
+                    self.tid,
+                    "fault",
+                    "failover_rebind",
+                    ctx.cycle,
+                    vec![("epoch", format!("{epoch}"))],
+                );
+            }
+        }
+    }
+
+    /// Consumes the checkpoint spill area (`[n_in, n_out, words…]`): the
+    /// partial input block a dead engine's abort path rescued is pushed
+    /// back into the accelerator ratchet, unwritten output words back
+    /// into the staging buffer. The counts are zeroed afterwards so the
+    /// restore happens exactly once.
+    fn restore_spill(&mut self, ctx: &mut Ctx<'_>) {
+        let pa = self.reg(regs::SPILL_PA);
+        if pa == 0 {
+            return;
+        }
+        let n_in = ctx.mem.read_u64(pa);
+        let n_out = ctx.mem.read_u64(pa + 8);
+        if n_in + n_out == 0 || n_in + n_out > 510 {
+            return; // empty, or not a spill image this engine wrote
+        }
+        for i in 0..n_in {
+            self.accel.push_word(ctx.mem.read_u64(pa + 16 + i * 8));
+        }
+        for i in 0..n_out {
+            let w = ctx.mem.read_u64(pa + 16 + (n_in + i) * 8);
+            self.stage.extend_from_slice(&w.to_le_bytes());
+        }
+        ctx.mem.write_u64(pa, 0);
+        ctx.mem.write_u64(pa + 8, 0);
     }
 
     /// Latches `bits` into the sticky error register, halts both
@@ -542,6 +727,10 @@ impl CohortEngine {
             return;
         }
         self.counters.resumes.inc();
+        // Latch → IRQ delivery → handler completion: this write IS the
+        // handler's completion, so the span closes here.
+        self.error_irq_latency
+            .record(ctx.cycle.saturating_sub(self.error_since));
         if let Some(trace) = self.trace.as_ref().filter(|t| t.is_enabled()) {
             trace.complete(
                 self.tid,
@@ -559,6 +748,13 @@ impl CohortEngine {
 
     fn disable(&mut self, ctx: &mut Ctx<'_>) {
         self.enabled = false;
+        if self.err_irq_outstanding {
+            // Handler completed by disabling the engine (fallback or
+            // failover path): close the latency span here instead.
+            self.error_irq_latency
+                .record(ctx.cycle.saturating_sub(self.error_since));
+            self.err_irq_outstanding = false;
+        }
         self.cons = ConsState::Off;
         self.prod = ProdState::Off;
         if let Some(l) = self.rcm_in_line.take() {
@@ -592,6 +788,8 @@ impl CohortEngine {
                 | regs::PT_ROOT_PA
                 | regs::CSR_BASE_VA
                 | regs::CSR_LEN
+                | regs::IN_EPOCH
+                | regs::OUT_EPOCH
         )
     }
 
@@ -606,7 +804,17 @@ impl CohortEngine {
                     self.disable(ctx);
                 }
             }
-            regs::TLB_FLUSH => self.mmu.flush(),
+            regs::TLB_FLUSH => {
+                self.mmu.flush();
+                // The flush is also an RCM rebind barrier: the armed
+                // monitor lines were chosen through now-stale
+                // translations, and after a page migration the publisher
+                // writes a different physical line. Marking both sides
+                // dirty forces a pointer re-read, which re-arms each
+                // monitor on the freshly translated line.
+                self.rcm_in_dirty = true;
+                self.rcm_out_dirty = true;
+            }
             regs::FAULT_RESOLVE => {
                 self.irq_outstanding = false;
                 for ch in &mut self.channels {
@@ -629,6 +837,17 @@ impl CohortEngine {
                 self.raw_regs.insert(off, value);
             }
             regs::ERROR_STATUS => self.clear_error(ctx),
+            regs::EPOCH_FENCE => {
+                // Monotonic: a smaller fence value is ignored, and the
+                // fence survives disable — a stale engine waking late can
+                // never re-run (or republish indices for) an old binding.
+                let fence = value.max(self.min_epoch);
+                self.min_epoch = fence;
+                self.raw_regs.insert(off, fence);
+                if self.enabled && self.bound_epoch < fence {
+                    self.raise_error(ctx, regs::ERR_STALE_EPOCH);
+                }
+            }
             _ => {
                 self.raw_regs.insert(off, value);
                 if self.enabled && Self::is_config_reg(off) {
@@ -699,7 +918,12 @@ impl CohortEngine {
             WalkStep::NeedPte { pa } => {
                 self.issue_pte_read(ctx, ch_idx, pa);
             }
-            WalkStep::Done { va_page, pa_page, size, .. } => {
+            WalkStep::Done {
+                va_page,
+                pa_page,
+                size,
+                ..
+            } => {
                 self.mmu.insert(va_page, pa_page, size);
                 self.channels[ch_idx].walk = None;
                 self.channels[ch_idx].state = ChState::Translate;
@@ -714,14 +938,23 @@ impl CohortEngine {
                 self.channels[ch_idx].state = ChState::WaitFault;
                 if !self.irq_outstanding {
                     self.irq_outstanding = true;
-                    ctx.send(self.irq_target, Msg::Irq { irq: self.irq_num, payload: va });
+                    ctx.send(
+                        self.irq_target,
+                        Msg::Irq {
+                            irq: self.irq_num,
+                            payload: va,
+                        },
+                    );
                 }
             }
         }
     }
 
     fn issue_pte_read(&mut self, ctx: &mut Ctx<'_>, ch_idx: usize, pte_pa: u64) {
-        match self.port.request(ctx, pte_pa, false, Self::token(ch_idx, true)) {
+        match self
+            .port
+            .request(ctx, pte_pa, false, Self::token(ch_idx, true))
+        {
             Outcome::Hit { .. } => {
                 // PTE already in the MTE buffer: feed immediately.
                 self.channels[ch_idx].state = ChState::WalkWait;
@@ -736,7 +969,14 @@ impl CohortEngine {
         }
     }
 
-    fn complete_segment(&mut self, ctx: &mut Ctx<'_>, ch_idx: usize, pa: u64, seg: usize, write: bool) {
+    fn complete_segment(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        ch_idx: usize,
+        pa: u64,
+        seg: usize,
+        write: bool,
+    ) {
         let finished = {
             let ch = &mut self.channels[ch_idx];
             let off = ch.offset;
@@ -793,11 +1033,17 @@ impl CohortEngine {
                 // A whole-line write can skip the DRAM fetch (the WCM
                 // write-combines full output lines).
                 let full_line = write && seg == LINE_BYTES as usize && pa % LINE_BYTES == 0;
-                match self.port.request_opts(ctx, pa, write, Self::token(ch_idx, false), full_line)
+                match self
+                    .port
+                    .request_opts(ctx, pa, write, Self::token(ch_idx, false), full_line)
                 {
                     Outcome::Hit { ready_at } => {
-                        self.channels[ch_idx].state =
-                            ChState::AccessHit { at: ready_at, pa, seg, write };
+                        self.channels[ch_idx].state = ChState::AccessHit {
+                            at: ready_at,
+                            pa,
+                            seg,
+                            write,
+                        };
                     }
                     Outcome::Pending => {
                         self.channels[ch_idx].state = ChState::AccessWait { pa, seg, write };
@@ -1002,9 +1248,8 @@ impl CohortEngine {
                 let mut fed = fed;
                 // A stalled accelerator holds ready low: nothing is fed.
                 if fed < data.len() && !self.stalled(ctx.cycle) && self.accel.ready(ctx.cycle) {
-                    let word = u64::from_le_bytes(
-                        data[fed..fed + 8].try_into().expect("8-byte word"),
-                    );
+                    let word =
+                        u64::from_le_bytes(data[fed..fed + 8].try_into().expect("8-byte word"));
                     self.accel.push_word(word);
                     fed += 8;
                 }
@@ -1120,8 +1365,10 @@ impl CohortEngine {
                 if self.channels[CH_PROD].take_done().is_some() {
                     // WCM ordering: the data write completed coherently;
                     // wait out the ordering drain, then publish the index.
-                    self.prod =
-                        ProdState::WcmDrain { n, until: ctx.cycle + self.wcm_turnaround };
+                    self.prod = ProdState::WcmDrain {
+                        n,
+                        until: ctx.cycle + self.wcm_turnaround,
+                    };
                 }
             }
             ProdState::WcmDrain { n, until } => {
@@ -1174,7 +1421,12 @@ impl CohortEngine {
                     let pte = ctx.mem.read_u64(pa);
                     step = walk.feed(pte);
                 }
-                WalkStep::Done { va_page, pa_page, size, .. } => {
+                WalkStep::Done {
+                    va_page,
+                    pa_page,
+                    size,
+                    ..
+                } => {
                     self.mmu.insert(va_page, pa_page, size);
                     match self.mmu.lookup(va) {
                         TlbResult::Hit { pa } => return Some(pa),
@@ -1186,21 +1438,94 @@ impl CohortEngine {
         }
     }
 
-    /// The graceful-drain half of a watchdog abort: rescue every complete
-    /// output element still sitting in the accelerator or the staging
-    /// buffer by writing it into the output ring and publishing the write
-    /// index. Runs functionally (the timed datapath is what hung); data
-    /// lives in `PhysMem` so the write is immediately visible, and the
-    /// data-before-pointer order still holds. Returns elements rescued.
+    /// The graceful-drain half of a watchdog abort — the quiesce and
+    /// checkpoint steps of failover. Runs functionally (the timed
+    /// datapath is what hung); data lives in `PhysMem` so every write is
+    /// immediately visible, and the data-before-pointer order still
+    /// holds. The steps, in order:
+    ///
+    /// 1. finish the producer's in-flight transaction (a half-written
+    ///    data block is rewritten idempotently; a pending index
+    ///    publication is completed);
+    /// 2. finish the consumer's in-flight feed, so every byte in the
+    ///    accelerator's staging ratchet is input the read index covers;
+    /// 3. drain the accelerator (in-flight block + staged blocks) and
+    ///    flush complete elements into the output ring;
+    /// 4. spill datapath residue — the partial input block and output
+    ///    that did not fit — to the checkpoint area (if configured) for
+    ///    the resuming engine to restore;
+    /// 5. republish **both** queue indices from the engine's
+    ///    authoritative internal views, covering in-flight `UpdateRd` /
+    ///    `UpdateWr` publications that were lost with the datapath.
+    ///
+    /// Together with the epoch fence this makes migration exactly-once:
+    /// memory afterwards accounts for every element precisely once.
+    /// Returns elements flushed into the ring.
     fn watchdog_drain(&mut self, ctx: &mut Ctx<'_>) -> u64 {
+        // The internal index views are only authoritative once the
+        // endpoint's init reads completed; before that, memory already
+        // holds the truth and must not be overwritten with zeros.
+        let rd_valid = !matches!(
+            self.cons,
+            ConsState::Off | ConsState::Csr | ConsState::InitRd | ConsState::Halted
+        );
+        let wr_valid = !matches!(
+            self.prod,
+            ProdState::Off | ProdState::InitRd | ProdState::InitWr | ProdState::Halted
+        );
+        match self.prod {
+            ProdState::WriteData { .. } => {
+                // The data block was (partially) written at slot_va(wr)
+                // with wr unpublished. Put it back in front of the stage:
+                // the flush below rewrites the same slots with the same
+                // bytes, so the completed prefix is rewritten harmlessly.
+                let buf = std::mem::take(&mut self.channels[CH_PROD].buf);
+                self.stage.splice(0..0, buf);
+            }
+            ProdState::WcmDrain { n, .. } => {
+                // Data fully written, publication pending: finish it.
+                self.wr += n;
+                self.counters.produced.add(n);
+            }
+            _ => {}
+        }
+        let spill_pa = self.reg(regs::SPILL_PA);
+        if spill_pa != 0 {
+            if let ConsState::Feed { fed, n } = self.cons {
+                // Part of this fetch is already in the ratchet; the rest
+                // is in the channel buffer. Finish the feed and account
+                // it, so the ratchet holds only input the read index
+                // covers — the spill below preserves any partial block.
+                // Without a spill area the feed is abandoned instead: the
+                // read index stays unadvanced and a resuming binding
+                // refetches the whole chunk (a resume resets the ratchet,
+                // so rescued words could not survive it).
+                let data = std::mem::take(&mut self.channels[CH_CONS].buf);
+                let mut off = fed;
+                while off + 8 <= data.len() {
+                    let w = u64::from_le_bytes(data[off..off + 8].try_into().expect("8-byte word"));
+                    self.accel.push_word(w);
+                    off += 8;
+                }
+                self.rd += n;
+                self.counters.consumed.add(n);
+            }
+        }
         for w in self.accel.drain_words() {
             self.stage.extend_from_slice(&w.to_le_bytes());
         }
+        // Refresh the consumer's published read index so the ring-full
+        // check below uses fresh state, not a stale snapshot.
+        if self.out_q.len > 0 {
+            if let Some(pa) = self.translate_now(ctx, self.out_q.rd_va) {
+                self.known_rd = ctx.mem.read_u64(pa);
+            }
+        }
         let elem = self.out_q.elem.max(8) as usize;
         let mut drained = 0u64;
-        while self.stage.len() >= elem {
+        while wr_valid && self.stage.len() >= elem {
             if self.out_q.len <= self.wr.wrapping_sub(self.known_rd) {
-                break; // ring full: the rest is lost (counted by caller)
+                break; // ring full: the rest spills below
             }
             let va = self.out_q.slot_va(self.wr);
             let data: Vec<u8> = self.stage.drain(..elem).collect();
@@ -1211,11 +1536,42 @@ impl CohortEngine {
             }
         }
         if drained > 0 {
+            self.counters.produced.add(drained);
+            self.counters.drained_elems.add(drained);
+        }
+        if spill_pa != 0 {
+            // Checkpoint the residue: the partial input block (already
+            // covered by rd — un-consuming is unsound once the producer
+            // saw the published index) and output that found no ring
+            // space. `[n_in, n_out, in_words…, out_words…]`.
+            let residue = self.accel.take_staged_words();
+            let leftovers: Vec<u8> = self.stage.drain(..).collect();
+            ctx.mem.write_u64(spill_pa, residue.len() as u64);
+            ctx.mem
+                .write_u64(spill_pa + 8, (leftovers.len() / 8) as u64);
+            let mut pa = spill_pa + 16;
+            for w in &residue {
+                ctx.mem.write_u64(pa, *w);
+                pa += 8;
+            }
+            for chunk in leftovers.chunks_exact(8) {
+                ctx.mem
+                    .write_u64(pa, u64::from_le_bytes(chunk.try_into().expect("word")));
+                pa += 8;
+            }
+        }
+        // Republish both indices: an UpdateRd/UpdateWr that died in
+        // flight is functionally completed here, and memory becomes the
+        // single source of truth for the checkpoint.
+        if rd_valid && self.in_q.len > 0 {
+            if let Some(pa) = self.translate_now(ctx, self.in_q.rd_va) {
+                ctx.mem.write_u64(pa, self.rd);
+            }
+        }
+        if wr_valid && self.out_q.len > 0 {
             if let Some(pa) = self.translate_now(ctx, self.out_q.wr_va) {
                 ctx.mem.write_u64(pa, self.wr);
             }
-            self.counters.produced.add(drained);
-            self.counters.drained_elems.add(drained);
         }
         drained
     }
@@ -1229,10 +1585,20 @@ impl CohortEngine {
         if self.watchdog_cycles == 0 || self.error_status != 0 {
             return;
         }
-        let cons_sig =
-            (self.cons.label(), self.counters.consumed.get(), self.channels[CH_CONS].offset);
-        let cons_benign =
-            matches!(self.cons, ConsState::Off | ConsState::Waiting | ConsState::Halted);
+        // A fail-stopped datapath makes no state benign: even an idle
+        // wait is a wedge once the engine is dead, so the dead-man's
+        // handle always fires within one budget of the kill.
+        let dead = self.killed();
+        let cons_sig = (
+            self.cons.label(),
+            self.counters.consumed.get(),
+            self.channels[CH_CONS].offset,
+        );
+        let cons_benign = !dead
+            && matches!(
+                self.cons,
+                ConsState::Off | ConsState::Waiting | ConsState::Halted
+            );
         if cons_benign || cons_sig != self.cons_sig {
             self.cons_sig = cons_sig;
             self.cons_progress_at = ctx.cycle;
@@ -1243,9 +1609,10 @@ impl CohortEngine {
             self.channels[CH_PROD].offset,
             self.stage.len(),
         );
-        let prod_benign = matches!(self.prod, ProdState::Off | ProdState::Halted)
-            || (matches!(self.prod, ProdState::Collect)
-                && self.stage.len() < self.out_q.elem as usize);
+        let prod_benign = !dead
+            && (matches!(self.prod, ProdState::Off | ProdState::Halted)
+                || (matches!(self.prod, ProdState::Collect)
+                    && self.stage.len() < self.out_q.elem as usize));
         if prod_benign || prod_sig != self.prod_sig {
             self.prod_sig = prod_sig;
             self.prod_progress_at = ctx.cycle;
@@ -1275,6 +1642,12 @@ impl CohortEngine {
         }
         if prod_tripped {
             bits |= regs::ERR_WATCHDOG_PROD;
+        }
+        if dead {
+            bits |= regs::ERR_ENGINE_DEAD;
+            if let Some(at) = self.dead_since {
+                self.failover_detect.record(ctx.cycle.saturating_sub(at));
+            }
         }
         self.raise_error(ctx, bits);
     }
@@ -1375,24 +1748,35 @@ impl Component for CohortEngine {
             ("error_irqs", &c.error_irqs),
             ("drained_elems", &c.drained_elems),
             ("resumes", &c.resumes),
+            ("rebinds", &c.rebinds),
         ] {
             obs.adopt_counter(name, counter);
         }
         obs.adopt_histogram("in_queue_occupancy", &self.in_occupancy);
         obs.adopt_histogram("out_queue_occupancy", &self.out_occupancy);
         obs.adopt_histogram("backoff_window", &self.backoff_window);
+        obs.adopt_histogram("error_irq_latency", &self.error_irq_latency);
+        obs.adopt_histogram("failover_detect", &self.failover_detect);
+        obs.adopt_histogram("failover_rebind", &self.failover_rebind);
+        obs.adopt_histogram("failover_resume", &self.failover_resume);
         self.port.port_counters().register(obs, "mte");
         self.trace = Some(obs.trace.clone());
         self.tid = obs.tid;
     }
 
     fn step(&mut self, ctx: &mut Ctx<'_>) {
+        let dead = self.killed();
         while let Some(env) = ctx.recv() {
             match &env.msg {
                 m if CoherentPort::wants(m) => {
+                    // Service the coherence protocol either way (the port
+                    // must keep answering the directory), but a dead
+                    // datapath drops the completions on the floor.
                     let events = self.port.handle(&env, ctx);
-                    for ev in events {
-                        self.route_event(ctx, ev);
+                    if !dead {
+                        for ev in events {
+                            self.route_event(ctx, ev);
+                        }
                     }
                 }
                 Msg::MmioWrite { pa, value, tag } => {
@@ -1414,6 +1798,20 @@ impl Component for CohortEngine {
         if !self.enabled {
             return;
         }
+        if dead {
+            // Fail-stop: the datapath is frozen solid — no channel
+            // advance, no accelerator cycle, no endpoint steps. Only the
+            // register file (serviced above) and the watchdog survive,
+            // and the watchdog is what detects the wedge.
+            if self.dead_since.is_none() {
+                self.dead_since = Some(ctx.cycle);
+                if let Some(trace) = self.trace.as_ref().filter(|t| t.is_enabled()) {
+                    trace.instant(self.tid, "fault", "fail_stop", ctx.cycle, vec![]);
+                }
+            }
+            self.check_watchdog(ctx);
+            return;
+        }
         // Advance hit-path channel completions.
         for i in 0..2 {
             self.advance_channel(ctx, i);
@@ -1428,23 +1826,36 @@ impl Component for CohortEngine {
         self.step_producer(ctx);
         self.check_watchdog(ctx);
         self.trace_state_spans(ctx.cycle, prev_cons, prev_prod);
+        if let Some((t0, base)) = self.resume_watch {
+            if self.counters.produced.get() > base {
+                self.failover_resume.record(ctx.cycle.saturating_sub(t0));
+                self.resume_watch = None;
+            }
+        }
         // Mirror the MMU's plain counters into the registry-backed cells
         // and sample queue occupancy as seen by the engine.
         let m = self.mmu.counters();
         self.counters.tlb_hits.set(m.hits);
         self.counters.tlb_misses.set(m.misses);
-        self.in_occupancy.record(self.known_wr.saturating_sub(self.rd));
-        self.out_occupancy.record(self.wr.saturating_sub(self.known_rd));
+        self.in_occupancy
+            .record(self.known_wr.saturating_sub(self.rd));
+        self.out_occupancy
+            .record(self.wr.saturating_sub(self.known_rd));
     }
 
     fn is_idle(&self) -> bool {
         if !self.enabled {
             return true;
         }
+        if self.killed() && self.error_status == 0 {
+            // Dead but not yet detected: keep cycles flowing so the
+            // dead-man's handle can fire.
+            return false;
+        }
         // A halted engine is quiescent: it does nothing until software
         // clears ERROR_STATUS, regardless of residual staged data.
-        let halted = matches!(self.cons, ConsState::Halted)
-            && matches!(self.prod, ProdState::Halted);
+        let halted =
+            matches!(self.cons, ConsState::Halted) && matches!(self.prod, ProdState::Halted);
         self.channels.iter().all(Channel::idle)
             && self.port.is_idle()
             && (halted
@@ -1472,6 +1883,7 @@ impl Component for CohortEngine {
             ("error_irqs".into(), c.error_irqs.get()),
             ("drained_elems".into(), c.drained_elems.get()),
             ("resumes".into(), c.resumes.get()),
+            ("rebinds".into(), c.rebinds.get()),
         ]
     }
 

@@ -43,13 +43,22 @@ fn rig(accel: Box<dyn cohort_accel::Accelerator>) -> Rig {
     let engine = CohortEngine::new(dir, &cfg, ENGINE_MMIO, core, IRQ, accel);
     let engine = soc.add_component(TileCoord::new(1, 0), Box::new(engine));
     soc.map_mmio(ENGINE_MMIO..ENGINE_MMIO + regs::BANK_BYTES, engine);
-    Rig { soc, core, engine, space, frames, driver: CohortDriver::new(ENGINE_MMIO, IRQ) }
+    Rig {
+        soc,
+        core,
+        engine,
+        space,
+        frames,
+        driver: CohortDriver::new(ENGINE_MMIO, IRQ),
+    }
 }
 
 impl Rig {
     fn alloc_queue(&mut self, elem: u32, len: u32) -> QueueLayout {
         let bytes = QueueLayout::standard(0, elem, len).region_bytes;
-        let va = self.space.malloc(&mut self.soc.mem, &mut self.frames, bytes, 64);
+        let va = self
+            .space
+            .malloc(&mut self.soc.mem, &mut self.frames, bytes, 64);
         QueueLayout::standard(va, elem, len)
     }
 
@@ -63,7 +72,12 @@ impl Rig {
     fn run(&mut self) {
         let out = self.soc.run(10_000_000);
         let core = self.soc.component::<InOrderCore>(self.core).unwrap();
-        assert!(core.is_done(), "program stuck: quiescent={} cycle={}", out.quiescent, out.cycle);
+        assert!(
+            core.is_done(),
+            "program stuck: quiescent={} cycle={}",
+            out.quiescent,
+            out.cycle
+        );
     }
 
     fn engine_counter(&self, name: &str) -> u64 {
@@ -83,7 +97,10 @@ impl Rig {
     }
 
     fn error_status(&self) -> u64 {
-        self.soc.component::<CohortEngine>(self.engine).unwrap().error_status()
+        self.soc
+            .component::<CohortEngine>(self.engine)
+            .unwrap()
+            .error_status()
     }
 
     /// Absorbs the engine's error IRQ without kernel-side action, so tests
@@ -95,7 +112,7 @@ impl Rig {
             IrqHandler {
                 entry_cycles: 10,
                 entry_insts: 5,
-                action: HandlerAction::Custom(Box::new(|_, _| None)),
+                action: HandlerAction::Custom(Box::new(|_, _, _| Vec::new())),
             },
         );
     }
@@ -128,8 +145,15 @@ fn raw_register_program(
         (regs::BACKOFF, 32),
         (regs::ENABLE, 1),
     ] {
-        let value = if off == override_reg.0 { override_reg.1 } else { value };
-        p.push(Op::MmioStore { pa: ENGINE_MMIO + off, value });
+        let value = if off == override_reg.0 {
+            override_reg.1
+        } else {
+            value
+        };
+        p.push(Op::MmioStore {
+            pa: ENGINE_MMIO + off,
+            value,
+        });
     }
     p
 }
@@ -144,15 +168,30 @@ fn stream_program(
 ) -> Program {
     let mut p = driver.register_ops(root, &in_q.descriptor, &out_q.descriptor, None, 32);
     for (i, &w) in words.iter().enumerate() {
-        p.push(Op::Store { va: in_q.descriptor.element_va(i as u64), value: w });
+        p.push(Op::Store {
+            va: in_q.descriptor.element_va(i as u64),
+            value: w,
+        });
     }
     p.push(Op::Fence);
-    p.push(Op::Store { va: in_q.descriptor.write_index_va, value: words.len() as u64 });
+    p.push(Op::Store {
+        va: in_q.descriptor.write_index_va,
+        value: words.len() as u64,
+    });
     for j in 0..out_words {
-        p.push(Op::WaitGe { va: out_q.descriptor.write_index_va, value: j + 1 });
-        p.push(Op::Load { va: out_q.descriptor.element_va(j), record: true });
+        p.push(Op::WaitGe {
+            va: out_q.descriptor.write_index_va,
+            value: j + 1,
+        });
+        p.push(Op::Load {
+            va: out_q.descriptor.element_va(j),
+            record: true,
+        });
     }
-    p.push(Op::Store { va: out_q.descriptor.read_index_va, value: out_words });
+    p.push(Op::Store {
+        va: out_q.descriptor.read_index_va,
+        value: out_words,
+    });
     p.push(Op::Fence);
     p.append(driver.unregister_ops());
     p
@@ -215,11 +254,20 @@ fn csr_is_delivered_before_data() {
         32,
     );
     for i in 0..8u64 {
-        p.push(Op::Store { va: in_q.descriptor.element_va(i), value: i });
+        p.push(Op::Store {
+            va: in_q.descriptor.element_va(i),
+            value: i,
+        });
     }
     p.push(Op::Fence);
-    p.push(Op::Store { va: in_q.descriptor.write_index_va, value: 8 });
-    p.push(Op::WaitGe { va: out_q.descriptor.write_index_va, value: 8 });
+    p.push(Op::Store {
+        va: in_q.descriptor.write_index_va,
+        value: 8,
+    });
+    p.push(Op::WaitGe {
+        va: out_q.descriptor.write_index_va,
+        value: 8,
+    });
     p.append(rig.driver.unregister_ops());
     rig.load(p);
     rig.run();
@@ -242,16 +290,31 @@ fn wraparound_ring_reuses_slots() {
             let idx = round * 8 + i;
             let value = 0xbeef_0000 + idx;
             expect.push(value);
-            p.push(Op::Store { va: in_q.descriptor.element_va(idx), value });
+            p.push(Op::Store {
+                va: in_q.descriptor.element_va(idx),
+                value,
+            });
         }
         p.push(Op::Fence);
-        p.push(Op::Store { va: in_q.descriptor.write_index_va, value: (round + 1) * 8 });
+        p.push(Op::Store {
+            va: in_q.descriptor.write_index_va,
+            value: (round + 1) * 8,
+        });
         for j in 0..8u64 {
             let idx = round * 8 + j;
-            p.push(Op::WaitGe { va: out_q.descriptor.write_index_va, value: idx + 1 });
-            p.push(Op::Load { va: out_q.descriptor.element_va(idx), record: true });
+            p.push(Op::WaitGe {
+                va: out_q.descriptor.write_index_va,
+                value: idx + 1,
+            });
+            p.push(Op::Load {
+                va: out_q.descriptor.element_va(idx),
+                record: true,
+            });
         }
-        p.push(Op::Store { va: out_q.descriptor.read_index_va, value: (round + 1) * 8 });
+        p.push(Op::Store {
+            va: out_q.descriptor.read_index_va,
+            value: (round + 1) * 8,
+        });
         p.push(Op::Fence);
     }
     p.append(rig.driver.unregister_ops());
@@ -272,21 +335,42 @@ fn tlb_flush_mid_stream_is_transparent() {
         .driver
         .register_ops(root, &in_q.descriptor, &out_q.descriptor, None, 32);
     for i in 0..8u64 {
-        p.push(Op::Store { va: in_q.descriptor.element_va(i), value: i });
+        p.push(Op::Store {
+            va: in_q.descriptor.element_va(i),
+            value: i,
+        });
     }
     p.push(Op::Fence);
-    p.push(Op::Store { va: in_q.descriptor.write_index_va, value: 8 });
-    p.push(Op::WaitGe { va: out_q.descriptor.write_index_va, value: 8 });
+    p.push(Op::Store {
+        va: in_q.descriptor.write_index_va,
+        value: 8,
+    });
+    p.push(Op::WaitGe {
+        va: out_q.descriptor.write_index_va,
+        value: 8,
+    });
     // MMU-notifier shootdown between the two halves.
     p.append(rig.driver.tlb_flush_ops());
     for i in 8..16u64 {
-        p.push(Op::Store { va: in_q.descriptor.element_va(i), value: i });
+        p.push(Op::Store {
+            va: in_q.descriptor.element_va(i),
+            value: i,
+        });
     }
     p.push(Op::Fence);
-    p.push(Op::Store { va: in_q.descriptor.write_index_va, value: 16 });
-    p.push(Op::WaitGe { va: out_q.descriptor.write_index_va, value: 16 });
+    p.push(Op::Store {
+        va: in_q.descriptor.write_index_va,
+        value: 16,
+    });
+    p.push(Op::WaitGe {
+        va: out_q.descriptor.write_index_va,
+        value: 16,
+    });
     for j in 0..16u64 {
-        p.push(Op::Load { va: out_q.descriptor.element_va(j), record: true });
+        p.push(Op::Load {
+            va: out_q.descriptor.element_va(j),
+            record: true,
+        });
     }
     p.append(rig.driver.unregister_ops());
     rig.load(p);
@@ -310,11 +394,20 @@ fn disable_then_reenable_runs_again() {
         .driver
         .register_ops(root, &in_q.descriptor, &out_q.descriptor, None, 32);
     for i in 0..4u64 {
-        p.push(Op::Store { va: in_q.descriptor.element_va(i), value: i + 1 });
+        p.push(Op::Store {
+            va: in_q.descriptor.element_va(i),
+            value: i + 1,
+        });
     }
     p.push(Op::Fence);
-    p.push(Op::Store { va: in_q.descriptor.write_index_va, value: 4 });
-    p.push(Op::WaitGe { va: out_q.descriptor.write_index_va, value: 4 });
+    p.push(Op::Store {
+        va: in_q.descriptor.write_index_va,
+        value: 4,
+    });
+    p.push(Op::WaitGe {
+        va: out_q.descriptor.write_index_va,
+        value: 4,
+    });
     p.append(rig.driver.unregister_ops());
     // Second session on fresh queues.
     let in2 = rig.alloc_queue(8, 8);
@@ -323,13 +416,25 @@ fn disable_then_reenable_runs_again() {
         .driver
         .register_ops(root, &in2.descriptor, &out2.descriptor, None, 32);
     for i in 0..4u64 {
-        p2.push(Op::Store { va: in2.descriptor.element_va(i), value: i + 100 });
+        p2.push(Op::Store {
+            va: in2.descriptor.element_va(i),
+            value: i + 100,
+        });
     }
     p2.push(Op::Fence);
-    p2.push(Op::Store { va: in2.descriptor.write_index_va, value: 4 });
-    p2.push(Op::WaitGe { va: out2.descriptor.write_index_va, value: 4 });
+    p2.push(Op::Store {
+        va: in2.descriptor.write_index_va,
+        value: 4,
+    });
+    p2.push(Op::WaitGe {
+        va: out2.descriptor.write_index_va,
+        value: 4,
+    });
     for j in 0..4u64 {
-        p2.push(Op::Load { va: out2.descriptor.element_va(j), record: true });
+        p2.push(Op::Load {
+            va: out2.descriptor.element_va(j),
+            record: true,
+        });
     }
     p2.append(rig.driver.unregister_ops());
     p.append(p2);
@@ -350,13 +455,28 @@ fn engine_reports_status_over_mmio() {
         .driver
         .register_ops(root, &in_q.descriptor, &out_q.descriptor, None, 32);
     for i in 0..8u64 {
-        p.push(Op::Store { va: in_q.descriptor.element_va(i), value: i });
+        p.push(Op::Store {
+            va: in_q.descriptor.element_va(i),
+            value: i,
+        });
     }
     p.push(Op::Fence);
-    p.push(Op::Store { va: in_q.descriptor.write_index_va, value: 8 });
-    p.push(Op::WaitGe { va: out_q.descriptor.write_index_va, value: 8 });
-    p.push(Op::MmioLoad { pa: ENGINE_MMIO + regs::CONSUMED, record: true });
-    p.push(Op::MmioLoad { pa: ENGINE_MMIO + regs::PRODUCED, record: true });
+    p.push(Op::Store {
+        va: in_q.descriptor.write_index_va,
+        value: 8,
+    });
+    p.push(Op::WaitGe {
+        va: out_q.descriptor.write_index_va,
+        value: 8,
+    });
+    p.push(Op::MmioLoad {
+        pa: ENGINE_MMIO + regs::CONSUMED,
+        record: true,
+    });
+    p.push(Op::MmioLoad {
+        pa: ENGINE_MMIO + regs::PRODUCED,
+        record: true,
+    });
     p.append(rig.driver.unregister_ops());
     rig.load(p);
     rig.run();
@@ -374,13 +494,20 @@ fn bad_descriptor_sets_sticky_error_instead_of_panicking() {
     // A length of 48 is not a power of two: the engine must refuse it at
     // configure time, halt, and latch the sticky bit — never touch memory.
     let mut p = raw_register_program(root, &in_q, &out_q, (regs::IN_LEN, 48));
-    p.push(Op::MmioLoad { pa: ENGINE_MMIO + regs::ERROR_STATUS, record: true });
+    p.push(Op::MmioLoad {
+        pa: ENGINE_MMIO + regs::ERROR_STATUS,
+        record: true,
+    });
     rig.load(p);
     rig.run();
     let core = rig.soc.component::<InOrderCore>(rig.core).unwrap();
     assert_eq!(core.recorded(), &[regs::ERR_BAD_DESCRIPTOR]);
     assert_eq!(rig.engine_counter("error_irqs"), 1);
-    assert_eq!(rig.engine_counter("consumed"), 0, "no memory traffic on a bad config");
+    assert_eq!(
+        rig.engine_counter("consumed"),
+        0,
+        "no memory traffic on a bad config"
+    );
 }
 
 #[test]
@@ -394,23 +521,48 @@ fn error_status_write_resumes_engine_after_software_fix() {
     let mut p = raw_register_program(root, &in_q, &out_q, (regs::IN_LEN, 48));
     // Kernel repair path: fix the register, then clear ERROR_STATUS. The
     // clear re-runs the enable sequence against in-memory queue state.
-    p.push(Op::MmioStore { pa: ENGINE_MMIO + regs::IN_LEN, value: 8 });
-    p.push(Op::MmioStore { pa: ENGINE_MMIO + regs::ERROR_STATUS, value: 0 });
+    p.push(Op::MmioStore {
+        pa: ENGINE_MMIO + regs::IN_LEN,
+        value: 8,
+    });
+    p.push(Op::MmioStore {
+        pa: ENGINE_MMIO + regs::ERROR_STATUS,
+        value: 0,
+    });
     for i in 0..4u64 {
-        p.push(Op::Store { va: in_q.descriptor.element_va(i), value: i + 1 });
+        p.push(Op::Store {
+            va: in_q.descriptor.element_va(i),
+            value: i + 1,
+        });
     }
     p.push(Op::Fence);
-    p.push(Op::Store { va: in_q.descriptor.write_index_va, value: 4 });
-    p.push(Op::WaitGe { va: out_q.descriptor.write_index_va, value: 4 });
+    p.push(Op::Store {
+        va: in_q.descriptor.write_index_va,
+        value: 4,
+    });
+    p.push(Op::WaitGe {
+        va: out_q.descriptor.write_index_va,
+        value: 4,
+    });
     for j in 0..4u64 {
-        p.push(Op::Load { va: out_q.descriptor.element_va(j), record: true });
+        p.push(Op::Load {
+            va: out_q.descriptor.element_va(j),
+            record: true,
+        });
     }
-    p.push(Op::MmioLoad { pa: ENGINE_MMIO + regs::ERROR_STATUS, record: true });
+    p.push(Op::MmioLoad {
+        pa: ENGINE_MMIO + regs::ERROR_STATUS,
+        record: true,
+    });
     p.append(rig.driver.unregister_ops());
     rig.load(p);
     rig.run();
     let core = rig.soc.component::<InOrderCore>(rig.core).unwrap();
-    assert_eq!(core.recorded(), &[1, 2, 3, 4, 0], "stream works after resume, status clear");
+    assert_eq!(
+        core.recorded(),
+        &[1, 2, 3, 4, 0],
+        "stream works after resume, status clear"
+    );
     assert_eq!(rig.engine_counter("resumes"), 1);
 }
 
@@ -433,16 +585,26 @@ fn watchdog_trips_on_stalled_accelerator() {
         .register_ops(root, &in_q.descriptor, &out_q.descriptor, None, 32);
     p.append(rig.driver.watchdog_ops(3_000));
     for i in 0..8u64 {
-        p.push(Op::Store { va: in_q.descriptor.element_va(i), value: i });
+        p.push(Op::Store {
+            va: in_q.descriptor.element_va(i),
+            value: i,
+        });
     }
     p.push(Op::Fence);
-    p.push(Op::Store { va: in_q.descriptor.write_index_va, value: 8 });
+    p.push(Op::Store {
+        va: in_q.descriptor.write_index_va,
+        value: 8,
+    });
     // No WaitGe: the output never comes. The watchdog must detect the
     // wedge, halt the engine and let the SoC quiesce — no deadlock.
     rig.load(p);
     rig.run();
     assert_eq!(rig.engine_counter("watchdog_trips"), 1);
-    assert_ne!(rig.error_status() & regs::ERR_WATCHDOG_CONS, 0, "consumer flagged");
+    assert_ne!(
+        rig.error_status() & regs::ERR_WATCHDOG_CONS,
+        0,
+        "consumer flagged"
+    );
     assert_eq!(rig.engine_counter("error_irqs"), 1);
 }
 
@@ -459,26 +621,171 @@ fn backoff_grows_exponentially_while_starved() {
         .driver
         .register_ops(root, &in_q.descriptor, &out_q.descriptor, None, 16);
     p.push(Op::Alu(1));
-    p.push(Op::KernelCost { cycles: 20_000, insts: 10 });
+    p.push(Op::KernelCost {
+        cycles: 20_000,
+        insts: 10,
+    });
     for i in 0..4u64 {
-        p.push(Op::Store { va: in_q.descriptor.element_va(i), value: i + 7 });
+        p.push(Op::Store {
+            va: in_q.descriptor.element_va(i),
+            value: i + 7,
+        });
     }
     p.push(Op::Fence);
-    p.push(Op::Store { va: in_q.descriptor.write_index_va, value: 4 });
-    p.push(Op::WaitGe { va: out_q.descriptor.write_index_va, value: 4 });
+    p.push(Op::Store {
+        va: in_q.descriptor.write_index_va,
+        value: 4,
+    });
+    p.push(Op::WaitGe {
+        va: out_q.descriptor.write_index_va,
+        value: 4,
+    });
     for j in 0..4u64 {
-        p.push(Op::Load { va: out_q.descriptor.element_va(j), record: true });
+        p.push(Op::Load {
+            va: out_q.descriptor.element_va(j),
+            record: true,
+        });
     }
     p.append(rig.driver.unregister_ops());
     rig.load(p);
     rig.run();
     let core = rig.soc.component::<InOrderCore>(rig.core).unwrap();
-    assert_eq!(core.recorded(), &[7, 8, 9, 10], "stream still correct after deep backoff");
+    assert_eq!(
+        core.recorded(),
+        &[7, 8, 9, 10],
+        "stream still correct after deep backoff"
+    );
     let backoffs = rig.engine_counter("backoffs");
     assert!(backoffs > 0, "the starved engine must have backed off");
-    assert!(backoffs < 600, "exponential growth: got {backoffs} polls, fixed would be ~1200");
+    assert!(
+        backoffs < 600,
+        "exponential growth: got {backoffs} polls, fixed would be ~1200"
+    );
     assert!(
         rig.soc.stats_json().contains("backoff_window"),
         "window histogram registered in stats"
     );
+}
+
+/// Deterministic splitmix64 generator for the epoch property loops
+/// (mirrors `tests/proptests.rs`: fixed seed, reproducible case set).
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+#[test]
+fn epoch_fence_rejects_every_stale_configure() {
+    // Property: for ANY fence F and ANY binding epoch e < F, enabling the
+    // engine latches ERR_STALE_EPOCH and the binding never runs — even
+    // after a later attempt to lower the fence (it is monotonic). This is
+    // the exactly-once half of queue migration: a stale engine waking
+    // late can never republish indices for a migrated queue.
+    let mut rng = Rng(0xEF0C_FE4C_E500_0001);
+    for case in 0..64u32 {
+        let fence = rng.range(2, 1 << 40);
+        let stale = rng.range(0, fence);
+        let rollback = rng.range(0, fence);
+        let mut rig = rig(Box::new(NullFifo::new()));
+        rig.install_noop_error_handler();
+        let in_q = rig.alloc_queue(8, 16);
+        let out_q = rig.alloc_queue(8, 16);
+        let root = rig.space.root_pa();
+        let mut p = Program::new();
+        p.push(Op::MmioStore {
+            pa: ENGINE_MMIO + regs::EPOCH_FENCE,
+            value: fence,
+        });
+        // A smaller later write must not lower the fence.
+        p.push(Op::MmioStore {
+            pa: ENGINE_MMIO + regs::EPOCH_FENCE,
+            value: rollback,
+        });
+        p.append(rig.driver.register_ops(
+            root,
+            &in_q.descriptor.with_epoch(stale),
+            &out_q.descriptor.with_epoch(stale),
+            None,
+            32,
+        ));
+        p.append(rig.driver.unregister_ops());
+        rig.load(p);
+        rig.run();
+        assert_ne!(
+            rig.error_status() & regs::ERR_STALE_EPOCH,
+            0,
+            "case {case}: fence {fence}, stale epoch {stale} must be rejected"
+        );
+        assert_eq!(
+            rig.engine_counter("consumed"),
+            0,
+            "a fenced-out binding must never run"
+        );
+    }
+}
+
+#[test]
+fn epoch_at_or_above_fence_is_accepted() {
+    // Dual property: any epoch >= the fence enables cleanly and streams.
+    let mut rng = Rng(0xEF0C_ACCE_0000_0002);
+    for case in 0..16u32 {
+        let fence = rng.range(1, 1 << 40);
+        let epoch = rng.range(fence, fence + (1 << 20));
+        let mut rig = rig(Box::new(NullFifo::new()));
+        let in_q = rig.alloc_queue(8, 16);
+        let out_q = rig.alloc_queue(8, 16);
+        let root = rig.space.root_pa();
+        let mut p = Program::new();
+        p.push(Op::MmioStore {
+            pa: ENGINE_MMIO + regs::EPOCH_FENCE,
+            value: fence,
+        });
+        p.append(rig.driver.register_ops(
+            root,
+            &in_q.descriptor.with_epoch(epoch),
+            &out_q.descriptor.with_epoch(epoch),
+            None,
+            32,
+        ));
+        for i in 0..4u64 {
+            p.push(Op::Store {
+                va: in_q.descriptor.element_va(i),
+                value: 50 + i,
+            });
+        }
+        p.push(Op::Fence);
+        p.push(Op::Store {
+            va: in_q.descriptor.write_index_va,
+            value: 4,
+        });
+        p.push(Op::WaitGe {
+            va: out_q.descriptor.write_index_va,
+            value: 4,
+        });
+        p.append(rig.driver.unregister_ops());
+        rig.load(p);
+        rig.run();
+        assert_eq!(
+            rig.error_status(),
+            0,
+            "case {case}: epoch {epoch} >= fence {fence} is valid"
+        );
+        assert_eq!(
+            rig.engine_counter("consumed"),
+            4,
+            "the binding streams normally"
+        );
+    }
 }

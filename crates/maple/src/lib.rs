@@ -21,7 +21,7 @@
 
 pub mod unit;
 
-pub use unit::{MapleCounters, MapleUnit};
+pub use unit::{MapleCounters, MapleUnit, DEAD_SENTINEL};
 
 /// The MAPLE unit's MMIO register map (byte offsets from its base).
 pub mod regs {

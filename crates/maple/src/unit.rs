@@ -3,10 +3,11 @@
 use cohort_accel::timing::TimedAccel;
 use cohort_os::mmu::{DeviceMmu, TlbResult, WalkMachine, WalkStep};
 use cohort_sim::component::{CompId, Component, Ctx, Observability};
-use cohort_sim::stats::Counter;
 use cohort_sim::config::{CacheConfig, SocConfig};
+use cohort_sim::faultinject::FaultState;
 use cohort_sim::msg::Msg;
 use cohort_sim::port::{CoherentPort, Outcome, PortEvent};
+use cohort_sim::stats::Counter;
 use cohort_sim::LINE_BYTES;
 use std::collections::VecDeque;
 
@@ -36,12 +37,29 @@ enum Access {
     None,
     /// Walking the page table; the access geometry is retried after the
     /// walk completes.
-    Walk { len: usize, write: bool },
+    Walk {
+        len: usize,
+        write: bool,
+    },
     /// Waiting for a line grant.
-    Wait { pa: u64, len: usize, write: bool },
+    Wait {
+        pa: u64,
+        len: usize,
+        write: bool,
+    },
     /// Line granted with hit latency; completes at `at`.
-    Hit { at: u64, pa: u64, len: usize, write: bool },
+    Hit {
+        at: u64,
+        pa: u64,
+        len: usize,
+        write: bool,
+    },
 }
+
+/// The error sentinel a fail-stopped MAPLE unit returns for blocking
+/// reads (`POP`, `DMA_DONE`): no legal word count or output value is
+/// all-ones, so software can detect the fault instead of hanging.
+pub const DEAD_SENTINEL: u64 = u64::MAX;
 
 /// Performance counters of the MAPLE unit. Registry-backed: after
 /// [`Component::attach`] the same cells are visible through the SoC's
@@ -58,6 +76,9 @@ pub struct MapleCounters {
     pub dma_in_bytes: Counter,
     /// Output bytes moved by DMA.
     pub dma_out_bytes: Counter,
+    /// Fail-stop aborts taken (blocking requests flushed with the error
+    /// sentinel, in-flight DMA abandoned).
+    pub fail_stops: Counter,
 }
 
 /// The MAPLE baseline unit. Map `mmio_base..mmio_base + regs::BANK_BYTES`.
@@ -83,6 +104,10 @@ pub struct MapleUnit {
     walk: Option<WalkMachine>,
     mmio_latency: u64,
     counters: MapleCounters,
+    /// SoC-wide fault switches (stall / fail-stop injection).
+    fault_state: Option<FaultState>,
+    /// The fail-stop abort already ran (flush once, stay dead).
+    dead_latched: bool,
 }
 
 impl std::fmt::Debug for MapleUnit {
@@ -124,6 +149,8 @@ impl MapleUnit {
             walk: None,
             mmio_latency: cfg.timing.mmio_device,
             counters: MapleCounters::default(),
+            fault_state: None,
+            dead_latched: false,
         }
     }
 
@@ -132,13 +159,72 @@ impl MapleUnit {
         &self.counters
     }
 
+    /// Connects the unit to the SoC-wide fault switches, so injected
+    /// stalls gate the accelerator/DMA datapath and a fail-stop fault
+    /// aborts cleanly instead of hanging the core's blocking accesses.
+    pub fn set_fault_state(&mut self, faults: FaultState) {
+        self.fault_state = Some(faults);
+    }
+
+    /// True while an injected stall holds the accelerator datapath.
+    fn stalled(&self, cycle: u64) -> bool {
+        self.fault_state
+            .as_ref()
+            .is_some_and(|f| f.maple_stalled(cycle))
+    }
+
+    /// True once a fail-stop fault permanently killed the unit.
+    fn dead(&self) -> bool {
+        self.fault_state
+            .as_ref()
+            .is_some_and(FaultState::maple_killed)
+    }
+
+    /// The fail-stop abort: run once when the kill is first observed.
+    /// Every held (blocking) request is answered with [`DEAD_SENTINEL`]
+    /// so the core unblocks and software sees a clean error; the
+    /// in-flight DMA is abandoned. The accelerator datapath stays dead.
+    fn abort_dead(&mut self, ctx: &mut Ctx<'_>) {
+        self.counters.fail_stops.inc();
+        while let Some(h) = self.held.pop_front() {
+            match h {
+                HeldMmio::Push { src, tag, .. } => {
+                    ctx.send_delayed(src, Msg::MmioWriteResp { tag }, self.mmio_latency);
+                }
+                HeldMmio::Pop { src, tag } | HeldMmio::Done { src, tag } => {
+                    ctx.send_delayed(
+                        src,
+                        Msg::MmioReadResp {
+                            tag,
+                            value: DEAD_SENTINEL,
+                        },
+                        self.mmio_latency,
+                    );
+                }
+            }
+        }
+        self.dma_state = DmaState::Idle;
+        self.access = Access::None;
+        self.walk = None;
+        self.in_buf.clear();
+        self.out_stage.clear();
+    }
+
     fn on_mmio_write(&mut self, ctx: &mut Ctx<'_>, src: CompId, pa: u64, value: u64, tag: u64) {
         let off = pa - self.mmio_base;
+        if self.dead_latched {
+            // A fail-stopped unit acknowledges every write without acting
+            // on it, so the core never hangs on a dead device. Software
+            // detects the fault through the [`DEAD_SENTINEL`] read paths.
+            ctx.send_delayed(src, Msg::MmioWriteResp { tag }, self.mmio_latency);
+            return;
+        }
         match off {
             regs::PUSH => {
                 // Accept if the accelerator is ready; otherwise hold the
-                // response (the core stalls — §2.1 semantics).
-                if self.accel.ready(ctx.cycle) {
+                // response (the core stalls — §2.1 semantics). An injected
+                // stall holds `ready` low.
+                if self.accel.ready(ctx.cycle) && !self.stalled(ctx.cycle) {
                     self.accel.push_word(value);
                     self.counters.mmio_pushes.inc();
                     ctx.send_delayed(src, Msg::MmioWriteResp { tag }, self.mmio_latency);
@@ -185,9 +271,23 @@ impl MapleUnit {
 
     fn on_mmio_read(&mut self, ctx: &mut Ctx<'_>, src: CompId, pa: u64, tag: u64) {
         let off = pa - self.mmio_base;
+        if self.dead_latched {
+            ctx.send_delayed(
+                src,
+                Msg::MmioReadResp {
+                    tag,
+                    value: DEAD_SENTINEL,
+                },
+                self.mmio_latency,
+            );
+            return;
+        }
         match off {
             regs::POP => {
-                if let Some(w) = self.accel.pop_word(ctx.cycle) {
+                if self.stalled(ctx.cycle) {
+                    // Producer valid held low by the injected stall.
+                    self.held.push_back(HeldMmio::Pop { src, tag });
+                } else if let Some(w) = self.accel.pop_word(ctx.cycle) {
                     self.counters.mmio_pops.inc();
                     ctx.send_delayed(src, Msg::MmioReadResp { tag, value: w }, self.mmio_latency);
                 } else {
@@ -196,7 +296,14 @@ impl MapleUnit {
             }
             regs::DMA_DONE => {
                 if self.dma_state == DmaState::Idle {
-                    ctx.send_delayed(src, Msg::MmioReadResp { tag, value: self.dst_off }, self.mmio_latency);
+                    ctx.send_delayed(
+                        src,
+                        Msg::MmioReadResp {
+                            tag,
+                            value: self.dst_off,
+                        },
+                        self.mmio_latency,
+                    );
                 } else {
                     self.held.push_back(HeldMmio::Done { src, tag });
                 }
@@ -222,14 +329,25 @@ impl MapleUnit {
                 HeldMmio::Pop { src, tag } => {
                     if let Some(w) = self.accel.pop_word(ctx.cycle) {
                         self.counters.mmio_pops.inc();
-                        ctx.send_delayed(src, Msg::MmioReadResp { tag, value: w }, self.mmio_latency);
+                        ctx.send_delayed(
+                            src,
+                            Msg::MmioReadResp { tag, value: w },
+                            self.mmio_latency,
+                        );
                     } else {
                         remaining.push_back(h);
                     }
                 }
                 HeldMmio::Done { src, tag } => {
                     if self.dma_state == DmaState::Idle {
-                        ctx.send_delayed(src, Msg::MmioReadResp { tag, value: self.dst_off }, self.mmio_latency);
+                        ctx.send_delayed(
+                            src,
+                            Msg::MmioReadResp {
+                                tag,
+                                value: self.dst_off,
+                            },
+                            self.mmio_latency,
+                        );
                     } else {
                         remaining.push_back(h);
                     }
@@ -251,7 +369,9 @@ impl MapleUnit {
             }
             TlbResult::Miss => {
                 let walk = self.mmu.begin_walk(va);
-                let WalkStep::NeedPte { pa } = walk.step() else { unreachable!() };
+                let WalkStep::NeedPte { pa } = walk.step() else {
+                    unreachable!()
+                };
                 self.walk = Some(walk);
                 self.access = Access::Walk { len, write };
                 self.pte_read(ctx, pa, len, write);
@@ -263,7 +383,12 @@ impl MapleUnit {
     fn issue(&mut self, ctx: &mut Ctx<'_>, pa: u64, len: usize, write: bool) {
         match self.port.request(ctx, pa, write, TOK_ACCESS) {
             Outcome::Hit { ready_at } => {
-                self.access = Access::Hit { at: ready_at, pa, len, write };
+                self.access = Access::Hit {
+                    at: ready_at,
+                    pa,
+                    len,
+                    write,
+                };
             }
             Outcome::Pending => self.access = Access::Wait { pa, len, write },
             Outcome::Retry => self.access = Access::Wait { pa, len, write }, // re-issued below
@@ -283,18 +408,30 @@ impl MapleUnit {
     }
 
     fn feed_pte(&mut self, ctx: &mut Ctx<'_>, len: usize, write: bool) {
-        let Some(walk) = self.walk.as_mut() else { return };
-        let WalkStep::NeedPte { pa } = walk.step() else { return };
+        let Some(walk) = self.walk.as_mut() else {
+            return;
+        };
+        let WalkStep::NeedPte { pa } = walk.step() else {
+            return;
+        };
         let pte = ctx.mem.read_u64(pa);
         match walk.feed(pte) {
             WalkStep::NeedPte { pa } => self.pte_read(ctx, pa, len, write),
-            WalkStep::Done { pa, va_page, pa_page, size } => {
+            WalkStep::Done {
+                pa,
+                va_page,
+                pa_page,
+                size,
+            } => {
                 self.mmu.insert(va_page, pa_page, size);
                 self.walk = None;
                 self.issue(ctx, pa, len, write);
             }
             WalkStep::Fault => {
-                panic!("MAPLE DMA page fault at va {:#x} (memory must be mapped)", walk.va())
+                panic!(
+                    "MAPLE DMA page fault at va {:#x} (memory must be mapped)",
+                    walk.va()
+                )
             }
         }
     }
@@ -374,6 +511,13 @@ impl Component for MapleUnit {
     }
 
     fn step(&mut self, ctx: &mut Ctx<'_>) {
+        // A fail-stop fault latches once: flush every blocking request
+        // with the error sentinel and abandon the in-flight DMA, so the
+        // SoC observes a clean device error instead of a hang.
+        if !self.dead_latched && self.dead() {
+            self.dead_latched = true;
+            self.abort_dead(ctx);
+        }
         while let Some(env) = ctx.recv() {
             match &env.msg {
                 m if CoherentPort::wants(m) => {
@@ -407,11 +551,21 @@ impl Component for MapleUnit {
                 other => panic!("MAPLE received unexpected message {other:?}"),
             }
         }
+        if self.dead_latched {
+            // Datapath frozen; the coherence port above still answers
+            // protocol traffic, but nothing computes or moves.
+            return;
+        }
         // Hit-path access completion.
         if let Access::Hit { at, pa, len, write } = self.access {
             if ctx.cycle >= at {
                 self.complete_access(ctx, pa, len, write);
             }
+        }
+        if self.stalled(ctx.cycle) {
+            // Injected stall: valid/ready low across the accelerator
+            // interface — held requests and the DMA datapath wait it out.
+            return;
         }
         self.accel.step(ctx.cycle);
         self.step_dma(ctx);
@@ -433,6 +587,7 @@ impl Component for MapleUnit {
             ("dma_transfers", &c.dma_transfers),
             ("dma_in_bytes", &c.dma_in_bytes),
             ("dma_out_bytes", &c.dma_out_bytes),
+            ("fail_stops", &c.fail_stops),
         ] {
             obs.adopt_counter(name, counter);
         }
@@ -448,6 +603,7 @@ impl Component for MapleUnit {
             ("dma_transfers".into(), c.dma_transfers.get()),
             ("dma_in_bytes".into(), c.dma_in_bytes.get()),
             ("dma_out_bytes".into(), c.dma_out_bytes.get()),
+            ("fail_stops".into(), c.fail_stops.get()),
             ("tlb_hits".into(), m.hits),
             ("tlb_misses".into(), m.misses),
         ]

@@ -35,7 +35,12 @@ fn rig(accel: Box<dyn cohort_accel::Accelerator>) -> Rig {
     let maple = MapleUnit::new(dir, &cfg, MAPLE_MMIO, accel);
     let maple = soc.add_component(TileCoord::new(1, 1), Box::new(maple));
     soc.map_mmio(MAPLE_MMIO..MAPLE_MMIO + regs::BANK_BYTES, maple);
-    Rig { soc, core, space, frames }
+    Rig {
+        soc,
+        core,
+        space,
+        frames,
+    }
 }
 
 impl Rig {
@@ -46,7 +51,12 @@ impl Rig {
             .load_program(p);
         let out = self.soc.run(10_000_000);
         let core = self.soc.component::<InOrderCore>(self.core).unwrap();
-        assert!(core.is_done(), "stuck: quiescent={} cycle={}", out.quiescent, out.cycle);
+        assert!(
+            core.is_done(),
+            "stuck: quiescent={} cycle={}",
+            out.quiescent,
+            out.cycle
+        );
         core.recorded().to_vec()
     }
 }
@@ -56,8 +66,14 @@ fn mmio_push_pop_roundtrip() {
     let mut rig = rig(Box::new(NullFifo::new()));
     let mut p = Program::new();
     for i in 0..16u64 {
-        p.push(Op::MmioStore { pa: MAPLE_MMIO + regs::PUSH, value: 0xf00d + i });
-        p.push(Op::MmioLoad { pa: MAPLE_MMIO + regs::POP, record: true });
+        p.push(Op::MmioStore {
+            pa: MAPLE_MMIO + regs::PUSH,
+            value: 0xf00d + i,
+        });
+        p.push(Op::MmioLoad {
+            pa: MAPLE_MMIO + regs::POP,
+            record: true,
+        });
     }
     let got = rig.run_program(p);
     let expect: Vec<u64> = (0..16).map(|i| 0xf00d + i).collect();
@@ -69,10 +85,16 @@ fn mmio_pop_blocks_until_compute_finishes() {
     let mut rig = rig(Box::new(Sha256Accel::new()));
     let mut p = Program::new();
     for i in 0..8u64 {
-        p.push(Op::MmioStore { pa: MAPLE_MMIO + regs::PUSH, value: i });
+        p.push(Op::MmioStore {
+            pa: MAPLE_MMIO + regs::PUSH,
+            value: i,
+        });
     }
     for _ in 0..4 {
-        p.push(Op::MmioLoad { pa: MAPLE_MMIO + regs::POP, record: true });
+        p.push(Op::MmioLoad {
+            pa: MAPLE_MMIO + regs::POP,
+            record: true,
+        });
     }
     let got = rig.run_program(p);
     let mut block = [0u8; 64];
@@ -100,7 +122,10 @@ fn csr_configures_the_accelerator_over_mmio() {
             value: u64::from_le_bytes(chunk.try_into().unwrap()),
         });
     }
-    p.push(Op::MmioStore { pa: MAPLE_MMIO + regs::CSR_COMMIT, value: 16 });
+    p.push(Op::MmioStore {
+        pa: MAPLE_MMIO + regs::CSR_COMMIT,
+        value: 16,
+    });
     let pt = [0x61u8; 16];
     for chunk in pt.chunks_exact(8) {
         p.push(Op::MmioStore {
@@ -108,8 +133,14 @@ fn csr_configures_the_accelerator_over_mmio() {
             value: u64::from_le_bytes(chunk.try_into().unwrap()),
         });
     }
-    p.push(Op::MmioLoad { pa: MAPLE_MMIO + regs::POP, record: true });
-    p.push(Op::MmioLoad { pa: MAPLE_MMIO + regs::POP, record: true });
+    p.push(Op::MmioLoad {
+        pa: MAPLE_MMIO + regs::POP,
+        record: true,
+    });
+    p.push(Op::MmioLoad {
+        pa: MAPLE_MMIO + regs::POP,
+        record: true,
+    });
     let got = rig.run_program(p);
     let ct = Aes128::new(&key).encrypt_block(&pt);
     let expect: Vec<u64> = ct
@@ -126,19 +157,43 @@ fn dma_transfer_through_mmu() {
     let dst = rig.space.malloc(&mut rig.soc.mem, &mut rig.frames, 256, 64);
     let root = rig.space.root_pa();
     let mut p = Program::new();
-    p.push(Op::MmioStore { pa: MAPLE_MMIO + regs::DMA_PTROOT, value: root });
+    p.push(Op::MmioStore {
+        pa: MAPLE_MMIO + regs::DMA_PTROOT,
+        value: root,
+    });
     // The core stages source data through normal cached stores.
     for i in 0..32u64 {
-        p.push(Op::Store { va: src + i * 8, value: 0xaa00 + i });
+        p.push(Op::Store {
+            va: src + i * 8,
+            value: 0xaa00 + i,
+        });
     }
     p.push(Op::Fence);
-    p.push(Op::MmioStore { pa: MAPLE_MMIO + regs::DMA_SRC, value: src });
-    p.push(Op::MmioStore { pa: MAPLE_MMIO + regs::DMA_DST, value: dst });
-    p.push(Op::MmioStore { pa: MAPLE_MMIO + regs::DMA_LEN, value: 256 });
-    p.push(Op::MmioStore { pa: MAPLE_MMIO + regs::DMA_START, value: 1 });
-    p.push(Op::MmioLoad { pa: MAPLE_MMIO + regs::DMA_DONE, record: true });
+    p.push(Op::MmioStore {
+        pa: MAPLE_MMIO + regs::DMA_SRC,
+        value: src,
+    });
+    p.push(Op::MmioStore {
+        pa: MAPLE_MMIO + regs::DMA_DST,
+        value: dst,
+    });
+    p.push(Op::MmioStore {
+        pa: MAPLE_MMIO + regs::DMA_LEN,
+        value: 256,
+    });
+    p.push(Op::MmioStore {
+        pa: MAPLE_MMIO + regs::DMA_START,
+        value: 1,
+    });
+    p.push(Op::MmioLoad {
+        pa: MAPLE_MMIO + regs::DMA_DONE,
+        record: true,
+    });
     for i in 0..32u64 {
-        p.push(Op::Load { va: dst + i * 8, record: true });
+        p.push(Op::Load {
+            va: dst + i * 8,
+            record: true,
+        });
     }
     let got = rig.run_program(p);
     assert_eq!(got[0], 256, "DONE reports output bytes");
@@ -159,21 +214,45 @@ fn back_to_back_dma_transfers() {
     let dst = rig.space.malloc(&mut rig.soc.mem, &mut rig.frames, 64, 64);
     let root = rig.space.root_pa();
     let mut p = Program::new();
-    p.push(Op::MmioStore { pa: MAPLE_MMIO + regs::DMA_PTROOT, value: root });
+    p.push(Op::MmioStore {
+        pa: MAPLE_MMIO + regs::DMA_PTROOT,
+        value: root,
+    });
     for i in 0..16u64 {
-        p.push(Op::Store { va: src + i * 8, value: i.wrapping_mul(0x1234_5678) });
+        p.push(Op::Store {
+            va: src + i * 8,
+            value: i.wrapping_mul(0x1234_5678),
+        });
     }
     p.push(Op::Fence);
     // Two 64-byte transfers = two SHA blocks, each a separate invocation.
     for b in 0..2u64 {
-        p.push(Op::MmioStore { pa: MAPLE_MMIO + regs::DMA_SRC, value: src + b * 64 });
-        p.push(Op::MmioStore { pa: MAPLE_MMIO + regs::DMA_DST, value: dst + b * 32 });
-        p.push(Op::MmioStore { pa: MAPLE_MMIO + regs::DMA_LEN, value: 64 });
-        p.push(Op::MmioStore { pa: MAPLE_MMIO + regs::DMA_START, value: 1 });
-        p.push(Op::MmioLoad { pa: MAPLE_MMIO + regs::DMA_DONE, record: false });
+        p.push(Op::MmioStore {
+            pa: MAPLE_MMIO + regs::DMA_SRC,
+            value: src + b * 64,
+        });
+        p.push(Op::MmioStore {
+            pa: MAPLE_MMIO + regs::DMA_DST,
+            value: dst + b * 32,
+        });
+        p.push(Op::MmioStore {
+            pa: MAPLE_MMIO + regs::DMA_LEN,
+            value: 64,
+        });
+        p.push(Op::MmioStore {
+            pa: MAPLE_MMIO + regs::DMA_START,
+            value: 1,
+        });
+        p.push(Op::MmioLoad {
+            pa: MAPLE_MMIO + regs::DMA_DONE,
+            record: false,
+        });
     }
     for j in 0..8u64 {
-        p.push(Op::Load { va: dst + j * 8, record: true });
+        p.push(Op::Load {
+            va: dst + j * 8,
+            record: true,
+        });
     }
     let got = rig.run_program(p);
     let mut expect = Vec::new();

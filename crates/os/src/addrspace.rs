@@ -43,7 +43,11 @@ impl AddressSpace {
     /// Creates an address space with a fresh root table.
     pub fn new(frames: &mut FrameAllocator, policy: MapPolicy) -> Self {
         let root_pa = frames.alloc();
-        Self { root_pa, brk: Self::HEAP_BASE, policy }
+        Self {
+            root_pa,
+            brk: Self::HEAP_BASE,
+            policy,
+        }
     }
 
     /// Physical address of the root page table (the engine's `PT_ROOT`).
@@ -58,12 +62,28 @@ impl AddressSpace {
 
     /// Maps one 4 KiB page `va -> pa`.
     pub fn map_page(&mut self, mem: &mut PhysMem, frames: &mut FrameAllocator, va: u64, pa: u64) {
-        sv39::map(mem, self.root_pa, va, pa, PageSize::Base, pte_flags::DATA, || frames.alloc());
+        sv39::map(
+            mem,
+            self.root_pa,
+            va,
+            pa,
+            PageSize::Base,
+            pte_flags::DATA,
+            || frames.alloc(),
+        );
     }
 
     /// Maps one 2 MiB huge page `va -> pa`.
     pub fn map_huge(&mut self, mem: &mut PhysMem, frames: &mut FrameAllocator, va: u64, pa: u64) {
-        sv39::map(mem, self.root_pa, va, pa, PageSize::Mega, pte_flags::DATA, || frames.alloc());
+        sv39::map(
+            mem,
+            self.root_pa,
+            va,
+            pa,
+            PageSize::Mega,
+            pte_flags::DATA,
+            || frames.alloc(),
+        );
     }
 
     /// Allocates `bytes` of heap, aligned to `align` (power of two), and
@@ -170,7 +190,9 @@ impl AddressSpace {
 
     /// A cheap, `Send` translator handle for core-side accesses.
     pub fn translator(&self) -> SpaceTranslator {
-        SpaceTranslator { root_pa: self.root_pa }
+        SpaceTranslator {
+            root_pa: self.root_pa,
+        }
     }
 }
 

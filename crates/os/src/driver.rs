@@ -12,12 +12,12 @@
 
 use crate::addrspace::AddressSpace;
 use crate::frame::FrameAllocator;
-use std::sync::{Arc, Mutex};
+use cohort_queue::{DescriptorError, QueueDescriptor};
 use cohort_sim::core::{HandlerAction, InOrderCore, IrqHandler};
 use cohort_sim::mem::PhysMem;
 use cohort_sim::program::{Op, Program};
-use cohort_queue::{DescriptorError, QueueDescriptor};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// The Cohort engine's uncached configuration register map: byte offsets
 /// from the engine's MMIO base, each register 8 bytes (paper §4.2: the
@@ -73,12 +73,39 @@ pub mod regs {
     /// transaction, drains staged data and raises the error interrupt.
     /// 0 (the reset value) disables the watchdog.
     pub const WATCHDOG: u64 = 0xA0;
+    /// Input queue: binding epoch/generation of the descriptor.
+    pub const IN_EPOCH: u64 = 0xA8;
+    /// Output queue: binding epoch/generation of the descriptor.
+    pub const OUT_EPOCH: u64 = 0xB0;
+    /// Epoch fence: writing `e` forbids the engine from ever running a
+    /// binding whose epoch is below `e`. The fence is monotonic (writes
+    /// with a smaller value are ignored) and survives disable, so a
+    /// stale engine that wakes late can never republish queue indices —
+    /// the exactly-once half of queue migration.
+    pub const EPOCH_FENCE: u64 = 0xB8;
+    /// Failover timestamp scratch register: the orchestrator stamps the
+    /// detection cycle here before enabling a spare engine, so the spare
+    /// can publish detect→rebind→first-element latency histograms.
+    pub const FAILOVER_T0: u64 = 0xC0;
+    /// Physical address of the engine's checkpoint spill area (0 = none).
+    /// The watchdog abort path spills datapath residue there — the
+    /// partial input block whose elements the read index already covers,
+    /// plus output words that did not fit in a full ring — as
+    /// `[n_in, n_out, in_words…, out_words…]`. A spare enabled with
+    /// [`FAILOVER_T0`] set restores (and consumes) the spill, so those
+    /// elements are delivered exactly once. One page is ample.
+    pub const SPILL_PA: u64 = 0xC8;
     /// Size of the register bank in bytes.
     pub const BANK_BYTES: u64 = 0x100;
 
-    // The error/watchdog registers must land inside the bank.
+    // The error/watchdog/failover registers must land inside the bank.
     const _: () = assert!(ERROR_STATUS < BANK_BYTES);
     const _: () = assert!(WATCHDOG < BANK_BYTES);
+    const _: () = assert!(IN_EPOCH < BANK_BYTES);
+    const _: () = assert!(OUT_EPOCH < BANK_BYTES);
+    const _: () = assert!(EPOCH_FENCE < BANK_BYTES);
+    const _: () = assert!(FAILOVER_T0 < BANK_BYTES);
+    const _: () = assert!(SPILL_PA < BANK_BYTES);
 
     /// [`ERROR_STATUS`] bit: a configuration register failed validation
     /// (bad geometry, or a config write while enabled).
@@ -89,6 +116,14 @@ pub mod regs {
     pub const ERR_WATCHDOG_PROD: u64 = 1 << 2;
     /// [`ERROR_STATUS`] bit: the accelerator rejected its CSR buffer.
     pub const ERR_CSR_REJECTED: u64 = 1 << 3;
+    /// [`ERROR_STATUS`] bit: the engine datapath is fail-stopped (the
+    /// dead-man's handle tripped with a frozen datapath). Recovery must
+    /// migrate the queues; clearing [`ERROR_STATUS`] cannot revive it.
+    pub const ERR_ENGINE_DEAD: u64 = 1 << 4;
+    /// [`ERROR_STATUS`] bit: a configure/enable carried a queue-binding
+    /// epoch older than the engine's [`EPOCH_FENCE`] — a stale binding
+    /// fenced out after queue migration.
+    pub const ERR_STALE_EPOCH: u64 = 1 << 5;
 
     /// The error interrupt line is the engine's page-fault line plus this
     /// offset, so the two handlers stay distinct per engine.
@@ -108,7 +143,10 @@ pub struct SyscallCost {
 
 impl Default for SyscallCost {
     fn default() -> Self {
-        Self { cycles: 700, insts: 450 }
+        Self {
+            cycles: 700,
+            insts: 450,
+        }
     }
 }
 
@@ -119,6 +157,58 @@ pub type SharedVm = Arc<Mutex<(AddressSpace, FrameAllocator)>>;
 /// A software recovery path run (with functional memory access) when the
 /// engine's error retries are exhausted — the graceful-degradation hook.
 pub type SoftwareFallback = Box<dyn FnMut(&mut PhysMem) + Send>;
+
+/// A forward-progress probe polled by the error handler: returns a value
+/// that strictly grows while the engine moves elements (e.g. consumed +
+/// produced + drained). Used to reset the bounded-retry budget after a
+/// recovery demonstrably succeeded.
+pub type ProgressProbe = Box<dyn FnMut() -> u64 + Send>;
+
+/// Everything the failover orchestrator needs to migrate a victim
+/// engine's queues onto a spare: the spare's driver, the process state
+/// (page-table root, shared VM for checkpoint index reads), the original
+/// descriptors, and the spare's runtime knobs.
+pub struct FailoverConfig {
+    /// Driver of the healthy spare engine to rebind onto.
+    pub spare: CohortDriver,
+    /// Shared kernel VM view, used to translate the index VAs when
+    /// checkpointing authoritative queue state from coherent memory.
+    pub vm: SharedVm,
+    /// Physical address of the process's page-table root.
+    pub root_pa: u64,
+    /// The victim's input-queue descriptor (epoch is bumped on migration).
+    pub input: QueueDescriptor,
+    /// The victim's output-queue descriptor.
+    pub output: QueueDescriptor,
+    /// Optional CSR configuration buffer `(va, len)`.
+    pub csr: Option<(u64, u64)>,
+    /// RCM backoff window for the spare.
+    pub backoff: u64,
+    /// Watchdog budget for the spare (0 = leave disarmed).
+    pub watchdog: u64,
+    /// Physical address of the victim's checkpoint spill area (0 = none).
+    /// The spare's [`regs::SPILL_PA`] is pointed here so it restores the
+    /// victim's spilled datapath residue on its failover enable.
+    pub spill_pa: u64,
+}
+
+/// Reads a queue's authoritative `(write, read)` indices from coherent
+/// memory through the shared kernel VM — the checkpoint step of failover.
+///
+/// # Panics
+/// Panics if an index VA is unmapped: registration faulted them in, so an
+/// unmapped index during failover is kernel-state corruption.
+pub fn read_queue_indices(mem: &mut PhysMem, vm: &SharedVm, q: &QueueDescriptor) -> (u64, u64) {
+    let mut g = vm.lock().expect("vm lock");
+    let (space, _) = &mut *g;
+    let wr_pa = space
+        .translate(mem, q.write_index_va)
+        .expect("write index mapped");
+    let rd_pa = space
+        .translate(mem, q.read_index_va)
+        .expect("read index mapped");
+    (mem.read_u64(wr_pa), mem.read_u64(rd_pa))
+}
 
 /// The Cohort driver: knows where one engine's registers live and which
 /// interrupt line it raises.
@@ -133,7 +223,11 @@ impl CohortDriver {
     /// Creates a driver for the engine whose register bank starts at
     /// `mmio_base` and which raises interrupt `irq`.
     pub fn new(mmio_base: u64, irq: u32) -> Self {
-        Self { mmio_base, irq, cost: SyscallCost::default() }
+        Self {
+            mmio_base,
+            irq,
+            cost: SyscallCost::default(),
+        }
     }
 
     /// Overrides the syscall cost model.
@@ -205,7 +299,23 @@ impl CohortDriver {
         backoff: u64,
     ) -> Program {
         let mut p = Program::new();
-        p.push(Op::KernelCost { cycles: self.cost.cycles, insts: self.cost.insts });
+        p.push(Op::KernelCost {
+            cycles: self.cost.cycles,
+            insts: self.cost.insts,
+        });
+        // The epoch registers reset to zero, so a zero-epoch binding (the
+        // common, never-migrated case) skips the two writes.
+        for (off, epoch) in [
+            (regs::IN_EPOCH, input.epoch),
+            (regs::OUT_EPOCH, output.epoch),
+        ] {
+            if epoch != 0 {
+                p.push(Op::MmioStore {
+                    pa: self.reg(off),
+                    value: epoch,
+                });
+            }
+        }
         let writes = [
             (regs::IN_WR_VA, input.write_index_va),
             (regs::IN_RD_VA, input.read_index_va),
@@ -224,7 +334,10 @@ impl CohortDriver {
             (regs::ENABLE, 1),
         ];
         for (off, value) in writes {
-            p.push(Op::MmioStore { pa: self.reg(off), value });
+            p.push(Op::MmioStore {
+                pa: self.reg(off),
+                value,
+            });
         }
         p
     }
@@ -237,8 +350,14 @@ impl CohortDriver {
             cycles: self.cost.cycles / 2,
             insts: self.cost.insts / 2,
         });
-        p.push(Op::MmioStore { pa: self.reg(regs::ENABLE), value: 0 });
-        p.push(Op::MmioStore { pa: self.reg(regs::TLB_FLUSH), value: 1 });
+        p.push(Op::MmioStore {
+            pa: self.reg(regs::ENABLE),
+            value: 0,
+        });
+        p.push(Op::MmioStore {
+            pa: self.reg(regs::TLB_FLUSH),
+            value: 1,
+        });
         p
     }
 
@@ -247,8 +366,14 @@ impl CohortDriver {
     /// change).
     pub fn tlb_flush_ops(&self) -> Program {
         let mut p = Program::new();
-        p.push(Op::KernelCost { cycles: 80, insts: 60 });
-        p.push(Op::MmioStore { pa: self.reg(regs::TLB_FLUSH), value: 1 });
+        p.push(Op::KernelCost {
+            cycles: 80,
+            insts: 60,
+        });
+        p.push(Op::MmioStore {
+            pa: self.reg(regs::TLB_FLUSH),
+            value: 1,
+        });
         p
     }
 
@@ -256,8 +381,30 @@ impl CohortDriver {
     /// Deliberately cheap: one register write, usable while enabled.
     pub fn watchdog_ops(&self, cycles: u64) -> Program {
         let mut p = Program::new();
-        p.push(Op::KernelCost { cycles: 40, insts: 30 });
-        p.push(Op::MmioStore { pa: self.reg(regs::WATCHDOG), value: cycles });
+        p.push(Op::KernelCost {
+            cycles: 40,
+            insts: 30,
+        });
+        p.push(Op::MmioStore {
+            pa: self.reg(regs::WATCHDOG),
+            value: cycles,
+        });
+        p
+    }
+
+    /// Points the engine's checkpoint spill area ([`regs::SPILL_PA`]) at
+    /// physical address `pa`. Armed before faults so the watchdog abort
+    /// path can spill datapath residue for exactly-once migration.
+    pub fn spill_ops(&self, pa: u64) -> Program {
+        let mut p = Program::new();
+        p.push(Op::KernelCost {
+            cycles: 40,
+            insts: 30,
+        });
+        p.push(Op::MmioStore {
+            pa: self.reg(regs::SPILL_PA),
+            value: pa,
+        });
         p
     }
 
@@ -298,9 +445,9 @@ impl CohortDriver {
             IrqHandler {
                 entry_cycles: 400,
                 entry_insts: 300,
-                action: HandlerAction::Custom(Box::new(move |mem, faulting_va| {
+                action: HandlerAction::Custom(Box::new(move |mem, faulting_va, _cycle| {
                     fault_in(mem, &engine_vm, engine_swap.as_ref(), faulting_va);
-                    Some((resolve_reg, 0))
+                    vec![(resolve_reg, 0)]
                 })),
             },
         );
@@ -319,26 +466,139 @@ impl CohortDriver {
         &self,
         core: &mut InOrderCore,
         max_retries: u64,
+        fallback: Option<SoftwareFallback>,
+    ) {
+        self.install_error_handler_with_probe(core, max_retries, fallback, None);
+    }
+
+    /// [`CohortDriver::install_error_handler`] with a forward-progress
+    /// probe (typically the engine's consumed+produced+drained element
+    /// total). When the probe shows the engine made progress since the
+    /// previous error IRQ, the previous recovery *worked* and the retry
+    /// counter resets — so a later, unrelated fault gets the full retry
+    /// budget instead of inheriting exhausted state.
+    pub fn install_error_handler_with_probe(
+        &self,
+        core: &mut InOrderCore,
+        max_retries: u64,
         mut fallback: Option<SoftwareFallback>,
+        mut progress: Option<ProgressProbe>,
     ) {
         let status_reg = self.reg(regs::ERROR_STATUS);
         let enable_reg = self.reg(regs::ENABLE);
         let mut tries = 0u64;
+        let mut last_progress: Option<u64> = None;
         core.register_irq_handler(
             self.irq + regs::ERROR_IRQ_OFFSET,
             IrqHandler {
                 entry_cycles: 400,
                 entry_insts: 300,
-                action: HandlerAction::Custom(Box::new(move |mem, _error_bits| {
+                action: HandlerAction::Custom(Box::new(move |mem, _error_bits, _cycle| {
+                    if let Some(p) = progress.as_mut() {
+                        let now = p();
+                        if last_progress.is_some_and(|prev| now > prev) {
+                            // The engine moved elements since the last
+                            // incident: that recovery succeeded, so this
+                            // fault is a new one with a fresh budget.
+                            tries = 0;
+                        }
+                        last_progress = Some(now);
+                    }
                     if tries < max_retries {
                         tries += 1;
-                        Some((status_reg, 0))
+                        vec![(status_reg, 0)]
                     } else {
                         if let Some(f) = fallback.as_mut() {
                             f(mem);
                         }
-                        Some((enable_reg, 0))
+                        vec![(enable_reg, 0)]
                     }
+                })),
+            },
+        );
+    }
+
+    /// Installs the failover orchestrator on `core` for this (victim)
+    /// engine's error IRQ. A recoverable error is retried in place by
+    /// clearing [`regs::ERROR_STATUS`]. An IRQ carrying
+    /// [`regs::ERR_ENGINE_DEAD`] runs the migration state machine
+    /// (Detect → Quiesce → Checkpoint → Rebind → Resume):
+    ///
+    /// 1. **Quiesce**: the victim's watchdog already aborted and drained
+    ///    staged elements to memory before raising the IRQ; the handler
+    ///    disables the victim and writes an [`regs::EPOCH_FENCE`] so the
+    ///    old binding can never republish indices.
+    /// 2. **Checkpoint**: re-read the authoritative read/write indices
+    ///    from coherent memory and sanity-check them — memory, not the
+    ///    dead engine, is the source of truth.
+    /// 3. **Rebind**: re-register the same descriptors, stamped with a
+    ///    bumped epoch, on the spare engine, and stamp
+    ///    [`regs::FAILOVER_T0`] with the detection cycle so the spare
+    ///    publishes rebind/first-element latency histograms.
+    /// 4. **Resume**: enable the spare; it re-reads the indices from
+    ///    memory and continues with no lost or duplicated elements.
+    pub fn install_failover_handler(&self, core: &mut InOrderCore, mut cfg: FailoverConfig) {
+        let status_reg = self.reg(regs::ERROR_STATUS);
+        let victim_enable = self.reg(regs::ENABLE);
+        let victim_fence = self.reg(regs::EPOCH_FENCE);
+        let mut next_epoch = cfg.input.epoch.max(cfg.output.epoch) + 1;
+        core.register_irq_handler(
+            self.irq + regs::ERROR_IRQ_OFFSET,
+            IrqHandler {
+                entry_cycles: 400,
+                entry_insts: 300,
+                action: HandlerAction::Custom(Box::new(move |mem, error_bits, cycle| {
+                    if error_bits & regs::ERR_ENGINE_DEAD == 0 {
+                        // Recoverable class: clear and retry in place.
+                        return vec![(status_reg, 0)];
+                    }
+                    // Checkpoint: the indices in coherent memory are the
+                    // authoritative queue state (the watchdog drain
+                    // republished everything the victim had staged).
+                    let (in_wr, in_rd) = read_queue_indices(mem, &cfg.vm, &cfg.input);
+                    let (out_wr, out_rd) = read_queue_indices(mem, &cfg.vm, &cfg.output);
+                    for (q, wr, rd) in [(&cfg.input, in_wr, in_rd), (&cfg.output, out_wr, out_rd)] {
+                        assert!(
+                            wr.wrapping_sub(rd) <= u64::from(q.length),
+                            "checkpointed indices inconsistent: wr={wr} rd={rd} len={}",
+                            q.length
+                        );
+                    }
+                    let epoch = next_epoch;
+                    next_epoch += 1;
+                    cfg.input = cfg.input.with_epoch(epoch);
+                    cfg.output = cfg.output.with_epoch(epoch);
+                    let s = &cfg.spare;
+                    let mut writes = vec![
+                        // Quiesce + fence the victim.
+                        (victim_enable, 0),
+                        (victim_fence, epoch),
+                        // Rebind on the spare.
+                        (s.reg(regs::IN_WR_VA), cfg.input.write_index_va),
+                        (s.reg(regs::IN_RD_VA), cfg.input.read_index_va),
+                        (s.reg(regs::IN_BASE_VA), cfg.input.base_va),
+                        (s.reg(regs::IN_ELEM), u64::from(cfg.input.element_bytes)),
+                        (s.reg(regs::IN_LEN), u64::from(cfg.input.length)),
+                        (s.reg(regs::OUT_WR_VA), cfg.output.write_index_va),
+                        (s.reg(regs::OUT_RD_VA), cfg.output.read_index_va),
+                        (s.reg(regs::OUT_BASE_VA), cfg.output.base_va),
+                        (s.reg(regs::OUT_ELEM), u64::from(cfg.output.element_bytes)),
+                        (s.reg(regs::OUT_LEN), u64::from(cfg.output.length)),
+                        (s.reg(regs::PT_ROOT_PA), cfg.root_pa),
+                        (s.reg(regs::BACKOFF), cfg.backoff),
+                        (s.reg(regs::CSR_BASE_VA), cfg.csr.map_or(0, |(va, _)| va)),
+                        (s.reg(regs::CSR_LEN), cfg.csr.map_or(0, |(_, len)| len)),
+                        (s.reg(regs::IN_EPOCH), epoch),
+                        (s.reg(regs::OUT_EPOCH), epoch),
+                        (s.reg(regs::SPILL_PA), cfg.spill_pa),
+                        (s.reg(regs::FAILOVER_T0), cycle),
+                    ];
+                    if cfg.watchdog > 0 {
+                        writes.push((s.reg(regs::WATCHDOG), cfg.watchdog));
+                    }
+                    // Resume: enable is the final write.
+                    writes.push((s.reg(regs::ENABLE), 1));
+                    writes
                 })),
             },
         );
@@ -397,6 +657,7 @@ mod tests {
     fn register_program_writes_all_registers() {
         let d = CohortDriver::new(0x4000_0000, 5);
         let (i, o) = descs();
+        let (i, o) = (i.with_epoch(3), o.with_epoch(3));
         let p = d.register_ops(0x100_0000, &i, &o, Some((0x30_0000, 17)), 32);
         let stores: Vec<_> = p
             .ops()
@@ -406,7 +667,7 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(stores.len(), 15);
+        assert_eq!(stores.len(), 17);
         assert_eq!(
             stores.last(),
             Some(&(0x4000_0000 + regs::ENABLE, 1)),
@@ -414,7 +675,24 @@ mod tests {
         );
         assert!(stores.contains(&(0x4000_0000 + regs::IN_WR_VA, i.write_index_va)));
         assert!(stores.contains(&(0x4000_0000 + regs::CSR_LEN, 17)));
-        assert!(matches!(p.ops()[0], Op::KernelCost { .. }), "syscall entry first");
+        assert!(stores.contains(&(0x4000_0000 + regs::IN_EPOCH, 3)));
+        assert!(stores.contains(&(0x4000_0000 + regs::OUT_EPOCH, 3)));
+        assert!(
+            matches!(p.ops()[0], Op::KernelCost { .. }),
+            "syscall entry first"
+        );
+
+        // A zero-epoch (never-migrated) binding skips the epoch writes:
+        // the registers reset to zero, and the common registration path
+        // stays cycle-identical to a pre-epoch driver.
+        let (i0, o0) = descs();
+        let p0 = d.register_ops(0x100_0000, &i0, &o0, Some((0x30_0000, 17)), 32);
+        let mmio0 = p0
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, Op::MmioStore { .. }))
+            .count();
+        assert_eq!(mmio0, 15, "no epoch writes for an epoch-0 binding");
     }
 
     #[test]
@@ -425,10 +703,9 @@ mod tests {
             .ops()
             .iter()
             .any(|op| matches!(op, Op::MmioStore { pa, value: 0 } if *pa == 0x4000_0000)));
-        assert!(p
-            .ops()
-            .iter()
-            .any(|op| matches!(op, Op::MmioStore { pa, .. } if *pa == 0x4000_0000 + regs::TLB_FLUSH)));
+        assert!(p.ops().iter().any(
+            |op| matches!(op, Op::MmioStore { pa, .. } if *pa == 0x4000_0000 + regs::TLB_FLUSH)
+        ));
     }
 
     #[test]
@@ -467,12 +744,14 @@ mod tests {
     fn error_register_offsets_are_inside_the_bank() {
         // Bank-bounds checks live as `const` assertions in the regs module.
         assert_ne!(regs::ERROR_STATUS, regs::PRODUCED);
-        // The four sticky bits are distinct one-hot values.
+        // The sticky bits are distinct one-hot values.
         let bits = [
             regs::ERR_BAD_DESCRIPTOR,
             regs::ERR_WATCHDOG_CONS,
             regs::ERR_WATCHDOG_PROD,
             regs::ERR_CSR_REJECTED,
+            regs::ERR_ENGINE_DEAD,
+            regs::ERR_STALE_EPOCH,
         ];
         for (n, b) in bits.iter().enumerate() {
             assert_eq!(b.count_ones(), 1);

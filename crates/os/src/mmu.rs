@@ -97,7 +97,9 @@ impl DeviceMmu {
             if va >= e.va_base && va < e.va_base + bytes {
                 e.lru = tick;
                 self.counters.hits += 1;
-                return TlbResult::Hit { pa: e.pa_base + (va - e.va_base) };
+                return TlbResult::Hit {
+                    pa: e.pa_base + (va - e.va_base),
+                };
             }
         }
         self.counters.misses += 1;
@@ -145,7 +147,11 @@ impl DeviceMmu {
     /// Panics if no root has been configured.
     pub fn begin_walk(&mut self, va: u64) -> WalkMachine {
         let root = self.root_pa.expect("MMU root not configured");
-        WalkMachine { va, level: 2, table_pa: root }
+        WalkMachine {
+            va,
+            level: 2,
+            table_pa: root,
+        }
     }
 
     /// Records a fault (for counters) — called by the component when a walk
@@ -195,7 +201,9 @@ impl WalkMachine {
 
     /// Address of the next PTE to fetch.
     pub fn step(&self) -> WalkStep {
-        WalkStep::NeedPte { pa: sv39::pte_addr(self.table_pa, self.va, self.level) }
+        WalkStep::NeedPte {
+            pa: sv39::pte_addr(self.table_pa, self.va, self.level),
+        }
     }
 
     /// Feeds the fetched PTE value; returns the next step.
@@ -245,7 +253,15 @@ mod tests {
         let root = frames.alloc();
         let va = 0x4000_0000u64;
         let pa = 0x180_0000u64;
-        sv39::map(&mut mem, root, va, pa, PageSize::Base, pte_flags::DATA, || frames.alloc());
+        sv39::map(
+            &mut mem,
+            root,
+            va,
+            pa,
+            PageSize::Base,
+            pte_flags::DATA,
+            || frames.alloc(),
+        );
         (mem, root, va)
     }
 
@@ -272,7 +288,12 @@ mod tests {
         mmu.set_root(root);
         assert_eq!(mmu.lookup(va), TlbResult::Miss);
         match drive_walk(&mut mmu, &mem, va + 0x123) {
-            WalkStep::Done { pa, va_page, pa_page, size } => {
+            WalkStep::Done {
+                pa,
+                va_page,
+                pa_page,
+                size,
+            } => {
                 assert_eq!(pa, 0x180_0123);
                 mmu.insert(va_page, pa_page, size);
             }
@@ -296,7 +317,13 @@ mod tests {
         let (mem, root, va) = mapped_space();
         let mut mmu = DeviceMmu::new(16);
         mmu.set_root(root);
-        if let WalkStep::Done { va_page, pa_page, size, .. } = drive_walk(&mut mmu, &mem, va) {
+        if let WalkStep::Done {
+            va_page,
+            pa_page,
+            size,
+            ..
+        } = drive_walk(&mut mmu, &mem, va)
+        {
             mmu.insert(va_page, pa_page, size);
         }
         assert!(matches!(mmu.lookup(va), TlbResult::Hit { .. }));
@@ -323,7 +350,9 @@ mod tests {
         mmu.insert(0x4000_0000, 0x8000_0000, PageSize::Mega);
         assert_eq!(
             mmu.lookup(0x4000_0000 + 0x1f_0000),
-            TlbResult::Hit { pa: 0x8000_0000 + 0x1f_0000 }
+            TlbResult::Hit {
+                pa: 0x8000_0000 + 0x1f_0000
+            }
         );
     }
 }

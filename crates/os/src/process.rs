@@ -15,7 +15,10 @@ pub struct Process {
 impl Process {
     /// Spawns a process with a fresh address space.
     pub fn spawn(pid: u32, frames: &mut FrameAllocator, policy: MapPolicy) -> Self {
-        Self { pid, space: AddressSpace::new(frames, policy) }
+        Self {
+            pid,
+            space: AddressSpace::new(frames, policy),
+        }
     }
 }
 

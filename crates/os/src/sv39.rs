@@ -116,9 +116,14 @@ pub fn classify_pte(pte: u64) -> PteKind {
     if pte & pte_flags::V == 0 {
         PteKind::Invalid
     } else if pte & (pte_flags::R | pte_flags::W | pte_flags::X) == 0 {
-        PteKind::Branch { next_table_pa: pte_pa(pte) }
+        PteKind::Branch {
+            next_table_pa: pte_pa(pte),
+        }
     } else {
-        PteKind::Leaf { page_pa: pte_pa(pte), flags: pte }
+        PteKind::Leaf {
+            page_pa: pte_pa(pte),
+            flags: pte,
+        }
     }
 }
 
@@ -205,9 +210,9 @@ pub fn map(
                 table_pa = next;
             }
             PteKind::Branch { next_table_pa } => table_pa = next_table_pa,
-            PteKind::Leaf { .. } => panic!(
-                "conflicting superpage mapping at va {va:#x} level {level}"
-            ),
+            PteKind::Leaf { .. } => {
+                panic!("conflicting superpage mapping at va {va:#x} level {level}")
+            }
         }
     }
     let addr = pte_addr(table_pa, va, leaf_level);
@@ -256,14 +261,23 @@ mod tests {
         let mut mem = PhysMem::new();
         let mut bump = Bump(0x10_0000);
         let root = bump.alloc();
-        map(&mut mem, root, 0x4000_1000, 0x8000_2000, PageSize::Base, pte_flags::DATA, || {
-            bump.alloc()
-        });
+        map(
+            &mut mem,
+            root,
+            0x4000_1000,
+            0x8000_2000,
+            PageSize::Base,
+            pte_flags::DATA,
+            || bump.alloc(),
+        );
         let r = walk(&mem, root, 0x4000_1abc).expect("mapped");
         assert_eq!(r.pa, 0x8000_2abc);
         assert_eq!(r.size, PageSize::Base);
         assert_eq!(r.levels, 3, "a 4K walk reads three PTEs");
-        assert!(walk(&mem, root, 0x4000_2000).is_none(), "adjacent page unmapped");
+        assert!(
+            walk(&mem, root, 0x4000_2000).is_none(),
+            "adjacent page unmapped"
+        );
     }
 
     #[test]
@@ -273,7 +287,15 @@ mod tests {
         let root = bump.alloc();
         let va = 2 << 21; // 2 MiB aligned
         let pa = 6 << 21;
-        map(&mut mem, root, va, pa, PageSize::Mega, pte_flags::DATA, || bump.alloc());
+        map(
+            &mut mem,
+            root,
+            va,
+            pa,
+            PageSize::Mega,
+            pte_flags::DATA,
+            || bump.alloc(),
+        );
         let r = walk(&mem, root, va + 0x12_345).expect("mapped");
         assert_eq!(r.pa, pa + 0x12_345);
         assert_eq!(r.size, PageSize::Mega);
@@ -287,7 +309,15 @@ mod tests {
         let root = bump.alloc();
         let va = 1u64 << 30;
         let pa = 3u64 << 30;
-        map(&mut mem, root, va, pa, PageSize::Giga, pte_flags::DATA, || bump.alloc());
+        map(
+            &mut mem,
+            root,
+            va,
+            pa,
+            PageSize::Giga,
+            pte_flags::DATA,
+            || bump.alloc(),
+        );
         let r = walk(&mem, root, va + 0xdead).expect("mapped");
         assert_eq!(r.pa, pa + 0xdead);
         assert_eq!(r.levels, 1);
@@ -298,7 +328,15 @@ mod tests {
         let mut mem = PhysMem::new();
         let mut bump = Bump(0x10_0000);
         let root = bump.alloc();
-        map(&mut mem, root, 0x1000, 0x2000, PageSize::Base, pte_flags::DATA, || bump.alloc());
+        map(
+            &mut mem,
+            root,
+            0x1000,
+            0x2000,
+            PageSize::Base,
+            pte_flags::DATA,
+            || bump.alloc(),
+        );
         assert!(walk(&mem, root, 0x1000).is_some());
         assert!(unmap(&mut mem, root, 0x1000));
         assert!(walk(&mem, root, 0x1000).is_none());
@@ -311,9 +349,25 @@ mod tests {
         let mut bump = Bump(0x10_0000);
         let root = bump.alloc();
         let before = bump.0;
-        map(&mut mem, root, 0x1000, 0x2000, PageSize::Base, pte_flags::DATA, || bump.alloc());
+        map(
+            &mut mem,
+            root,
+            0x1000,
+            0x2000,
+            PageSize::Base,
+            pte_flags::DATA,
+            || bump.alloc(),
+        );
         let after_first = bump.0;
-        map(&mut mem, root, 0x2000, 0x3000, PageSize::Base, pte_flags::DATA, || bump.alloc());
+        map(
+            &mut mem,
+            root,
+            0x2000,
+            0x3000,
+            PageSize::Base,
+            pte_flags::DATA,
+            || bump.alloc(),
+        );
         assert_eq!(bump.0, after_first, "same 2M region reuses tables");
         assert!(after_first > before);
     }
@@ -331,7 +385,9 @@ mod tests {
         assert_eq!(classify_pte(0), PteKind::Invalid);
         assert_eq!(
             classify_pte(make_pte(0x5000, pte_flags::V)),
-            PteKind::Branch { next_table_pa: 0x5000 }
+            PteKind::Branch {
+                next_table_pa: 0x5000
+            }
         );
         match classify_pte(make_pte(0x5000, pte_flags::DATA)) {
             PteKind::Leaf { page_pa, .. } => assert_eq!(page_pa, 0x5000),

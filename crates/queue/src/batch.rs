@@ -22,7 +22,11 @@ impl<T> BatchProducer<T> {
     /// Panics if `batch` is zero.
     pub fn new(inner: Producer<T>, batch: usize) -> Self {
         assert!(batch > 0, "batch must be positive");
-        Self { inner, batch, pending: 0 }
+        Self {
+            inner,
+            batch,
+            pending: 0,
+        }
     }
 
     /// The batching factor.
@@ -92,7 +96,11 @@ impl<T> BatchConsumer<T> {
     /// Panics if `batch` is zero.
     pub fn new(inner: Consumer<T>, batch: usize) -> Self {
         assert!(batch > 0, "batch must be positive");
-        Self { inner, batch, pending: 0 }
+        Self {
+            inner,
+            batch,
+            pending: 0,
+        }
     }
 
     /// The batching factor.

@@ -23,6 +23,14 @@ pub struct QueueDescriptor {
     pub element_bytes: u32,
     /// Queue length in elements.
     pub length: u32,
+    /// Monotonically increasing generation of this queue binding.
+    ///
+    /// Failover bumps the epoch before re-registering the descriptor on a
+    /// spare engine; the engine rejects any configure carrying an epoch
+    /// older than the highest it has been fenced to, so a stale engine
+    /// that wakes late can never republish indices (exactly-once
+    /// delivery across migration).
+    pub epoch: u64,
 }
 
 /// Largest element size the engine's staging datapath supports (one
@@ -92,9 +100,25 @@ impl QueueDescriptor {
         element_bytes: u32,
         length: u32,
     ) -> Result<Self, DescriptorError> {
-        let d = Self { write_index_va, read_index_va, base_va, element_bytes, length };
+        let d = Self {
+            write_index_va,
+            read_index_va,
+            base_va,
+            element_bytes,
+            length,
+            epoch: 0,
+        };
         d.validate()?;
         Ok(d)
+    }
+
+    /// Returns the same descriptor stamped with binding generation
+    /// `epoch`. Epochs only ever grow: the failover orchestrator bumps
+    /// the epoch each time it migrates the queue to a new engine.
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
     }
 
     /// Total bytes occupied by the data array.
@@ -156,6 +180,7 @@ mod tests {
             base_va: 0x1080,
             element_bytes: 8,
             length: 64,
+            epoch: 0,
         }
     }
 
@@ -176,13 +201,19 @@ mod tests {
     fn rejects_bad_geometry() {
         let mut d = desc();
         d.element_bytes = 0;
-        assert!(matches!(d.validate(), Err(DescriptorError::BadElementSize(0))));
+        assert!(matches!(
+            d.validate(),
+            Err(DescriptorError::BadElementSize(0))
+        ));
         let mut d = desc();
         d.element_bytes = 12;
         assert!(d.validate().is_err());
         let mut d = desc();
         d.element_bytes = MAX_ELEMENT_BYTES + 8;
-        assert!(matches!(d.validate(), Err(DescriptorError::BadElementSize(_))));
+        assert!(matches!(
+            d.validate(),
+            Err(DescriptorError::BadElementSize(_))
+        ));
         let mut d = desc();
         d.length = 0;
         assert_eq!(d.validate(), Err(DescriptorError::ZeroLength));
@@ -195,10 +226,16 @@ mod tests {
     fn rejects_misaligned_addresses() {
         let mut d = desc();
         d.read_index_va = 0x1044;
-        assert_eq!(d.validate(), Err(DescriptorError::Misaligned { which: "read" }));
+        assert_eq!(
+            d.validate(),
+            Err(DescriptorError::Misaligned { which: "read" })
+        );
         let mut d = desc();
         d.base_va = 0x1084;
-        assert_eq!(d.validate(), Err(DescriptorError::Misaligned { which: "base" }));
+        assert_eq!(
+            d.validate(),
+            Err(DescriptorError::Misaligned { which: "base" })
+        );
     }
 
     #[test]
@@ -224,5 +261,22 @@ mod tests {
     #[test]
     fn data_bytes_product() {
         assert_eq!(desc().data_bytes(), 8 * 64);
+    }
+
+    #[test]
+    fn with_epoch_stamps_generation() {
+        let d = desc().with_epoch(3);
+        assert_eq!(d.epoch, 3);
+        assert_eq!(
+            d.validate(),
+            Ok(()),
+            "epoch does not affect geometry validation"
+        );
+        assert_eq!(
+            QueueDescriptor::try_new(0x1000, 0x1040, 0x1080, 8, 64)
+                .unwrap()
+                .epoch,
+            0
+        );
     }
 }

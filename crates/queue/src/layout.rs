@@ -36,11 +36,20 @@ impl QueueLayout {
         let write_index_va = base_va;
         let read_index_va = base_va + LINE_BYTES;
         let data_va = base_va + 2 * LINE_BYTES;
-        let descriptor =
-            QueueDescriptor::try_new(write_index_va, read_index_va, data_va, element_bytes, length)
-                .unwrap_or_else(|e| panic!("invalid queue geometry: {e}"));
+        let descriptor = QueueDescriptor::try_new(
+            write_index_va,
+            read_index_va,
+            data_va,
+            element_bytes,
+            length,
+        )
+        .unwrap_or_else(|e| panic!("invalid queue geometry: {e}"));
         let padded = descriptor.data_bytes().div_ceil(LINE_BYTES) * LINE_BYTES;
-        Self { descriptor, region_start: base_va, region_bytes: 2 * LINE_BYTES + padded }
+        Self {
+            descriptor,
+            region_start: base_va,
+            region_bytes: 2 * LINE_BYTES + padded,
+        }
     }
 
     /// First address after the region (useful for bump allocation).

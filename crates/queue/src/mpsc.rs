@@ -56,7 +56,9 @@ pub struct MpscProducer<T> {
 
 impl<T> Clone for MpscProducer<T> {
     fn clone(&self) -> Self {
-        Self { inner: Arc::clone(&self.inner) }
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -76,7 +78,9 @@ pub struct MpscConsumer<T> {
 
 impl<T> std::fmt::Debug for MpscConsumer<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MpscConsumer").field("read", &self.read).finish()
+        f.debug_struct("MpscConsumer")
+            .field("read", &self.read)
+            .finish()
     }
 }
 
@@ -90,7 +94,10 @@ impl<T> std::fmt::Debug for MpscConsumer<T> {
 pub fn mpsc_channel<T: Send>(capacity: usize) -> (MpscProducer<T>, MpscConsumer<T>) {
     assert!(capacity >= 2, "capacity must be at least 2");
     let slots: Box<[Slot<T>]> = (0..capacity as u64)
-        .map(|i| Slot { seq: AtomicU64::new(i), value: UnsafeCell::new(MaybeUninit::uninit()) })
+        .map(|i| Slot {
+            seq: AtomicU64::new(i),
+            value: UnsafeCell::new(MaybeUninit::uninit()),
+        })
         .collect();
     let inner = Arc::new(Inner {
         slots,
@@ -98,7 +105,12 @@ pub fn mpsc_channel<T: Send>(capacity: usize) -> (MpscProducer<T>, MpscConsumer<
         write: CachePadded::new(AtomicU64::new(0)),
         read: CachePadded::new(AtomicU64::new(0)),
     });
-    (MpscProducer { inner: Arc::clone(&inner) }, MpscConsumer { inner, read: 0 })
+    (
+        MpscProducer {
+            inner: Arc::clone(&inner),
+        },
+        MpscConsumer { inner, read: 0 },
+    )
 }
 
 impl<T: Send> MpscProducer<T> {
@@ -151,7 +163,8 @@ impl<T: Send> MpscConsumer<T> {
         // SAFETY: published for exactly this read index; single consumer.
         let value = unsafe { (*slot.value.get()).assume_init_read() };
         // Free the slot for the producer one capacity-lap ahead.
-        slot.seq.store(self.read + inner.capacity, Ordering::Release);
+        slot.seq
+            .store(self.read + inner.capacity, Ordering::Release);
         self.read += 1;
         inner.read.store(self.read, Ordering::Release);
         Some(value)

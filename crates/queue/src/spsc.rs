@@ -114,8 +114,16 @@ pub fn spsc_channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
         closed: AtomicBool::new(false),
     });
     (
-        Producer { inner: Arc::clone(&inner), staged: 0, read_cache: 0 },
-        Consumer { inner, staged: 0, write_cache: 0 },
+        Producer {
+            inner: Arc::clone(&inner),
+            staged: 0,
+            read_cache: 0,
+        },
+        Consumer {
+            inner,
+            staged: 0,
+            write_cache: 0,
+        },
     )
 }
 
@@ -425,7 +433,7 @@ mod tests {
             tx.push(D).unwrap();
             tx.push(D).unwrap();
             drop(rx.pop()); // one consumed and dropped
-            // two left inside
+                            // two left inside
         }
         assert_eq!(DROPS.load(Ordering::SeqCst), 3);
     }
@@ -450,7 +458,11 @@ mod tests {
         tx.push(2).unwrap();
         drop(rx);
         assert!(tx.is_closed());
-        assert_eq!(tx.push(3), Err(PushError(3)), "still full, but detectably dead");
+        assert_eq!(
+            tx.push(3),
+            Err(PushError(3)),
+            "still full, but detectably dead"
+        );
     }
 
     #[test]

@@ -112,8 +112,16 @@ pub fn typed<T: QueueElement>(
     consumer: Consumer<u64>,
 ) -> (TypedProducer<T>, TypedConsumer<T>) {
     (
-        TypedProducer { inner: producer, scratch: Vec::new(), _marker: std::marker::PhantomData },
-        TypedConsumer { inner: consumer, scratch: Vec::new(), _marker: std::marker::PhantomData },
+        TypedProducer {
+            inner: producer,
+            scratch: Vec::new(),
+            _marker: std::marker::PhantomData,
+        },
+        TypedConsumer {
+            inner: consumer,
+            scratch: Vec::new(),
+            _marker: std::marker::PhantomData,
+        },
     )
 }
 

@@ -127,7 +127,11 @@ impl TagArray {
         // Free way?
         for slot in self.entries[range.clone()].iter_mut() {
             if slot.is_none() {
-                *slot = Some(Entry { tag: line, state, lru: tick });
+                *slot = Some(Entry {
+                    tag: line,
+                    state,
+                    lru: tick,
+                });
                 return None;
             }
         }
@@ -140,7 +144,11 @@ impl TagArray {
             .expect("non-empty set");
         let slot = &mut self.entries[range.start + victim_idx];
         let victim = slot.take().map(|e| (e.tag, e.state));
-        *slot = Some(Entry { tag: line, state, lru: tick });
+        *slot = Some(Entry {
+            tag: line,
+            state,
+            lru: tick,
+        });
         victim
     }
 
@@ -167,7 +175,11 @@ impl TagArray {
         }
         for slot in self.entries[range.clone()].iter_mut() {
             if slot.is_none() {
-                *slot = Some(Entry { tag: line, state, lru: tick });
+                *slot = Some(Entry {
+                    tag: line,
+                    state,
+                    lru: tick,
+                });
                 return Ok(None);
             }
         }
@@ -181,7 +193,11 @@ impl TagArray {
             Some(i) => {
                 let slot = &mut self.entries[range.start + i];
                 let victim = slot.take().map(|e| (e.tag, e.state));
-                *slot = Some(Entry { tag: line, state, lru: tick });
+                *slot = Some(Entry {
+                    tag: line,
+                    state,
+                    lru: tick,
+                });
                 Ok(victim)
             }
             None => Err(()),

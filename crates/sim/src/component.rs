@@ -104,15 +104,29 @@ impl<'a> Ctx<'a> {
     /// Sends `msg` to `dst`; it will be injected into the NoC when the step
     /// completes and delivered after the routing latency.
     pub fn send(&mut self, dst: CompId, msg: Msg) {
-        let env = Envelope { src: self.self_id, msg };
-        self.outbox.push(Outgoing { dst, env, extra_delay: 0 });
+        let env = Envelope {
+            src: self.self_id,
+            msg,
+        };
+        self.outbox.push(Outgoing {
+            dst,
+            env,
+            extra_delay: 0,
+        });
     }
 
     /// Sends `msg` to `dst` after an extra `delay` cycles of sender-side
     /// processing (used for MMIO device latency).
     pub fn send_delayed(&mut self, dst: CompId, msg: Msg, delay: u64) {
-        let env = Envelope { src: self.self_id, msg };
-        self.outbox.push(Outgoing { dst, env, extra_delay: delay });
+        let env = Envelope {
+            src: self.self_id,
+            msg,
+        };
+        self.outbox.push(Outgoing {
+            dst,
+            env,
+            extra_delay: delay,
+        });
     }
 
     /// Looks up the device owning MMIO physical address `pa`.
@@ -147,7 +161,8 @@ impl Observability {
 
     /// Registers an existing counter handle as `scope.name`.
     pub fn adopt_counter(&self, name: &str, counter: &Counter) {
-        self.stats.adopt_counter(&format!("{}.{name}", self.scope), counter);
+        self.stats
+            .adopt_counter(&format!("{}.{name}", self.scope), counter);
     }
 
     /// Gets or creates the scoped histogram `scope.name`.
@@ -157,7 +172,8 @@ impl Observability {
 
     /// Registers an existing histogram handle as `scope.name`.
     pub fn adopt_histogram(&self, name: &str, histogram: &Histogram) {
-        self.stats.adopt_histogram(&format!("{}.{name}", self.scope), histogram);
+        self.stats
+            .adopt_histogram(&format!("{}.{name}", self.scope), histogram);
     }
 }
 

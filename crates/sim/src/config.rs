@@ -26,7 +26,10 @@ impl CacheConfig {
             line_per_way.is_multiple_of(crate::LINE_BYTES) && line_per_way > 0,
             "capacity {capacity_bytes} not divisible into {ways} ways of whole lines"
         );
-        Self { capacity_bytes, ways }
+        Self {
+            capacity_bytes,
+            ways,
+        }
     }
 
     /// Number of sets.

@@ -32,14 +32,17 @@ pub enum HandlerAction {
         value: u64,
     },
     /// Run arbitrary host logic against guest memory (e.g. map a page into
-    /// the page tables), then optionally perform one blocking MMIO write
-    /// `(pa, value)`. Receives the interrupt payload.
+    /// the page tables), then perform a sequence of blocking MMIO writes
+    /// `(pa, value)` in order. Receives the interrupt payload and the
+    /// current cycle.
     Custom(CustomHandler),
 }
 
-/// Host logic run on interrupt: may touch guest memory, then optionally
-/// request one blocking MMIO write `(pa, value)`.
-pub type CustomHandler = Box<dyn FnMut(&mut PhysMem, u64) -> Option<(u64, u64)> + Send>;
+/// Host logic run on interrupt: may touch guest memory, then request any
+/// number of blocking MMIO writes `(pa, value)` issued strictly in order
+/// (each waits for the previous response — the failover orchestrator's
+/// rebind sequence relies on this ordering).
+pub type CustomHandler = Box<dyn FnMut(&mut PhysMem, u64, u64) -> Vec<(u64, u64)> + Send>;
 
 /// Kernel page-fault path: maps the faulting page and returns true, or
 /// returns false for a fatal fault.
@@ -73,15 +76,31 @@ pub struct IrqHandler {
 enum CState {
     Ready,
     /// A cached load hit; finishes at the embedded cycle.
-    LoadDone { at: u64, pa: u64, record: bool },
+    LoadDone {
+        at: u64,
+        pa: u64,
+        record: bool,
+    },
     /// A cached load missed; waiting for the port.
-    WaitLoad { pa: u64, record: bool },
+    WaitLoad {
+        pa: u64,
+        record: bool,
+    },
     /// Spin-wait load in flight (hit path, finishes at cycle).
-    SpinDone { at: u64, pa: u64, value: u64 },
+    SpinDone {
+        at: u64,
+        pa: u64,
+        value: u64,
+    },
     /// Spin-wait load missed; waiting for the port.
-    WaitSpin { pa: u64, value: u64 },
+    WaitSpin {
+        pa: u64,
+        value: u64,
+    },
     /// Waiting for an MMIO response.
-    WaitMmio { record: bool },
+    WaitMmio {
+        record: bool,
+    },
     /// Waiting for the MMIO write issued by an interrupt handler.
     WaitHandlerMmio,
     Done,
@@ -132,8 +151,16 @@ impl CoreCounters {
             core_faults,
         } = self;
         for c in [
-            instret, loads, stores, mmio_ops, mmio_stall_cycles, mem_stall_cycles,
-            spin_iters, sb_full_stalls, irqs, core_faults,
+            instret,
+            loads,
+            stores,
+            mmio_ops,
+            mmio_stall_cycles,
+            mem_stall_cycles,
+            spin_iters,
+            sb_full_stalls,
+            irqs,
+            core_faults,
         ] {
             c.reset();
         }
@@ -157,6 +184,9 @@ pub struct InOrderCore {
     translator: Box<dyn Translator>,
     recorded: Vec<u64>,
     mmio_tag: u64,
+    /// Remaining blocking MMIO writes queued by an interrupt handler,
+    /// issued one at a time through `WaitHandlerMmio`.
+    handler_writes: VecDeque<(u64, u64)>,
     irq_pending: VecDeque<(u32, u64)>,
     handlers: HashMap<u32, IrqHandler>,
     /// Kernel page-fault path for the core's own accesses.
@@ -194,6 +224,7 @@ impl InOrderCore {
             translator: Box::new(Identity),
             recorded: Vec::new(),
             mmio_tag: 0,
+            handler_writes: VecDeque::new(),
             irq_pending: VecDeque::new(),
             handlers: HashMap::new(),
             fault_hook: None,
@@ -225,6 +256,7 @@ impl InOrderCore {
         self.sb.clear();
         self.sb_waiting = false;
         self.recorded.clear();
+        self.handler_writes.clear();
         self.irq_pending.clear();
         self.counters.reset();
     }
@@ -260,7 +292,10 @@ impl InOrderCore {
             .fault_hook
             .as_mut()
             .unwrap_or_else(|| panic!("core-side page fault at va {va:#x} with no handler"));
-        assert!(hook(ctx.mem, va), "fatal core-side page fault at va {va:#x}");
+        assert!(
+            hook(ctx.mem, va),
+            "fatal core-side page fault at va {va:#x}"
+        );
         self.counters.core_faults.inc();
         self.counters.instret.add(self.trap_insts);
         self.busy_until = ctx.cycle + self.trap_cost;
@@ -363,7 +398,7 @@ impl InOrderCore {
         } else {
             self.state = CState::Ready;
             self.busy_until = ctx.cycle + self.spin_alu; // loop back edge
-            // pc unchanged: the WaitGe op re-issues.
+                                                         // pc unchanged: the WaitGe op re-issues.
         }
     }
 
@@ -378,21 +413,17 @@ impl InOrderCore {
         self.counters.irqs.inc();
         self.counters.instret.add(handler.entry_insts);
         let entry_cycles = handler.entry_cycles;
-        let mmio = match &mut handler.action {
-            HandlerAction::MmioWrite { pa, value } => Some((*pa, *value)),
-            HandlerAction::Custom(f) => f(ctx.mem, payload),
+        let writes = match &mut handler.action {
+            HandlerAction::MmioWrite { pa, value } => vec![(*pa, *value)],
+            HandlerAction::Custom(f) => f(ctx.mem, payload, ctx.cycle),
         };
-        match mmio {
-            Some((pa, value)) => {
-                // The handler's register write is issued after its entry
-                // cost; model by delaying our own readiness.
-                self.busy_until = ctx.cycle + entry_cycles;
-                self.send_mmio_write(ctx, pa, value);
-                self.state = CState::WaitHandlerMmio;
-            }
-            None => {
-                self.busy_until = ctx.cycle + entry_cycles;
-            }
+        self.handler_writes.extend(writes);
+        // The handler's register writes are issued after its entry cost;
+        // model by delaying our own readiness.
+        self.busy_until = ctx.cycle + entry_cycles;
+        if let Some((pa, value)) = self.handler_writes.pop_front() {
+            self.send_mmio_write(ctx, pa, value);
+            self.state = CState::WaitHandlerMmio;
         }
         true
     }
@@ -403,7 +434,14 @@ impl InOrderCore {
             .unwrap_or_else(|| panic!("no MMIO device at {pa:#x}"));
         self.mmio_tag += 1;
         self.counters.mmio_ops.inc();
-        ctx.send(dst, Msg::MmioWrite { pa, value, tag: self.mmio_tag });
+        ctx.send(
+            dst,
+            Msg::MmioWrite {
+                pa,
+                value,
+                tag: self.mmio_tag,
+            },
+        );
     }
 
     fn exec(&mut self, ctx: &mut Ctx<'_>) {
@@ -422,7 +460,9 @@ impl InOrderCore {
                 self.pc += 1;
             }
             Op::Load { va, record } => {
-                let Some(pa) = self.translate(ctx, va) else { return };
+                let Some(pa) = self.translate(ctx, va) else {
+                    return;
+                };
                 self.counters.loads.inc();
                 if let Some(v) = self.sb_forward(pa) {
                     if record {
@@ -435,7 +475,11 @@ impl InOrderCore {
                 }
                 match self.port.request(ctx, pa, false, LOAD_TOKEN) {
                     Outcome::Hit { ready_at } => {
-                        self.state = CState::LoadDone { at: ready_at, pa, record };
+                        self.state = CState::LoadDone {
+                            at: ready_at,
+                            pa,
+                            record,
+                        };
                     }
                     Outcome::Pending => self.state = CState::WaitLoad { pa, record },
                     Outcome::Retry => self.busy_until = ctx.cycle + 1,
@@ -447,7 +491,9 @@ impl InOrderCore {
                     self.busy_until = ctx.cycle + 1;
                     return;
                 }
-                let Some(pa) = self.translate(ctx, va) else { return };
+                let Some(pa) = self.translate(ctx, va) else {
+                    return;
+                };
                 self.counters.stores.inc();
                 self.counters.instret.inc();
                 self.sb.push_back((pa, value));
@@ -455,10 +501,16 @@ impl InOrderCore {
                 self.pc += 1;
             }
             Op::WaitGe { va, value } => {
-                let Some(pa) = self.translate(ctx, va) else { return };
+                let Some(pa) = self.translate(ctx, va) else {
+                    return;
+                };
                 match self.port.request(ctx, pa, false, LOAD_TOKEN) {
                     Outcome::Hit { ready_at } => {
-                        self.state = CState::SpinDone { at: ready_at, pa, value };
+                        self.state = CState::SpinDone {
+                            at: ready_at,
+                            pa,
+                            value,
+                        };
                     }
                     Outcome::Pending => self.state = CState::WaitSpin { pa, value },
                     Outcome::Retry => self.busy_until = ctx.cycle + 1,
@@ -479,7 +531,13 @@ impl InOrderCore {
                     .unwrap_or_else(|| panic!("no MMIO device at {pa:#x}"));
                 self.mmio_tag += 1;
                 self.counters.mmio_ops.inc();
-                ctx.send(dst, Msg::MmioRead { pa, tag: self.mmio_tag });
+                ctx.send(
+                    dst,
+                    Msg::MmioRead {
+                        pa,
+                        tag: self.mmio_tag,
+                    },
+                );
                 self.state = CState::WaitMmio { record };
             }
             Op::MmioStore { pa, value } => {
@@ -546,8 +604,13 @@ impl Component for InOrderCore {
                         self.busy_until = ctx.cycle + 1;
                     }
                     CState::WaitHandlerMmio => {
-                        self.state = CState::Ready;
-                        self.busy_until = ctx.cycle + 1;
+                        if let Some((pa, value)) = self.handler_writes.pop_front() {
+                            // Next write of the handler's ordered sequence.
+                            self.send_mmio_write(ctx, pa, value);
+                        } else {
+                            self.state = CState::Ready;
+                            self.busy_until = ctx.cycle + 1;
+                        }
                     }
                     _ => {}
                 },

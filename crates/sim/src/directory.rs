@@ -178,7 +178,12 @@ impl Directory {
 
     fn schedule(&mut self, at: u64, line: u64, kind: DelayedKind) {
         self.seq += 1;
-        self.delayed.push(Reverse(Delayed { at, seq: self.seq, line, kind }));
+        self.delayed.push(Reverse(Delayed {
+            at,
+            seq: self.seq,
+            line,
+            kind,
+        }));
     }
 
     /// Emits a coherence-transition instant event when tracing is on.
@@ -205,7 +210,13 @@ impl Directory {
         }
         let mut queue = VecDeque::new();
         queue.push_back(req);
-        self.txns.insert(line, Txn { queue, phase: Phase::WaitAccess });
+        self.txns.insert(
+            line,
+            Txn {
+                queue,
+                phase: Phase::WaitAccess,
+            },
+        );
         self.start_access(ctx, line, req.no_fetch);
     }
 
@@ -247,15 +258,20 @@ impl Directory {
                     self.counters.recalls.inc();
                     self.txns.insert(
                         vline,
-                        Txn { queue: VecDeque::new(), phase: Phase::BlockedVictim { parent: line } },
+                        Txn {
+                            queue: VecDeque::new(),
+                            phase: Phase::BlockedVictim { parent: line },
+                        },
                     );
                     for h in &holders {
                         self.counters.inv_sent.inc();
                         self.trace_coh(ctx.cycle, "Recall", vline, *h);
                         ctx.send(*h, Msg::Inv { line: vline });
                     }
-                    self.txns.get_mut(&line).expect("txn").phase =
-                        Phase::WaitVictim { vline, remaining: holders.len() as u32 };
+                    self.txns.get_mut(&line).expect("txn").phase = Phase::WaitVictim {
+                        vline,
+                        remaining: holders.len() as u32,
+                    };
                 }
             }
         }
@@ -296,8 +312,7 @@ impl Directory {
                 self.grant(ctx, line, req, Msg::DataM { line });
             }
             (ReqKind::GetM, Some(DirState::Shared(set))) => {
-                let targets: Vec<CompId> =
-                    set.iter().copied().filter(|c| *c != req.from).collect();
+                let targets: Vec<CompId> = set.iter().copied().filter(|c| *c != req.from).collect();
                 if targets.is_empty() {
                     self.states.insert(line, DirState::Owned(req.from));
                     self.grant(ctx, line, req, Msg::DataM { line });
@@ -307,8 +322,9 @@ impl Directory {
                         self.trace_coh(ctx.cycle, "Inv", line, *t);
                         ctx.send(*t, Msg::Inv { line });
                     }
-                    self.txns.get_mut(&line).expect("txn").phase =
-                        Phase::WaitInvAcks { remaining: targets.len() as u32 };
+                    self.txns.get_mut(&line).expect("txn").phase = Phase::WaitInvAcks {
+                        remaining: targets.len() as u32,
+                    };
                 }
             }
             (ReqKind::GetM, Some(DirState::Owned(o))) if o == req.from => {
@@ -318,8 +334,7 @@ impl Directory {
                 self.counters.inv_sent.inc();
                 self.trace_coh(ctx.cycle, "Inv", line, o);
                 ctx.send(o, Msg::Inv { line });
-                self.txns.get_mut(&line).expect("txn").phase =
-                    Phase::WaitInvAcks { remaining: 1 };
+                self.txns.get_mut(&line).expect("txn").phase = Phase::WaitInvAcks { remaining: 1 };
             }
         }
     }
@@ -400,7 +415,10 @@ impl Directory {
 
     fn on_downgrade_ack(&mut self, ctx: &mut Ctx<'_>, line: u64) {
         let prev_owner = match self.txns.get(&line) {
-            Some(Txn { phase: Phase::WaitDowngradeAck { prev_owner }, .. }) => *prev_owner,
+            Some(Txn {
+                phase: Phase::WaitDowngradeAck { prev_owner },
+                ..
+            }) => *prev_owner,
             _ => return, // stale ack
         };
         let req = *self
@@ -449,12 +467,20 @@ impl Component for Directory {
                 Msg::GetS { line } => self.on_request(
                     ctx,
                     line,
-                    Req { kind: ReqKind::GetS, from: src, no_fetch: false },
+                    Req {
+                        kind: ReqKind::GetS,
+                        from: src,
+                        no_fetch: false,
+                    },
                 ),
                 Msg::GetM { line, no_fetch } => self.on_request(
                     ctx,
                     line,
-                    Req { kind: ReqKind::GetM, from: src, no_fetch },
+                    Req {
+                        kind: ReqKind::GetM,
+                        from: src,
+                        no_fetch,
+                    },
                 ),
                 Msg::InvAck { line } => self.on_inv_ack(ctx, line),
                 Msg::DowngradeAck { line } => self.on_downgrade_ack(ctx, line),

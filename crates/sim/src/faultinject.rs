@@ -75,6 +75,24 @@ pub enum FaultKind {
     /// Write garbage into the engine's queue-descriptor registers while it
     /// is enabled.
     CorruptDescriptor,
+    /// Fail-stop: permanently wedge engine `engine`'s datapath (the
+    /// dead-man's handle trips; the register file and watchdog survive so
+    /// the fault is detectable and the engine can be fenced). Only ever
+    /// injected explicitly — never drawn by the random schedule, so
+    /// existing seeded plans are unchanged.
+    KillEngine {
+        /// Index of the engine to kill (the `i` of `SimSystem::engine(i)`).
+        engine: u64,
+    },
+    /// Hold the MAPLE unit's accelerator and DMA datapath for `cycles`
+    /// (use [`FOREVER`] for a wedge). Explicit-only, like `KillEngine`.
+    MapleStall {
+        /// Stall duration in cycles.
+        cycles: u64,
+    },
+    /// Fail-stop the MAPLE unit: held MMIO requests complete with the
+    /// error sentinel instead of hanging the core. Explicit-only.
+    KillMaple,
 }
 
 impl FaultKind {
@@ -85,6 +103,9 @@ impl FaultKind {
             FaultKind::LatencySpike { .. } => "spike",
             FaultKind::PageFaultStorm { .. } => "storm",
             FaultKind::CorruptDescriptor => "corrupt",
+            FaultKind::KillEngine { .. } => "kill",
+            FaultKind::MapleStall { .. } => "maple-stall",
+            FaultKind::KillMaple => "maple-kill",
         }
     }
 }
@@ -115,7 +136,12 @@ pub struct RandomFaults {
 
 impl Default for RandomFaults {
     fn default() -> Self {
-        Self { seed: 0x5eed, count: 8, from: 0, to: 1_000_000 }
+        Self {
+            seed: 0x5eed,
+            count: 8,
+            from: 0,
+            to: 1_000_000,
+        }
     }
 }
 
@@ -162,7 +188,9 @@ impl FaultPlan {
                 let class = splitmix64(&mut s) % 4;
                 let p = splitmix64(&mut s);
                 let kind = match class {
-                    0 => FaultKind::AccelStall { cycles: 200 + p % 2000 },
+                    0 => FaultKind::AccelStall {
+                        cycles: 200 + p % 2000,
+                    },
                     1 => FaultKind::LatencySpike {
                         cycles: 200 + p % 2000,
                         factor: 2 + p % 6,
@@ -184,6 +212,9 @@ impl FaultPlan {
     /// * `spike@CYCLE:DUR:FACTOR`;
     /// * `storm@CYCLE:PAGES`;
     /// * `corrupt@CYCLE`;
+    /// * `kill@CYCLE[:ENGINE]` — fail-stop engine `ENGINE` (default 0);
+    /// * `maple-stall@CYCLE:DUR`;
+    /// * `maple-kill@CYCLE`;
     /// * `random:seed=S,count=N,from=A,to=B` — all keys optional
     ///   (defaults: seed `0x5eed`, count 8, window `[0, 1000000)`).
     ///
@@ -192,11 +223,11 @@ impl FaultPlan {
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
         for entry in spec.split(';').map(str::trim).filter(|e| !e.is_empty()) {
-            if let Some(body) = entry.strip_prefix("random:").or(if entry == "random" {
-                Some("")
-            } else {
-                None
-            }) {
+            if let Some(body) =
+                entry
+                    .strip_prefix("random:")
+                    .or(if entry == "random" { Some("") } else { None })
+            {
                 let mut r = RandomFaults::default();
                 for kv in body.split(',').map(str::trim).filter(|e| !e.is_empty()) {
                     let (key, value) = kv
@@ -224,17 +255,30 @@ impl FaultPlan {
             let at_cycle = parse_u64(parts.next().unwrap_or(""))?;
             let args: Vec<&str> = parts.collect();
             let kind = match (name, args.as_slice()) {
-                ("stall", [d]) => FaultKind::AccelStall { cycles: parse_duration(d)? },
+                ("stall", [d]) => FaultKind::AccelStall {
+                    cycles: parse_duration(d)?,
+                },
                 ("spike", [d, f]) => FaultKind::LatencySpike {
                     cycles: parse_u64(d)?,
                     factor: parse_u64(f)?.max(1),
                 },
-                ("storm", [p]) => FaultKind::PageFaultStorm { pages: parse_u64(p)?.max(1) },
+                ("storm", [p]) => FaultKind::PageFaultStorm {
+                    pages: parse_u64(p)?.max(1),
+                },
                 ("corrupt", []) => FaultKind::CorruptDescriptor,
+                ("kill", []) => FaultKind::KillEngine { engine: 0 },
+                ("kill", [e]) => FaultKind::KillEngine {
+                    engine: parse_u64(e)?,
+                },
+                ("maple-stall", [d]) => FaultKind::MapleStall {
+                    cycles: parse_duration(d)?,
+                },
+                ("maple-kill", []) => FaultKind::KillMaple,
                 _ => {
                     return Err(format!(
                         "fault spec: bad entry {entry:?} (see `stall@C:D`, \
-                         `spike@C:D:F`, `storm@C:P`, `corrupt@C`, `random:...`)"
+                         `spike@C:D:F`, `storm@C:P`, `corrupt@C`, `kill@C[:E]`, \
+                         `maple-stall@C:D`, `maple-kill@C`, `random:...`)"
                     ))
                 }
             };
@@ -268,6 +312,12 @@ pub struct FaultState {
     /// NoC latency multiplied while `cycle < spike_until`.
     spike_until: Arc<AtomicU64>,
     spike_factor: Arc<AtomicU64>,
+    /// Bitmask of fail-stopped engines (bit `i` = engine `i` is dead).
+    kill_mask: Arc<AtomicU64>,
+    /// MAPLE datapath held while `cycle < maple_stall_until`.
+    maple_stall_until: Arc<AtomicU64>,
+    /// Non-zero once the MAPLE unit is fail-stopped.
+    maple_dead: Arc<AtomicU64>,
 }
 
 impl FaultState {
@@ -303,6 +353,38 @@ impl FaultState {
             1
         }
     }
+
+    /// Permanently fail-stops engine `engine` (no un-kill: fail-stop is
+    /// by definition terminal; recovery is migration, not revival).
+    pub fn kill_engine(&self, engine: u64) {
+        self.kill_mask
+            .fetch_or(1u64 << (engine & 63), Ordering::Relaxed);
+    }
+
+    /// True once engine `engine` has been fail-stopped.
+    pub fn engine_killed(&self, engine: u64) -> bool {
+        self.kill_mask.load(Ordering::Relaxed) & (1u64 << (engine & 63)) != 0
+    }
+
+    /// Holds the MAPLE datapath until `until`.
+    pub fn stall_maple(&self, until: u64) {
+        self.maple_stall_until.store(until, Ordering::Relaxed);
+    }
+
+    /// True while the MAPLE datapath is held.
+    pub fn maple_stalled(&self, cycle: u64) -> bool {
+        cycle < self.maple_stall_until.load(Ordering::Relaxed)
+    }
+
+    /// Permanently fail-stops the MAPLE unit.
+    pub fn kill_maple(&self) {
+        self.maple_dead.store(1, Ordering::Relaxed);
+    }
+
+    /// True once the MAPLE unit has been fail-stopped.
+    pub fn maple_killed(&self) -> bool {
+        self.maple_dead.load(Ordering::Relaxed) != 0
+    }
 }
 
 /// Harness-provided page evictor for [`FaultKind::PageFaultStorm`]: takes
@@ -326,6 +408,7 @@ pub struct FaultInjector {
     storms: Counter,
     corruptions: Counter,
     evicted_pages: Counter,
+    kills: Counter,
     trace: Option<Trace>,
     tid: u64,
 }
@@ -358,6 +441,7 @@ impl FaultInjector {
             storms: Counter::new(),
             corruptions: Counter::new(),
             evicted_pages: Counter::new(),
+            kills: Counter::new(),
             trace: None,
             tid: 0,
         }
@@ -387,21 +471,31 @@ impl FaultInjector {
 
     fn emit(&self, cycle: u64, kind: &FaultKind, args: Vec<(&'static str, String)>) {
         if let Some(trace) = self.trace.as_ref().filter(|t| t.is_enabled()) {
-            trace.instant(self.tid, "fault", format!("fault:{}", kind.label()), cycle, args);
+            trace.instant(
+                self.tid,
+                "fault",
+                format!("fault:{}", kind.label()),
+                cycle,
+                args,
+            );
         }
     }
 
     fn apply(&mut self, ctx: &mut Ctx<'_>, ev: FaultEvent) {
         match ev.kind {
             FaultKind::AccelStall { cycles } => {
-                let until =
-                    if cycles == FOREVER { FOREVER } else { ctx.cycle.saturating_add(cycles) };
+                let until = if cycles == FOREVER {
+                    FOREVER
+                } else {
+                    ctx.cycle.saturating_add(cycles)
+                };
                 self.state.stall_accel(until);
                 self.stalls.inc();
                 self.emit(ctx.cycle, &ev.kind, vec![("until", format!("{until}"))]);
             }
             FaultKind::LatencySpike { cycles, factor } => {
-                self.state.set_latency_spike(ctx.cycle.saturating_add(cycles), factor);
+                self.state
+                    .set_latency_spike(ctx.cycle.saturating_add(cycles), factor);
                 self.spikes.inc();
                 self.emit(ctx.cycle, &ev.kind, vec![("factor", format!("{factor}"))]);
             }
@@ -413,7 +507,14 @@ impl FaultInjector {
                 self.evicted_pages.add(evicted);
                 if let Some(pa) = self.tlb_flush_pa {
                     if let Some(dst) = ctx.mmio_target(pa) {
-                        ctx.send(dst, Msg::MmioWrite { pa, value: 1, tag: 0xFA17 });
+                        ctx.send(
+                            dst,
+                            Msg::MmioWrite {
+                                pa,
+                                value: 1,
+                                tag: 0xFA17,
+                            },
+                        );
                     }
                 }
                 self.storms.inc();
@@ -422,10 +523,37 @@ impl FaultInjector {
             FaultKind::CorruptDescriptor => {
                 for (pa, value) in self.corrupt_writes.clone() {
                     if let Some(dst) = ctx.mmio_target(pa) {
-                        ctx.send(dst, Msg::MmioWrite { pa, value, tag: 0xFA17 });
+                        ctx.send(
+                            dst,
+                            Msg::MmioWrite {
+                                pa,
+                                value,
+                                tag: 0xFA17,
+                            },
+                        );
                     }
                 }
                 self.corruptions.inc();
+                self.emit(ctx.cycle, &ev.kind, vec![]);
+            }
+            FaultKind::KillEngine { engine } => {
+                self.state.kill_engine(engine);
+                self.kills.inc();
+                self.emit(ctx.cycle, &ev.kind, vec![("engine", format!("{engine}"))]);
+            }
+            FaultKind::MapleStall { cycles } => {
+                let until = if cycles == FOREVER {
+                    FOREVER
+                } else {
+                    ctx.cycle.saturating_add(cycles)
+                };
+                self.state.stall_maple(until);
+                self.stalls.inc();
+                self.emit(ctx.cycle, &ev.kind, vec![("until", format!("{until}"))]);
+            }
+            FaultKind::KillMaple => {
+                self.state.kill_maple();
+                self.kills.inc();
                 self.emit(ctx.cycle, &ev.kind, vec![]);
             }
         }
@@ -443,6 +571,7 @@ impl Component for FaultInjector {
         obs.adopt_counter("storms", &self.storms);
         obs.adopt_counter("corruptions", &self.corruptions);
         obs.adopt_counter("evicted_pages", &self.evicted_pages);
+        obs.adopt_counter("kills", &self.kills);
         self.trace = Some(obs.trace.clone());
         self.tid = obs.tid;
     }
@@ -455,7 +584,11 @@ impl Component for FaultInjector {
                 ref other => panic!("fault injector received unexpected message {other:?}"),
             }
         }
-        while self.schedule.front().is_some_and(|e| e.at_cycle <= ctx.cycle) {
+        while self
+            .schedule
+            .front()
+            .is_some_and(|e| e.at_cycle <= ctx.cycle)
+        {
             let ev = self.schedule.pop_front().expect("peeked");
             self.apply(ctx, ev);
         }
@@ -472,6 +605,7 @@ impl Component for FaultInjector {
             ("storms".into(), self.storms.get()),
             ("corruptions".into(), self.corruptions.get()),
             ("evicted_pages".into(), self.evicted_pages.get()),
+            ("kills".into(), self.kills.get()),
         ]
     }
 
@@ -498,18 +632,34 @@ mod tests {
     fn schedule_is_deterministic_and_sorted() {
         let plan = FaultPlan::default()
             .at(500, FaultKind::CorruptDescriptor)
-            .with_random(RandomFaults { seed: 42, count: 16, from: 100, to: 10_000 });
+            .with_random(RandomFaults {
+                seed: 42,
+                count: 16,
+                from: 100,
+                to: 10_000,
+            });
         let a = plan.schedule();
         let b = plan.clone().schedule();
         assert_eq!(a, b, "same plan, same schedule");
         assert_eq!(a.len(), 17);
-        assert!(a.windows(2).all(|w| w[0].at_cycle <= w[1].at_cycle), "sorted");
+        assert!(
+            a.windows(2).all(|w| w[0].at_cycle <= w[1].at_cycle),
+            "sorted"
+        );
         assert!(a.iter().all(|e| e.at_cycle < 10_000));
         let c = FaultPlan::default()
-            .with_random(RandomFaults { seed: 43, count: 16, from: 100, to: 10_000 })
+            .with_random(RandomFaults {
+                seed: 43,
+                count: 16,
+                from: 100,
+                to: 10_000,
+            })
             .schedule();
         assert_ne!(
-            a.iter().filter(|e| e.at_cycle != 500).copied().collect::<Vec<_>>(),
+            a.iter()
+                .filter(|e| e.at_cycle != 500)
+                .copied()
+                .collect::<Vec<_>>(),
             c,
             "different seed, different schedule"
         );
@@ -522,13 +672,25 @@ mod tests {
         assert_eq!(
             plan.events,
             vec![
-                FaultEvent { at_cycle: 100, kind: FaultKind::AccelStall { cycles: FOREVER } },
+                FaultEvent {
+                    at_cycle: 100,
+                    kind: FaultKind::AccelStall { cycles: FOREVER }
+                },
                 FaultEvent {
                     at_cycle: 200,
-                    kind: FaultKind::LatencySpike { cycles: 50, factor: 4 }
+                    kind: FaultKind::LatencySpike {
+                        cycles: 50,
+                        factor: 4
+                    }
                 },
-                FaultEvent { at_cycle: 300, kind: FaultKind::PageFaultStorm { pages: 2 } },
-                FaultEvent { at_cycle: 400, kind: FaultKind::CorruptDescriptor },
+                FaultEvent {
+                    at_cycle: 300,
+                    kind: FaultKind::PageFaultStorm { pages: 2 }
+                },
+                FaultEvent {
+                    at_cycle: 400,
+                    kind: FaultKind::CorruptDescriptor
+                },
             ]
         );
         assert!(plan.random.is_none());
@@ -539,7 +701,10 @@ mod tests {
         let plan = FaultPlan::parse("random:seed=7,count=3").expect("valid spec");
         let r = plan.random.expect("random schedule");
         assert_eq!((r.seed, r.count), (7, 3));
-        assert_eq!((r.from, r.to), (RandomFaults::default().from, RandomFaults::default().to));
+        assert_eq!(
+            (r.from, r.to),
+            (RandomFaults::default().from, RandomFaults::default().to)
+        );
         assert_eq!(plan.schedule().len(), 3);
     }
 
@@ -547,8 +712,82 @@ mod tests {
     fn parse_rejects_garbage() {
         assert!(FaultPlan::parse("stall@oops:1").is_err());
         assert!(FaultPlan::parse("flip@100:1").is_err());
-        assert!(FaultPlan::parse("spike@100:50").is_err(), "spike needs a factor");
+        assert!(
+            FaultPlan::parse("spike@100:50").is_err(),
+            "spike needs a factor"
+        );
         assert!(FaultPlan::parse("random:to=0").is_err(), "empty window");
+    }
+
+    #[test]
+    fn parse_fail_stop_entries() {
+        let plan =
+            FaultPlan::parse("kill@5000:1; kill@9000; maple-stall@100:forever; maple-kill@200")
+                .expect("valid spec");
+        assert_eq!(
+            plan.events,
+            vec![
+                FaultEvent {
+                    at_cycle: 5_000,
+                    kind: FaultKind::KillEngine { engine: 1 }
+                },
+                FaultEvent {
+                    at_cycle: 9_000,
+                    kind: FaultKind::KillEngine { engine: 0 }
+                },
+                FaultEvent {
+                    at_cycle: 100,
+                    kind: FaultKind::MapleStall { cycles: FOREVER }
+                },
+                FaultEvent {
+                    at_cycle: 200,
+                    kind: FaultKind::KillMaple
+                },
+            ]
+        );
+        assert!(FaultPlan::parse("kill@x").is_err());
+    }
+
+    #[test]
+    fn random_schedule_never_draws_fail_stop() {
+        // Kills are explicit-only: a seeded schedule must keep drawing
+        // from the four recoverable classes so existing seeds reproduce.
+        let plan = FaultPlan::default().with_random(RandomFaults {
+            seed: 99,
+            count: 64,
+            from: 0,
+            to: 100_000,
+        });
+        for ev in plan.schedule() {
+            assert!(
+                !matches!(
+                    ev.kind,
+                    FaultKind::KillEngine { .. }
+                        | FaultKind::KillMaple
+                        | FaultKind::MapleStall { .. }
+                ),
+                "random schedule drew a fail-stop fault: {ev:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn kill_and_maple_state() {
+        let fs = FaultState::default();
+        assert!(!fs.engine_killed(0) && !fs.engine_killed(1));
+        fs.kill_engine(1);
+        assert!(fs.engine_killed(1), "engine 1 dead");
+        assert!(!fs.engine_killed(0), "engine 0 untouched");
+        let clone = fs.clone();
+        assert!(clone.engine_killed(1), "kill mask shared through clones");
+
+        assert!(!fs.maple_stalled(0));
+        fs.stall_maple(50);
+        assert!(fs.maple_stalled(49));
+        assert!(!fs.maple_stalled(50));
+        assert!(!fs.maple_killed());
+        fs.kill_maple();
+        assert!(clone.maple_killed());
     }
 
     #[test]

@@ -117,7 +117,12 @@ mod tests {
         assert_eq!(Msg::DataS { line: 0 }.payload_bytes(), crate::LINE_BYTES);
         assert_eq!(Msg::GetS { line: 0 }.payload_bytes(), 0);
         assert_eq!(
-            Msg::MmioWrite { pa: 0, value: 1, tag: 0 }.payload_bytes(),
+            Msg::MmioWrite {
+                pa: 0,
+                value: 1,
+                tag: 0
+            }
+            .payload_bytes(),
             8
         );
     }

@@ -144,7 +144,12 @@ impl Noc {
             }
             trace.complete(NOC_TRACE_TID, "noc", env.msg.kind(), cycle, lat, args);
         }
-        self.heap.push(Reverse(InFlight { at: cycle + lat, seq: self.seq, dst, env }));
+        self.heap.push(Reverse(InFlight {
+            at: cycle + lat,
+            seq: self.seq,
+            dst,
+            env,
+        }));
     }
 
     /// Pops every message due at or before `cycle`.
@@ -193,7 +198,10 @@ mod tests {
     use crate::msg::Msg;
 
     fn env(line: u64) -> Envelope {
-        Envelope { src: CompId(0), msg: Msg::GetS { line } }
+        Envelope {
+            src: CompId(0),
+            msg: Msg::GetS { line },
+        }
     }
 
     #[test]
@@ -251,7 +259,11 @@ mod tests {
 
     #[test]
     fn minimum_one_cycle() {
-        let timing = TimingConfig { noc_base: 0, noc_per_hop: 0, ..TimingConfig::default() };
+        let timing = TimingConfig {
+            noc_base: 0,
+            noc_per_hop: 0,
+            ..TimingConfig::default()
+        };
         let mut noc = Noc::new(&timing);
         let a = TileCoord::new(0, 0);
         noc.inject(5, a, a, CompId(0), env(0));

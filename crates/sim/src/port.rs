@@ -7,9 +7,9 @@
 //! is exactly the premise of queue coherence.
 
 use crate::cache::{LineState, TagArray};
+use crate::component::Observability;
 use crate::component::{CompId, Ctx};
 use crate::config::CacheConfig;
-use crate::component::Observability;
 use crate::line_of;
 use crate::msg::{Envelope, Msg};
 use crate::stats::Counter;
@@ -155,11 +155,15 @@ impl CoherentPort {
         match self.cache.touch(line) {
             Some(LineState::M) => {
                 self.counters.hits.inc();
-                Outcome::Hit { ready_at: ctx.cycle + self.hit_latency }
+                Outcome::Hit {
+                    ready_at: ctx.cycle + self.hit_latency,
+                }
             }
             Some(LineState::S) if !write => {
                 self.counters.hits.inc();
-                Outcome::Hit { ready_at: ctx.cycle + self.hit_latency }
+                Outcome::Hit {
+                    ready_at: ctx.cycle + self.hit_latency,
+                }
             }
             held => {
                 // Miss, or an S->M upgrade.
@@ -170,18 +174,24 @@ impl CoherentPort {
                     p.tokens.push(token);
                     return Outcome::Pending;
                 }
-                debug_assert!(
-                    held.is_none() || write,
-                    "read of held line should have hit"
-                );
+                debug_assert!(held.is_none() || write, "read of held line should have hit");
                 self.counters.misses.inc();
                 let msg = if write {
-                    Msg::GetM { line, no_fetch: full_line }
+                    Msg::GetM {
+                        line,
+                        no_fetch: full_line,
+                    }
                 } else {
                     Msg::GetS { line }
                 };
                 ctx.send(self.dir, msg);
-                self.pending.insert(line, PendingLine { want_m: write, tokens: vec![token] });
+                self.pending.insert(
+                    line,
+                    PendingLine {
+                        want_m: write,
+                        tokens: vec![token],
+                    },
+                );
                 Outcome::Pending
             }
         }
@@ -207,12 +217,18 @@ impl CoherentPort {
                     LineState::S
                 };
                 let pinned = &self.pinned;
-                match self.cache.insert_with_victim_filter(line, state, |l| pinned.contains(&l)) {
+                match self
+                    .cache
+                    .insert_with_victim_filter(line, state, |l| pinned.contains(&l))
+                {
                     Ok(Some((vline, vstate))) => {
                         self.counters.evictions.inc();
                         ctx.send(
                             self.dir,
-                            Msg::PutLine { line: vline, dirty: vstate == LineState::M },
+                            Msg::PutLine {
+                                line: vline,
+                                dirty: vstate == LineState::M,
+                            },
                         );
                     }
                     Ok(None) => {}
@@ -222,7 +238,10 @@ impl CoherentPort {
                         // permission so the directory state stays tidy.
                         ctx.send(
                             self.dir,
-                            Msg::PutLine { line, dirty: state == LineState::M },
+                            Msg::PutLine {
+                                line,
+                                dirty: state == LineState::M,
+                            },
                         );
                     }
                 }
@@ -255,7 +274,13 @@ impl CoherentPort {
     /// and will not touch the line again), notifying the directory.
     pub fn relinquish(&mut self, ctx: &mut Ctx<'_>, line: u64) {
         if let Some(st) = self.cache.remove(line) {
-            ctx.send(self.dir, Msg::PutLine { line, dirty: st == LineState::M });
+            ctx.send(
+                self.dir,
+                Msg::PutLine {
+                    line,
+                    dirty: st == LineState::M,
+                },
+            );
         }
     }
 

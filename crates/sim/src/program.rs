@@ -136,7 +136,9 @@ impl Extend<Op> for Program {
 
 impl FromIterator<Op> for Program {
     fn from_iter<T: IntoIterator<Item = Op>>(iter: T) -> Self {
-        Self { ops: iter.into_iter().collect() }
+        Self {
+            ops: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -150,7 +152,10 @@ mod tests {
             Op::Alu(3),
             Op::Store { va: 0, value: 1 },
             Op::Fence,
-            Op::KernelCost { cycles: 100, insts: 40 },
+            Op::KernelCost {
+                cycles: 100,
+                insts: 40,
+            },
         ]
         .into_iter()
         .collect();

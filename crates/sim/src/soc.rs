@@ -120,7 +120,11 @@ impl Soc {
             tid: id.0 as u64,
         };
         comp.attach(&obs);
-        self.slots.push(Slot { comp: Some(comp), tile, inbox: VecDeque::new() });
+        self.slots.push(Slot {
+            comp: Some(comp),
+            tile,
+            inbox: VecDeque::new(),
+        });
         id
     }
 
@@ -178,11 +182,17 @@ impl Soc {
         let deadline = self.cycle + max_cycles;
         while self.cycle < deadline {
             if self.is_quiescent() {
-                return RunOutcome { cycle: self.cycle, quiescent: true };
+                return RunOutcome {
+                    cycle: self.cycle,
+                    quiescent: true,
+                };
             }
             self.step();
         }
-        RunOutcome { cycle: self.cycle, quiescent: self.is_quiescent() }
+        RunOutcome {
+            cycle: self.cycle,
+            quiescent: self.is_quiescent(),
+        }
     }
 
     /// Runs until `pred` on the SoC becomes true, quiescence, or the budget
@@ -286,7 +296,10 @@ mod tests {
     #[test]
     fn store_reaches_memory() {
         let mut p = Program::new();
-        p.push(Op::Store { va: 0x1000, value: 0xdead });
+        p.push(Op::Store {
+            va: 0x1000,
+            value: 0xdead,
+        });
         p.push(Op::Fence);
         let (mut soc, core) = build(p);
         let out = soc.run(100_000);
@@ -302,7 +315,10 @@ mod tests {
         let mut p = Program::new();
         p.push(Op::Store { va: 0x40, value: 7 });
         p.push(Op::Fence);
-        p.push(Op::Load { va: 0x40, record: true });
+        p.push(Op::Load {
+            va: 0x40,
+            record: true,
+        });
         let (mut soc, core) = build(p);
         assert!(soc.run(100_000).quiescent);
         let c = soc.component::<InOrderCore>(core).unwrap();
@@ -313,8 +329,14 @@ mod tests {
     fn store_to_load_forwarding() {
         // Load issued while the store is still buffered must see the value.
         let mut p = Program::new();
-        p.push(Op::Store { va: 0x80, value: 99 });
-        p.push(Op::Load { va: 0x80, record: true });
+        p.push(Op::Store {
+            va: 0x80,
+            value: 99,
+        });
+        p.push(Op::Load {
+            va: 0x80,
+            record: true,
+        });
         let (mut soc, core) = build(p);
         assert!(soc.run(100_000).quiescent);
         let c = soc.component::<InOrderCore>(core).unwrap();
@@ -329,11 +351,20 @@ mod tests {
         let dir = soc.add_component(TileCoord::new(0, 0), Box::new(Directory::new(&cfg)));
         let mut producer = Program::new();
         producer.push(Op::Alu(200)); // delay
-        producer.push(Op::Store { va: 0x2000, value: 5 });
+        producer.push(Op::Store {
+            va: 0x2000,
+            value: 5,
+        });
         producer.push(Op::Fence);
         let mut consumer = Program::new();
-        consumer.push(Op::WaitGe { va: 0x2000, value: 5 });
-        consumer.push(Op::Load { va: 0x2000, record: true });
+        consumer.push(Op::WaitGe {
+            va: 0x2000,
+            value: 5,
+        });
+        consumer.push(Op::Load {
+            va: 0x2000,
+            record: true,
+        });
         let p = InOrderCore::new(dir, &cfg, producer);
         let c = InOrderCore::new(dir, &cfg, consumer);
         soc.add_component(TileCoord::new(1, 0), Box::new(p));
@@ -354,23 +385,41 @@ mod tests {
         let mut a = Program::new();
         let mut b = Program::new();
         for i in 0..20 {
-            a.push(Op::Store { va: 0x3000, value: i });
+            a.push(Op::Store {
+                va: 0x3000,
+                value: i,
+            });
             a.push(Op::Fence);
-            b.push(Op::Store { va: 0x3000, value: 1000 + i });
+            b.push(Op::Store {
+                va: 0x3000,
+                value: 1000 + i,
+            });
             b.push(Op::Fence);
         }
-        soc.add_component(TileCoord::new(1, 0), Box::new(InOrderCore::new(dir, &cfg, a)));
-        soc.add_component(TileCoord::new(0, 1), Box::new(InOrderCore::new(dir, &cfg, b)));
+        soc.add_component(
+            TileCoord::new(1, 0),
+            Box::new(InOrderCore::new(dir, &cfg, a)),
+        );
+        soc.add_component(
+            TileCoord::new(0, 1),
+            Box::new(InOrderCore::new(dir, &cfg, b)),
+        );
         let out = soc.run(1_000_000);
         assert!(out.quiescent, "coherence deadlock at {}", out.cycle);
         let v = soc.mem.read_u64(0x3000);
-        assert!(v == 19 || v == 1019, "final value from one of the cores, got {v}");
+        assert!(
+            v == 19 || v == 1019,
+            "final value from one of the cores, got {v}"
+        );
         let d = soc
             .component::<Directory>(CompId(0))
             .unwrap()
             .dir_counters()
             .clone();
-        assert!(d.inv_sent.get() > 0, "ping-pong must generate invalidations");
+        assert!(
+            d.inv_sent.get() > 0,
+            "ping-pong must generate invalidations"
+        );
     }
 
     #[test]
@@ -382,7 +431,10 @@ mod tests {
         let mut p = Program::new();
         for pass in 0..2 {
             for i in 0..lines {
-                p.push(Op::Store { va: i * crate::LINE_BYTES, value: i + pass });
+                p.push(Op::Store {
+                    va: i * crate::LINE_BYTES,
+                    value: i + pass,
+                });
             }
         }
         p.push(Op::Fence);
@@ -407,17 +459,34 @@ mod tests {
         let dir = soc.add_component(TileCoord::new(0, 0), Box::new(Directory::new(&cfg)));
         let mut writer = Program::new();
         writer.push(Op::Alu(500)); // let the readers cache the line first
-        writer.push(Op::Store { va: 0x9000, value: 77 });
+        writer.push(Op::Store {
+            va: 0x9000,
+            value: 77,
+        });
         writer.push(Op::Fence);
-        soc.add_component(TileCoord::new(1, 0), Box::new(InOrderCore::new(dir, &cfg, writer)));
+        soc.add_component(
+            TileCoord::new(1, 0),
+            Box::new(InOrderCore::new(dir, &cfg, writer)),
+        );
         let mut readers = Vec::new();
         for i in 0..3u16 {
             let mut p = Program::new();
-            p.push(Op::Load { va: 0x9000, record: true }); // warm S copy
-            p.push(Op::WaitGe { va: 0x9000, value: 77 });
-            p.push(Op::Load { va: 0x9000, record: true });
-            let id =
-                soc.add_component(TileCoord::new(0, 1 + i), Box::new(InOrderCore::new(dir, &cfg, p)));
+            p.push(Op::Load {
+                va: 0x9000,
+                record: true,
+            }); // warm S copy
+            p.push(Op::WaitGe {
+                va: 0x9000,
+                value: 77,
+            });
+            p.push(Op::Load {
+                va: 0x9000,
+                record: true,
+            });
+            let id = soc.add_component(
+                TileCoord::new(0, 1 + i),
+                Box::new(InOrderCore::new(dir, &cfg, p)),
+            );
             readers.push(id);
         }
         let out = soc.run(1_000_000);
@@ -427,7 +496,10 @@ mod tests {
             assert_eq!(c.recorded()[1], 77, "all readers observe the write");
         }
         let d = soc.component::<Directory>(CompId(0)).unwrap();
-        assert!(d.dir_counters().inv_sent.get() >= 3, "all shared copies invalidated");
+        assert!(
+            d.dir_counters().inv_sent.get() >= 3,
+            "all shared copies invalidated"
+        );
     }
 
     #[test]
@@ -441,7 +513,10 @@ mod tests {
         let mk = || {
             let mut p = Program::new();
             for i in 0..64u64 {
-                p.push(Op::Store { va: 0x4000 + i * crate::LINE_BYTES, value: i });
+                p.push(Op::Store {
+                    va: 0x4000 + i * crate::LINE_BYTES,
+                    value: i,
+                });
             }
             p.push(Op::Fence);
             p
@@ -449,10 +524,15 @@ mod tests {
         let run = |cfg: SocConfig| {
             let mut soc = Soc::new(cfg.clone());
             let dir = soc.add_component(TileCoord::new(0, 0), Box::new(Directory::new(&cfg)));
-            let core =
-                soc.add_component(TileCoord::new(1, 0), Box::new(InOrderCore::new(dir, &cfg, mk())));
+            let core = soc.add_component(
+                TileCoord::new(1, 0),
+                Box::new(InOrderCore::new(dir, &cfg, mk())),
+            );
             assert!(soc.run(1_000_000).quiescent);
-            soc.component::<InOrderCore>(core).unwrap().core_counters().done_at
+            soc.component::<InOrderCore>(core)
+                .unwrap()
+                .core_counters()
+                .done_at
         };
         let fast = run(fast_cfg);
         let slow = run(slow_cfg);
@@ -533,15 +613,24 @@ mod tests {
         // of lines the core still holds: the directory must recall them.
         use crate::config::CacheConfig;
         // 4 lines of L2 total.
-        let cfg = SocConfig { l2: CacheConfig::new(4 * crate::LINE_BYTES, 2), ..SocConfig::default() };
+        let cfg = SocConfig {
+            l2: CacheConfig::new(4 * crate::LINE_BYTES, 2),
+            ..SocConfig::default()
+        };
         let mut p = Program::new();
         for i in 0..32u64 {
-            p.push(Op::Store { va: i * crate::LINE_BYTES, value: i });
+            p.push(Op::Store {
+                va: i * crate::LINE_BYTES,
+                value: i,
+            });
             p.push(Op::Fence);
         }
         // Read everything back to also exercise recalled-line refetches.
         for i in 0..32u64 {
-            p.push(Op::Load { va: i * crate::LINE_BYTES, record: true });
+            p.push(Op::Load {
+                va: i * crate::LINE_BYTES,
+                record: true,
+            });
         }
         let mut soc = Soc::new(cfg.clone());
         let dir = soc.add_component(TileCoord::new(0, 0), Box::new(Directory::new(&cfg)));
@@ -550,7 +639,10 @@ mod tests {
         let out = soc.run(10_000_000);
         assert!(out.quiescent, "stuck at {}", out.cycle);
         let d = soc.component::<Directory>(CompId(0)).unwrap();
-        assert!(d.dir_counters().recalls.get() > 0, "must observe inclusive recalls");
+        assert!(
+            d.dir_counters().recalls.get() > 0,
+            "must observe inclusive recalls"
+        );
         let c = soc.component::<InOrderCore>(core_id).unwrap();
         let expect: Vec<u64> = (0..32).collect();
         assert_eq!(c.recorded(), &expect[..], "recalled data must survive");

@@ -167,8 +167,11 @@ impl Histogram {
         let h = &*self.0;
         let count = h.count.load(Ordering::Relaxed);
         let sum = h.sum.load(Ordering::Relaxed);
-        let buckets: Vec<u64> =
-            h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let buckets: Vec<u64> = h
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
         let pct = |p: f64| -> u64 {
             if count == 0 {
                 return 0;
@@ -186,9 +189,17 @@ impl Histogram {
         HistogramSummary {
             count,
             sum,
-            min: if count == 0 { 0 } else { h.min.load(Ordering::Relaxed) },
+            min: if count == 0 {
+                0
+            } else {
+                h.min.load(Ordering::Relaxed)
+            },
             max: h.max.load(Ordering::Relaxed),
-            mean: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
             p50: pct(0.50),
             p90: pct(0.90),
             p99: pct(0.99),
@@ -361,7 +372,10 @@ mod tests {
         let b = stats.counter("engine#0.backoffs");
         a.inc();
         b.add(2);
-        assert_eq!(stats.counter_values(), vec![("engine#0.backoffs".into(), 3)]);
+        assert_eq!(
+            stats.counter_values(),
+            vec![("engine#0.backoffs".into(), 3)]
+        );
     }
 
     #[test]

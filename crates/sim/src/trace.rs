@@ -134,7 +134,15 @@ impl Trace {
         if !self.is_enabled() {
             return;
         }
-        self.push(TraceEvent { name: name.into(), cat, ph: 'X', ts: start, dur, tid, args });
+        self.push(TraceEvent {
+            name: name.into(),
+            cat,
+            ph: 'X',
+            ts: start,
+            dur,
+            tid,
+            args,
+        });
     }
 
     /// Emits an instant (`"i"`) event at `ts` on thread `tid`.
@@ -150,7 +158,15 @@ impl Trace {
         if !self.is_enabled() {
             return;
         }
-        self.push(TraceEvent { name: name.into(), cat, ph: 'i', ts, dur: 0, tid, args });
+        self.push(TraceEvent {
+            name: name.into(),
+            cat,
+            ph: 'i',
+            ts,
+            dur: 0,
+            tid,
+            args,
+        });
     }
 
     /// Number of recorded events currently in the ring.
@@ -240,7 +256,14 @@ mod tests {
         let t = Trace::new(16);
         t.set_enabled(true);
         t.name_thread(3, "engine#3");
-        t.complete(3, "engine", "Backoff", 100, 50, vec![("until", "150".into())]);
+        t.complete(
+            3,
+            "engine",
+            "Backoff",
+            100,
+            50,
+            vec![("until", "150".into())],
+        );
         t.instant(0, "coherence", "Inv", 120, vec![("line", "0x40".into())]);
         let json = t.to_chrome_json();
         assert!(json.contains("\"traceEvents\""));

@@ -23,7 +23,12 @@ fn main() {
     let (acc_out, rx) = spsc_channel::<u64>(128);
 
     // The "driver" registers the accelerator between the two queues.
-    let handle = cohort_register(Box::new(Aes128Accel::new()), acc_in, acc_out, Some(key.to_vec()));
+    let handle = cohort_register(
+        Box::new(Aes128Accel::new()),
+        acc_in,
+        acc_out,
+        Some(key.to_vec()),
+    );
 
     // Producer process: streams plaintext blocks.
     let producer = thread::spawn(move || {
@@ -61,6 +66,9 @@ fn main() {
     let stats = handle.unregister();
     println!("producer process -> AES accelerator -> consumer process");
     println!("{ok}/{blocks} ciphertext blocks verified by the consumer");
-    println!("accelerator moved {} words in / {} words out", stats.words_in, stats.words_out);
+    println!(
+        "accelerator moved {} words in / {} words out",
+        stats.words_in, stats.words_out
+    );
     assert_eq!(ok, blocks);
 }

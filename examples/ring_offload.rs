@@ -27,7 +27,10 @@ fn main() {
     while completed < jobs {
         // Submit as long as the SQ accepts.
         while submitted < jobs {
-            let sqe = Sqe { user_data: submitted as u64, payload: payloads[submitted].clone() };
+            let sqe = Sqe {
+                user_data: submitted as u64,
+                payload: payloads[submitted].clone(),
+            };
             match ring.submit(sqe) {
                 Ok(()) => submitted += 1,
                 Err(_) => break, // SQ full: go do application work

@@ -12,7 +12,7 @@ use cohort::scenarios::{run_cohort, run_dma, run_mmio, RunResult, Scenario, Work
 fn show(label: &str, r: &RunResult) {
     println!("--- {label} ---");
     println!(
-    "  latency {} cycles | {} instructions | IPC {:.3} | output verified: {}",
+        "  latency {} cycles | {} instructions | IPC {:.3} | output verified: {}",
         r.cycles,
         r.instret,
         r.ipc(),

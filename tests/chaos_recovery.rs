@@ -24,7 +24,22 @@ fn checksum(words: &[u64]) -> u64 {
 }
 
 fn engine_counter(r: &RunResult, name: &str) -> u64 {
-    r.counter("cohort-engine", name).unwrap_or_else(|| panic!("missing counter {name}"))
+    r.counter("cohort-engine", name)
+        .unwrap_or_else(|| panic!("missing counter {name}"))
+}
+
+/// Extracts a histogram's sample count from the stats-registry JSON,
+/// summed over every scoped key ending in `name`.
+fn hist_count(stats_json: &str, name: &str) -> u64 {
+    let needle = format!("{name}\": {{\"count\": ");
+    let mut total = 0u64;
+    let mut rest = stats_json;
+    while let Some(at) = rest.find(&needle) {
+        rest = &rest[at + needle.len()..];
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        total += digits.parse::<u64>().unwrap_or(0);
+    }
+    total
 }
 
 #[test]
@@ -32,19 +47,28 @@ fn finite_stall_recovers_without_watchdog_trip() {
     let plan = FaultPlan::default().at(5_000, FaultKind::AccelStall { cycles: 3_000 });
     let r = run_cohort_chaos(&chaos_scenario(plan));
     assert!(r.verified, "finite stall must not corrupt output");
-    assert_eq!(engine_counter(&r, "watchdog_trips"), 0, "stall shorter than the watchdog");
+    assert_eq!(
+        engine_counter(&r, "watchdog_trips"),
+        0,
+        "stall shorter than the watchdog"
+    );
     assert_eq!(engine_counter(&r, "error_irqs"), 0);
 }
 
 #[test]
 fn infinite_stall_trips_watchdog_and_degrades_to_software() {
-    let mut s = chaos_scenario(
-        FaultPlan::default().at(5_000, FaultKind::AccelStall { cycles: FOREVER }),
-    );
+    let mut s =
+        chaos_scenario(FaultPlan::default().at(5_000, FaultKind::AccelStall { cycles: FOREVER }));
     s.watchdog = 20_000; // detect the wedge quickly
     let r = run_cohort_chaos(&s);
-    assert!(r.verified, "software fallback must reproduce the full digest stream");
-    assert!(engine_counter(&r, "watchdog_trips") >= 1, "the wedge must be detected");
+    assert!(
+        r.verified,
+        "software fallback must reproduce the full digest stream"
+    );
+    assert!(
+        engine_counter(&r, "watchdog_trips") >= 1,
+        "the wedge must be detected"
+    );
     assert!(engine_counter(&r, "error_irqs") >= 1, "and reported");
 }
 
@@ -52,8 +76,14 @@ fn infinite_stall_trips_watchdog_and_degrades_to_software() {
 fn corrupted_descriptor_is_rejected_and_recovered() {
     let plan = FaultPlan::default().at(8_000, FaultKind::CorruptDescriptor);
     let r = run_cohort_chaos(&chaos_scenario(plan));
-    assert!(r.verified, "corruption must be rejected, then worked around");
-    assert!(engine_counter(&r, "error_irqs") >= 1, "bad descriptor must raise the error IRQ");
+    assert!(
+        r.verified,
+        "corruption must be rejected, then worked around"
+    );
+    assert!(
+        engine_counter(&r, "error_irqs") >= 1,
+        "bad descriptor must raise the error IRQ"
+    );
 }
 
 #[test]
@@ -70,12 +100,21 @@ fn page_fault_storm_output_matches_fault_free_run() {
         checksum(&clean.recorded),
         "storm recovery must be data-lossless"
     );
-    assert!(stormy.cycles >= clean.cycles, "faults may cost cycles, never correctness");
+    assert!(
+        stormy.cycles >= clean.cycles,
+        "faults may cost cycles, never correctness"
+    );
 }
 
 #[test]
 fn latency_spike_completes_with_correct_output() {
-    let plan = FaultPlan::default().at(3_000, FaultKind::LatencySpike { cycles: 5_000, factor: 8 });
+    let plan = FaultPlan::default().at(
+        3_000,
+        FaultKind::LatencySpike {
+            cycles: 5_000,
+            factor: 8,
+        },
+    );
     let r = run_cohort_chaos(&chaos_scenario(plan));
     assert!(r.verified, "a slow NoC is still a correct NoC");
 }
@@ -85,7 +124,12 @@ fn seeded_random_plan_is_deterministic_across_runs() {
     let make = || {
         let plan = FaultPlan::default()
             .at(4_000, FaultKind::AccelStall { cycles: 2_000 })
-            .with_random(RandomFaults { seed: 0xC0FFEE, count: 4, from: 10_000, to: 60_000 });
+            .with_random(RandomFaults {
+                seed: 0xC0FFEE,
+                count: 4,
+                from: 10_000,
+                to: 60_000,
+            });
         let mut s = chaos_scenario(plan);
         s.watchdog = 30_000;
         s
@@ -95,20 +139,72 @@ fn seeded_random_plan_is_deterministic_across_runs() {
     assert!(a.verified && b.verified);
     assert_eq!(a.cycles, b.cycles, "same seed, same cycle count");
     assert_eq!(checksum(&a.recorded), checksum(&b.recorded));
-    assert_eq!(a.stats_json, b.stats_json, "whole stats snapshot must be identical");
+    assert_eq!(
+        a.stats_json, b.stats_json,
+        "whole stats snapshot must be identical"
+    );
+}
+
+#[test]
+fn error_irq_latency_is_measured_end_to_end() {
+    let plan = FaultPlan::default().at(8_000, FaultKind::CorruptDescriptor);
+    let r = run_cohort_chaos(&chaos_scenario(plan));
+    assert!(r.verified);
+    let irqs = engine_counter(&r, "error_irqs");
+    assert!(irqs >= 1);
+    // Every error IRQ's latch→handler-completion span lands in the
+    // histogram, whether the handler resumed or disabled the engine.
+    assert!(
+        hist_count(&r.stats_json, "error_irq_latency") >= irqs,
+        "every error IRQ must close a latency span: {}",
+        r.stats_json
+    );
+}
+
+#[test]
+fn retry_budget_resets_after_each_successful_recovery() {
+    // Three watchdog-tripping stalls separated by healthy progress. The
+    // per-incident retry budget is 2: without the forward-progress reset
+    // the third incident would inherit an exhausted counter and
+    // needlessly fall back to software. With it, every incident is
+    // recovered in hardware and the engine produces the full stream.
+    let plan = FaultPlan::default()
+        .at(4_000, FaultKind::AccelStall { cycles: 15_000 })
+        .at(22_000, FaultKind::AccelStall { cycles: 15_000 })
+        .at(40_000, FaultKind::AccelStall { cycles: 15_000 });
+    let mut s = chaos_scenario(plan);
+    s.watchdog = 10_000; // each stall overruns the budget exactly once
+    let r = run_cohort_chaos(&s);
+    assert!(r.verified);
+    assert!(
+        engine_counter(&r, "watchdog_trips") >= 3,
+        "all three wedges detected"
+    );
+    assert_eq!(
+        engine_counter(&r, "resumes"),
+        engine_counter(&r, "error_irqs"),
+        "every incident recovered by an ERROR_STATUS clear, none by fallback"
+    );
+    assert_eq!(
+        engine_counter(&r, "produced"),
+        r.recorded.len() as u64,
+        "the hardware engine, not the software fallback, produced every element"
+    );
 }
 
 #[test]
 fn chaos_transitions_are_visible_in_the_trace() {
-    let mut s = chaos_scenario(
-        FaultPlan::default().at(5_000, FaultKind::AccelStall { cycles: FOREVER }),
-    );
+    let mut s =
+        chaos_scenario(FaultPlan::default().at(5_000, FaultKind::AccelStall { cycles: FOREVER }));
     s.watchdog = 20_000;
     s.trace = true;
     let r = run_cohort_chaos(&s);
     assert!(r.verified);
     let trace = r.trace_json.expect("tracing enabled");
     assert!(trace.contains("fault:stall"), "injection instant present");
-    assert!(trace.contains("watchdog_trip"), "watchdog trip instant present");
+    assert!(
+        trace.contains("watchdog_trip"),
+        "watchdog trip instant present"
+    );
     assert!(trace.contains("error_irq"), "error IRQ instant present");
 }

@@ -43,7 +43,12 @@ fn stft_through_the_simulated_engine() {
 #[test]
 fn null_fifo_is_pure_communication() {
     let input: Vec<u64> = (0..512u64).map(|i| i * 3).collect();
-    let r = CustomRun::new(Box::new(NullFifo::with_geometry(64, 1)), input.clone(), input).run();
+    let r = CustomRun::new(
+        Box::new(NullFifo::with_geometry(64, 1)),
+        input.clone(),
+        input,
+    )
+    .run();
     assert!(r.verified);
     // Engine counters agree with the data volume.
     assert_eq!(r.counter("cohort-engine", "consumed"), Some(512));

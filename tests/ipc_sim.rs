@@ -38,8 +38,7 @@ fn two_processes_share_queues_around_an_engine() {
 
     // Process B maps the output queue's physical pages at its own VAs.
     let mut space_b = AddressSpace::new(&mut frames, MapPolicy::Eager);
-    let out_vb =
-        space_b.map_shared(&mut soc.mem, &mut frames, &space_a, out_va, q_bytes);
+    let out_vb = space_b.map_shared(&mut soc.mem, &mut frames, &space_a, out_va, q_bytes);
     let out_q_b = QueueLayout::standard(out_vb, 8, n);
     assert_ne!(out_vb, out_va, "distinct virtual views");
     assert_eq!(
@@ -58,18 +57,33 @@ fn two_processes_share_queues_around_an_engine() {
         64,
     );
     for i in 0..u64::from(n) {
-        prog_a.push(Op::Store { va: in_q.descriptor.element_va(i), value: 0x1_0000 + i });
+        prog_a.push(Op::Store {
+            va: in_q.descriptor.element_va(i),
+            value: 0x1_0000 + i,
+        });
     }
     prog_a.push(Op::Fence);
-    prog_a.push(Op::Store { va: in_q.descriptor.write_index_va, value: u64::from(n) });
+    prog_a.push(Op::Store {
+        va: in_q.descriptor.write_index_va,
+        value: u64::from(n),
+    });
 
     // Process B: pop through its own mapping and release the read index.
     let mut prog_b = Program::new();
     for j in 0..u64::from(n) {
-        prog_b.push(Op::WaitGe { va: out_q_b.descriptor.write_index_va, value: j + 1 });
-        prog_b.push(Op::Load { va: out_q_b.descriptor.element_va(j), record: true });
+        prog_b.push(Op::WaitGe {
+            va: out_q_b.descriptor.write_index_va,
+            value: j + 1,
+        });
+        prog_b.push(Op::Load {
+            va: out_q_b.descriptor.element_va(j),
+            record: true,
+        });
     }
-    prog_b.push(Op::Store { va: out_q_b.descriptor.read_index_va, value: u64::from(n) });
+    prog_b.push(Op::Store {
+        va: out_q_b.descriptor.read_index_va,
+        value: u64::from(n),
+    });
     prog_b.push(Op::Fence);
 
     let mut core_a = InOrderCore::new(dir, &cfg, prog_a);
@@ -87,7 +101,11 @@ fn two_processes_share_queues_around_an_engine() {
     assert!(out.quiescent, "stuck at cycle {}", out.cycle);
     let b = soc.component::<InOrderCore>(core_b).unwrap();
     let expect: Vec<u64> = (0..u64::from(n)).map(|i| 0x1_0000 + i).collect();
-    assert_eq!(b.recorded(), &expect[..], "process B sees A's data via the engine");
+    assert_eq!(
+        b.recorded(),
+        &expect[..],
+        "process B sees A's data via the engine"
+    );
     let a = soc.component::<InOrderCore>(core_a).unwrap();
     assert!(a.is_done());
 }

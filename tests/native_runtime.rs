@@ -141,7 +141,11 @@ fn stft_through_queues() {
         (re * re + im * im).sqrt()
     };
     let peak = mag(8);
-    assert!(peak > 4.0 * mag(3), "tone must dominate: peak {peak} vs {}", mag(3));
+    assert!(
+        peak > 4.0 * mag(3),
+        "tone must dominate: peak {peak} vs {}",
+        mag(3)
+    );
     h.unregister();
 }
 

@@ -57,14 +57,14 @@ fn traced_crypto_run_produces_stats_and_trace_json() {
     assert!(trace.starts_with('{') && trace.ends_with('}'));
     assert!(has_key(trace, "traceEvents"));
     for needle in [
-        "\"ph\": \"X\"",          // complete events
-        "\"ph\": \"i\"",          // coherence instants
-        "\"ph\": \"M\"",          // thread-name metadata
+        "\"ph\": \"X\"", // complete events
+        "\"ph\": \"i\"", // coherence instants
+        "\"ph\": \"M\"", // thread-name metadata
         "\"cat\": \"noc\"",
         "\"cat\": \"coherence\"",
         "\"cat\": \"engine\"",
-        "\"name\": \"cons:",      // consumer state spans
-        "\"name\": \"prod:",      // producer state spans
+        "\"name\": \"cons:", // consumer state spans
+        "\"name\": \"prod:", // producer state spans
     ] {
         assert!(trace.contains(needle), "trace missing {needle}");
     }

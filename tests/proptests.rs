@@ -116,7 +116,10 @@ fn ratchet_roundtrip() {
             out.extend(b);
         }
         assert_eq!(&out[..], &data[..out.len()]);
-        assert!(data.len() - out.len() < block, "at most a partial block retained");
+        assert!(
+            data.len() - out.len() < block,
+            "at most a partial block retained"
+        );
         if let Some(tail) = r.flush_padded() {
             assert_eq!(&tail[..data.len() - out.len()], &data[out.len()..]);
         }
@@ -144,8 +147,9 @@ fn cavlc_roundtrip() {
 fn exp_golomb_roundtrip() {
     let mut rng = Rng::new(0xe601);
     for _ in 0..CASES {
-        let values: Vec<i32> =
-            (0..rng.range(0, 64)).map(|_| rng.next_u64() as u32 as i32).collect();
+        let values: Vec<i32> = (0..rng.range(0, 64))
+            .map(|_| rng.next_u64() as u32 as i32)
+            .collect();
         let mut w = BitWriter::new();
         for &v in &values {
             if v >= 0 {
@@ -229,7 +233,15 @@ fn sv39_walk_agrees_with_mappings() {
         for &p in &pages {
             let va = 0x4000_0000 + p * 4096;
             let pa = frames.alloc();
-            sv39::map(&mut mem, root, va, pa, PageSize::Base, pte_flags::DATA, || frames.alloc());
+            sv39::map(
+                &mut mem,
+                root,
+                va,
+                pa,
+                PageSize::Base,
+                pte_flags::DATA,
+                || frames.alloc(),
+            );
             expect.insert(va, pa);
         }
         for &p in &pages {

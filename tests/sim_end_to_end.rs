@@ -1,9 +1,7 @@
 //! Full-system integration tests: benchmark scenarios on the simulated SoC
 //! with end-to-end output verification.
 
-use cohort::scenarios::{
-    run_cohort, run_cohort_chain, run_dma, run_mmio, Scenario, Workload,
-};
+use cohort::scenarios::{run_cohort, run_cohort_chain, run_dma, run_mmio, Scenario, Workload};
 use cohort_os::addrspace::MapPolicy;
 
 #[test]
@@ -117,7 +115,10 @@ fn huge_pages_reduce_tlb_misses() {
 fn rcm_observes_invalidations() {
     let r = run_cohort(&Scenario::new(Workload::Sha, 256, 16));
     let invs = r.counter("cohort-engine", "rcm_invalidations").unwrap();
-    assert!(invs > 0, "batched publications must be seen as invalidations");
+    assert!(
+        invs > 0,
+        "batched publications must be seen as invalidations"
+    );
     let backoffs = r.counter("cohort-engine", "backoffs").unwrap();
     assert!(backoffs > 0);
 }
@@ -165,7 +166,10 @@ fn different_seeds_different_data_same_shape() {
     let a = run_cohort(&s1);
     let b = run_cohort(&s2);
     assert!(a.verified && b.verified);
-    assert_ne!(a.recorded, b.recorded, "different plaintext, different ciphertext");
+    assert_ne!(
+        a.recorded, b.recorded,
+        "different plaintext, different ciphertext"
+    );
 }
 
 #[test]
