@@ -46,7 +46,7 @@ fn main() {
         md.push_str(&format!(
             "| {entries} | {:.1} | {} |\n",
             r.cycles as f64 / 1000.0,
-            r.counter("cohort-engine", "tlb_misses").unwrap_or(0)
+            r.counter("engine", "tlb_misses").unwrap_or(0)
         ));
     }
 
@@ -66,8 +66,8 @@ fn main() {
         md.push_str(&format!(
             "| {name} | {:.1} | {} | {} |\n",
             r.cycles as f64 / 1000.0,
-            r.counter("cohort-engine", "faults").unwrap_or(0),
-            r.counter("cohort-engine", "tlb_misses").unwrap_or(0)
+            r.counter("engine", "faults").unwrap_or(0),
+            r.counter("engine", "tlb_misses").unwrap_or(0)
         ));
     }
 

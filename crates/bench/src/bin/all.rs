@@ -78,5 +78,12 @@ fn main() {
             report::table4_markdown(&SocConfig::default())
         ),
     );
+    write(
+        "scaling.md",
+        format!(
+            "# Shard scaling — multi-engine queue sharding\n\n{}",
+            report::scaling_figure(&mut sweep)
+        ),
+    );
     println!("done.");
 }

@@ -1,0 +1,23 @@
+//! Regenerates only the shard-scaling figure (`results/scaling.md`) — the
+//! multi-engine counterpart of the `all` binary, cheap enough to rerun
+//! after driver or placement changes without resimulating Figs. 8-11.
+
+use cohort_bench::report;
+use cohort_bench::sweep::Sweep;
+use std::fs;
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    fs::create_dir_all(&out_dir).expect("create results dir");
+    let mut sweep = Sweep::new_verbose();
+    let path = format!("{out_dir}/scaling.md");
+    fs::write(
+        &path,
+        format!(
+            "# Shard scaling — multi-engine queue sharding\n\n{}",
+            report::scaling_figure(&mut sweep)
+        ),
+    )
+    .expect("write result");
+    println!("wrote {path}");
+}

@@ -28,23 +28,64 @@
 
 use cohort::scenarios::{
     run_cohort, run_cohort_chain, run_cohort_chain_failover, run_cohort_chaos,
-    run_cohort_interfered, run_dma, run_dma_chaos, run_mmio, RunResult, Scenario, Workload,
+    run_cohort_interfered, run_cohort_sharded, run_dma, run_dma_chaos, run_mmio, RunResult,
+    Scenario, ShardSpec, Workload,
 };
 use cohort_os::addrspace::MapPolicy;
+use cohort_os::driver::Placement;
 use cohort_sim::faultinject::{FaultKind, FaultPlan};
 
 fn usage() -> ! {
     eprintln!(
         "usage: socrun [--workload sha|aes]\n\
-         \u{20}             [--mode cohort|mmio|dma|chain|interfered|chaos|failover|dma-chaos]\n\
+         \u{20}             [--mode cohort|mmio|dma|chain|interfered|chaos|failover|dma-chaos|shard]\n\
          \u{20}             [--queue N] [--batch N] [--backoff N] [--policy eager|lazy|huge]\n\
          \u{20}             [--tlb N] [--faults SPEC] [--watchdog N] [--counters]\n\
-         \u{20}             [--stats FILE] [--trace FILE]\n\
+         \u{20}             [--shards N] [--placement rr|occupancy] [--engines N] [--skew]\n\
+         \u{20}             [--stats FILE] [--trace FILE] [--bench-out FILE]\n\
+         \u{20}             [--baseline FILE] [--bless-baseline FILE]\n\
+         sharding: --shards N splits the stream over N engines (mode shard);\n\
+         \u{20}         --engines overrides the spare-inclusive pool size,\n\
+         \u{20}         --skew makes every 4th element run heavy\n\
+         perf gate: --bench-out writes {{cycles, throughput, occupancy p50}} JSON;\n\
+         \u{20}          --baseline fails (exit 1) when cycles regress >5% vs FILE;\n\
+         \u{20}          --bless-baseline refreshes FILE from this run\n\
          fault spec: stall@C:D|forever; spike@C:D:F; storm@C:P; corrupt@C;\n\
          \u{20}           kill@C[:E]; maple-stall@C:D; maple-kill@C;\n\
          \u{20}           random:seed=S,count=N,from=A,to=B (semicolon-separated)"
     );
     std::process::exit(2)
+}
+
+/// Allowed regression of the perf gate: runs are deterministic, so 5% is
+/// pure headroom for intentional timing-model recalibration.
+const BASELINE_TOLERANCE: f64 = 0.05;
+
+/// Renders the machine-readable benchmark record the CI perf gate diffs.
+fn bench_json(r: &RunResult, args: &str, queue: u64) -> String {
+    let mut occ = String::new();
+    for (name, h) in &r.histograms {
+        if let Some(engine) = name.strip_suffix(".in_queue_occupancy") {
+            if !occ.is_empty() {
+                occ.push_str(", ");
+            }
+            occ.push_str(&format!("\"{engine}\": {}", h.p50));
+        }
+    }
+    format!(
+        "{{\n  \"args\": \"{args}\",\n  \"cycles\": {},\n  \"throughput_elems_per_kcycle\": {:.3},\n  \"occupancy_p50\": {{{occ}}},\n  \"verified\": {}\n}}\n",
+        r.cycles,
+        queue as f64 * 1000.0 / r.cycles as f64,
+        r.verified
+    )
+}
+
+/// Pulls `"cycles": N` out of a baseline JSON without a parser dependency.
+fn parse_cycles(json: &str) -> Option<u64> {
+    let start = json.find("\"cycles\"")? + "\"cycles\"".len();
+    let rest = json[start..].trim_start_matches([':', ' ']);
+    let end = rest.find([',', '\n', '}'])?;
+    rest[..end].trim().parse().ok()
 }
 
 fn main() {
@@ -60,6 +101,13 @@ fn main() {
     let mut counters = false;
     let mut stats_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut shards: Option<usize> = None;
+    let mut placement = Placement::RoundRobin;
+    let mut engines: Option<usize> = None;
+    let mut skew = false;
+    let mut bench_out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut bless: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -96,6 +144,18 @@ fn main() {
             "--counters" => counters = true,
             "--stats" => stats_path = Some(value()),
             "--trace" => trace_path = Some(value()),
+            "--shards" => shards = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--placement" => {
+                placement = value().parse().unwrap_or_else(|e: String| {
+                    eprintln!("socrun: {e}");
+                    usage()
+                })
+            }
+            "--engines" => engines = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--skew" => skew = true,
+            "--bench-out" => bench_out = Some(value()),
+            "--baseline" => baseline = Some(value()),
+            "--bless-baseline" => bless = Some(value()),
             _ => usage(),
         }
     }
@@ -107,6 +167,11 @@ fn main() {
     }
     if let Some(t) = tlb {
         scenario.soc.tlb_entries = t;
+    }
+    // --shards routes to the sharded runner (which arms its own failover
+    // when a fault plan kills a shard engine).
+    if shards.is_some() && mode == "cohort" {
+        mode = "shard".to_string();
     }
     if let Some(plan) = faults {
         // A fault plan without an explicit mode picks the runner armed to
@@ -147,11 +212,33 @@ fn main() {
         "chaos" => run_cohort_chaos(&scenario),
         "failover" => run_cohort_chain_failover(&scenario),
         "dma-chaos" => run_dma_chaos(&scenario),
+        "shard" => {
+            let n = shards.unwrap_or(1);
+            // Spare-inclusive pool: explicit --engines wins; otherwise one
+            // engine per shard plus a spare when a kill targets a shard.
+            let kill_targets_shard = scenario.soc.faults.schedule().iter().any(
+                |e| matches!(e.kind, FaultKind::KillEngine { engine } if (engine as usize) < n),
+            );
+            scenario.soc.engines = engines.unwrap_or(n + usize::from(kill_targets_shard));
+            let spec = ShardSpec::new(n).with_placement(placement).with_skew(skew);
+            run_cohort_sharded(&scenario, &spec).unwrap_or_else(|e| {
+                eprintln!("socrun: {e}");
+                std::process::exit(2);
+            })
+        }
         _ => usage(),
     };
     let wall = start.elapsed();
 
-    println!("workload={workload:?} mode={mode} queue={queue} batch={batch} policy={policy:?}");
+    print!("workload={workload:?} mode={mode} queue={queue} batch={batch} policy={policy:?}");
+    if mode == "shard" {
+        print!(
+            " shards={} placement={placement} engines={} skew={skew}",
+            shards.unwrap_or(1),
+            scenario.soc.engines
+        );
+    }
+    println!();
     println!(
         "latency: {} cycles ({:.1} kcycles, {:.2} cycles/element)",
         r.cycles,
@@ -187,7 +274,56 @@ fn main() {
         });
         println!("trace: wrote {path} (load in https://ui.perfetto.dev)");
     }
+    let record = bench_json(
+        &r,
+        &format!(
+            "workload={workload:?} mode={mode} queue={queue} batch={batch} shards={} placement={placement} skew={skew}",
+            shards.unwrap_or(1)
+        ),
+        queue,
+    );
+    if let Some(path) = &bench_out {
+        std::fs::write(path, &record).unwrap_or_else(|e| {
+            eprintln!("socrun: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("bench: wrote {path}");
+    }
+    if let Some(path) = &bless {
+        std::fs::write(path, &record).unwrap_or_else(|e| {
+            eprintln!("socrun: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("baseline: blessed {path} at {} cycles", r.cycles);
+    }
     if !r.verified {
         std::process::exit(1);
+    }
+    if let Some(path) = &baseline {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("socrun: cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        let base = parse_cycles(&text).unwrap_or_else(|| {
+            eprintln!("socrun: baseline {path} has no \"cycles\" field");
+            std::process::exit(1);
+        });
+        let delta = r.cycles as f64 / base as f64 - 1.0;
+        println!(
+            "perf gate: {} cycles vs baseline {base} ({:+.2}%, tolerance {:.0}%)",
+            r.cycles,
+            delta * 100.0,
+            BASELINE_TOLERANCE * 100.0
+        );
+        if delta > BASELINE_TOLERANCE {
+            eprintln!(
+                "socrun: PERF REGRESSION: {} cycles is {:.2}% over baseline {base} (>{:.0}% tolerance); \
+                 if intentional, refresh with --bless-baseline {path}",
+                r.cycles,
+                delta * 100.0,
+                BASELINE_TOLERANCE * 100.0
+            );
+            std::process::exit(1);
+        }
     }
 }

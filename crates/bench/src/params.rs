@@ -23,6 +23,13 @@ pub const PEAK_BATCH: u64 = 64;
 /// DMA granularity (bytes).
 pub const DMA_GRANULARITY: u64 = 256;
 
+/// Shard counts swept in the scaling figure.
+pub const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Queue size for the scaling figure: large enough that per-shard engine
+/// work dominates the serial registration + merge-pop floor.
+pub const SHARD_QUEUE: u64 = 2048;
+
 /// Smallest batch of each workload (the "W/ Batching" baseline in Table 3).
 pub fn min_batch(wl: Workload) -> u64 {
     match wl {

@@ -125,7 +125,7 @@ pub fn stats_figure(sweep: &mut Sweep, workload: Workload) -> String {
     for &qs in &QUEUE_SIZES {
         let core = |sw: &mut Sweep, n| sw.stat(workload, mode, qs, "core", n);
         let dir = |sw: &mut Sweep, n| sw.stat(workload, mode, qs, "directory", n);
-        let eng = |sw: &mut Sweep, n| sw.stat(workload, mode, qs, "cohort-engine", n);
+        let eng = |sw: &mut Sweep, n| sw.stat(workload, mode, qs, "engine", n);
         let noc = dir(sweep, "gets") + dir(sweep, "getm"); // request msgs
         s.push_str(&format!(
             "| {qs} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |
@@ -145,6 +145,48 @@ pub fn stats_figure(sweep: &mut Sweep, workload: Workload) -> String {
     s.push_str("
 (observability-registry counters for the Cohort runs above; see `socrun --stats` for the full registry including histograms)
 ");
+    s
+}
+
+/// Renders the shard-scaling figure: AES throughput of the sharded driver
+/// at 1..N engines (uniform stream, round-robin), plus the skewed-stream
+/// placement-policy comparison. Speedups are against the 1-shard run on
+/// the same seed and stream.
+pub fn scaling_figure(sweep: &mut Sweep) -> String {
+    use crate::params::{SHARD_COUNTS, SHARD_QUEUE};
+    use cohort_os::driver::Placement;
+
+    let wl = Workload::Aes;
+    let base = sweep
+        .run_sharded(wl, 1, Placement::RoundRobin, false, SHARD_QUEUE)
+        .cycles as f64;
+    let mut s = String::new();
+    s.push_str("| Shards | Uniform (kcycles) | Speedup | Skewed rr (kcycles) | Skewed occupancy (kcycles) | Occupancy gain |\n");
+    s.push_str("|---|---|---|---|---|---|\n");
+    for &n in &SHARD_COUNTS {
+        let uni = sweep
+            .run_sharded(wl, n, Placement::RoundRobin, false, SHARD_QUEUE)
+            .cycles as f64;
+        let skew_rr = sweep
+            .run_sharded(wl, n, Placement::RoundRobin, true, SHARD_QUEUE)
+            .cycles as f64;
+        let skew_occ = sweep
+            .run_sharded(wl, n, Placement::OccupancyAware, true, SHARD_QUEUE)
+            .cycles as f64;
+        s.push_str(&format!(
+            "| {n} | {:.1} | {:.2}x | {:.1} | {:.1} | {:.2}x |\n",
+            uni / 1000.0,
+            base / uni,
+            skew_rr / 1000.0,
+            skew_occ / 1000.0,
+            skew_rr / skew_occ,
+        ));
+    }
+    s.push_str(&format!(
+        "\n(AES, queue {SHARD_QUEUE}, batch {}, one producer core per shard; skewed = every 4th element run heavy. \
+         Speedup is vs the 1-shard sharded run; occupancy gain is skewed rr / skewed occupancy.)\n",
+        crate::params::PEAK_BATCH
+    ));
     s
 }
 

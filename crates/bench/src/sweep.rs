@@ -1,6 +1,10 @@
 //! Memoized benchmark execution across figures.
 
-use cohort::scenarios::{run_cohort, run_dma, run_mmio, RunResult, Scenario, Workload};
+use cohort::scenarios::{
+    run_cohort, run_cohort_sharded, run_dma, run_mmio, RunResult, Scenario, ShardSpec, Workload,
+};
+use cohort_os::driver::Placement;
+use cohort_sim::config::SocConfig;
 use std::collections::HashMap;
 
 /// Communication API under test (Table 2 "communication modes").
@@ -32,6 +36,7 @@ impl std::fmt::Display for Mode {
 #[derive(Default)]
 pub struct Sweep {
     cache: HashMap<(Workload, Mode, u64), RunResult>,
+    shard_cache: HashMap<(Workload, usize, Placement, bool, u64), RunResult>,
     /// If true, print one progress line per fresh simulation.
     pub verbose: bool,
 }
@@ -78,6 +83,44 @@ impl Sweep {
             self.cache.insert(key, result);
         }
         &self.cache[&key]
+    }
+
+    /// Runs (or recalls) one sharded configuration: the logical stream
+    /// split over `shards` engines under the given placement policy, with
+    /// uniform or skewed element runs.
+    ///
+    /// # Panics
+    /// Panics if the pool cannot bind (the shard count is validated
+    /// upstream by callers with user input) or the run fails end-to-end
+    /// verification.
+    pub fn run_sharded(
+        &mut self,
+        workload: Workload,
+        shards: usize,
+        placement: Placement,
+        skewed: bool,
+        queue_size: u64,
+    ) -> &RunResult {
+        let key = (workload, shards, placement, skewed, queue_size);
+        if !self.shard_cache.contains_key(&key) {
+            if self.verbose {
+                eprintln!(
+                    "  simulating {workload:?} sharded n={shards} {placement} skew={skewed} queue={queue_size} ..."
+                );
+            }
+            let mut scenario = Scenario::new(workload, queue_size, crate::params::PEAK_BATCH);
+            scenario.soc = SocConfig::default().with_engines(shards);
+            let spec = ShardSpec::new(shards)
+                .with_placement(placement)
+                .with_skew(skewed);
+            let result = run_cohort_sharded(&scenario, &spec).expect("pool binds");
+            assert!(
+                result.verified,
+                "unverified sharded run: {workload:?} n={shards} {placement} queue={queue_size}"
+            );
+            self.shard_cache.insert(key, result);
+        }
+        &self.shard_cache[&key]
     }
 
     /// Latency in kilocycles (the Fig. 8/9 y-axis).

@@ -16,13 +16,18 @@ use cohort_accel::aes128::{Aes128, Aes128Accel};
 use cohort_accel::sha256::{sha256_raw_block, Sha256Accel};
 use cohort_maple::regs as maple_regs;
 use cohort_os::addrspace::MapPolicy;
-use cohort_os::driver::{fault_in, swap_store, FailoverConfig, ProgressProbe, SoftwareFallback};
+use cohort_os::driver::{
+    fault_in, swap_store, FailoverConfig, Placement, ProgressProbe, ShardError, ShardPool,
+    SoftwareFallback,
+};
 use cohort_os::sv39::PAGE_BYTES;
 use cohort_os::CohortDriver;
+use cohort_queue::{QueueLayout, SeqMerge};
 use cohort_sim::config::SocConfig;
 use cohort_sim::core::InOrderCore;
-use cohort_sim::faultinject::{FaultInjector, FaultKind, FaultPlan, StormHook};
+use cohort_sim::faultinject::{splitmix64, FaultInjector, FaultKind, FaultPlan, StormHook};
 use cohort_sim::program::{Op, Program};
+use cohort_sim::stats::HistogramSummary;
 use std::sync::Arc;
 
 /// The two accelerators of interest (Table 2).
@@ -174,13 +179,7 @@ impl Scenario {
     pub fn input_words(&self) -> Vec<u64> {
         let mut state = self.seed;
         (0..self.queue_size)
-            .map(|_| {
-                state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-                let mut z = state;
-                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-                z ^ (z >> 31)
-            })
+            .map(|_| splitmix64(&mut state))
             .collect()
     }
 
@@ -204,6 +203,10 @@ pub struct RunResult {
     pub verified: bool,
     /// Named counters gathered from all components.
     pub counters: Vec<(String, Vec<(String, u64)>)>,
+    /// Histogram summaries from the stats registry under their scoped
+    /// names (`engine#0.in_queue_occupancy`, …), so callers can assert on
+    /// percentiles without parsing [`RunResult::stats_json`].
+    pub histograms: Vec<(String, HistogramSummary)>,
     /// Stats-registry snapshot (counters + histogram summaries) as JSON.
     pub stats_json: String,
     /// Chrome `trace_event` JSON, present when the scenario enabled
@@ -227,6 +230,14 @@ impl RunResult {
             .iter()
             .find(|(c, _)| c.starts_with(comp_prefix))
             .and_then(|(_, list)| list.iter().find(|(n, _)| n == name).map(|(_, v)| *v))
+    }
+
+    /// Looks up one histogram summary by its scoped registry name.
+    pub fn histogram(&self, scoped_name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == scoped_name)
+            .map(|(_, h)| h)
     }
 }
 
@@ -254,6 +265,7 @@ fn finish_run(mut sys: SimSystem, scenario: &Scenario) -> RunResult {
         recorded,
         verified,
         counters: sys.soc.all_counters(),
+        histograms: sys.soc.stats().histogram_summaries(),
         stats_json: sys.soc.stats_json(),
         trace_json: scenario.trace.then(|| sys.soc.trace_json()),
     }
@@ -325,6 +337,432 @@ fn install_and_arm(sys: &mut SimSystem, driver: &CohortDriver, program: Program)
     core.load_program(program);
     if lazy {
         driver.install_fault_handler(core, vm);
+    }
+}
+
+/// How [`run_cohort_sharded`] splits the logical stream and steers the
+/// pieces onto engines.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardSpec {
+    /// Number of shards (engines the pool binds). The SoC must be
+    /// configured with at least this many engines
+    /// ([`SocConfig::engines`]), plus one spare when the fault plan kills
+    /// a shard.
+    pub shards: usize,
+    /// Placement policy.
+    pub placement: Placement,
+    /// When true, element runs have splitmix64-skewed sizes (mostly
+    /// small, occasionally large) instead of uniform ones — the variant
+    /// where occupancy-aware placement pulls ahead of round-robin.
+    pub skewed: bool,
+}
+
+impl ShardSpec {
+    /// A spec with `shards` shards, round-robin placement, uniform runs.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards,
+            placement: Placement::RoundRobin,
+            skewed: false,
+        }
+    }
+
+    /// Builder-style placement override.
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Builder-style skew toggle.
+    pub fn with_skew(mut self, skewed: bool) -> Self {
+        self.skewed = skewed;
+        self
+    }
+}
+
+/// Blocks per element run in the uniform (non-skewed) sharded scenario.
+const UNIFORM_CHUNK_BLOCKS: u64 = 4;
+
+/// One contiguous run of accelerator blocks after placement: where its
+/// input lands in its shard's input ring and where its output appears in
+/// the shard's output ring. The index of the chunk in the plan vector is
+/// its global sequence number.
+#[derive(Debug, Clone, Copy)]
+struct ShardChunk {
+    shard: usize,
+    in_off: u64,
+    in_words: u64,
+    out_off: u64,
+    out_words: u64,
+}
+
+/// Splits the scenario's stream into element runs (sizes in accelerator
+/// blocks). Uniform: fixed [`UNIFORM_CHUNK_BLOCKS`]-block runs. Skewed:
+/// splitmix64-jittered sizes with every fourth run heavy (8–16 blocks,
+/// the rest 1–3) — the I-frame-like periodic burst that is the classic
+/// adversarial input for blind round-robin: whenever the period is a
+/// multiple of the shard count, every heavy run collides on one engine,
+/// while load-aware placement keeps shard totals level.
+fn shard_chunk_blocks(scenario: &Scenario, skewed: bool) -> Vec<u64> {
+    let total = scenario.queue_size / scenario.workload.words_in_per_block();
+    let mut out = Vec::new();
+    let mut left = total;
+    let mut state = scenario.seed ^ 0x5eed_c0ff_ee01_d00d;
+    while left > 0 {
+        let blocks = if skewed {
+            let z = splitmix64(&mut state);
+            if out.len().is_multiple_of(4) {
+                8 + z % 9
+            } else {
+                1 + z % 3
+            }
+        } else {
+            UNIFORM_CHUNK_BLOCKS
+        };
+        let blocks = blocks.min(left);
+        out.push(blocks);
+        left -= blocks;
+    }
+    out
+}
+
+/// Runs the multi-engine sharded throughput scenario: one logical stream,
+/// split at element-run granularity by a driver-level [`ShardPool`] onto
+/// `spec.shards` engines, reassembled in global order by a sequence-tagged
+/// merge.
+///
+/// Faithful to how the paper scales (§6: one software thread per engine),
+/// each shard gets a dedicated producer core that streams its assigned
+/// runs into the shard's private input ring; the benchmark core registers
+/// every engine, then pops all output rings *in global sequence order* —
+/// the program realisation of the merge — so `recorded` is the logical
+/// stream and latency includes reassembly. Rings are sized for the whole
+/// per-shard stream, so producers never block and a dead shard can stall
+/// only its own elements.
+///
+/// Failover composes: when the fault plan fail-stops a shard engine, that
+/// shard is armed (watchdog + checkpoint spill) and its queues migrate
+/// onto the spare engine `spec.shards` via the PR-3 epoch-fenced path; the
+/// merge then drains the spare's output with the digest unchanged.
+///
+/// # Errors
+/// [`ShardError`] when `spec` asks for zero shards or for more shards
+/// (plus the failover spare, when a kill fault targets one) than
+/// [`SocConfig::engines`] provides.
+///
+/// # Panics
+/// Panics if `queue_size` is not whole accelerator blocks.
+pub fn run_cohort_sharded(scenario: &Scenario, spec: &ShardSpec) -> Result<RunResult, ShardError> {
+    let wpb_in = scenario.workload.words_in_per_block();
+    let wpb_out = scenario.workload.words_out_per_block();
+    assert!(
+        scenario.queue_size.is_multiple_of(wpb_in),
+        "sharded scenario needs whole accelerator blocks"
+    );
+
+    let cfg = scenario.soc.clone();
+    // A kill fault aimed at a shard engine requires a spare to heal onto.
+    let victim = cfg.faults.schedule().iter().find_map(|ev| match ev.kind {
+        FaultKind::KillEngine { engine } if (engine as usize) < spec.shards => {
+            Some(engine as usize)
+        }
+        _ => None,
+    });
+    let spares = usize::from(victim.is_some());
+
+    let spec_sys = SystemSpec {
+        cfg,
+        policy: scenario.policy,
+        engine_accels: (0..scenario.soc.engines)
+            .map(|_| scenario.workload.make_accel())
+            .collect(),
+        extra_core_programs: vec![Program::new(); spec.shards],
+        ..SystemSpec::default()
+    };
+    let mut sys = SimSystem::build(spec_sys, Program::new());
+    let mut pool = ShardPool::bind(&sys.drivers, spec.shards, spares, spec.placement)?;
+    let shards = pool.shards();
+
+    // Split, then place every run through the pool (this is where the
+    // policies differ), accumulating per-shard ring offsets.
+    let mut chunks = Vec::new();
+    let mut in_totals = vec![0u64; shards];
+    let mut out_totals = vec![0u64; shards];
+    for blocks in shard_chunk_blocks(scenario, spec.skewed) {
+        let in_words = blocks * wpb_in;
+        let out_words = blocks * wpb_out;
+        let placed = pool.place(in_words);
+        chunks.push(ShardChunk {
+            shard: placed.shard,
+            in_off: in_totals[placed.shard],
+            in_words,
+            out_off: out_totals[placed.shard],
+            out_words,
+        });
+        in_totals[placed.shard] += in_words;
+        out_totals[placed.shard] += out_words;
+    }
+
+    // Per-shard rings sized for the whole per-shard stream: producers
+    // never wrap or block, and an outage confines loss to its shard.
+    let in_qs: Vec<QueueLayout> = in_totals
+        .iter()
+        .map(|&w| sys.alloc_queue(8, w.max(1) as u32))
+        .collect();
+    let out_qs: Vec<QueueLayout> = out_totals
+        .iter()
+        .map(|&w| sys.alloc_queue(8, w.max(1) as u32))
+        .collect();
+    let csr = scenario.workload.csr().map(|bytes| {
+        let va = sys.alloc_buffer(bytes.len() as u64, 64);
+        (va, bytes)
+    });
+    if let Some((va, bytes)) = &csr {
+        if scenario.policy == MapPolicy::Lazy {
+            let mut space = sys.space.clone();
+            let mut va_page = *va & !4095;
+            while va_page < va + bytes.len() as u64 {
+                if space.translate(&sys.soc.mem, va_page).is_none() {
+                    space.handle_fault(&mut sys.soc.mem, &mut sys.frames, va_page);
+                }
+                va_page += 4096;
+            }
+        }
+        sys.write_guest(*va, bytes);
+    }
+    let csr_reg = csr.as_ref().map(|(va, b)| (*va, b.len() as u64));
+
+    // Producer programs: shard `s`'s core streams its runs in shard-FIFO
+    // order, publishing the write index every `batch` words and at end of
+    // stream. Data stores always precede the index publication (fence) —
+    // the data-before-pointer contract, per shard.
+    let data = scenario.input_words();
+    let costs = scenario.costs;
+    let mut producer_progs: Vec<Program> = (0..shards).map(|_| Program::new()).collect();
+    let mut pushed = vec![0u64; shards];
+    let mut published = vec![0u64; shards];
+    let mut data_pos = 0usize;
+    for c in &chunks {
+        let p = &mut producer_progs[c.shard];
+        for w in 0..c.in_words {
+            p.push(Op::Alu(costs.push_loop_alu));
+            p.push(Op::Store {
+                va: in_qs[c.shard].descriptor.element_va(c.in_off + w),
+                value: data[data_pos],
+            });
+            data_pos += 1;
+        }
+        pushed[c.shard] += c.in_words;
+        if pushed[c.shard] - published[c.shard] >= scenario.batch {
+            publish_index(p, in_qs[c.shard].descriptor.write_index_va, pushed[c.shard]);
+            published[c.shard] = pushed[c.shard];
+        }
+    }
+    for s in 0..shards {
+        if published[s] < pushed[s] {
+            publish_index(
+                &mut producer_progs[s],
+                in_qs[s].descriptor.write_index_va,
+                pushed[s],
+            );
+        }
+        producer_progs[s].push(Op::Fence);
+    }
+
+    // Benchmark-core program: register every shard engine, arm the victim
+    // (when a kill is scheduled), then pop in global sequence order — the
+    // merge, realised as WaitGe gates against each shard's cumulative
+    // output index.
+    let root_pa = sys.space.root_pa();
+    let watchdog = if scenario.watchdog == 0 {
+        CHAOS_DEFAULT_WATCHDOG
+    } else {
+        scenario.watchdog
+    };
+    let mut program = Program::new();
+    for s in 0..shards {
+        program.append(pool.driver(s).register_ops(
+            root_pa,
+            &in_qs[s].descriptor,
+            &out_qs[s].descriptor,
+            csr_reg,
+            scenario.backoff,
+        ));
+    }
+
+    let mut spill_pa = 0u64;
+    if let Some(v) = victim {
+        // Checkpoint spill page for the victim's datapath residue.
+        let spill_va = sys.alloc_buffer(PAGE_BYTES, PAGE_BYTES);
+        if sys.space.translate(&sys.soc.mem, spill_va).is_none() {
+            let mut space = sys.space.clone();
+            space.handle_fault(&mut sys.soc.mem, &mut sys.frames, spill_va);
+        }
+        spill_pa = sys
+            .space
+            .translate(&sys.soc.mem, spill_va)
+            .expect("spill page mapped");
+        // Only the victim is watchdogged: healthy shards legitimately sit
+        // in benign Waiting states whenever their producer is between
+        // batches.
+        program.append(pool.driver(v).watchdog_ops(watchdog));
+        program.append(pool.driver(v).spill_ops(spill_pa));
+    }
+
+    let mut popped = vec![0u64; shards];
+    for c in &chunks {
+        let oq = &out_qs[c.shard].descriptor;
+        program.push(Op::WaitGe {
+            va: oq.write_index_va,
+            value: c.out_off + c.out_words,
+        });
+        for w in 0..c.out_words {
+            program.push(Op::Alu(costs.pop_loop_alu));
+            program.push(Op::Load {
+                va: oq.element_va(c.out_off + w),
+                record: true,
+            });
+        }
+        popped[c.shard] = c.out_off + c.out_words;
+    }
+    for s in 0..shards {
+        program.push(Op::Alu(1));
+        program.push(Op::Store {
+            va: out_qs[s].descriptor.read_index_va,
+            value: popped[s],
+        });
+    }
+    program.push(Op::Fence);
+    if victim.is_some() {
+        program.append(sys.drivers[shards].unregister_ops());
+    }
+    for s in 0..shards {
+        program.append(pool.driver(s).unregister_ops());
+    }
+
+    // Load programs, arm demand paging (per engine) and, for a kill plan,
+    // the victim's failover orchestrator targeting the spare.
+    let lazy = sys.space.policy() == MapPolicy::Lazy;
+    let vm = CohortDriver::shared_vm(sys.space.clone(), sys.frames.clone());
+    let core_id = sys.core;
+    {
+        let core = sys
+            .soc
+            .component_mut::<InOrderCore>(core_id)
+            .expect("core present");
+        core.load_program(program);
+        if lazy {
+            for s in 0..shards {
+                pool.driver(s).install_fault_handler(core, Arc::clone(&vm));
+            }
+        }
+        if let Some(v) = victim {
+            pool.driver(v).install_failover_handler(
+                core,
+                FailoverConfig {
+                    spare: sys.drivers[shards].clone(),
+                    vm: Arc::clone(&vm),
+                    root_pa,
+                    input: in_qs[v].descriptor,
+                    output: out_qs[v].descriptor,
+                    csr: csr_reg,
+                    backoff: scenario.backoff,
+                    watchdog,
+                    spill_pa,
+                },
+            );
+        }
+    }
+    for (s, prog) in producer_progs.into_iter().enumerate() {
+        let pc = sys.extra_cores[s];
+        sys.soc
+            .component_mut::<InOrderCore>(pc)
+            .expect("producer core present")
+            .load_program(prog);
+    }
+
+    Ok(finish_sharded_run(sys, scenario, &chunks, &out_qs, pool))
+}
+
+/// Fence + one-ALU index arithmetic + write-index store: the batched
+/// publication idiom shared by every producer.
+fn publish_index(p: &mut Program, write_index_va: u64, value: u64) {
+    p.push(Op::Fence);
+    p.push(Op::Alu(1));
+    p.push(Op::Store {
+        va: write_index_va,
+        value,
+    });
+}
+
+/// Completes a sharded run: simulate, then verify twice over — the
+/// benchmark core's in-order pops against the host reference, and an
+/// explicitly reassembled copy: per-shard FIFO streams read back from
+/// guest memory are fed through the sequence-tagged merge
+/// ([`cohort_queue::merge`]) in a worst-case cross-shard interleaving and
+/// must reproduce the same logical stream. The pool's occupancy mirror is
+/// drained with each merged run and must return to zero.
+fn finish_sharded_run(
+    mut sys: SimSystem,
+    scenario: &Scenario,
+    chunks: &[ShardChunk],
+    out_qs: &[QueueLayout],
+    mut pool: ShardPool,
+) -> RunResult {
+    sys.soc.set_tracing(scenario.trace);
+    let outcome = sys.soc.run(cycle_budget(scenario.queue_size));
+    let core = sys.core();
+    assert!(
+        core.is_done(),
+        "sharded benchmark did not complete: quiescent={} cycle={} core={core:?}",
+        outcome.quiescent,
+        outcome.cycle,
+    );
+    let recorded = core.recorded().to_vec();
+    let expected = scenario.workload.reference_outputs(&scenario.input_words());
+
+    // Reassembly cross-check through the merge structure. Shards race
+    // each other in reality; feeding the merge one run per shard in turn
+    // exercises maximal cross-shard interleaving while preserving each
+    // shard's FIFO order.
+    let mut per_shard: Vec<std::collections::VecDeque<(u64, ShardChunk)>> =
+        vec![std::collections::VecDeque::new(); out_qs.len()];
+    for (seq, c) in chunks.iter().enumerate() {
+        per_shard[c.shard].push_back((seq as u64, *c));
+    }
+    let mut merge = SeqMerge::new();
+    let mut merged = Vec::new();
+    while per_shard.iter().any(|q| !q.is_empty()) {
+        for s in 0..per_shard.len() {
+            if let Some((seq, c)) = per_shard[s].pop_front() {
+                let words: Vec<u64> = (0..c.out_words)
+                    .map(|w| {
+                        let va = out_qs[s].descriptor.element_va(c.out_off + w);
+                        let bytes = sys.read_guest(va, 8);
+                        u64::from_le_bytes(bytes.try_into().expect("8B"))
+                    })
+                    .collect();
+                merge.push(seq, (s, c.in_words, words)).expect("unique seq");
+            }
+        }
+        for (_, (shard, in_words, words)) in merge.drain_ready() {
+            pool.complete(shard, in_words);
+            merged.extend(words);
+        }
+    }
+    let mirror_drained = (0..pool.shards()).all(|s| pool.occupancy(s) == 0);
+    let verified =
+        recorded == expected && merged == expected && merge.is_drained() && mirror_drained;
+
+    RunResult {
+        cycles: core.core_counters().done_at,
+        instret: core.core_counters().instret.get(),
+        recorded,
+        verified,
+        counters: sys.soc.all_counters(),
+        histograms: sys.soc.stats().histogram_summaries(),
+        stats_json: sys.soc.stats_json(),
+        trace_json: scenario.trace.then(|| sys.soc.trace_json()),
     }
 }
 
@@ -775,6 +1213,7 @@ pub fn run_dma_chaos(scenario: &Scenario) -> RunResult {
         recorded,
         verified,
         counters: sys.soc.all_counters(),
+        histograms: sys.soc.stats().histogram_summaries(),
         stats_json: sys.soc.stats_json(),
         trace_json: scenario.trace.then(|| sys.soc.trace_json()),
     }
@@ -1037,6 +1476,7 @@ impl CustomRun {
             recorded,
             verified,
             counters: sys.soc.all_counters(),
+            histograms: sys.soc.stats().histogram_summaries(),
             stats_json: sys.soc.stats_json(),
             trace_json: trace.then(|| sys.soc.trace_json()),
         }
@@ -1156,6 +1596,7 @@ fn finish_chain_run(mut sys: SimSystem, scenario: &Scenario) -> RunResult {
         recorded,
         verified,
         counters: sys.soc.all_counters(),
+        histograms: sys.soc.stats().histogram_summaries(),
         stats_json: sys.soc.stats_json(),
         trace_json: scenario.trace.then(|| sys.soc.trace_json()),
     }
@@ -1369,6 +1810,39 @@ mod tests {
         let r = run_cohort_chain(&scenario);
         assert!(r.verified, "chained digest mismatch");
         assert_eq!(r.recorded.len(), 32);
+    }
+
+    #[test]
+    fn sharded_aes_small_end_to_end() {
+        let mut scenario = Scenario::new(Workload::Aes, 64, 4);
+        scenario.soc = SocConfig::default().with_engines(2);
+        let r = run_cohort_sharded(&scenario, &ShardSpec::new(2)).expect("pool binds");
+        assert!(r.verified, "sharded ciphertext mismatch");
+        assert_eq!(r.recorded.len(), 64);
+    }
+
+    #[test]
+    fn sharded_sha_handles_non_unit_block_ratio() {
+        let mut scenario = Scenario::new(Workload::Sha, 64, 8);
+        scenario.soc = SocConfig::default().with_engines(2);
+        let r = run_cohort_sharded(&scenario, &ShardSpec::new(2)).expect("pool binds");
+        assert!(r.verified, "sharded digest mismatch");
+        assert_eq!(r.recorded.len(), 32);
+    }
+
+    #[test]
+    fn sharded_run_rejects_oversubscribed_pool() {
+        let mut scenario = Scenario::new(Workload::Aes, 64, 4);
+        scenario.soc = SocConfig::default().with_engines(2);
+        let err = run_cohort_sharded(&scenario, &ShardSpec::new(3)).unwrap_err();
+        assert!(matches!(
+            err,
+            ShardError::NotEnoughEngines {
+                requested: 3,
+                engines: 2,
+                spares: 0
+            }
+        ));
     }
 
     #[test]

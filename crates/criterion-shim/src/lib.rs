@@ -9,7 +9,7 @@
 //! calibrate-then-sample wall-clock harness:
 //!
 //! * each benchmark is warmed up, then the iteration count is calibrated so
-//!   one sample takes at least [`TARGET_SAMPLE`];
+//!   one sample takes at least `TARGET_SAMPLE` (10 ms);
 //! * `sample_size` samples are collected and the median per-iteration time
 //!   is reported, together with derived throughput when a [`Throughput`]
 //!   was configured.

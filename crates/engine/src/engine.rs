@@ -493,6 +493,27 @@ impl CohortEngine {
             .is_some_and(|f| f.engine_killed(self.engine_index))
     }
 
+    /// This engine's index in the SoC (assigned at build time).
+    pub fn engine_index(&self) -> u64 {
+        self.engine_index
+    }
+
+    /// Current input-queue occupancy as the engine sees it: elements the
+    /// producer has published (`known_wr`) that the consumer endpoint has
+    /// not yet read. This is the quantity a shard pool's software
+    /// occupancy mirror tracks, exposed so tests can compare mirror
+    /// against ground truth.
+    pub fn in_queue_occupancy(&self) -> u64 {
+        self.known_wr.saturating_sub(self.rd)
+    }
+
+    /// Shared handle to the per-step input-occupancy histogram (the
+    /// `engine#<id>.in_queue_occupancy` registry entry); its p50 is the
+    /// per-engine load summary the bench baseline records.
+    pub fn in_occupancy_histogram(&self) -> Histogram {
+        self.in_occupancy.clone()
+    }
+
     /// A point-in-time summary of the engine's migratable state, for
     /// tests and diagnostics. The authoritative queue indices live in
     /// coherent memory; these are the engine's internal views.
@@ -1730,7 +1751,17 @@ impl CohortEngine {
 
 impl Component for CohortEngine {
     fn name(&self) -> &str {
-        "cohort-engine"
+        "engine"
+    }
+
+    // Scope by engine index, not component slot: slot numbers depend on
+    // how many components precede the engines in build order, while the
+    // engine index is the stable hardware identity ([`set_engine_index`]
+    // runs before the engine joins the SoC). Two engines therefore get
+    // `engine#0` / `engine#1` regardless of mesh assembly order, and a
+    // shard sweep's per-engine stats line up across configurations.
+    fn scope(&self, _id: CompId) -> String {
+        format!("engine#{}", self.engine_index)
     }
 
     fn attach(&mut self, obs: &Observability) {

@@ -1,6 +1,6 @@
 //! # cohort-maple — the MAPLE-based baselines (paper §5.1)
 //!
-//! The paper repurposes a MAPLE decoupling unit [61] to host the same
+//! The paper repurposes a MAPLE decoupling unit \[61\] to host the same
 //! accelerators behind the two conventional invocation interfaces Cohort is
 //! compared against:
 //!

@@ -611,6 +611,221 @@ impl CohortDriver {
     }
 }
 
+/// Shard placement policy: how a [`ShardPool`] steers the next queue
+/// element (or element run) onto one of its engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Placement {
+    /// Static round-robin: shard `i`, `i+1`, … regardless of load.
+    #[default]
+    RoundRobin,
+    /// Steer to the shard whose in-queue occupancy mirror is lowest
+    /// (ties break toward the lowest shard index, keeping placement
+    /// deterministic). With uniform element weights this degenerates to
+    /// round-robin; under skewed weights it is greedy least-loaded.
+    OccupancyAware,
+}
+
+impl std::fmt::Display for Placement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Placement::RoundRobin => write!(f, "rr"),
+            Placement::OccupancyAware => write!(f, "occupancy"),
+        }
+    }
+}
+
+impl std::str::FromStr for Placement {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "rr" | "round-robin" => Ok(Placement::RoundRobin),
+            "occupancy" | "occ" => Ok(Placement::OccupancyAware),
+            other => Err(format!("unknown placement '{other}' (use rr|occupancy)")),
+        }
+    }
+}
+
+/// Why a [`ShardPool`] could not be built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardError {
+    /// Zero shards requested.
+    NoShards,
+    /// More shards (plus reserved spares) than the SoC has engines.
+    NotEnoughEngines {
+        /// Shards requested.
+        requested: usize,
+        /// Engines the pool may draw on.
+        engines: usize,
+        /// Engines held back as failover spares.
+        spares: usize,
+    },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::NoShards => write!(f, "shard pool needs at least one shard"),
+            ShardError::NotEnoughEngines {
+                requested,
+                engines,
+                spares,
+            } => write!(
+                f,
+                "{requested} shard(s) + {spares} spare(s) exceed the {engines} configured engine(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// One placement decision of a [`ShardPool`]: the element run's global
+/// sequence number and the shard it was steered onto.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardAssignment {
+    /// Position in the logical stream, in placement order. The
+    /// sequence-tagged merge (`cohort_queue::merge`) releases results in
+    /// exactly this order.
+    pub seq: u64,
+    /// Index of the chosen shard within the pool.
+    pub shard: usize,
+}
+
+/// A driver-level queue sharder: binds one logical SPSC stream onto N
+/// physical engines, one driver (and one in/out queue pair) per shard.
+///
+/// Work is split at queue-element granularity: each [`ShardPool::place`]
+/// call assigns the next element run to a shard under the configured
+/// [`Placement`] policy and tags it with a global sequence number. Within
+/// a shard, elements stay FIFO (the shard is an ordinary SPSC stream);
+/// across shards the consumer restores the logical order with the
+/// sequence-tagged merge in `cohort_queue::merge`.
+///
+/// The pool maintains a *software occupancy mirror* per shard — weight
+/// placed minus weight completed — which is what the occupancy-aware
+/// policy steers on. The mirror deliberately tracks the driver's view,
+/// not the engine's registers: reading `CONSUMED` over MMIO on every
+/// placement would cost more than the imbalance it avoids. Tests compare
+/// the mirror against `CohortEngine::in_queue_occupancy` ground truth.
+///
+/// Failover composes per shard: a killed shard's queues migrate onto a
+/// spare through the existing epoch-fenced path
+/// ([`CohortDriver::install_failover_handler`]); the pool itself holds no
+/// engine state, so a rebind needs no pool surgery.
+#[derive(Debug, Clone)]
+pub struct ShardPool {
+    drivers: Vec<CohortDriver>,
+    policy: Placement,
+    /// Weight placed but not yet completed, per shard.
+    occupancy: Vec<u64>,
+    /// Total weight ever placed, per shard (for post-run diagnostics).
+    placed_weight: Vec<u64>,
+    /// Element runs placed, per shard.
+    placed_runs: Vec<u64>,
+    rr_next: usize,
+    next_seq: u64,
+}
+
+impl ShardPool {
+    /// Binds the first `shards` of `engines` onto a new pool, holding
+    /// back `spares` engines (from the tail of the list) for failover.
+    ///
+    /// # Errors
+    /// [`ShardError::NoShards`] when `shards` is zero,
+    /// [`ShardError::NotEnoughEngines`] when `shards + spares` exceeds
+    /// the available engine count — the clean-rejection contract the CLI
+    /// surfaces instead of a panic.
+    pub fn bind(
+        engines: &[CohortDriver],
+        shards: usize,
+        spares: usize,
+        policy: Placement,
+    ) -> Result<Self, ShardError> {
+        if shards == 0 {
+            return Err(ShardError::NoShards);
+        }
+        if shards + spares > engines.len() {
+            return Err(ShardError::NotEnoughEngines {
+                requested: shards,
+                engines: engines.len(),
+                spares,
+            });
+        }
+        Ok(Self {
+            drivers: engines[..shards].to_vec(),
+            policy,
+            occupancy: vec![0; shards],
+            placed_weight: vec![0; shards],
+            placed_runs: vec![0; shards],
+            rr_next: 0,
+            next_seq: 0,
+        })
+    }
+
+    /// Number of shards in the pool.
+    pub fn shards(&self) -> usize {
+        self.drivers.len()
+    }
+
+    /// The placement policy.
+    pub fn policy(&self) -> Placement {
+        self.policy
+    }
+
+    /// The driver bound to shard `i`.
+    pub fn driver(&self, shard: usize) -> &CohortDriver {
+        &self.drivers[shard]
+    }
+
+    /// Steers the next element run (of `weight` queue elements) onto a
+    /// shard, charges the weight to that shard's occupancy mirror and
+    /// returns the sequence-tagged assignment.
+    pub fn place(&mut self, weight: u64) -> ShardAssignment {
+        let shard = match self.policy {
+            Placement::RoundRobin => {
+                let s = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % self.drivers.len();
+                s
+            }
+            Placement::OccupancyAware => self
+                .occupancy
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, &occ)| (occ, i))
+                .map(|(i, _)| i)
+                .expect("pool has at least one shard"),
+        };
+        self.occupancy[shard] += weight;
+        self.placed_weight[shard] += weight;
+        self.placed_runs[shard] += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        ShardAssignment { seq, shard }
+    }
+
+    /// Credits `weight` completed (popped) elements back to shard
+    /// `shard`'s occupancy mirror.
+    pub fn complete(&mut self, shard: usize, weight: u64) {
+        self.occupancy[shard] = self.occupancy[shard].saturating_sub(weight);
+    }
+
+    /// Shard `shard`'s occupancy mirror: weight placed minus completed.
+    pub fn occupancy(&self, shard: usize) -> u64 {
+        self.occupancy[shard]
+    }
+
+    /// Total weight ever placed on shard `shard`.
+    pub fn placed_weight(&self, shard: usize) -> u64 {
+        self.placed_weight[shard]
+    }
+
+    /// Element runs ever placed on shard `shard`.
+    pub fn placed_runs(&self, shard: usize) -> u64 {
+        self.placed_runs[shard]
+    }
+}
+
 /// Evicted-page backing store for fault-injection storms: page contents
 /// keyed by page-aligned VA. The storm stashes bytes here before unmapping;
 /// the swap-aware fault handler restores them on the next touch.
@@ -738,6 +953,96 @@ mod tests {
             op,
             Op::MmioStore { pa, value: 50_000 } if *pa == 0x4000_0000 + regs::WATCHDOG
         )));
+    }
+
+    fn pool_drivers(n: usize) -> Vec<CohortDriver> {
+        (0..n)
+            .map(|i| CohortDriver::new(0x4000_0000 + (i as u64) * 0x1_0000, 5 + i as u32))
+            .collect()
+    }
+
+    #[test]
+    fn shard_pool_rejects_zero_and_oversubscription() {
+        let engines = pool_drivers(4);
+        assert_eq!(
+            ShardPool::bind(&engines, 0, 0, Placement::RoundRobin).err(),
+            Some(ShardError::NoShards)
+        );
+        assert_eq!(
+            ShardPool::bind(&engines, 4, 1, Placement::RoundRobin).err(),
+            Some(ShardError::NotEnoughEngines {
+                requested: 4,
+                engines: 4,
+                spares: 1,
+            })
+        );
+        assert!(ShardPool::bind(&engines, 3, 1, Placement::RoundRobin).is_ok());
+    }
+
+    #[test]
+    fn round_robin_cycles_and_tags_sequences() {
+        let engines = pool_drivers(3);
+        let mut pool = ShardPool::bind(&engines, 3, 0, Placement::RoundRobin).unwrap();
+        let picks: Vec<_> = (0..6).map(|_| pool.place(2)).collect();
+        let shards: Vec<_> = picks.iter().map(|a| a.shard).collect();
+        let seqs: Vec<_> = picks.iter().map(|a| a.seq).collect();
+        assert_eq!(shards, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(pool.occupancy(0), 4);
+        pool.complete(0, 2);
+        assert_eq!(pool.occupancy(0), 2);
+        assert_eq!(pool.placed_weight(0), 4, "completion keeps totals");
+    }
+
+    #[test]
+    fn occupancy_aware_balances_skewed_weights() {
+        // Skewed runs: one heavy run then many light ones. Round-robin
+        // blindly stacks further work on the heavy shard; the
+        // occupancy-aware policy routes around it.
+        let weights = [16u64, 1, 1, 1, 1, 1, 1, 1];
+        let makespan = |policy: Placement| {
+            let engines = pool_drivers(2);
+            let mut pool = ShardPool::bind(&engines, 2, 0, policy).unwrap();
+            for &w in &weights {
+                pool.place(w);
+            }
+            (0..2).map(|s| pool.placed_weight(s)).max().unwrap()
+        };
+        let rr = makespan(Placement::RoundRobin);
+        let occ = makespan(Placement::OccupancyAware);
+        assert_eq!(rr, 19, "rr alternates: 16+1+1+1 vs 1+1+1+1");
+        assert_eq!(occ, 16, "occupancy leaves the heavy shard alone");
+        assert!(occ < rr);
+    }
+
+    #[test]
+    fn occupancy_aware_ties_break_deterministically() {
+        let engines = pool_drivers(3);
+        let mut pool = ShardPool::bind(&engines, 3, 0, Placement::OccupancyAware).unwrap();
+        // Equal weights: all shards tie in turn, lowest index wins, so
+        // the policy degenerates to round-robin exactly.
+        let shards: Vec<_> = (0..6).map(|_| pool.place(1).shard).collect();
+        assert_eq!(shards, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn shard_pool_binds_prefix_of_engine_list() {
+        let engines = pool_drivers(4);
+        let pool = ShardPool::bind(&engines, 2, 1, Placement::RoundRobin).unwrap();
+        assert_eq!(pool.shards(), 2);
+        assert_eq!(pool.driver(0).mmio_base(), engines[0].mmio_base());
+        assert_eq!(pool.driver(1).mmio_base(), engines[1].mmio_base());
+    }
+
+    #[test]
+    fn placement_parses_and_prints() {
+        assert_eq!("rr".parse::<Placement>().unwrap(), Placement::RoundRobin);
+        assert_eq!(
+            "occupancy".parse::<Placement>().unwrap(),
+            Placement::OccupancyAware
+        );
+        assert!("xyzzy".parse::<Placement>().is_err());
+        assert_eq!(Placement::OccupancyAware.to_string(), "occupancy");
     }
 
     #[test]

@@ -29,6 +29,6 @@ pub mod process;
 pub mod sv39;
 
 pub use addrspace::AddressSpace;
-pub use driver::CohortDriver;
+pub use driver::{CohortDriver, Placement, ShardAssignment, ShardError, ShardPool};
 pub use frame::FrameAllocator;
 pub use process::Process;

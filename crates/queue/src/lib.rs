@@ -18,8 +18,11 @@
 //!   simulated guest memory (cache-line-separated indices, contiguous data
 //!   array), shared between the OS model, the engine and the benchmark
 //!   program builders;
-//! * [`typed`] — typed elements over word queues, the role the paper's
+//! * [`typed`](mod@crate::typed) — typed elements over word queues, the role the paper's
 //!   Boost.Lockfree integration plays (§4.1.2);
+//! * [`merge`] — the sequence-tagged merge that reassembles one logical
+//!   stream from N shard queues (the software half of driver-level queue
+//!   sharding);
 //! * [`mpsc`] — the §4.5 future-work multi-producer queue (ticket +
 //!   per-slot sequence construction) with a sketched hardware descriptor.
 //!
@@ -35,6 +38,7 @@
 pub mod batch;
 pub mod descriptor;
 pub mod layout;
+pub mod merge;
 pub mod mpsc;
 pub mod pad;
 pub mod spsc;
@@ -43,6 +47,7 @@ pub mod typed;
 pub use batch::{BatchConsumer, BatchProducer};
 pub use descriptor::{DescriptorError, QueueDescriptor, MAX_ELEMENT_BYTES};
 pub use layout::QueueLayout;
+pub use merge::{MergeError, SeqMerge, Tagged};
 pub use mpsc::{mpsc_channel, MpscConsumer, MpscProducer};
 pub use spsc::{spsc_channel, Consumer, Producer, PushError};
 pub use typed::{typed, QueueElement, TypedConsumer, TypedProducer};

@@ -1,0 +1,170 @@
+//! Sequence-tagged merge: reassembling one logical stream from N shards.
+//!
+//! When a logical SPSC stream is sharded across several physical engines,
+//! each shard preserves FIFO order internally but the shards complete
+//! independently. [`SeqMerge`] restores the global order: every element
+//! carries the sequence number it was assigned at placement time, shards
+//! feed the merge in their own FIFO order, and the merge releases elements
+//! strictly in sequence — buffering out-of-order arrivals until the gap
+//! fills. This is the software half of the sharding design: placement tags,
+//! shards preserve FIFO, the merge reassembles.
+
+use std::collections::BTreeMap;
+
+/// An element tagged with its global sequence number at placement time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tagged<T> {
+    /// Position in the logical (pre-shard) stream.
+    pub seq: u64,
+    /// The payload.
+    pub value: T,
+}
+
+/// Errors a [`SeqMerge`] can report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeError {
+    /// An arriving element's sequence number was already released or is
+    /// already buffered — a placement or shard-FIFO violation.
+    DuplicateSeq(u64),
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::DuplicateSeq(s) => write!(f, "duplicate sequence number {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Reassembles sequence-tagged shard outputs into global order.
+///
+/// `push` accepts elements in any cross-shard interleaving (each shard is
+/// FIFO, but shards race each other); `pop_ready` releases the longest
+/// in-order prefix one element at a time.
+///
+/// ```
+/// use cohort_queue::merge::SeqMerge;
+/// let mut m = SeqMerge::new();
+/// m.push(1, "b").unwrap();
+/// assert_eq!(m.pop_ready(), None); // gap at 0
+/// m.push(0, "a").unwrap();
+/// assert_eq!(m.pop_ready(), Some((0, "a")));
+/// assert_eq!(m.pop_ready(), Some((1, "b")));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SeqMerge<T> {
+    next: u64,
+    pending: BTreeMap<u64, T>,
+}
+
+impl<T> SeqMerge<T> {
+    /// An empty merge expecting sequence number 0 first.
+    pub fn new() -> Self {
+        Self {
+            next: 0,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Offers one element. Out-of-order arrivals are buffered until the
+    /// sequence gap below them fills.
+    pub fn push(&mut self, seq: u64, value: T) -> Result<(), MergeError> {
+        if seq < self.next || self.pending.contains_key(&seq) {
+            return Err(MergeError::DuplicateSeq(seq));
+        }
+        self.pending.insert(seq, value);
+        Ok(())
+    }
+
+    /// Releases the next in-sequence element, if it has arrived.
+    pub fn pop_ready(&mut self) -> Option<(u64, T)> {
+        let value = self.pending.remove(&self.next)?;
+        let seq = self.next;
+        self.next += 1;
+        Some((seq, value))
+    }
+
+    /// Drains every currently releasable element in order.
+    pub fn drain_ready(&mut self) -> Vec<(u64, T)> {
+        let mut out = Vec::new();
+        while let Some(item) = self.pop_ready() {
+            out.push(item);
+        }
+        out
+    }
+
+    /// The sequence number the merge will release next.
+    pub fn next_seq(&self) -> u64 {
+        self.next
+    }
+
+    /// Elements buffered behind a sequence gap.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is buffered (every pushed element was released).
+    pub fn is_drained(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_stream_passes_through() {
+        let mut m = SeqMerge::new();
+        for i in 0..8u64 {
+            m.push(i, i * 10).unwrap();
+            assert_eq!(m.pop_ready(), Some((i, i * 10)));
+        }
+        assert!(m.is_drained());
+        assert_eq!(m.next_seq(), 8);
+    }
+
+    #[test]
+    fn buffers_until_gap_fills() {
+        let mut m = SeqMerge::new();
+        m.push(2, 'c').unwrap();
+        m.push(1, 'b').unwrap();
+        assert_eq!(m.pop_ready(), None);
+        assert_eq!(m.pending(), 2);
+        m.push(0, 'a').unwrap();
+        assert_eq!(
+            m.drain_ready(),
+            vec![(0, 'a'), (1, 'b'), (2, 'c')],
+            "release order must be sequence order"
+        );
+        assert!(m.is_drained());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_released() {
+        let mut m = SeqMerge::new();
+        m.push(0, ()).unwrap();
+        assert_eq!(m.push(0, ()), Err(MergeError::DuplicateSeq(0)));
+        m.pop_ready().unwrap();
+        assert_eq!(m.push(0, ()), Err(MergeError::DuplicateSeq(0)));
+    }
+
+    #[test]
+    fn two_shard_interleaving_restores_order() {
+        // Shard A carries even seqs, shard B odd seqs; B runs far ahead.
+        let mut m = SeqMerge::new();
+        for seq in [1u64, 3, 5] {
+            m.push(seq, seq).unwrap();
+        }
+        assert_eq!(m.pop_ready(), None);
+        let mut released = Vec::new();
+        for seq in [0u64, 2, 4] {
+            m.push(seq, seq).unwrap();
+            released.extend(m.drain_ready());
+        }
+        let seqs: Vec<u64> = released.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

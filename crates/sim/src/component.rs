@@ -187,6 +187,16 @@ pub trait Component {
     /// Short human-readable name, used in stats dumps.
     fn name(&self) -> &str;
 
+    /// Stats/trace scope for this component once it holds slot `id`.
+    ///
+    /// The default (`name#<slot>`) is unique by construction. Components
+    /// with a stable identity of their own — e.g. a Cohort engine knows
+    /// its engine index — override this so the scope survives slot-order
+    /// changes and two instances can never alias (`engine#0`, `engine#1`).
+    fn scope(&self, id: CompId) -> String {
+        format!("{}#{}", self.name(), id.0)
+    }
+
     /// Called once when the component is added to a SoC
     /// ([`crate::soc::Soc::add_component`]). Implementations register
     /// their counters/histograms in `obs.stats` and keep a clone of

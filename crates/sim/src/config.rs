@@ -112,6 +112,10 @@ pub struct SocConfig {
     pub l2: CacheConfig,
     /// Timing constants.
     pub timing: TimingConfig,
+    /// Cohort engines instantiated on the mesh (spare-inclusive): the
+    /// pool a shard sweep may bind shards onto. Scenarios that manage
+    /// their own engine list (the chain pipelines) ignore this.
+    pub engines: usize,
     /// Entries in the Cohort engine / MAPLE MMU TLB (paper: 16).
     pub tlb_entries: usize,
     /// Lines held by the Cohort engine's memory transaction engine buffer.
@@ -127,6 +131,7 @@ impl Default for SocConfig {
             l1: CacheConfig::new(16 * 1024, 4),
             l2: CacheConfig::new(64 * 1024, 4),
             timing: TimingConfig::default(),
+            engines: 1,
             tlb_entries: 16,
             mte_lines: 8,
             faults: crate::faultinject::FaultPlan::default(),
@@ -144,6 +149,12 @@ impl SocConfig {
     /// Convenience builder-style override of the timing constants.
     pub fn with_timing(mut self, timing: TimingConfig) -> Self {
         self.timing = timing;
+        self
+    }
+
+    /// Convenience builder-style override of the engine-pool size.
+    pub fn with_engines(mut self, n: usize) -> Self {
+        self.engines = n;
         self
     }
 
@@ -188,8 +199,10 @@ mod tests {
     fn builder_overrides() {
         let cfg = SocConfig::default()
             .with_tlb_entries(4)
+            .with_engines(4)
             .with_l2(CacheConfig::new(128 * 1024, 8));
         assert_eq!(cfg.tlb_entries, 4);
+        assert_eq!(cfg.engines, 4);
         assert_eq!(cfg.l2.ways, 8);
     }
 }

@@ -111,7 +111,7 @@ impl Soc {
     /// counters are registered before its first step.
     pub fn add_component(&mut self, tile: TileCoord, mut comp: Box<dyn Component>) -> CompId {
         let id = CompId(self.slots.len());
-        let scope = format!("{}#{}", comp.name(), id.0);
+        let scope = comp.scope(id);
         self.trace.name_thread(id.0 as u64, &scope);
         let obs = Observability {
             stats: self.stats.clone(),
@@ -238,11 +238,7 @@ impl Soc {
         self.slots
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| {
-                s.comp
-                    .as_ref()
-                    .map(|c| (format!("{}#{i}", c.name()), c.counters()))
-            })
+            .filter_map(|(i, s)| s.comp.as_ref().map(|c| (c.scope(CompId(i)), c.counters())))
             .collect()
     }
 

@@ -1,7 +1,7 @@
 //! The sim-wide stats registry.
 //!
 //! Every component registers named monotonic [`Counter`]s and log2-bucket
-//! [`Histogram`]s here at attach time ([`crate::Component::attach`]). The
+//! [`Histogram`]s here at attach time (`Component::attach`). The
 //! handles are `Arc`-backed, so the component increments its own copy on
 //! the hot path (one relaxed atomic add) while the registry can snapshot
 //! all of them at any time without `&mut` access to the component —

@@ -75,7 +75,7 @@ fn simulated_chain() {
         result.ipc()
     );
     for (comp, counters) in &result.counters {
-        if comp.starts_with("cohort-engine") {
+        if comp.starts_with("engine#") {
             let get = |n: &str| {
                 counters
                     .iter()

@@ -21,7 +21,7 @@ fn checksum(words: &[u64]) -> u64 {
 }
 
 /// Sums a named counter across every component whose name starts with
-/// `prefix` (a chain run has several `cohort-engine#N` components).
+/// `prefix` (a chain run has several `engine#N` components).
 fn summed_counter(r: &RunResult, prefix: &str, name: &str) -> u64 {
     r.counters
         .iter()
@@ -34,7 +34,7 @@ fn summed_counter(r: &RunResult, prefix: &str, name: &str) -> u64 {
 
 /// Extracts a histogram's sample count from the stats-registry JSON.
 /// `name` is matched as a suffix of the scoped registry key, so
-/// `failover_rebind` finds `cohort-engine#4.failover_rebind`.
+/// `failover_rebind` finds `engine#2.failover_rebind`.
 fn hist_count(stats_json: &str, name: &str) -> u64 {
     let needle = format!("{name}\": {{\"count\": ");
     let mut total = 0u64;
@@ -68,11 +68,11 @@ fn chain_failover_heals_onto_spare_with_exact_digests() {
     // happened (onto the spare).
     assert_eq!(summed_counter(&r, "faultinject", "kills"), 1);
     assert!(
-        summed_counter(&r, "cohort-engine", "watchdog_trips") >= 1,
+        summed_counter(&r, "engine#", "watchdog_trips") >= 1,
         "wedge detected"
     );
     assert_eq!(
-        summed_counter(&r, "cohort-engine", "rebinds"),
+        summed_counter(&r, "engine#", "rebinds"),
         1,
         "one migration onto the spare"
     );

@@ -24,7 +24,7 @@ fn checksum(words: &[u64]) -> u64 {
 }
 
 fn engine_counter(r: &RunResult, name: &str) -> u64 {
-    r.counter("cohort-engine", name)
+    r.counter("engine", name)
         .unwrap_or_else(|| panic!("missing counter {name}"))
 }
 

@@ -51,8 +51,8 @@ fn null_fifo_is_pure_communication() {
     .run();
     assert!(r.verified);
     // Engine counters agree with the data volume.
-    assert_eq!(r.counter("cohort-engine", "consumed"), Some(512));
-    assert_eq!(r.counter("cohort-engine", "produced"), Some(512));
+    assert_eq!(r.counter("engine", "consumed"), Some(512));
+    assert_eq!(r.counter("engine", "produced"), Some(512));
 }
 
 #[test]
@@ -78,5 +78,5 @@ fn l2_interference_slows_cohort_but_preserves_correctness() {
         noisy.cycles
     );
     // But the engine still streams correctly under contention.
-    assert_eq!(noisy.counter("cohort-engine", "consumed"), Some(512));
+    assert_eq!(noisy.counter("engine", "consumed"), Some(512));
 }

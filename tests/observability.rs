@@ -35,18 +35,18 @@ fn traced_crypto_run_produces_stats_and_trace_json() {
         "directory#0.fills",
         "noc.delivered",
         "noc.flits",
-        "cohort-engine#2.backoffs",
-        "cohort-engine#2.tlb_hits",
-        "cohort-engine#2.tlb_misses",
+        "engine#0.backoffs",
+        "engine#0.tlb_hits",
+        "engine#0.tlb_misses",
     ] {
         assert!(has_key(stats, key), "stats missing {key}: {stats}");
     }
     assert!(has_key(stats, "noc.hop_latency"), "hop-latency histogram");
     assert!(
-        has_key(stats, "cohort-engine#2.in_queue_occupancy"),
+        has_key(stats, "engine#0.in_queue_occupancy"),
         "queue-occupancy histogram"
     );
-    let consumed = counter_value(stats, "cohort-engine#2.consumed");
+    let consumed = counter_value(stats, "engine#0.consumed");
     assert_eq!(consumed, Some(128), "engine consumed all inputs: {stats}");
     assert!(counter_value(stats, "noc.delivered").unwrap() > 0);
     assert!(counter_value(stats, "core#1.l1.hits").unwrap() > 0);
@@ -70,11 +70,39 @@ fn traced_crypto_run_produces_stats_and_trace_json() {
     }
 }
 
+/// Regression test for the multi-engine stats-scope collision: with two
+/// engines in one SoC, each must publish under its own `engine#<id>` scope
+/// — distinct keys, both present, neither adopted into the other.
+#[test]
+fn two_engine_soc_has_distinct_stats_scopes() {
+    use cohort::scenarios::{run_cohort_sharded, ShardSpec};
+    use cohort_sim::config::SocConfig;
+
+    let mut scenario = Scenario::new(Workload::Aes, 128, 8);
+    scenario.soc = SocConfig::default().with_engines(2);
+    let r = run_cohort_sharded(&scenario, &ShardSpec::new(2)).expect("pool binds");
+    assert!(r.verified);
+    for scope in ["engine#0", "engine#1"] {
+        for key in ["consumed", "backoffs", "tlb_hits"] {
+            assert!(
+                has_key(&r.stats_json, &format!("{scope}.{key}")),
+                "stats missing {scope}.{key}"
+            );
+        }
+    }
+    // Both engines consumed a share of the stream, and the scoped keys are
+    // truly per-engine: the two consumed counts sum to the whole stream.
+    let c0 = counter_value(&r.stats_json, "engine#0.consumed").unwrap();
+    let c1 = counter_value(&r.stats_json, "engine#1.consumed").unwrap();
+    assert!(c0 > 0 && c1 > 0, "both engines should have consumed");
+    assert_eq!(c0 + c1, 128, "scoped counters must not alias");
+}
+
 #[test]
 fn untraced_run_has_stats_but_no_trace() {
     let r = run_cohort(&Scenario::new(Workload::Sha, 64, 8));
     assert!(r.verified);
     assert!(r.trace_json.is_none());
     // Stats are always collected — tracing off does not disable counters.
-    assert!(counter_value(&r.stats_json, "cohort-engine#2.consumed").unwrap() > 0);
+    assert!(counter_value(&r.stats_json, "engine#0.consumed").unwrap() > 0);
 }

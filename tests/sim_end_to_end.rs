@@ -78,7 +78,7 @@ fn lazy_mapping_faults_are_resolved_by_the_driver() {
     s.policy = MapPolicy::Lazy;
     let r = run_cohort(&s);
     assert!(r.verified, "lazy run must still verify");
-    let faults = r.counter("cohort-engine", "faults").unwrap_or(0);
+    let faults = r.counter("engine", "faults").unwrap_or(0);
     assert!(faults > 0, "lazy mapping must exercise the page-fault path");
     let irqs = r.counter("core", "irqs").unwrap_or(0);
     // Concurrent faults on both MTE channels coalesce into one interrupt.
@@ -103,8 +103,8 @@ fn huge_pages_reduce_tlb_misses() {
     huge.policy = MapPolicy::HugePages;
     let hp = run_cohort(&huge);
     assert!(hp.verified && base.verified);
-    let m_base = base.counter("cohort-engine", "tlb_misses").unwrap();
-    let m_hp = hp.counter("cohort-engine", "tlb_misses").unwrap();
+    let m_base = base.counter("engine", "tlb_misses").unwrap();
+    let m_hp = hp.counter("engine", "tlb_misses").unwrap();
     assert!(
         m_hp < m_base,
         "huge pages should cut engine TLB misses: {m_hp} vs {m_base}"
@@ -114,20 +114,20 @@ fn huge_pages_reduce_tlb_misses() {
 #[test]
 fn rcm_observes_invalidations() {
     let r = run_cohort(&Scenario::new(Workload::Sha, 256, 16));
-    let invs = r.counter("cohort-engine", "rcm_invalidations").unwrap();
+    let invs = r.counter("engine", "rcm_invalidations").unwrap();
     assert!(
         invs > 0,
         "batched publications must be seen as invalidations"
     );
-    let backoffs = r.counter("cohort-engine", "backoffs").unwrap();
+    let backoffs = r.counter("engine", "backoffs").unwrap();
     assert!(backoffs > 0);
 }
 
 #[test]
 fn engine_counters_match_data_volume() {
     let r = run_cohort(&Scenario::new(Workload::Aes, 256, 32));
-    assert_eq!(r.counter("cohort-engine", "consumed"), Some(256));
-    assert_eq!(r.counter("cohort-engine", "produced"), Some(256));
+    assert_eq!(r.counter("engine", "consumed"), Some(256));
+    assert_eq!(r.counter("engine", "produced"), Some(256));
 }
 
 #[test]
@@ -139,7 +139,7 @@ fn chained_engines_verify_and_report() {
     let engines: Vec<_> = r
         .counters
         .iter()
-        .filter(|(c, _)| c.starts_with("cohort-engine"))
+        .filter(|(c, _)| c.starts_with("engine#"))
         .collect();
     assert_eq!(engines.len(), 2);
     for (name, counters) in engines {
