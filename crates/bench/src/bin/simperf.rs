@@ -1,0 +1,212 @@
+//! Simulator-throughput benchmark for the parallel step kernel.
+//!
+//! ```text
+//! cargo run --release -p cohort-bench --bin simperf -- \
+//!     [--queue N] [--threads LIST] [--reps N] [--out FILE] [--check]
+//! ```
+//!
+//! Runs the sharded-AES scenario and the 16-core big.LITTLE mesh at each
+//! host-thread count in LIST (default `1,2,4,8`), measures sim-cycles per
+//! wall-second, and writes a markdown report (default
+//! `results/simperf.md`). Every multi-threaded run's checksum is asserted
+//! bit-identical to the single-threaded run of the same scenario — the
+//! determinism contract, enforced on every invocation.
+//!
+//! `--check` is the CI smoke mode: a small queue, threads `1,2`, one rep,
+//! no report unless `--out` is given; exit status is the contract.
+
+use cohort::scenarios::{
+    mesh16_scenario, run_cohort_sharded, RunResult, Scenario, ShardSpec, Workload,
+};
+use cohort_sim::config::SocConfig;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simperf [--queue N] [--threads LIST] [--reps N] [--out FILE] [--check]\n\
+         \u{20}        LIST is comma-separated host-thread counts, e.g. 1,2,4,8"
+    );
+    std::process::exit(2)
+}
+
+/// One measured configuration: the run result plus the best wall time
+/// over the configured repetitions.
+struct Measured {
+    result: RunResult,
+    best_wall: f64,
+}
+
+/// A named scenario constructor, so both benchmarks share the measure /
+/// report / assert pipeline.
+struct Case {
+    name: &'static str,
+    scenario: Scenario,
+    spec: ShardSpec,
+}
+
+fn cases(queue: u64) -> Vec<Case> {
+    let mut sharded = Scenario::new(Workload::Aes, queue, 8);
+    sharded.soc = SocConfig::default().with_engines(4);
+    let (mesh, mesh_spec) = mesh16_scenario(queue, 8);
+    vec![
+        Case {
+            name: "sharded-aes (4 engines)",
+            scenario: sharded,
+            spec: ShardSpec::new(4),
+        },
+        Case {
+            name: "mesh16 big.LITTLE",
+            scenario: mesh,
+            spec: mesh_spec,
+        },
+    ]
+}
+
+fn measure(case: &Case, threads: usize, reps: usize) -> Measured {
+    let mut scenario = case.scenario.clone();
+    scenario.soc = scenario.soc.clone().with_threads(threads);
+    let mut best_wall = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let r = run_cohort_sharded(&scenario, &case.spec).unwrap_or_else(|e| {
+            eprintln!("simperf: {e}");
+            std::process::exit(2);
+        });
+        best_wall = best_wall.min(start.elapsed().as_secs_f64());
+        assert!(
+            r.verified,
+            "unverified run: {} threads={threads}",
+            case.name
+        );
+        result = Some(r);
+    }
+    Measured {
+        result: result.expect("at least one rep"),
+        best_wall,
+    }
+}
+
+fn main() {
+    let mut queue = 2048u64;
+    let mut thread_list = vec![1usize, 2, 4, 8];
+    let mut reps = 3usize;
+    let mut out: Option<String> = Some("results/simperf.md".to_string());
+    let mut check = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let mut out_explicit = false;
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--queue" => queue = value().parse().unwrap_or_else(|_| usage()),
+            "--threads" => {
+                thread_list = value()
+                    .split(',')
+                    .map(|t| t.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if thread_list.is_empty() {
+                    usage()
+                }
+            }
+            "--reps" => reps = value().parse().unwrap_or_else(|_| usage()),
+            "--out" => {
+                out = Some(value());
+                out_explicit = true;
+            }
+            "--check" => check = true,
+            _ => usage(),
+        }
+    }
+    if check {
+        queue = queue.min(256);
+        thread_list = vec![1, 2];
+        reps = 1;
+        if !out_explicit {
+            out = None;
+        }
+    }
+
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut report = String::new();
+    report.push_str("# Simulator throughput (`simperf`)\n\n");
+    report.push_str(&format!(
+        "Host: {host_cores} CPU core(s) visible to the process. Queue size {queue}, \
+         best of {reps} rep(s) per cell. Checksums are asserted bit-identical across \
+         all thread counts on every run of this tool.\n\n"
+    ));
+    if host_cores < *thread_list.iter().max().unwrap_or(&1) {
+        report.push_str(&format!(
+            "> **Caveat:** this host exposes only {host_cores} core(s), so thread counts \
+             above that measure synchronisation overhead, not parallel speedup — the \
+             workers time-slice one CPU. Re-run on a multi-core host for speedup numbers; \
+             the determinism columns are meaningful regardless.\n\n"
+        ));
+    }
+
+    let mut all_ok = true;
+    for case in cases(queue) {
+        println!("== {} ==", case.name);
+        report.push_str(&format!("## {}\n\n", case.name));
+        report.push_str(
+            "| threads | sim cycles | wall (ms) | Msim-cycles/s | speedup vs 1T | checksum |\n\
+             |---:|---:|---:|---:|---:|---|\n",
+        );
+        let mut base: Option<Measured> = None;
+        for &t in &thread_list {
+            let m = measure(&case, t, reps);
+            let rate = m.result.cycles as f64 / m.best_wall / 1e6;
+            let speedup = base.as_ref().map_or(1.0, |b| b.best_wall / m.best_wall);
+            let ok = base
+                .as_ref()
+                .is_none_or(|b| b.result.checksum == m.result.checksum);
+            if !ok {
+                all_ok = false;
+                eprintln!(
+                    "simperf: DETERMINISM VIOLATION: {} threads={t} checksum {:#018x} != 1T {:#018x}",
+                    case.name,
+                    m.result.checksum,
+                    base.as_ref().unwrap().result.checksum
+                );
+            }
+            println!(
+                "  threads={t}: {} cycles in {:.1} ms ({:.2} Mcyc/s, {:.2}x vs 1T) checksum={:#018x}{}",
+                m.result.cycles,
+                m.best_wall * 1e3,
+                rate,
+                speedup,
+                m.result.checksum,
+                if ok { "" } else { "  <-- MISMATCH" }
+            );
+            report.push_str(&format!(
+                "| {t} | {} | {:.1} | {:.2} | {speedup:.2}x | `{:#018x}`{} |\n",
+                m.result.cycles,
+                m.best_wall * 1e3,
+                rate,
+                m.result.checksum,
+                if ok { "" } else { " **MISMATCH**" }
+            ));
+            if base.is_none() {
+                base = Some(m);
+            }
+        }
+        report.push('\n');
+    }
+
+    if let Some(path) = &out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(path, &report).unwrap_or_else(|e| {
+            eprintln!("simperf: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("report: wrote {path}");
+    }
+    if !all_ok {
+        eprintln!("simperf: FAILED — parallel runs diverged from single-threaded results");
+        std::process::exit(1);
+    }
+    println!("determinism: all thread counts bit-identical");
+}

@@ -3,9 +3,9 @@
 //! ```text
 //! cargo run --release -p cohort-bench --bin socrun -- \
 //!     [--workload sha|aes] \
-//!     [--mode cohort|mmio|dma|chain|interfered|chaos|failover|dma-chaos] \
+//!     [--mode cohort|mmio|dma|chain|interfered|chaos|failover|dma-chaos|mesh16] \
 //!     [--queue N] [--batch N] [--backoff N] [--policy eager|lazy|huge] \
-//!     [--tlb N] [--faults SPEC] [--watchdog N] [--counters] \
+//!     [--tlb N] [--faults SPEC] [--watchdog N] [--counters] [--threads N] \
 //!     [--stats FILE] [--trace FILE]
 //! ```
 //!
@@ -27,7 +27,7 @@
 //! `--watchdog` overrides the engine's forward-progress budget.
 
 use cohort::scenarios::{
-    run_cohort, run_cohort_chain, run_cohort_chain_failover, run_cohort_chaos,
+    mesh16_scenario, run_cohort, run_cohort_chain, run_cohort_chain_failover, run_cohort_chaos,
     run_cohort_interfered, run_cohort_sharded, run_dma, run_dma_chaos, run_mmio, RunResult,
     Scenario, ShardSpec, Workload,
 };
@@ -38,15 +38,18 @@ use cohort_sim::faultinject::{FaultKind, FaultPlan};
 fn usage() -> ! {
     eprintln!(
         "usage: socrun [--workload sha|aes]\n\
-         \u{20}             [--mode cohort|mmio|dma|chain|interfered|chaos|failover|dma-chaos|shard]\n\
+         \u{20}             [--mode cohort|mmio|dma|chain|interfered|chaos|failover|dma-chaos|shard|mesh16]\n\
          \u{20}             [--queue N] [--batch N] [--backoff N] [--policy eager|lazy|huge]\n\
-         \u{20}             [--tlb N] [--faults SPEC] [--watchdog N] [--counters]\n\
+         \u{20}             [--tlb N] [--faults SPEC] [--watchdog N] [--counters] [--threads N]\n\
          \u{20}             [--shards N] [--placement rr|occupancy] [--engines N] [--skew]\n\
          \u{20}             [--stats FILE] [--trace FILE] [--bench-out FILE]\n\
          \u{20}             [--baseline FILE] [--bless-baseline FILE]\n\
          sharding: --shards N splits the stream over N engines (mode shard);\n\
          \u{20}         --engines overrides the spare-inclusive pool size,\n\
-         \u{20}         --skew makes every 4th element run heavy\n\
+         \u{20}         --skew makes every 4th element run heavy;\n\
+         \u{20}         mode mesh16 is the 16-core big.LITTLE mesh (4 shards + noise)\n\
+         parallel: --threads N steps components on N host threads; results\n\
+         \u{20}         (incl. the printed checksum) are bit-identical at any N\n\
          perf gate: --bench-out writes {{cycles, throughput, occupancy p50}} JSON;\n\
          \u{20}          --baseline fails (exit 1) when cycles regress >5% vs FILE;\n\
          \u{20}          --bless-baseline refreshes FILE from this run\n\
@@ -105,6 +108,7 @@ fn main() {
     let mut placement = Placement::RoundRobin;
     let mut engines: Option<usize> = None;
     let mut skew = false;
+    let mut threads: Option<usize> = None;
     let mut bench_out: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut bless: Option<String> = None;
@@ -152,6 +156,7 @@ fn main() {
                 })
             }
             "--engines" => engines = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--threads" => threads = Some(value().parse().unwrap_or_else(|_| usage())),
             "--skew" => skew = true,
             "--bench-out" => bench_out = Some(value()),
             "--baseline" => baseline = Some(value()),
@@ -167,6 +172,9 @@ fn main() {
     }
     if let Some(t) = tlb {
         scenario.soc.tlb_entries = t;
+    }
+    if let Some(t) = threads {
+        scenario.soc = scenario.soc.clone().with_threads(t);
     }
     // --shards routes to the sharded runner (which arms its own failover
     // when a fault plan kills a shard engine).
@@ -212,6 +220,14 @@ fn main() {
         "chaos" => run_cohort_chaos(&scenario),
         "failover" => run_cohort_chain_failover(&scenario),
         "dma-chaos" => run_dma_chaos(&scenario),
+        "mesh16" => {
+            let (mesh, spec) = mesh16_scenario(queue, batch);
+            scenario.soc.engines = mesh.soc.engines;
+            run_cohort_sharded(&scenario, &spec).unwrap_or_else(|e| {
+                eprintln!("socrun: {e}");
+                std::process::exit(2);
+            })
+        }
         "shard" => {
             let n = shards.unwrap_or(1);
             // Spare-inclusive pool: explicit --engines wins; otherwise one
@@ -247,6 +263,7 @@ fn main() {
     );
     println!("instructions: {}  IPC: {:.3}", r.instret, r.ipc());
     println!("verified: {}  (host wall time {:.2?})", r.verified, wall);
+    println!("checksum: {:#018x}", r.checksum);
     if counters {
         for (comp, list) in &r.counters {
             let nonzero: Vec<String> = list

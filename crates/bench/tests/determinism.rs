@@ -1,0 +1,91 @@
+//! The cross-thread determinism contract, enforced end to end.
+//!
+//! For a fixed scenario and seed, `RunResult::{cycles, checksum, recorded,
+//! stats_json}` must be bit-identical at every `SocConfig::threads`
+//! setting: the parallel step kernel stages all cross-component effects
+//! per slot and commits them in slot order at the cycle barrier, so host
+//! scheduling can never leak into simulated state. Each test here runs
+//! the same scenario at 1, 2 and 8 host threads and diffs the full
+//! observable result — including the stats-registry JSON, which would
+//! expose even a single divergent counter increment.
+
+use cohort::scenarios::{
+    mesh16_scenario, run_cohort_chain_failover, run_cohort_chaos, run_cohort_sharded, RunResult,
+    Scenario, ShardSpec, Workload,
+};
+use cohort_sim::config::SocConfig;
+use cohort_sim::faultinject::FaultPlan;
+
+/// Thread counts exercised by every scenario: sequential, the smallest
+/// parallel pool, and an oversubscribed one (more threads than this
+/// host has cores — and, for small SoCs, more than there are slots).
+const THREADS: [usize; 2] = [2, 8];
+
+fn assert_thread_invariant(name: &str, run: impl Fn(usize) -> RunResult) {
+    let base = run(1);
+    assert!(base.verified, "{name}: sequential run failed verification");
+    for t in THREADS {
+        let r = run(t);
+        assert!(r.verified, "{name}: threads={t} run failed verification");
+        assert_eq!(
+            base.cycles, r.cycles,
+            "{name}: cycle count diverged at threads={t}"
+        );
+        assert_eq!(
+            base.checksum, r.checksum,
+            "{name}: payload checksum diverged at threads={t}"
+        );
+        assert_eq!(
+            base.recorded, r.recorded,
+            "{name}: recorded stream diverged at threads={t}"
+        );
+        assert_eq!(
+            base.stats_json, r.stats_json,
+            "{name}: stats registry diverged at threads={t}"
+        );
+    }
+}
+
+#[test]
+fn sharded_runs_are_thread_invariant() {
+    assert_thread_invariant("sharded-aes", |threads| {
+        let mut scenario = Scenario::new(Workload::Aes, 64, 4);
+        scenario.soc = SocConfig::default().with_engines(2).with_threads(threads);
+        run_cohort_sharded(&scenario, &ShardSpec::new(2)).expect("pool binds")
+    });
+}
+
+#[test]
+fn mesh16_runs_are_thread_invariant() {
+    assert_thread_invariant("mesh16", |threads| {
+        let (mut scenario, spec) = mesh16_scenario(64, 4);
+        scenario.soc = scenario.soc.clone().with_threads(threads);
+        run_cohort_sharded(&scenario, &spec).expect("pool binds")
+    });
+}
+
+#[test]
+fn chaos_runs_are_thread_invariant() {
+    // Stall + latency spike + page storm: every staged fault-flip path,
+    // with the full recovery stack (watchdog, swap store, retry) armed.
+    let plan = FaultPlan::parse("stall@2000:1500;spike@5000:3000:4;storm@9000:2")
+        .expect("valid fault spec");
+    assert_thread_invariant("chaos", |threads| {
+        let mut scenario = Scenario::new(Workload::Sha, 64, 8);
+        scenario.soc = SocConfig::default()
+            .with_faults(plan.clone())
+            .with_threads(threads);
+        run_cohort_chaos(&scenario)
+    });
+}
+
+#[test]
+fn failover_runs_are_thread_invariant() {
+    // Default plan: fail-stop of the mid-chain SHA engine at cycle 20k,
+    // exactly-once queue migration onto the cold spare.
+    assert_thread_invariant("chain-failover", |threads| {
+        let mut scenario = Scenario::new(Workload::Sha, 64, 8);
+        scenario.soc = SocConfig::default().with_threads(threads);
+        run_cohort_chain_failover(&scenario)
+    });
+}

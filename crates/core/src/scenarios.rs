@@ -209,6 +209,12 @@ pub struct RunResult {
     pub histograms: Vec<(String, HistogramSummary)>,
     /// Stats-registry snapshot (counters + histogram summaries) as JSON.
     pub stats_json: String,
+    /// Order-sensitive checksum over the run's observable payload (final
+    /// cycle plus every recorded word). This is the value the determinism
+    /// contract pins down: for a given scenario and seed it is
+    /// bit-identical at any `SocConfig::threads` setting and any
+    /// component registration order.
+    pub checksum: u64,
     /// Chrome `trace_event` JSON, present when the scenario enabled
     /// tracing. Loadable in Perfetto / `chrome://tracing`.
     pub trace_json: Option<String>,
@@ -246,6 +252,18 @@ fn cycle_budget(queue_size: u64) -> u64 {
     20_000_000 + queue_size * 10_000
 }
 
+/// Computes [`RunResult::checksum`]: splitmix64-mixed over the final
+/// cycle count and the recorded output words, order-sensitive.
+fn payload_checksum(cycles: u64, recorded: &[u64]) -> u64 {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ cycles;
+    let mut acc = splitmix64(&mut state);
+    for &w in recorded {
+        state ^= w;
+        acc = acc.rotate_left(7) ^ splitmix64(&mut state);
+    }
+    acc
+}
+
 fn finish_run(mut sys: SimSystem, scenario: &Scenario) -> RunResult {
     sys.soc.set_tracing(scenario.trace);
     let outcome = sys.soc.run(cycle_budget(scenario.queue_size));
@@ -262,6 +280,7 @@ fn finish_run(mut sys: SimSystem, scenario: &Scenario) -> RunResult {
     RunResult {
         cycles: core.core_counters().done_at,
         instret: core.core_counters().instret.get(),
+        checksum: payload_checksum(core.core_counters().done_at, &recorded),
         recorded,
         verified,
         counters: sys.soc.all_counters(),
@@ -355,6 +374,13 @@ pub struct ShardSpec {
     /// small, occasionally large) instead of uniform ones — the variant
     /// where occupancy-aware placement pulls ahead of round-robin.
     pub skewed: bool,
+    /// Extra "LITTLE" cores added to the mesh beyond the shard
+    /// producers. Each streams stores through its slice of a 2x-L2
+    /// working set — background memory traffic that contends for the
+    /// shared cache without participating in the benchmark. The noise
+    /// programs are deterministic, so results stay bit-identical for a
+    /// given spec at any thread count.
+    pub background_cores: usize,
 }
 
 impl ShardSpec {
@@ -364,6 +390,7 @@ impl ShardSpec {
             shards,
             placement: Placement::RoundRobin,
             skewed: false,
+            background_cores: 0,
         }
     }
 
@@ -378,6 +405,25 @@ impl ShardSpec {
         self.skewed = skewed;
         self
     }
+
+    /// Builder-style background ("LITTLE") core count.
+    pub fn with_background_cores(mut self, n: usize) -> Self {
+        self.background_cores = n;
+        self
+    }
+}
+
+/// The 16-core big.LITTLE-style mesh configuration: one benchmark core
+/// and 4 "big" producer cores feed 4 sharded engines, while 11 "LITTLE"
+/// cores stream background stores through the shared L2 — 16 in-order
+/// cores total, placed on the mesh alongside the directory, the engines
+/// and the MAPLE unit. This is the standard many-component workload for
+/// the parallel step kernel (`simperf`, the determinism suite and CI all
+/// run it).
+pub fn mesh16_scenario(queue_size: u64, batch: u64) -> (Scenario, ShardSpec) {
+    let mut scenario = Scenario::new(Workload::Aes, queue_size, batch);
+    scenario.soc = SocConfig::default().with_engines(4);
+    (scenario, ShardSpec::new(4).with_background_cores(11))
 }
 
 /// Blocks per element run in the uniform (non-skewed) sharded scenario.
@@ -476,7 +522,7 @@ pub fn run_cohort_sharded(scenario: &Scenario, spec: &ShardSpec) -> Result<RunRe
         engine_accels: (0..scenario.soc.engines)
             .map(|_| scenario.workload.make_accel())
             .collect(),
-        extra_core_programs: vec![Program::new(); spec.shards],
+        extra_core_programs: vec![Program::new(); spec.shards + spec.background_cores],
         ..SystemSpec::default()
     };
     let mut sys = SimSystem::build(spec_sys, Program::new());
@@ -681,6 +727,34 @@ pub fn run_cohort_sharded(scenario: &Scenario, spec: &ShardSpec) -> Result<RunRe
             .load_program(prog);
     }
 
+    // Background ("LITTLE") cores: each streams stores through its own
+    // slice of a 2x-L2 working set, twice over — cache contention that
+    // runs alongside the benchmark without feeding it.
+    if spec.background_cores > 0 {
+        let footprint = 2 * sys.soc.config().l2.capacity_bytes;
+        let buf = sys.alloc_buffer(footprint, 64);
+        let lines = footprint / 64;
+        let span = lines / spec.background_cores as u64;
+        for b in 0..spec.background_cores {
+            let mut noise = Program::new();
+            let first = b as u64 * span;
+            for pass in 0..2u64 {
+                for line in first..first + span.max(1) {
+                    noise.push(Op::Store {
+                        va: buf + (line % lines) * 64,
+                        value: (b as u64) << 32 | pass << 24 | line,
+                    });
+                }
+            }
+            noise.push(Op::Fence);
+            let bc = sys.extra_cores[spec.shards + b];
+            sys.soc
+                .component_mut::<InOrderCore>(bc)
+                .expect("background core present")
+                .load_program(noise);
+        }
+    }
+
     Ok(finish_sharded_run(sys, scenario, &chunks, &out_qs, pool))
 }
 
@@ -757,6 +831,7 @@ fn finish_sharded_run(
     RunResult {
         cycles: core.core_counters().done_at,
         instret: core.core_counters().instret.get(),
+        checksum: payload_checksum(core.core_counters().done_at, &recorded),
         recorded,
         verified,
         counters: sys.soc.all_counters(),
@@ -1210,6 +1285,7 @@ pub fn run_dma_chaos(scenario: &Scenario) -> RunResult {
     RunResult {
         cycles: core.core_counters().done_at,
         instret: core.core_counters().instret.get(),
+        checksum: payload_checksum(core.core_counters().done_at, &recorded),
         recorded,
         verified,
         counters: sys.soc.all_counters(),
@@ -1473,6 +1549,7 @@ impl CustomRun {
         RunResult {
             cycles: core.core_counters().done_at,
             instret: core.core_counters().instret.get(),
+            checksum: payload_checksum(core.core_counters().done_at, &recorded),
             recorded,
             verified,
             counters: sys.soc.all_counters(),
@@ -1593,6 +1670,7 @@ fn finish_chain_run(mut sys: SimSystem, scenario: &Scenario) -> RunResult {
     RunResult {
         cycles: core.core_counters().done_at,
         instret: core.core_counters().instret.get(),
+        checksum: payload_checksum(core.core_counters().done_at, &recorded),
         recorded,
         verified,
         counters: sys.soc.all_counters(),
@@ -1828,6 +1906,14 @@ mod tests {
         let r = run_cohort_sharded(&scenario, &ShardSpec::new(2)).expect("pool binds");
         assert!(r.verified, "sharded digest mismatch");
         assert_eq!(r.recorded.len(), 32);
+    }
+
+    #[test]
+    fn mesh16_big_little_end_to_end() {
+        let (scenario, spec) = mesh16_scenario(64, 4);
+        let r = run_cohort_sharded(&scenario, &spec).expect("pool binds");
+        assert!(r.verified, "mesh16 ciphertext mismatch");
+        assert_eq!(r.recorded.len(), 64);
     }
 
     #[test]

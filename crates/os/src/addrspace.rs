@@ -9,7 +9,7 @@
 
 use crate::frame::FrameAllocator;
 use crate::sv39::{self, pte_flags, PageSize, PAGE_BYTES};
-use cohort_sim::mem::PhysMem;
+use cohort_sim::mem::MemAccess;
 use cohort_sim::translate::Translator;
 
 /// Mapping policy for freshly allocated memory.
@@ -61,7 +61,13 @@ impl AddressSpace {
     }
 
     /// Maps one 4 KiB page `va -> pa`.
-    pub fn map_page(&mut self, mem: &mut PhysMem, frames: &mut FrameAllocator, va: u64, pa: u64) {
+    pub fn map_page(
+        &mut self,
+        mem: &mut dyn MemAccess,
+        frames: &mut FrameAllocator,
+        va: u64,
+        pa: u64,
+    ) {
         sv39::map(
             mem,
             self.root_pa,
@@ -74,7 +80,13 @@ impl AddressSpace {
     }
 
     /// Maps one 2 MiB huge page `va -> pa`.
-    pub fn map_huge(&mut self, mem: &mut PhysMem, frames: &mut FrameAllocator, va: u64, pa: u64) {
+    pub fn map_huge(
+        &mut self,
+        mem: &mut dyn MemAccess,
+        frames: &mut FrameAllocator,
+        va: u64,
+        pa: u64,
+    ) {
         sv39::map(
             mem,
             self.root_pa,
@@ -93,7 +105,7 @@ impl AddressSpace {
     /// Panics if `align` is not a power of two.
     pub fn malloc(
         &mut self,
-        mem: &mut PhysMem,
+        mem: &mut dyn MemAccess,
         frames: &mut FrameAllocator,
         bytes: u64,
         align: u64,
@@ -135,7 +147,12 @@ impl AddressSpace {
     /// Resolves a demand fault at `va`: maps the containing 4 KiB page.
     /// Returns the new physical page. (The driver's fault handler calls
     /// this, then pokes the engine's resolve register.)
-    pub fn handle_fault(&mut self, mem: &mut PhysMem, frames: &mut FrameAllocator, va: u64) -> u64 {
+    pub fn handle_fault(
+        &mut self,
+        mem: &mut dyn MemAccess,
+        frames: &mut FrameAllocator,
+        va: u64,
+    ) -> u64 {
         let page_va = va / PAGE_BYTES * PAGE_BYTES;
         let pa = frames.alloc();
         self.map_page(mem, frames, page_va, pa);
@@ -143,13 +160,13 @@ impl AddressSpace {
     }
 
     /// Functionally translates `va`.
-    pub fn translate(&self, mem: &PhysMem, va: u64) -> Option<u64> {
+    pub fn translate(&self, mem: &dyn MemAccess, va: u64) -> Option<u64> {
         sv39::walk(mem, self.root_pa, va).map(|r| r.pa)
     }
 
     /// Removes the mapping containing `va` (an `munmap`-style operation
     /// that must be paired with an engine TLB flush via the MMU notifier).
-    pub fn unmap(&mut self, mem: &mut PhysMem, va: u64) -> bool {
+    pub fn unmap(&mut self, mem: &mut dyn MemAccess, va: u64) -> bool {
         sv39::unmap(mem, self.root_pa, va)
     }
 
@@ -163,7 +180,7 @@ impl AddressSpace {
     /// not page aligned in a way that can be aliased page-by-page.
     pub fn map_shared(
         &mut self,
-        mem: &mut PhysMem,
+        mem: &mut dyn MemAccess,
         frames: &mut FrameAllocator,
         other: &AddressSpace,
         src_va: u64,
@@ -203,7 +220,7 @@ pub struct SpaceTranslator {
 }
 
 impl Translator for SpaceTranslator {
-    fn translate(&self, mem: &PhysMem, va: u64) -> Option<u64> {
+    fn translate(&self, mem: &dyn MemAccess, va: u64) -> Option<u64> {
         sv39::walk(mem, self.root_pa, va).map(|r| r.pa)
     }
 }
@@ -211,6 +228,7 @@ impl Translator for SpaceTranslator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cohort_sim::mem::PhysMem;
 
     fn setup() -> (PhysMem, FrameAllocator) {
         (PhysMem::new(), FrameAllocator::new(0x100_0000, 0x4000_0000))

@@ -14,7 +14,7 @@ use crate::addrspace::AddressSpace;
 use crate::frame::FrameAllocator;
 use cohort_queue::{DescriptorError, QueueDescriptor};
 use cohort_sim::core::{HandlerAction, InOrderCore, IrqHandler};
-use cohort_sim::mem::PhysMem;
+use cohort_sim::mem::MemAccess;
 use cohort_sim::program::{Op, Program};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -156,7 +156,7 @@ pub type SharedVm = Arc<Mutex<(AddressSpace, FrameAllocator)>>;
 
 /// A software recovery path run (with functional memory access) when the
 /// engine's error retries are exhausted — the graceful-degradation hook.
-pub type SoftwareFallback = Box<dyn FnMut(&mut PhysMem) + Send>;
+pub type SoftwareFallback = Box<dyn FnMut(&mut dyn MemAccess) + Send>;
 
 /// A forward-progress probe polled by the error handler: returns a value
 /// that strictly grows while the engine moves elements (e.g. consumed +
@@ -198,7 +198,11 @@ pub struct FailoverConfig {
 /// # Panics
 /// Panics if an index VA is unmapped: registration faulted them in, so an
 /// unmapped index during failover is kernel-state corruption.
-pub fn read_queue_indices(mem: &mut PhysMem, vm: &SharedVm, q: &QueueDescriptor) -> (u64, u64) {
+pub fn read_queue_indices(
+    mem: &mut dyn MemAccess,
+    vm: &SharedVm,
+    q: &QueueDescriptor,
+) -> (u64, u64) {
     let mut g = vm.lock().expect("vm lock");
     let (space, _) = &mut *g;
     let wr_pa = space
@@ -806,7 +810,17 @@ impl ShardPool {
 
     /// Credits `weight` completed (popped) elements back to shard
     /// `shard`'s occupancy mirror.
+    ///
+    /// Completing more weight than was placed is accounting corruption
+    /// (a double credit or a mis-attributed shard): debug builds assert;
+    /// release builds clamp at zero so a long chaos run degrades to
+    /// skewed placement rather than an underflow panic.
     pub fn complete(&mut self, shard: usize, weight: u64) {
+        debug_assert!(
+            self.occupancy[shard] >= weight,
+            "occupancy underflow on shard {shard}: completing {weight} with only {} outstanding",
+            self.occupancy[shard]
+        );
         self.occupancy[shard] = self.occupancy[shard].saturating_sub(weight);
     }
 
@@ -840,7 +854,7 @@ pub fn swap_store() -> SwapStore {
 /// stashed contents from `swap` if the page had been evicted with state.
 /// Public so software fallback paths (graceful degradation after engine
 /// errors) can fault pages in exactly like the interrupt handlers do.
-pub fn fault_in(mem: &mut PhysMem, vm: &SharedVm, swap: Option<&SwapStore>, va: u64) {
+pub fn fault_in(mem: &mut dyn MemAccess, vm: &SharedVm, swap: Option<&SwapStore>, va: u64) {
     use crate::sv39::PAGE_BYTES;
     let mut g = vm.lock().expect("vm lock");
     let (space, frames) = &mut *g;
@@ -992,6 +1006,20 @@ mod tests {
         pool.complete(0, 2);
         assert_eq!(pool.occupancy(0), 2);
         assert_eq!(pool.placed_weight(0), 4, "completion keeps totals");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "occupancy underflow"))]
+    fn complete_catches_occupancy_underflow() {
+        // Crediting more weight than a shard has outstanding is accounting
+        // corruption: debug builds assert (this test), release builds
+        // clamp at zero instead of wrapping.
+        let engines = pool_drivers(2);
+        let mut pool = ShardPool::bind(&engines, 2, 0, Placement::RoundRobin).unwrap();
+        pool.place(3); // shard 0 now carries 3
+        pool.complete(0, 5);
+        // Only reached without debug assertions: clamped, not wrapped.
+        assert_eq!(pool.occupancy(0), 0);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! Cohort engine's modelled page-table walker reads the same bytes the OS
 //! wrote.
 
-use cohort_sim::mem::PhysMem;
+use cohort_sim::mem::MemAccess;
 
 /// Bytes per 4 KiB page.
 pub const PAGE_BYTES: u64 = 4096;
@@ -143,7 +143,7 @@ pub struct WalkResult {
 /// Functionally walks the tables rooted at `root_pa` for `va`.
 ///
 /// Returns `None` on any invalid PTE (page fault) or misaligned superpage.
-pub fn walk(mem: &PhysMem, root_pa: u64, va: u64) -> Option<WalkResult> {
+pub fn walk(mem: &dyn MemAccess, root_pa: u64, va: u64) -> Option<WalkResult> {
     let mut table_pa = root_pa;
     let mut pte_addrs = [0u64; 3];
     for (i, level) in (0..3).rev().enumerate() {
@@ -188,7 +188,7 @@ pub fn walk(mem: &PhysMem, root_pa: u64, va: u64) -> Option<WalkResult> {
 /// Panics if `va`/`pa` are not aligned to `size`, or if the walk hits an
 /// existing leaf where a branch is needed (conflicting mapping).
 pub fn map(
-    mem: &mut PhysMem,
+    mem: &mut dyn MemAccess,
     root_pa: u64,
     va: u64,
     pa: u64,
@@ -221,7 +221,7 @@ pub fn map(
 
 /// Removes the mapping covering `va` (any page size). Returns true if a
 /// mapping was removed.
-pub fn unmap(mem: &mut PhysMem, root_pa: u64, va: u64) -> bool {
+pub fn unmap(mem: &mut dyn MemAccess, root_pa: u64, va: u64) -> bool {
     let mut table_pa = root_pa;
     for level in (0..3).rev() {
         let addr = pte_addr(table_pa, va, level);
@@ -246,6 +246,7 @@ pub fn unmap(mem: &mut PhysMem, root_pa: u64, va: u64) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cohort_sim::mem::PhysMem;
 
     struct Bump(u64);
     impl Bump {

@@ -3,8 +3,8 @@
 
 use std::collections::VecDeque;
 
-use crate::mem::PhysMem;
 use crate::msg::{Envelope, Msg};
+use crate::stage::StagedMem;
 use crate::stats::{Counter, Histogram, Stats};
 use crate::trace::Trace;
 
@@ -88,8 +88,11 @@ pub struct Ctx<'a> {
     pub cycle: u64,
     /// The stepping component's own id.
     pub self_id: CompId,
-    /// Functional memory (single data copy for the whole SoC).
-    pub mem: &'a mut PhysMem,
+    /// The component's write-staged view of functional memory: reads see
+    /// committed memory plus the component's own writes from this cycle;
+    /// writes become visible to *other* components only at the cycle
+    /// barrier (see [`crate::stage`]).
+    pub mem: StagedMem<'a>,
     pub(crate) inbox: &'a mut VecDeque<Envelope>,
     pub(crate) outbox: &'a mut Vec<Outgoing>,
     pub(crate) mmio_map: &'a MmioMap,
@@ -183,7 +186,12 @@ impl Observability {
 /// Components are stepped once per cycle after NoC deliveries for that cycle
 /// have been placed in their inbox. A component should drain its inbox every
 /// step even when otherwise idle.
-pub trait Component {
+///
+/// Components are `Send` so the SoC may step them from worker threads
+/// ([`crate::config::SocConfig::threads`]); they are never shared between
+/// threads (`Sync` is not required) — each slot is stepped by exactly one
+/// thread per cycle.
+pub trait Component: Send {
     /// Short human-readable name, used in stats dumps.
     fn name(&self) -> &str;
 

@@ -122,6 +122,12 @@ pub struct SocConfig {
     pub mte_lines: u64,
     /// Deterministic fault-injection plan (empty by default: no faults).
     pub faults: crate::faultinject::FaultPlan,
+    /// Host threads the simulation kernel steps components across
+    /// (default 1: sequential). Results are bit-identical at any thread
+    /// count — the write-staging layer pins cross-component visibility to
+    /// the cycle barrier (see `docs/architecture.md`, "Parallel kernel &
+    /// determinism contract").
+    pub threads: usize,
 }
 
 impl Default for SocConfig {
@@ -135,6 +141,7 @@ impl Default for SocConfig {
             tlb_entries: 16,
             mte_lines: 8,
             faults: crate::faultinject::FaultPlan::default(),
+            threads: 1,
         }
     }
 }
@@ -167,6 +174,13 @@ impl SocConfig {
     /// Convenience builder-style override of the fault-injection plan.
     pub fn with_faults(mut self, faults: crate::faultinject::FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Convenience builder-style override of the simulation-kernel thread
+    /// count (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 }

@@ -10,7 +10,7 @@
 
 use crate::component::{CompId, Component, Ctx, Observability};
 use crate::config::SocConfig;
-use crate::mem::PhysMem;
+use crate::mem::MemAccess;
 use crate::msg::Msg;
 use crate::port::{CoherentPort, Outcome, PortEvent};
 use crate::program::{Op, Program};
@@ -42,11 +42,12 @@ pub enum HandlerAction {
 /// number of blocking MMIO writes `(pa, value)` issued strictly in order
 /// (each waits for the previous response — the failover orchestrator's
 /// rebind sequence relies on this ordering).
-pub type CustomHandler = Box<dyn FnMut(&mut PhysMem, u64, u64) -> Vec<(u64, u64)> + Send>;
+pub type CustomHandler = Box<dyn FnMut(&mut dyn MemAccess, u64, u64) -> Vec<(u64, u64)> + Send>;
 
 /// Kernel page-fault path: maps the faulting page and returns true, or
-/// returns false for a fatal fault.
-pub type FaultHook = Box<dyn FnMut(&mut PhysMem, u64) -> bool + Send>;
+/// returns false for a fatal fault. Runs against the core's staged memory
+/// view, so its page-table writes commit at the cycle barrier.
+pub type FaultHook = Box<dyn FnMut(&mut dyn MemAccess, u64) -> bool + Send>;
 
 impl std::fmt::Debug for HandlerAction {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -285,7 +286,7 @@ impl InOrderCore {
     /// (charges trap cost, maps the page, and the caller retries the op
     /// next cycle by returning `None`).
     fn translate(&mut self, ctx: &mut Ctx<'_>, va: u64) -> Option<u64> {
-        if let Some(pa) = self.translator.translate(ctx.mem, va) {
+        if let Some(pa) = self.translator.translate(&ctx.mem, va) {
             return Some(pa);
         }
         let hook = self
@@ -293,7 +294,7 @@ impl InOrderCore {
             .as_mut()
             .unwrap_or_else(|| panic!("core-side page fault at va {va:#x} with no handler"));
         assert!(
-            hook(ctx.mem, va),
+            hook(&mut ctx.mem, va),
             "fatal core-side page fault at va {va:#x}"
         );
         self.counters.core_faults.inc();
@@ -415,7 +416,7 @@ impl InOrderCore {
         let entry_cycles = handler.entry_cycles;
         let writes = match &mut handler.action {
             HandlerAction::MmioWrite { pa, value } => vec![(*pa, *value)],
-            HandlerAction::Custom(f) => f(ctx.mem, payload, ctx.cycle),
+            HandlerAction::Custom(f) => f(&mut ctx.mem, payload, ctx.cycle),
         };
         self.handler_writes.extend(writes);
         // The handler's register writes are issued after its entry cost;

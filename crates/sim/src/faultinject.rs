@@ -29,10 +29,10 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crate::component::{Component, Ctx, Observability};
-use crate::mem::PhysMem;
+use crate::mem::MemAccess;
 use crate::msg::Msg;
 use crate::stats::Counter;
 use crate::trace::Trace;
@@ -302,11 +302,29 @@ fn parse_duration(s: &str) -> Result<u64, String> {
     }
 }
 
+/// A fault-switch flip staged during a step and applied at the cycle
+/// barrier, so every component observes it from the next cycle regardless
+/// of step order or thread placement.
+#[derive(Debug, Clone, Copy)]
+enum FaultOp {
+    StallAccel { until: u64 },
+    LatencySpike { until: u64, factor: u64 },
+    KillEngine { engine: u64 },
+    StallMaple { until: u64 },
+    KillMaple,
+}
+
 /// Live fault switches shared between the injector, the NoC and the
 /// engine. Cloning shares the cells (like [`Counter`]); the default state
 /// injects nothing.
+///
+/// The [`FaultInjector`] *stages* its flips (`stage_*`) and the SoC
+/// applies them at the cycle barrier (`FaultState::commit_staged`);
+/// harness code running between cycles uses the immediate setters.
 #[derive(Debug, Clone, Default)]
 pub struct FaultState {
+    /// Flips staged by the injector this cycle, applied at the barrier.
+    pending: Arc<Mutex<Vec<FaultOp>>>,
     /// Accelerator valid/ready held low while `cycle < stall_until`.
     stall_until: Arc<AtomicU64>,
     /// NoC latency multiplied while `cycle < spike_until`.
@@ -385,13 +403,62 @@ impl FaultState {
     pub fn maple_killed(&self) -> bool {
         self.maple_dead.load(Ordering::Relaxed) != 0
     }
+
+    /// Stages an accelerator stall for the cycle barrier.
+    pub(crate) fn stage_stall_accel(&self, until: u64) {
+        self.stage(FaultOp::StallAccel { until });
+    }
+
+    /// Stages a latency-spike window for the cycle barrier.
+    pub(crate) fn stage_latency_spike(&self, until: u64, factor: u64) {
+        self.stage(FaultOp::LatencySpike { until, factor });
+    }
+
+    /// Stages an engine fail-stop for the cycle barrier.
+    pub(crate) fn stage_kill_engine(&self, engine: u64) {
+        self.stage(FaultOp::KillEngine { engine });
+    }
+
+    /// Stages a MAPLE stall for the cycle barrier.
+    pub(crate) fn stage_stall_maple(&self, until: u64) {
+        self.stage(FaultOp::StallMaple { until });
+    }
+
+    /// Stages a MAPLE fail-stop for the cycle barrier.
+    pub(crate) fn stage_kill_maple(&self) {
+        self.stage(FaultOp::KillMaple);
+    }
+
+    fn stage(&self, op: FaultOp) {
+        self.pending.lock().unwrap().push(op);
+    }
+
+    /// Applies every staged flip, in staging order. Called by the SoC at
+    /// the cycle barrier.
+    pub(crate) fn commit_staged(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        if pending.is_empty() {
+            return;
+        }
+        for op in pending.drain(..) {
+            match op {
+                FaultOp::StallAccel { until } => self.stall_accel(until),
+                FaultOp::LatencySpike { until, factor } => self.set_latency_spike(until, factor),
+                FaultOp::KillEngine { engine } => self.kill_engine(engine),
+                FaultOp::StallMaple { until } => self.stall_maple(until),
+                FaultOp::KillMaple => self.kill_maple(),
+            }
+        }
+    }
 }
 
 /// Harness-provided page evictor for [`FaultKind::PageFaultStorm`]: takes
-/// functional memory and the requested page count, returns pages actually
-/// evicted. The OS layer owns page tables, so the hook is injected from
-/// above rather than implemented here.
-pub type StormHook = Box<dyn FnMut(&mut PhysMem, u64) -> u64 + Send>;
+/// (staged) functional memory and the requested page count, returns pages
+/// actually evicted. The OS layer owns page tables, so the hook is
+/// injected from above rather than implemented here. It runs during the
+/// injector's step, so its page-table writes commit at the cycle barrier
+/// like any other component write.
+pub type StormHook = Box<dyn FnMut(&mut dyn MemAccess, u64) -> u64 + Send>;
 
 /// The fault-injection component: owns the resolved schedule and applies
 /// each event on its due cycle.
@@ -489,19 +556,19 @@ impl FaultInjector {
                 } else {
                     ctx.cycle.saturating_add(cycles)
                 };
-                self.state.stall_accel(until);
+                self.state.stage_stall_accel(until);
                 self.stalls.inc();
                 self.emit(ctx.cycle, &ev.kind, vec![("until", format!("{until}"))]);
             }
             FaultKind::LatencySpike { cycles, factor } => {
                 self.state
-                    .set_latency_spike(ctx.cycle.saturating_add(cycles), factor);
+                    .stage_latency_spike(ctx.cycle.saturating_add(cycles), factor);
                 self.spikes.inc();
                 self.emit(ctx.cycle, &ev.kind, vec![("factor", format!("{factor}"))]);
             }
             FaultKind::PageFaultStorm { pages } => {
                 let evicted = match self.storm_hook.as_mut() {
-                    Some(hook) => hook(ctx.mem, pages),
+                    Some(hook) => hook(&mut ctx.mem, pages),
                     None => 0,
                 };
                 self.evicted_pages.add(evicted);
@@ -537,7 +604,7 @@ impl FaultInjector {
                 self.emit(ctx.cycle, &ev.kind, vec![]);
             }
             FaultKind::KillEngine { engine } => {
-                self.state.kill_engine(engine);
+                self.state.stage_kill_engine(engine);
                 self.kills.inc();
                 self.emit(ctx.cycle, &ev.kind, vec![("engine", format!("{engine}"))]);
             }
@@ -547,12 +614,12 @@ impl FaultInjector {
                 } else {
                     ctx.cycle.saturating_add(cycles)
                 };
-                self.state.stall_maple(until);
+                self.state.stage_stall_maple(until);
                 self.stalls.inc();
                 self.emit(ctx.cycle, &ev.kind, vec![("until", format!("{until}"))]);
             }
             FaultKind::KillMaple => {
-                self.state.kill_maple();
+                self.state.stage_kill_maple();
                 self.kills.inc();
                 self.emit(ctx.cycle, &ev.kind, vec![]);
             }
@@ -814,5 +881,22 @@ mod tests {
         let b = a.clone();
         a.stall_accel(10);
         assert!(b.accel_stalled(5), "clones share the cells");
+    }
+
+    #[test]
+    fn staged_flips_apply_only_at_commit() {
+        let fs = FaultState::default();
+        fs.stage_stall_accel(100);
+        fs.stage_kill_engine(2);
+        fs.stage_latency_spike(50, 4);
+        assert!(!fs.accel_stalled(0), "staged flips are not yet live");
+        assert!(!fs.engine_killed(2));
+        assert_eq!(fs.latency_factor(0), 1);
+        fs.commit_staged();
+        assert!(fs.accel_stalled(99));
+        assert!(fs.engine_killed(2));
+        assert_eq!(fs.latency_factor(49), 4);
+        fs.commit_staged(); // empty commit is a no-op
+        assert!(fs.engine_killed(2));
     }
 }

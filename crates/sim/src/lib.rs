@@ -58,9 +58,11 @@ pub mod faultinject;
 pub mod mem;
 pub mod msg;
 pub mod noc;
+pub(crate) mod parallel;
 pub mod port;
 pub mod program;
 pub mod soc;
+pub mod stage;
 pub mod stats;
 pub mod trace;
 pub mod translate;

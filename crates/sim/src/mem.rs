@@ -11,6 +11,60 @@ use std::collections::HashMap;
 const PAGE_SHIFT: u32 = 12;
 const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
 
+/// Byte-addressable memory access, implemented by [`PhysMem`] (direct) and
+/// [`crate::stage::StagedMem`] (write-staged, the view components see
+/// during a step).
+///
+/// Hooks and OS-layer helpers that used to take `&mut PhysMem` take
+/// `&mut dyn MemAccess` instead, so the same code runs against committed
+/// memory (host side, between cycles) and a component's staged view
+/// (inside a step, where writes become visible to other components only at
+/// the cycle barrier).
+pub trait MemAccess {
+    /// Reads one byte.
+    fn read_u8(&self, pa: u64) -> u8;
+
+    /// Writes one byte.
+    fn write_u8(&mut self, pa: u64, value: u8);
+
+    /// Fills `buf` from memory starting at `pa`.
+    fn read_bytes(&self, pa: u64, buf: &mut [u8]);
+
+    /// Copies `data` into memory starting at `pa`.
+    fn write_bytes(&mut self, pa: u64, data: &[u8]);
+
+    /// Reads a little-endian `u64`. The access may span frames.
+    fn read_u64(&self, pa: u64) -> u64 {
+        let mut buf = [0u8; 8];
+        self.read_bytes(pa, &mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Writes a little-endian `u64`. The access may span frames.
+    fn write_u64(&mut self, pa: u64, value: u64) {
+        self.write_bytes(pa, &value.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u32`.
+    fn read_u32(&self, pa: u64) -> u32 {
+        let mut buf = [0u8; 4];
+        self.read_bytes(pa, &mut buf);
+        u32::from_le_bytes(buf)
+    }
+
+    /// Writes a little-endian `u32`.
+    fn write_u32(&mut self, pa: u64, value: u32) {
+        self.write_bytes(pa, &value.to_le_bytes());
+    }
+
+    /// Reads `len` bytes into a fresh vector.
+    fn read_vec(&self, pa: u64, len: usize) -> Vec<u8> {
+        let mut v = vec![0u8; len];
+        self.read_bytes(pa, &mut v);
+        v
+    }
+}
+
 /// Sparse, byte-addressable physical memory backed by 4 KiB frames.
 ///
 /// Frames are allocated on first touch; reads of untouched memory return
@@ -120,6 +174,24 @@ impl PhysMem {
         let mut v = vec![0u8; len];
         self.read_bytes(pa, &mut v);
         v
+    }
+}
+
+impl MemAccess for PhysMem {
+    fn read_u8(&self, pa: u64) -> u8 {
+        PhysMem::read_u8(self, pa)
+    }
+
+    fn write_u8(&mut self, pa: u64, value: u8) {
+        PhysMem::write_u8(self, pa, value);
+    }
+
+    fn read_bytes(&self, pa: u64, buf: &mut [u8]) {
+        PhysMem::read_bytes(self, pa, buf);
+    }
+
+    fn write_bytes(&mut self, pa: u64, data: &[u8]) {
+        PhysMem::write_bytes(self, pa, data);
     }
 }
 

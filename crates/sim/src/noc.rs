@@ -2,9 +2,14 @@
 //!
 //! Latency between two tiles is `noc_base + hops * noc_per_hop +
 //! serialization`, where serialization charges one extra cycle per 8-byte
-//! flit beyond the head flit. Messages between the same pair with equal
-//! latency are delivered in FIFO order (a monotonically increasing sequence
-//! number breaks ties), which is what the directory protocol relies on.
+//! flit beyond the head flit. Messages from the same source with equal
+//! delivery cycles arrive in injection order (a monotonically increasing
+//! sequence number breaks ties), which is what the directory protocol
+//! relies on. Across *different* sources, same-cycle ties break on the
+//! source tile coordinate — a physical property — rather than on global
+//! injection order, so delivery order is invariant under component
+//! registration order (part of the determinism contract, see
+//! `docs/architecture.md`).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -23,14 +28,23 @@ pub const NOC_TRACE_TID: u64 = 1 << 32;
 #[derive(Debug)]
 struct InFlight {
     at: u64,
+    /// Source tile as a sortable key (`(y, x)`): same-cycle ties across
+    /// different sources break on mesh position, not injection order.
+    src: (u16, u16),
     seq: u64,
     dst: CompId,
     env: Envelope,
 }
 
+impl InFlight {
+    fn key(&self) -> (u64, (u16, u16), u64) {
+        (self.at, self.src, self.seq)
+    }
+}
+
 impl PartialEq for InFlight {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 impl Eq for InFlight {}
@@ -41,7 +55,7 @@ impl PartialOrd for InFlight {
 }
 impl Ord for InFlight {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        self.key().cmp(&other.key())
     }
 }
 
@@ -146,6 +160,7 @@ impl Noc {
         }
         self.heap.push(Reverse(InFlight {
             at: cycle + lat,
+            src: (from.y, from.x),
             seq: self.seq,
             dst,
             env,

@@ -1,0 +1,226 @@
+//! Synchronisation primitives for the component-parallel step kernel.
+//!
+//! The SoC keeps a pool of worker threads parked on a [`GoSignal`]. Each
+//! cycle the main thread publishes a [`Frame`] describing the work (a raw
+//! view of the slot array plus the read-only memory image), releases the
+//! workers, steps its own stripe, and waits on a [`DoneLatch`] until every
+//! worker has finished before committing the cycle. Workers never touch
+//! the NoC, stats registry keys, or `PhysMem` mutably — all cross-component
+//! effects are staged per-slot and committed by the main thread at the
+//! barrier (see [`crate::stage`]).
+//!
+//! Both primitives spin briefly before falling back to a condvar: cycles
+//! are microseconds apart, so an immediate park/unpark per cycle would
+//! dominate runtime, but an unbounded spin would burn a host CPU per
+//! worker on oversubscribed machines.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Spin iterations before yielding, then parking on the condvar.
+const SPIN: usize = 64;
+/// `yield_now` calls after spinning before parking on the condvar.
+const YIELDS: usize = 16;
+
+/// A generation-counted start barrier: the main thread bumps the
+/// generation to release every waiter once.
+#[derive(Debug, Default)]
+pub(crate) struct GoSignal {
+    generation: AtomicU64,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl GoSignal {
+    /// Releases all workers currently waiting on `seen`.
+    pub(crate) fn go(&self) {
+        // The store must happen-before the notify, and the lock round trip
+        // closes the race where a worker checks the generation, loses the
+        // CPU, and would otherwise miss the wakeup.
+        self.generation.fetch_add(1, Ordering::Release);
+        drop(self.lock.lock().unwrap());
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the generation advances past `seen`; returns the new
+    /// generation to pass to the next wait.
+    pub(crate) fn wait(&self, seen: u64) -> u64 {
+        for _ in 0..SPIN {
+            let g = self.generation.load(Ordering::Acquire);
+            if g != seen {
+                return g;
+            }
+            std::hint::spin_loop();
+        }
+        for _ in 0..YIELDS {
+            let g = self.generation.load(Ordering::Acquire);
+            if g != seen {
+                return g;
+            }
+            std::thread::yield_now();
+        }
+        let mut guard = self.lock.lock().unwrap();
+        loop {
+            let g = self.generation.load(Ordering::Acquire);
+            if g != seen {
+                return g;
+            }
+            guard = self.cv.wait(guard).unwrap();
+        }
+    }
+}
+
+/// A completion latch: `arrive` is called once per worker per cycle and
+/// the main thread blocks until the count drains, then re-arms it.
+#[derive(Debug)]
+pub(crate) struct DoneLatch {
+    remaining: AtomicUsize,
+    workers: usize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl DoneLatch {
+    pub(crate) fn new(workers: usize) -> Self {
+        Self {
+            remaining: AtomicUsize::new(workers),
+            workers,
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Marks one worker's stripe complete for this cycle.
+    pub(crate) fn arrive(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            drop(self.lock.lock().unwrap());
+            self.cv.notify_all();
+        }
+    }
+
+    /// Blocks until every worker has arrived, then re-arms the latch for
+    /// the next cycle.
+    pub(crate) fn wait_and_reset(&self) {
+        for _ in 0..SPIN {
+            if self.remaining.load(Ordering::Acquire) == 0 {
+                self.remaining.store(self.workers, Ordering::Release);
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        for _ in 0..YIELDS {
+            if self.remaining.load(Ordering::Acquire) == 0 {
+                self.remaining.store(self.workers, Ordering::Release);
+                return;
+            }
+            std::thread::yield_now();
+        }
+        let mut guard = self.lock.lock().unwrap();
+        while self.remaining.load(Ordering::Acquire) != 0 {
+            guard = self.cv.wait(guard).unwrap();
+        }
+        drop(guard);
+        self.remaining.store(self.workers, Ordering::Release);
+    }
+}
+
+/// Worker-shared state: the per-cycle [`Frame`] plus the exit flag.
+///
+/// The frame cell is only written by the main thread while every worker is
+/// parked (between `done.wait_and_reset` and the next `go`), and only read
+/// by workers between `go` and `arrive` — the two barriers make the
+/// accesses data-race-free, which is what the `Sync` impl asserts.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    frame: std::cell::UnsafeCell<Frame>,
+    pub(crate) exit: AtomicBool,
+    pub(crate) go: GoSignal,
+    pub(crate) done: DoneLatch,
+}
+
+unsafe impl Sync for Shared {}
+
+impl Shared {
+    pub(crate) fn new(workers: usize) -> Self {
+        Self {
+            frame: std::cell::UnsafeCell::new(Frame::empty()),
+            exit: AtomicBool::new(false),
+            go: GoSignal::default(),
+            done: DoneLatch::new(workers),
+        }
+    }
+
+    /// Publishes this cycle's frame. Caller must be the main thread with
+    /// all workers parked.
+    pub(crate) fn publish(&self, frame: Frame) {
+        unsafe { *self.frame.get() = frame };
+    }
+
+    /// Reads the current frame. Caller must hold a `go`/`arrive` window.
+    pub(crate) fn frame(&self) -> Frame {
+        unsafe { *self.frame.get() }
+    }
+}
+
+/// A raw, cycle-scoped view of the step workload handed to workers.
+///
+/// Raw pointers rather than references because the borrow starts when the
+/// main thread publishes and ends at the done barrier — a lifetime the
+/// borrow checker cannot see across threads. The invariants:
+///
+/// * `slots` points at the SoC's slot array; each worker dereferences
+///   only slots `i` with `i % stride == worker_stripe`, so no slot is
+///   aliased mutably.
+/// * `mem` and `mmio` are read-only for the whole step phase.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Frame {
+    pub(crate) slots: *mut crate::soc::Slot,
+    pub(crate) len: usize,
+    pub(crate) mem: *const crate::mem::PhysMem,
+    pub(crate) mmio: *const crate::component::MmioMap,
+    pub(crate) cycle: u64,
+}
+
+impl Frame {
+    fn empty() -> Self {
+        Self {
+            slots: std::ptr::null_mut(),
+            len: 0,
+            mem: std::ptr::null(),
+            mmio: std::ptr::null(),
+            cycle: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn go_signal_releases_waiter() {
+        let sig = Arc::new(GoSignal::default());
+        let s2 = sig.clone();
+        let h = std::thread::spawn(move || s2.wait(0));
+        sig.go();
+        assert_eq!(h.join().unwrap(), 1);
+        let s3 = sig.clone();
+        let h = std::thread::spawn(move || s3.wait(1));
+        sig.go();
+        assert_eq!(h.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn done_latch_drains_and_rearms() {
+        let latch = Arc::new(DoneLatch::new(2));
+        for _ in 0..3 {
+            let (a, b) = (latch.clone(), latch.clone());
+            let h1 = std::thread::spawn(move || a.arrive());
+            let h2 = std::thread::spawn(move || b.arrive());
+            latch.wait_and_reset();
+            h1.join().unwrap();
+            h2.join().unwrap();
+        }
+    }
+}

@@ -1,7 +1,28 @@
 //! The SoC top level: owns components, functional memory and the NoC, and
 //! advances simulated time.
+//!
+//! # Cycle structure and the determinism contract
+//!
+//! Each cycle has two phases:
+//!
+//! 1. **Step** — every component is stepped against a write-staged view of
+//!    memory ([`crate::stage::StagedMem`]): reads see *committed* memory
+//!    plus the component's own writes from this cycle; writes and outgoing
+//!    messages are staged per-slot. Steps are data-independent, so the SoC
+//!    may execute them across worker threads
+//!    ([`crate::config::SocConfig::threads`]).
+//! 2. **Commit** — on the main thread, in slot order: write logs are
+//!    applied to [`PhysMem`], outboxes are injected into the NoC, staged
+//!    fault-switch flips are applied, and the cycle advances.
+//!
+//! Because cross-component visibility is pinned to the commit barrier,
+//! simulated behaviour is a function of the architecture alone: results
+//! are bit-identical for any thread count and any component registration
+//! order (see `docs/architecture.md`, "Parallel kernel & determinism
+//! contract").
 
 use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
 
 use crate::component::{CompId, Component, Ctx, MmioMap, Observability, Outgoing, TileCoord};
 use crate::config::SocConfig;
@@ -9,13 +30,62 @@ use crate::faultinject::FaultState;
 use crate::mem::PhysMem;
 use crate::msg::Envelope;
 use crate::noc::Noc;
+use crate::parallel::{Frame, Shared};
+use crate::stage::{StagedMem, WriteLog};
 use crate::stats::Stats;
 use crate::trace::Trace;
 
-struct Slot {
-    comp: Option<Box<dyn Component>>,
+pub(crate) struct Slot {
+    comp: Box<dyn Component>,
     tile: TileCoord,
     inbox: VecDeque<Envelope>,
+    /// Messages staged during this cycle's step, injected at commit.
+    outbox: Vec<Outgoing>,
+    /// Memory writes staged during this cycle's step, applied at commit.
+    log: WriteLog,
+}
+
+/// Steps one slot against the read-only memory image. Runs on the main
+/// thread (sequential path / stripe 0) or a worker thread (other stripes);
+/// all effects land in the slot's own staging buffers.
+fn step_slot(slot: &mut Slot, i: usize, cycle: u64, mem: &PhysMem, mmio: &MmioMap) {
+    let mut ctx = Ctx {
+        cycle,
+        self_id: CompId(i),
+        mem: StagedMem::new(mem, &mut slot.log),
+        inbox: &mut slot.inbox,
+        outbox: &mut slot.outbox,
+        mmio_map: mmio,
+    };
+    slot.comp.step(&mut ctx);
+}
+
+/// Steps slots `start, start + stride, start + 2*stride, ...` of `frame`.
+///
+/// # Safety
+/// The frame's pointers must be live for the whole call, every thread of
+/// the cycle must use the same `stride` with a distinct `start < stride`
+/// (so no slot is aliased), and the memory image must not be mutated
+/// concurrently.
+pub(crate) unsafe fn step_stripe(frame: &Frame, start: usize, stride: usize) {
+    let mut i = start;
+    while i < frame.len {
+        // SAFETY: `i % stride == start` indices are exclusive to this
+        // call per the contract; mem/mmio are read-only this phase.
+        let (slot, mem, mmio) = unsafe { (&mut *frame.slots.add(i), &*frame.mem, &*frame.mmio) };
+        step_slot(slot, i, frame.cycle, mem, mmio);
+        i += stride;
+    }
+}
+
+/// Why [`Soc::run_loop`] stopped.
+enum LoopExit {
+    /// The caller's predicate fired.
+    Pred,
+    /// The SoC went quiescent (and the predicate, if any, stayed false).
+    Quiescent,
+    /// The cycle budget was exhausted.
+    Deadline,
 }
 
 /// Result of [`Soc::run`].
@@ -38,7 +108,6 @@ pub struct Soc {
     slots: Vec<Slot>,
     mmio_map: MmioMap,
     cfg: SocConfig,
-    outbox: Vec<Outgoing>,
     stats: Stats,
     trace: Trace,
     faults: FaultState,
@@ -69,7 +138,6 @@ impl Soc {
             slots: Vec::new(),
             mmio_map: MmioMap::default(),
             cfg,
-            outbox: Vec::new(),
             stats,
             trace,
             faults,
@@ -121,9 +189,11 @@ impl Soc {
         };
         comp.attach(&obs);
         self.slots.push(Slot {
-            comp: Some(comp),
+            comp,
             tile,
             inbox: VecDeque::new(),
+            outbox: Vec::new(),
+            log: WriteLog::new(),
         });
         id
     }
@@ -133,30 +203,41 @@ impl Soc {
         self.mmio_map.map(range, comp);
     }
 
-    /// Advances the SoC by one cycle.
+    /// Advances the SoC by one cycle (sequential step phase + commit).
     pub fn step(&mut self) {
+        self.deliver_due();
+        let (slots, mem, mmio) = (&mut self.slots, &self.mem, &self.mmio_map);
+        for (i, slot) in slots.iter_mut().enumerate() {
+            step_slot(slot, i, self.cycle, mem, mmio);
+        }
+        self.commit_cycle();
+    }
+
+    /// Places every message due this cycle into its destination inbox.
+    fn deliver_due(&mut self) {
         let slots = &mut self.slots;
         self.noc.deliver_due(self.cycle, |dst, env| {
             slots[dst.0].inbox.push_back(env);
         });
-        for i in 0..self.slots.len() {
-            let mut comp = self.slots[i].comp.take().expect("component present");
-            {
-                let mut ctx = Ctx {
-                    cycle: self.cycle,
-                    self_id: CompId(i),
-                    mem: &mut self.mem,
-                    inbox: &mut self.slots[i].inbox,
-                    outbox: &mut self.outbox,
-                    mmio_map: &self.mmio_map,
-                };
-                comp.step(&mut ctx);
+    }
+
+    /// The cycle barrier: applies staged writes to memory and staged
+    /// messages to the NoC in slot order, commits staged fault-switch
+    /// flips, and advances the cycle. Runs on the main thread only.
+    fn commit_cycle(&mut self) {
+        let (slots, mem, noc) = (&mut self.slots, &mut self.mem, &mut self.noc);
+        for slot in slots.iter_mut() {
+            slot.log.commit(mem);
+        }
+        for i in 0..slots.len() {
+            if slots[i].outbox.is_empty() {
+                continue;
             }
-            self.slots[i].comp = Some(comp);
-            let src_tile = self.slots[i].tile;
-            for out in self.outbox.drain(..) {
-                let dst_tile = self.slots[out.dst.0].tile;
-                self.noc.inject_delayed(
+            let src_tile = slots[i].tile;
+            let mut outbox = std::mem::take(&mut slots[i].outbox);
+            for out in outbox.drain(..) {
+                let dst_tile = slots[out.dst.0].tile;
+                noc.inject_delayed(
                     self.cycle,
                     src_tile,
                     dst_tile,
@@ -165,72 +246,181 @@ impl Soc {
                     out.extra_delay,
                 );
             }
+            slots[i].outbox = outbox;
         }
+        self.faults.commit_staged();
         self.cycle += 1;
     }
 
     fn is_quiescent(&self) -> bool {
         self.noc.is_empty()
-            && self
-                .slots
-                .iter()
-                .all(|s| s.inbox.is_empty() && s.comp.as_ref().is_some_and(|c| c.is_idle()))
+            && self.slots.iter().all(|s| {
+                s.inbox.is_empty() && s.outbox.is_empty() && s.log.is_empty() && s.comp.is_idle()
+            })
     }
 
-    /// Runs until the SoC is quiescent or `max_cycles` elapse.
+    /// Runs until the SoC is quiescent or `max_cycles` elapse. A budget of
+    /// `u64::MAX` means "no budget" (the deadline saturates rather than
+    /// wrapping).
     pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
-        let deadline = self.cycle + max_cycles;
-        while self.cycle < deadline {
-            if self.is_quiescent() {
-                return RunOutcome {
-                    cycle: self.cycle,
-                    quiescent: true,
-                };
-            }
-            self.step();
-        }
-        RunOutcome {
-            cycle: self.cycle,
-            quiescent: self.is_quiescent(),
+        match self.run_loop(max_cycles, None) {
+            LoopExit::Quiescent => RunOutcome {
+                cycle: self.cycle,
+                quiescent: true,
+            },
+            _ => RunOutcome {
+                cycle: self.cycle,
+                quiescent: self.is_quiescent(),
+            },
         }
     }
 
     /// Runs until `pred` on the SoC becomes true, quiescence, or the budget
-    /// is exhausted. Returns true if the predicate fired.
+    /// is exhausted (saturating, like [`Soc::run`]). Returns true if the
+    /// predicate fired.
     pub fn run_until(&mut self, max_cycles: u64, mut pred: impl FnMut(&Soc) -> bool) -> bool {
-        let deadline = self.cycle + max_cycles;
-        while self.cycle < deadline {
-            if pred(self) {
-                return true;
+        matches!(self.run_loop(max_cycles, Some(&mut pred)), LoopExit::Pred)
+    }
+
+    /// The shared run loop behind [`Soc::run`] and [`Soc::run_until`].
+    ///
+    /// Per iteration: deadline check, predicate check, quiescence check
+    /// (re-consulting the predicate, which may hold on the quiescent
+    /// state), then one cycle. With `cfg.threads > 1` the cycle's step
+    /// phase fans out across a scoped worker pool; everything else —
+    /// checks, NoC delivery, commit — runs on the main thread, so the
+    /// sequential and parallel paths execute the same decisions in the
+    /// same order.
+    fn run_loop(
+        &mut self,
+        max_cycles: u64,
+        pred: Option<&mut dyn FnMut(&Soc) -> bool>,
+    ) -> LoopExit {
+        let deadline = self.cycle.saturating_add(max_cycles);
+        let threads = self.cfg.threads.clamp(1, self.slots.len().max(1));
+        if threads <= 1 {
+            self.run_loop_seq(deadline, pred)
+        } else {
+            self.run_loop_par(deadline, pred, threads)
+        }
+    }
+
+    fn run_loop_seq(
+        &mut self,
+        deadline: u64,
+        mut pred: Option<&mut dyn FnMut(&Soc) -> bool>,
+    ) -> LoopExit {
+        loop {
+            if self.cycle >= deadline {
+                return LoopExit::Deadline;
+            }
+            if let Some(p) = pred.as_deref_mut() {
+                if p(self) {
+                    return LoopExit::Pred;
+                }
             }
             if self.is_quiescent() {
-                return pred(self);
+                return match pred.as_deref_mut() {
+                    Some(p) => {
+                        if p(self) {
+                            LoopExit::Pred
+                        } else {
+                            LoopExit::Quiescent
+                        }
+                    }
+                    None => LoopExit::Quiescent,
+                };
             }
             self.step();
         }
-        false
     }
 
-    /// Immutable typed access to a component.
-    ///
-    /// # Panics
-    /// Panics if `id` is out of range.
+    /// The component-parallel run loop: workers park on a go/done barrier
+    /// pair for the whole run; each cycle the main thread publishes a
+    /// [`Frame`] over the slot array, releases the workers, steps stripe 0
+    /// itself, waits for the workers, and commits.
+    fn run_loop_par(
+        &mut self,
+        deadline: u64,
+        mut pred: Option<&mut dyn FnMut(&Soc) -> bool>,
+        threads: usize,
+    ) -> LoopExit {
+        let shared = Shared::new(threads - 1);
+        std::thread::scope(|scope| {
+            for w in 1..threads {
+                let shared = &shared;
+                scope.spawn(move || {
+                    let mut seen = 0u64;
+                    loop {
+                        seen = shared.go.wait(seen);
+                        if shared.exit.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let frame = shared.frame();
+                        // SAFETY: the main thread published this frame and
+                        // is waiting on the done latch; this worker steps
+                        // only stripe `w` of `threads`.
+                        unsafe { step_stripe(&frame, w, threads) };
+                        shared.done.arrive();
+                    }
+                });
+            }
+            let exit = loop {
+                if self.cycle >= deadline {
+                    break LoopExit::Deadline;
+                }
+                if let Some(p) = pred.as_deref_mut() {
+                    if p(self) {
+                        break LoopExit::Pred;
+                    }
+                }
+                if self.is_quiescent() {
+                    break match pred.as_deref_mut() {
+                        Some(p) => {
+                            if p(self) {
+                                LoopExit::Pred
+                            } else {
+                                LoopExit::Quiescent
+                            }
+                        }
+                        None => LoopExit::Quiescent,
+                    };
+                }
+                self.deliver_due();
+                let frame = Frame {
+                    slots: self.slots.as_mut_ptr(),
+                    len: self.slots.len(),
+                    mem: &self.mem,
+                    mmio: &self.mmio_map,
+                    cycle: self.cycle,
+                };
+                shared.publish(frame);
+                shared.go.go();
+                // SAFETY: stripe 0 is disjoint from every worker stripe.
+                unsafe { step_stripe(&frame, 0, threads) };
+                shared.done.wait_and_reset();
+                self.commit_cycle();
+            };
+            shared.exit.store(true, Ordering::Release);
+            shared.go.go();
+            exit
+        })
+    }
+
+    /// Immutable typed access to a component; `None` if `id` is out of
+    /// range or the component is not a `T`.
     pub fn component<T: 'static>(&self, id: CompId) -> Option<&T> {
-        self.slots[id.0]
-            .comp
-            .as_ref()
-            .and_then(|c| c.as_any().downcast_ref::<T>())
+        self.slots
+            .get(id.0)
+            .and_then(|s| s.comp.as_any().downcast_ref::<T>())
     }
 
-    /// Mutable typed access to a component.
-    ///
-    /// # Panics
-    /// Panics if `id` is out of range.
+    /// Mutable typed access to a component; `None` if `id` is out of range
+    /// or the component is not a `T`.
     pub fn component_mut<T: 'static>(&mut self, id: CompId) -> Option<&mut T> {
-        self.slots[id.0]
-            .comp
-            .as_mut()
-            .and_then(|c| c.as_any_mut().downcast_mut::<T>())
+        self.slots
+            .get_mut(id.0)
+            .and_then(|s| s.comp.as_any_mut().downcast_mut::<T>())
     }
 
     /// Name and counters of every component, for diagnostics.
@@ -238,7 +428,7 @@ impl Soc {
         self.slots
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| s.comp.as_ref().map(|c| (c.scope(CompId(i)), c.counters())))
+            .map(|(i, s)| (s.comp.scope(CompId(i)), s.comp.counters()))
             .collect()
     }
 
@@ -642,5 +832,177 @@ mod tests {
         let c = soc.component::<InOrderCore>(core_id).unwrap();
         let expect: Vec<u64> = (0..32).collect();
         assert_eq!(c.recorded(), &expect[..], "recalled data must survive");
+    }
+
+    #[test]
+    fn budget_u64_max_saturates_instead_of_wrapping() {
+        // `cycle + max_cycles` used to overflow for unbounded budgets once
+        // the SoC had advanced past cycle 0; the deadline now saturates.
+        let mut p = Program::new();
+        p.push(Op::Store {
+            va: 0x1000,
+            value: 1,
+        });
+        p.push(Op::Fence);
+        let (mut soc, _) = build(p);
+        let out = soc.run(u64::MAX);
+        assert!(out.quiescent);
+        assert!(out.cycle > 0);
+        // Second unbounded run from a nonzero cycle: the old code wrapped
+        // the deadline to `cycle - 1` and returned without stepping.
+        assert!(soc.run(u64::MAX).quiescent);
+        assert!(soc.run_until(u64::MAX, |s| s.cycle >= out.cycle));
+    }
+
+    #[test]
+    fn zero_budget_never_consults_predicate() {
+        let (mut soc, _) = build(Program::new());
+        let mut calls = 0;
+        assert!(!soc.run_until(0, |_| {
+            calls += 1;
+            true
+        }));
+        assert_eq!(calls, 0, "deadline is checked before the predicate");
+    }
+
+    #[test]
+    fn component_accessors_are_total() {
+        // Documented as returning Option, these used to panic on an
+        // out-of-range id via direct indexing.
+        let (mut soc, core) = build(Program::new());
+        assert!(soc.component::<InOrderCore>(CompId(99)).is_none());
+        assert!(soc.component_mut::<InOrderCore>(CompId(99)).is_none());
+        assert!(soc.component::<Directory>(core).is_none(), "wrong type");
+        assert!(soc.component::<InOrderCore>(core).is_some());
+    }
+
+    /// A component that writes a word at a fixed cycle.
+    struct Writer;
+    /// A component that polls a word every cycle and records when it first
+    /// observes the written value.
+    struct Reader {
+        seen_at: Option<u64>,
+    }
+    impl Component for Writer {
+        fn name(&self) -> &str {
+            "writer"
+        }
+        fn step(&mut self, ctx: &mut Ctx<'_>) {
+            if ctx.cycle == 5 {
+                ctx.mem.write_u64(0x100, 42);
+            }
+        }
+        fn is_idle(&self) -> bool {
+            true
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+    impl Component for Reader {
+        fn name(&self) -> &str {
+            "reader"
+        }
+        fn step(&mut self, ctx: &mut Ctx<'_>) {
+            if self.seen_at.is_none() && ctx.mem.read_u64(0x100) == 42 {
+                self.seen_at = Some(ctx.cycle);
+            }
+        }
+        fn is_idle(&self) -> bool {
+            true
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn same_cycle_visibility_is_order_independent() {
+        // Whatever the registration order, a write staged at cycle 5
+        // becomes visible to other components at cycle 6 — the barrier,
+        // not the step loop, defines visibility.
+        for writer_first in [true, false] {
+            let mut soc = Soc::new(SocConfig::default());
+            let reader = if writer_first {
+                soc.add_component(TileCoord::new(0, 0), Box::new(Writer));
+                soc.add_component(TileCoord::new(1, 0), Box::new(Reader { seen_at: None }))
+            } else {
+                let r = soc.add_component(TileCoord::new(1, 0), Box::new(Reader { seen_at: None }));
+                soc.add_component(TileCoord::new(0, 0), Box::new(Writer));
+                r
+            };
+            for _ in 0..10 {
+                soc.step();
+            }
+            let r = soc.component::<Reader>(reader).unwrap();
+            assert_eq!(
+                r.seen_at,
+                Some(6),
+                "writer_first={writer_first}: visibility pinned to the barrier"
+            );
+        }
+    }
+
+    /// Runs the producer/consumer hand-off with the two cores registered
+    /// in the given order; returns (final cycle, consumer record, memory
+    /// word) for bit-identity comparison.
+    fn handoff(consumer_first: bool, threads: usize) -> (u64, Vec<u64>, u64) {
+        let cfg = SocConfig::default().with_threads(threads);
+        let mut soc = Soc::new(cfg.clone());
+        let dir = soc.add_component(TileCoord::new(0, 0), Box::new(Directory::new(&cfg)));
+        let mut producer = Program::new();
+        producer.push(Op::Alu(200));
+        producer.push(Op::Store {
+            va: 0x2000,
+            value: 5,
+        });
+        producer.push(Op::Fence);
+        let mut consumer = Program::new();
+        consumer.push(Op::WaitGe {
+            va: 0x2000,
+            value: 5,
+        });
+        consumer.push(Op::Load {
+            va: 0x2000,
+            record: true,
+        });
+        // Tiles stay fixed; only the slot (registration) order changes.
+        let p = InOrderCore::new(dir, &cfg, producer);
+        let c = InOrderCore::new(dir, &cfg, consumer);
+        let cid = if consumer_first {
+            let cid = soc.add_component(TileCoord::new(0, 1), Box::new(c));
+            soc.add_component(TileCoord::new(1, 0), Box::new(p));
+            cid
+        } else {
+            soc.add_component(TileCoord::new(1, 0), Box::new(p));
+            soc.add_component(TileCoord::new(0, 1), Box::new(c))
+        };
+        let out = soc.run(1_000_000);
+        assert!(out.quiescent);
+        let rec = soc
+            .component::<InOrderCore>(cid)
+            .unwrap()
+            .recorded()
+            .to_vec();
+        (out.cycle, rec, soc.mem.read_u64(0x2000))
+    }
+
+    #[test]
+    fn registration_order_does_not_change_results() {
+        assert_eq!(handoff(false, 1), handoff(true, 1));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let seq = handoff(false, 1);
+        assert_eq!(seq, handoff(false, 2));
+        assert_eq!(seq, handoff(false, 3));
+        assert_eq!(seq, handoff(false, 8), "threads clamp to slot count");
     }
 }

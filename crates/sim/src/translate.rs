@@ -5,13 +5,17 @@
 //! model their MMUs explicitly (TLB + page-table walks with real timing)
 //! in their own crates.
 
-use crate::mem::PhysMem;
+use crate::mem::MemAccess;
 
 /// Virtual-to-physical translation for core memory operations.
+///
+/// Takes memory as `&dyn MemAccess` so walkers read page tables through
+/// the calling component's staged view (own same-cycle PTE writes
+/// visible, other components' staged writes not).
 pub trait Translator: Send {
     /// Translates `va`; `None` denotes a fault (the core panics — core-side
     /// faults are outside the modelled experiments).
-    fn translate(&self, mem: &PhysMem, va: u64) -> Option<u64>;
+    fn translate(&self, mem: &dyn MemAccess, va: u64) -> Option<u64>;
 }
 
 /// The identity mapping, used when programs address physical memory
@@ -20,7 +24,7 @@ pub trait Translator: Send {
 pub struct Identity;
 
 impl Translator for Identity {
-    fn translate(&self, _mem: &PhysMem, va: u64) -> Option<u64> {
+    fn translate(&self, _mem: &dyn MemAccess, va: u64) -> Option<u64> {
         Some(va)
     }
 }
@@ -31,7 +35,7 @@ mod tests {
 
     #[test]
     fn identity_is_identity() {
-        let mem = PhysMem::new();
+        let mem = crate::mem::PhysMem::new();
         assert_eq!(Identity.translate(&mem, 0xabc), Some(0xabc));
     }
 }
