@@ -27,9 +27,7 @@
 //! `--watchdog` overrides the engine's forward-progress budget.
 
 use cohort::scenarios::{
-    mesh16_scenario, run_cohort, run_cohort_chain, run_cohort_chain_failover, run_cohort_chaos,
-    run_cohort_interfered, run_cohort_sharded, run_dma, run_dma_chaos, run_mmio, RunResult,
-    Scenario, ShardSpec, Workload,
+    run_scenario, sharded_engines_for, RunResult, Runner, Scenario, ShardSpec, Workload,
 };
 use cohort_os::addrspace::MapPolicy;
 use cohort_os::driver::Placement;
@@ -210,40 +208,23 @@ fn main() {
     }
     scenario.trace = trace_path.is_some();
 
-    let start = std::time::Instant::now();
-    let r: RunResult = match mode.as_str() {
-        "cohort" => run_cohort(&scenario),
-        "mmio" => run_mmio(&scenario),
-        "dma" => run_dma(&scenario),
-        "chain" => run_cohort_chain(&scenario),
-        "interfered" => run_cohort_interfered(&scenario),
-        "chaos" => run_cohort_chaos(&scenario),
-        "failover" => run_cohort_chain_failover(&scenario),
-        "dma-chaos" => run_dma_chaos(&scenario),
-        "mesh16" => {
-            let (mesh, spec) = mesh16_scenario(queue, batch);
-            scenario.soc.engines = mesh.soc.engines;
-            run_cohort_sharded(&scenario, &spec).unwrap_or_else(|e| {
-                eprintln!("socrun: {e}");
-                std::process::exit(2);
-            })
-        }
-        "shard" => {
+    let runner = Runner::parse(&mode).unwrap_or_else(|| usage());
+    let shard_spec = match runner {
+        Runner::Sharded => {
             let n = shards.unwrap_or(1);
             // Spare-inclusive pool: explicit --engines wins; otherwise one
             // engine per shard plus a spare when a kill targets a shard.
-            let kill_targets_shard = scenario.soc.faults.schedule().iter().any(
-                |e| matches!(e.kind, FaultKind::KillEngine { engine } if (engine as usize) < n),
-            );
-            scenario.soc.engines = engines.unwrap_or(n + usize::from(kill_targets_shard));
-            let spec = ShardSpec::new(n).with_placement(placement).with_skew(skew);
-            run_cohort_sharded(&scenario, &spec).unwrap_or_else(|e| {
-                eprintln!("socrun: {e}");
-                std::process::exit(2);
-            })
+            scenario.soc.engines =
+                engines.unwrap_or_else(|| sharded_engines_for(&scenario.soc.faults, n));
+            Some(ShardSpec::new(n).with_placement(placement).with_skew(skew))
         }
-        _ => usage(),
+        _ => None,
     };
+    let start = std::time::Instant::now();
+    let r: RunResult = run_scenario(runner, &scenario, shard_spec.as_ref()).unwrap_or_else(|e| {
+        eprintln!("socrun: {e}");
+        std::process::exit(2);
+    });
     let wall = start.elapsed();
 
     print!("workload={workload:?} mode={mode} queue={queue} batch={batch} policy={policy:?}");

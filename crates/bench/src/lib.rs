@@ -17,6 +17,7 @@
 //! (e.g. Fig. 8 and Fig. 10) simulate each configuration once.
 
 pub mod area;
+pub mod fleet;
 pub mod params;
 pub mod report;
 pub mod sweep;

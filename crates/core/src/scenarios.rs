@@ -755,6 +755,22 @@ pub fn run_cohort_sharded(scenario: &Scenario, spec: &ShardSpec) -> Result<RunRe
         }
     }
 
+    // Under lazy mapping the producer and background cores store straight
+    // into lazily-mapped pages too; without a demand-paging hook their
+    // first touch of an unmapped queue element is a fatal core fault.
+    if lazy {
+        for &pc in &sys.extra_cores[..spec.shards + spec.background_cores] {
+            let hook_vm = Arc::clone(&vm);
+            sys.soc
+                .component_mut::<InOrderCore>(pc)
+                .expect("extra core present")
+                .set_fault_hook(Box::new(move |mem, va| {
+                    fault_in(mem, &hook_vm, None, va);
+                    true
+                }));
+        }
+    }
+
     Ok(finish_sharded_run(sys, scenario, &chunks, &out_qs, pool))
 }
 
@@ -916,8 +932,9 @@ pub fn run_cohort_chaos(scenario: &Scenario) -> RunResult {
     let vm = CohortDriver::shared_vm(sys.space.clone(), sys.frames.clone());
     let swap = swap_store();
 
-    // Storm hook: evict queue data pages round-robin, stashing contents in
-    // the swap store so the next fault pages them back in intact.
+    // Storm hook: evict queue data pages round-robin, parking each page's
+    // frame in the swap store so the next fault maps the same frame back
+    // in — writes racing the shootdown are never lost (see `SwapStore`).
     if let Some(inj_id) = sys.injector {
         let mut candidates: Vec<u64> = Vec::new();
         for q in [&in_q, &out_q] {
@@ -942,9 +959,10 @@ pub fn run_cohort_chaos(scenario: &Scenario) -> RunResult {
                 let va = candidates[next % candidates.len()];
                 next += 1;
                 if let Some(pa) = space.translate(mem, va) {
-                    let mut bytes = vec![0u8; PAGE_BYTES as usize];
-                    mem.read_bytes(pa, &mut bytes);
-                    storm_swap.lock().expect("swap lock").insert(va, bytes);
+                    storm_swap
+                        .lock()
+                        .expect("swap lock")
+                        .insert(va, pa & !(PAGE_BYTES - 1));
                     if space.unmap(mem, va) {
                         evicted += 1;
                     }
@@ -1838,6 +1856,163 @@ pub fn run_cohort_chain_failover(scenario: &Scenario) -> RunResult {
     finish_chain_run(sys, scenario)
 }
 
+/// Which scenario runner executes a [`Scenario`]: the declarative name
+/// shared by `socrun --mode` and the fleet spec's `runner =` key, so every
+/// scenario is *constructed from parameters* instead of being a one-off
+/// hand-written function call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Runner {
+    /// Cohort engine + SPSC queues ([`run_cohort`]).
+    Cohort,
+    /// MMIO word-at-a-time baseline ([`run_mmio`]).
+    Mmio,
+    /// Coherent-DMA baseline ([`run_dma`]).
+    Dma,
+    /// AES→SHA engine chain ([`run_cohort_chain`]).
+    Chain,
+    /// Cohort run with an L2-thrashing second core ([`run_cohort_interfered`]).
+    Interfered,
+    /// Cohort run with the full recovery stack armed ([`run_cohort_chaos`]).
+    Chaos,
+    /// Chained run with a mid-pipeline kill and a cold spare
+    /// ([`run_cohort_chain_failover`]).
+    Failover,
+    /// DMA baseline hardened for MAPLE faults ([`run_dma_chaos`]).
+    DmaChaos,
+    /// Multi-engine sharded stream ([`run_cohort_sharded`]).
+    Sharded,
+    /// 16-core big.LITTLE mesh: 4 shards + 11 noise cores
+    /// ([`mesh16_scenario`]).
+    Mesh16,
+}
+
+impl Runner {
+    /// Every runner, in declaration order.
+    pub const ALL: [Runner; 10] = [
+        Runner::Cohort,
+        Runner::Mmio,
+        Runner::Dma,
+        Runner::Chain,
+        Runner::Interfered,
+        Runner::Chaos,
+        Runner::Failover,
+        Runner::DmaChaos,
+        Runner::Sharded,
+        Runner::Mesh16,
+    ];
+
+    /// The declarative name (`socrun --mode`, fleet `runner =`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Runner::Cohort => "cohort",
+            Runner::Mmio => "mmio",
+            Runner::Dma => "dma",
+            Runner::Chain => "chain",
+            Runner::Interfered => "interfered",
+            Runner::Chaos => "chaos",
+            Runner::Failover => "failover",
+            Runner::DmaChaos => "dma-chaos",
+            Runner::Sharded => "shard",
+            Runner::Mesh16 => "mesh16",
+        }
+    }
+
+    /// Parses a runner name (`shard` and `sharded` both accepted).
+    pub fn parse(s: &str) -> Option<Runner> {
+        match s {
+            "sharded" => Some(Runner::Sharded),
+            _ => Runner::ALL.iter().copied().find(|r| r.name() == s),
+        }
+    }
+
+    /// Queue-size granularity this runner requires: the chain pipelines
+    /// need whole SHA blocks, the sharded runners whole accelerator
+    /// blocks. Validating `queue % multiple == 0` at spec-load time turns
+    /// a mid-run assert into a structured error.
+    pub fn queue_multiple(&self, workload: Workload) -> u64 {
+        match self {
+            Runner::Chain | Runner::Failover => 8,
+            Runner::Sharded | Runner::Mesh16 => workload.words_in_per_block(),
+            _ => 1,
+        }
+    }
+
+    /// True for runners that bind engines from [`SocConfig::engines`]
+    /// (the ones a `kill@C:E` shard fault can target).
+    pub fn is_sharded(&self) -> bool {
+        matches!(self, Runner::Sharded | Runner::Mesh16)
+    }
+
+    /// True for runners that host the workload behind Cohort engines at
+    /// all (false for the MMIO/DMA baselines, which use MAPLE).
+    pub fn uses_cohort_engines(&self) -> bool {
+        !matches!(self, Runner::Mmio | Runner::Dma | Runner::DmaChaos)
+    }
+}
+
+impl std::fmt::Display for Runner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Engines the SoC must instantiate for a sharded run: one per shard,
+/// plus one spare when the fault plan kills a shard engine (the failover
+/// target). Mirrored by `socrun --shards` and the fleet loader.
+pub fn sharded_engines_for(faults: &FaultPlan, shards: usize) -> usize {
+    let kill_targets_shard = faults
+        .schedule()
+        .iter()
+        .any(|e| matches!(e.kind, FaultKind::KillEngine { engine } if (engine as usize) < shards));
+    shards + usize::from(kill_targets_shard)
+}
+
+/// Runs `scenario` through `runner` — the single dispatch point behind
+/// `socrun` and the fleet runner. `shard` parameterises the sharded
+/// runner (ignored elsewhere); [`Runner::Mesh16`] builds its own 4-shard,
+/// 11-noise-core spec and forces the engine count the mesh needs.
+///
+/// # Errors
+/// [`ShardError`] when a sharded spec asks for more shards than
+/// [`SocConfig::engines`] provides.
+///
+/// # Panics
+/// Panics where the underlying runners do: queue-granularity violations
+/// and runs that exceed their cycle budget.
+pub fn run_scenario(
+    runner: Runner,
+    scenario: &Scenario,
+    shard: Option<&ShardSpec>,
+) -> Result<RunResult, ShardError> {
+    match runner {
+        Runner::Cohort => Ok(run_cohort(scenario)),
+        Runner::Mmio => Ok(run_mmio(scenario)),
+        Runner::Dma => Ok(run_dma(scenario)),
+        Runner::Chain => Ok(run_cohort_chain(scenario)),
+        Runner::Interfered => Ok(run_cohort_interfered(scenario)),
+        Runner::Chaos => Ok(run_cohort_chaos(scenario)),
+        Runner::Failover => Ok(run_cohort_chain_failover(scenario)),
+        Runner::DmaChaos => Ok(run_dma_chaos(scenario)),
+        Runner::Sharded => {
+            let default_spec;
+            let spec = match shard {
+                Some(s) => s,
+                None => {
+                    default_spec = ShardSpec::new(1);
+                    &default_spec
+                }
+            };
+            run_cohort_sharded(scenario, spec)
+        }
+        Runner::Mesh16 => {
+            let (mesh, spec) = mesh16_scenario(scenario.queue_size, scenario.batch);
+            let mut scenario = scenario.clone();
+            scenario.soc.engines = mesh.soc.engines;
+            run_cohort_sharded(&scenario, &spec)
+        }
+    }
+}
+
 fn install_and_arm_plain(sys: &mut SimSystem, program: Program) {
     let core_id = sys.core;
     let core = sys
@@ -1929,6 +2104,34 @@ mod tests {
                 spares: 0
             }
         ));
+    }
+
+    #[test]
+    fn runner_names_round_trip() {
+        for r in Runner::ALL {
+            assert_eq!(Runner::parse(r.name()), Some(r), "{r} must round-trip");
+        }
+        assert_eq!(Runner::parse("sharded"), Some(Runner::Sharded));
+        assert_eq!(Runner::parse("nope"), None);
+    }
+
+    #[test]
+    fn run_scenario_dispatch_matches_direct_call() {
+        let scenario = Scenario::new(Workload::Aes, 64, 8);
+        let direct = run_cohort(&scenario);
+        let dispatched = run_scenario(Runner::Cohort, &scenario, None).expect("no shard binding");
+        assert_eq!(direct.cycles, dispatched.cycles);
+        assert_eq!(direct.checksum, dispatched.checksum);
+    }
+
+    #[test]
+    fn sharded_engines_add_a_spare_only_for_shard_kills() {
+        let none = FaultPlan::default();
+        assert_eq!(sharded_engines_for(&none, 4), 4);
+        let shard_kill = FaultPlan::default().at(10_000, FaultKind::KillEngine { engine: 1 });
+        assert_eq!(sharded_engines_for(&shard_kill, 4), 5);
+        let off_pool = FaultPlan::default().at(10_000, FaultKind::KillEngine { engine: 9 });
+        assert_eq!(sharded_engines_for(&off_pool, 4), 4);
     }
 
     #[test]

@@ -840,32 +840,43 @@ impl ShardPool {
     }
 }
 
-/// Evicted-page backing store for fault-injection storms: page contents
-/// keyed by page-aligned VA. The storm stashes bytes here before unmapping;
-/// the swap-aware fault handler restores them on the next touch.
-pub type SwapStore = Arc<Mutex<HashMap<u64, Vec<u8>>>>;
+/// Evicted-page store for fault-injection storms: the *parked frame* of
+/// each evicted page, keyed by page-aligned VA. Eviction is a translation
+/// drop, not a relocation — the frame keeps holding the page, and the
+/// swap-aware fault handler maps the same frame back in on the next touch.
+///
+/// Parking the frame (rather than snapshotting its bytes) is what makes
+/// storms lossless against agents that race the shootdown: an engine
+/// channel mid-DMA or a core store-buffer entry holds a pre-translated
+/// physical address and keeps writing the old frame during the flush
+/// window. With a byte snapshot those late writes would be silently
+/// rolled back on page-in — observed as a consumer spinning forever on a
+/// write index that went backwards.
+pub type SwapStore = Arc<Mutex<HashMap<u64, u64>>>;
 
 /// Creates an empty [`SwapStore`].
 pub fn swap_store() -> SwapStore {
     Arc::new(Mutex::new(HashMap::new()))
 }
 
-/// The shared kernel fault path: map the page if unmapped, then page-in
-/// stashed contents from `swap` if the page had been evicted with state.
-/// Public so software fallback paths (graceful degradation after engine
-/// errors) can fault pages in exactly like the interrupt handlers do.
+/// The shared kernel fault path: remap the parked frame if `swap` holds
+/// one for this page (a storm eviction coming back), else demand-map a
+/// fresh zero frame. Public so software fallback paths (graceful
+/// degradation after engine errors) can fault pages in exactly like the
+/// interrupt handlers do.
 pub fn fault_in(mem: &mut dyn MemAccess, vm: &SharedVm, swap: Option<&SwapStore>, va: u64) {
     use crate::sv39::PAGE_BYTES;
     let mut g = vm.lock().expect("vm lock");
     let (space, frames) = &mut *g;
-    if space.translate(mem, va).is_none() {
-        space.handle_fault(mem, frames, va);
-        if let Some(swap) = swap {
-            let page_va = va & !(PAGE_BYTES - 1);
-            if let Some(bytes) = swap.lock().expect("swap lock").remove(&page_va) {
-                let pa = space.translate(mem, page_va).expect("page just mapped");
-                mem.write_bytes(pa, &bytes);
-            }
+    if space.translate(mem, va).is_some() {
+        return;
+    }
+    let page_va = va & !(PAGE_BYTES - 1);
+    let parked = swap.and_then(|s| s.lock().expect("swap lock").remove(&page_va));
+    match parked {
+        Some(pa) => space.map_page(mem, frames, page_va, pa),
+        None => {
+            space.handle_fault(mem, frames, va);
         }
     }
 }

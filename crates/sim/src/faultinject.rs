@@ -40,6 +40,116 @@ use crate::trace::Trace;
 /// Stall duration meaning "until the end of the run" (never self-clears).
 pub const FOREVER: u64 = u64::MAX;
 
+/// Largest cycle a fault spec may name. Far beyond any run's cycle budget
+/// (the slowest 8192-element MMIO run stays under ~10^8 cycles), so a
+/// bigger value is a typo, not a plan — rejected at parse time instead of
+/// silently never firing.
+pub const MAX_FAULT_CYCLE: u64 = 1 << 40;
+
+/// Largest engine index a `kill@C:E` spec may target. [`FaultState`]
+/// tracks fail-stops in a 64-bit mask, so indices past 63 would alias a
+/// lower engine — rejected at parse time.
+pub const MAX_ENGINE_ID: u64 = 63;
+
+/// A structured parse/validation error for the `--faults` grammar and the
+/// fleet-spec fault sections. Every variant names the offending token, so
+/// tooling can point at the exact entry instead of echoing a prose blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSpecError {
+    /// An entry had no `@` separator (`kind@cycle` expected).
+    MissingAt {
+        /// The malformed entry.
+        entry: String,
+    },
+    /// A field that must be a `u64` (cycle, duration, factor, …) was not.
+    NotANumber {
+        /// The offending token.
+        token: String,
+    },
+    /// The fault kind before the `@` is not in the grammar.
+    UnknownKind {
+        /// The malformed entry.
+        entry: String,
+    },
+    /// A known kind received the wrong number of `:`-separated arguments.
+    BadArity {
+        /// The malformed entry.
+        entry: String,
+        /// The expected shape, e.g. `stall@C:D`.
+        expected: &'static str,
+    },
+    /// A `random:` entry held a token that is not `key=value`.
+    ExpectedKeyValue {
+        /// The offending token.
+        token: String,
+    },
+    /// A `random:` entry named an unknown key.
+    UnknownRandomKey {
+        /// The offending key.
+        key: String,
+    },
+    /// A `random:` window was empty (`to <= from`).
+    EmptyWindow {
+        /// Window start (inclusive).
+        from: u64,
+        /// Window end (exclusive).
+        to: u64,
+    },
+    /// A `kill@C:E` engine index past [`MAX_ENGINE_ID`] — it would alias
+    /// a lower engine in the 64-bit kill mask.
+    EngineOutOfRange {
+        /// The requested engine index.
+        engine: u64,
+    },
+    /// A cycle (or random-window bound) past [`MAX_FAULT_CYCLE`].
+    CycleOutOfRange {
+        /// The requested cycle.
+        cycle: u64,
+    },
+}
+
+impl std::fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSpecError::MissingAt { entry } => {
+                write!(f, "fault spec: expected kind@cycle in {entry:?}")
+            }
+            FaultSpecError::NotANumber { token } => {
+                write!(f, "fault spec: {token:?} is not a number")
+            }
+            FaultSpecError::UnknownKind { entry } => write!(
+                f,
+                "fault spec: unknown kind in {entry:?} (see `stall@C:D`, \
+                 `spike@C:D:F`, `storm@C:P`, `corrupt@C`, `kill@C[:E]`, \
+                 `maple-stall@C:D`, `maple-kill@C`, `random:...`)"
+            ),
+            FaultSpecError::BadArity { entry, expected } => {
+                write!(f, "fault spec: bad entry {entry:?} (expected {expected})")
+            }
+            FaultSpecError::ExpectedKeyValue { token } => {
+                write!(f, "fault spec: expected key=value in {token:?}")
+            }
+            FaultSpecError::UnknownRandomKey { key } => {
+                write!(f, "fault spec: unknown random key {key:?}")
+            }
+            FaultSpecError::EmptyWindow { from, to } => {
+                write!(f, "fault spec: empty window {from}..{to}")
+            }
+            FaultSpecError::EngineOutOfRange { engine } => write!(
+                f,
+                "fault spec: engine {engine} out of range (kill mask holds \
+                 engines 0..={MAX_ENGINE_ID})"
+            ),
+            FaultSpecError::CycleOutOfRange { cycle } => write!(
+                f,
+                "fault spec: cycle {cycle} out of range (max {MAX_FAULT_CYCLE})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
 /// The splitmix64 step: a tiny, high-quality, seedable PRNG used for every
 /// randomised schedule in the repo (same generator as the benches).
 pub fn splitmix64(state: &mut u64) -> u64 {
@@ -219,8 +329,11 @@ impl FaultPlan {
     ///   (defaults: seed `0x5eed`, count 8, window `[0, 1000000)`).
     ///
     /// # Errors
-    /// Returns a human-readable message for malformed entries.
-    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+    /// Returns a structured [`FaultSpecError`] naming the offending token:
+    /// malformed entries, non-numeric fields, engine ids past
+    /// [`MAX_ENGINE_ID`] and cycles past [`MAX_FAULT_CYCLE`] are all
+    /// rejected here rather than misbehaving at run time.
+    pub fn parse(spec: &str) -> Result<FaultPlan, FaultSpecError> {
         let mut plan = FaultPlan::default();
         for entry in spec.split(';').map(str::trim).filter(|e| !e.is_empty()) {
             if let Some(body) =
@@ -230,56 +343,86 @@ impl FaultPlan {
             {
                 let mut r = RandomFaults::default();
                 for kv in body.split(',').map(str::trim).filter(|e| !e.is_empty()) {
-                    let (key, value) = kv
-                        .split_once('=')
-                        .ok_or_else(|| format!("fault spec: expected key=value in {kv:?}"))?;
+                    let (key, value) =
+                        kv.split_once('=')
+                            .ok_or_else(|| FaultSpecError::ExpectedKeyValue {
+                                token: kv.to_string(),
+                            })?;
                     let n = parse_u64(value)?;
                     match key {
                         "seed" => r.seed = n,
                         "count" => r.count = n,
                         "from" => r.from = n,
                         "to" => r.to = n,
-                        other => return Err(format!("fault spec: unknown random key {other:?}")),
+                        other => {
+                            return Err(FaultSpecError::UnknownRandomKey {
+                                key: other.to_string(),
+                            })
+                        }
                     }
                 }
                 if r.to <= r.from {
-                    return Err(format!("fault spec: empty window {}..{}", r.from, r.to));
+                    return Err(FaultSpecError::EmptyWindow {
+                        from: r.from,
+                        to: r.to,
+                    });
+                }
+                if r.to > MAX_FAULT_CYCLE {
+                    return Err(FaultSpecError::CycleOutOfRange { cycle: r.to });
                 }
                 plan.random = Some(r);
                 continue;
             }
             let (name, rest) = entry
                 .split_once('@')
-                .ok_or_else(|| format!("fault spec: expected kind@cycle in {entry:?}"))?;
+                .ok_or_else(|| FaultSpecError::MissingAt {
+                    entry: entry.to_string(),
+                })?;
             let mut parts = rest.split(':');
             let at_cycle = parse_u64(parts.next().unwrap_or(""))?;
+            if at_cycle > MAX_FAULT_CYCLE {
+                return Err(FaultSpecError::CycleOutOfRange { cycle: at_cycle });
+            }
             let args: Vec<&str> = parts.collect();
+            let arity = |expected| FaultSpecError::BadArity {
+                entry: entry.to_string(),
+                expected,
+            };
             let kind = match (name, args.as_slice()) {
                 ("stall", [d]) => FaultKind::AccelStall {
                     cycles: parse_duration(d)?,
                 },
+                ("stall", _) => return Err(arity("stall@C:D")),
                 ("spike", [d, f]) => FaultKind::LatencySpike {
                     cycles: parse_u64(d)?,
                     factor: parse_u64(f)?.max(1),
                 },
+                ("spike", _) => return Err(arity("spike@C:D:F")),
                 ("storm", [p]) => FaultKind::PageFaultStorm {
                     pages: parse_u64(p)?.max(1),
                 },
+                ("storm", _) => return Err(arity("storm@C:P")),
                 ("corrupt", []) => FaultKind::CorruptDescriptor,
+                ("corrupt", _) => return Err(arity("corrupt@C")),
                 ("kill", []) => FaultKind::KillEngine { engine: 0 },
-                ("kill", [e]) => FaultKind::KillEngine {
-                    engine: parse_u64(e)?,
-                },
+                ("kill", [e]) => {
+                    let engine = parse_u64(e)?;
+                    if engine > MAX_ENGINE_ID {
+                        return Err(FaultSpecError::EngineOutOfRange { engine });
+                    }
+                    FaultKind::KillEngine { engine }
+                }
+                ("kill", _) => return Err(arity("kill@C[:E]")),
                 ("maple-stall", [d]) => FaultKind::MapleStall {
                     cycles: parse_duration(d)?,
                 },
+                ("maple-stall", _) => return Err(arity("maple-stall@C:D")),
                 ("maple-kill", []) => FaultKind::KillMaple,
+                ("maple-kill", _) => return Err(arity("maple-kill@C")),
                 _ => {
-                    return Err(format!(
-                        "fault spec: bad entry {entry:?} (see `stall@C:D`, \
-                         `spike@C:D:F`, `storm@C:P`, `corrupt@C`, `kill@C[:E]`, \
-                         `maple-stall@C:D`, `maple-kill@C`, `random:...`)"
-                    ))
+                    return Err(FaultSpecError::UnknownKind {
+                        entry: entry.to_string(),
+                    })
                 }
             };
             plan.events.push(FaultEvent { at_cycle, kind });
@@ -288,13 +431,15 @@ impl FaultPlan {
     }
 }
 
-fn parse_u64(s: &str) -> Result<u64, String> {
+fn parse_u64(s: &str) -> Result<u64, FaultSpecError> {
     s.trim()
         .parse::<u64>()
-        .map_err(|_| format!("fault spec: {s:?} is not a number"))
+        .map_err(|_| FaultSpecError::NotANumber {
+            token: s.to_string(),
+        })
 }
 
-fn parse_duration(s: &str) -> Result<u64, String> {
+fn parse_duration(s: &str) -> Result<u64, FaultSpecError> {
     if s.trim() == "forever" {
         Ok(FOREVER)
     } else {
@@ -784,6 +929,73 @@ mod tests {
             "spike needs a factor"
         );
         assert!(FaultPlan::parse("random:to=0").is_err(), "empty window");
+    }
+
+    #[test]
+    fn parse_errors_are_structured() {
+        assert_eq!(
+            FaultPlan::parse("stall@oops:1"),
+            Err(FaultSpecError::NotANumber {
+                token: "oops".into()
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("flip@100:1"),
+            Err(FaultSpecError::UnknownKind {
+                entry: "flip@100:1".into()
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("spike@100:50"),
+            Err(FaultSpecError::BadArity {
+                entry: "spike@100:50".into(),
+                expected: "spike@C:D:F"
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("corrupt"),
+            Err(FaultSpecError::MissingAt {
+                entry: "corrupt".into()
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("random:to=0"),
+            Err(FaultSpecError::EmptyWindow { from: 0, to: 0 })
+        );
+        assert_eq!(
+            FaultPlan::parse("random:speed=3"),
+            Err(FaultSpecError::UnknownRandomKey {
+                key: "speed".into()
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("random:seed"),
+            Err(FaultSpecError::ExpectedKeyValue {
+                token: "seed".into()
+            })
+        );
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range_targets() {
+        // A kill past the 64-bit mask would alias engine (e & 63): the
+        // classic silent-wraparound bug, now a load-time error.
+        assert_eq!(
+            FaultPlan::parse("kill@100:64"),
+            Err(FaultSpecError::EngineOutOfRange { engine: 64 })
+        );
+        assert!(FaultPlan::parse("kill@100:63").is_ok());
+        // A cycle past any plausible budget never fires; reject it.
+        let too_late = MAX_FAULT_CYCLE + 1;
+        assert_eq!(
+            FaultPlan::parse(&format!("corrupt@{too_late}")),
+            Err(FaultSpecError::CycleOutOfRange { cycle: too_late })
+        );
+        assert_eq!(
+            FaultPlan::parse(&format!("random:to={too_late}")),
+            Err(FaultSpecError::CycleOutOfRange { cycle: too_late })
+        );
+        assert!(FaultPlan::parse(&format!("corrupt@{MAX_FAULT_CYCLE}")).is_ok());
     }
 
     #[test]

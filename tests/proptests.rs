@@ -372,6 +372,116 @@ fn aes_ctr_involution() {
     }
 }
 
+/// The fault grammar is total over arbitrary token soup: `FaultPlan::parse`
+/// either accepts or returns a structured [`FaultSpecError`] — it never
+/// panics — and every accepted plan schedules deterministically. This is
+/// the same parser behind `socrun --faults` and the fleet spec loader's
+/// `faults =` key, so a panic here would wedge both front ends.
+#[test]
+fn fault_grammar_is_total() {
+    use cohort_sim::faultinject::FaultPlan;
+    let tokens = [
+        "stall",
+        "spike",
+        "storm",
+        "corrupt",
+        "kill",
+        "maple-stall",
+        "maple-kill",
+        "random",
+        "@",
+        ":",
+        ";",
+        ",",
+        "=",
+        "|",
+        "forever",
+        "seed",
+        "count",
+        "from",
+        "to",
+        "0",
+        "1",
+        "60000",
+        "18446744073709551615",
+        "0x10",
+        "-3",
+        " ",
+        "banana",
+    ];
+    let mut rng = Rng::new(0xfa01);
+    for _ in 0..(CASES * 8) {
+        let n = rng.range(0, 14) as usize;
+        let mut spec = String::new();
+        for _ in 0..n {
+            spec.push_str(tokens[rng.range(0, tokens.len() as u64) as usize]);
+        }
+        match FaultPlan::parse(&spec) {
+            Ok(plan) => {
+                // Scheduling is a pure function of the plan: two calls
+                // agree event for event.
+                assert_eq!(plan.schedule(), plan.schedule());
+            }
+            Err(e) => assert!(!e.to_string().is_empty(), "silent error for {spec:?}"),
+        }
+    }
+}
+
+/// Well-formed fault specs generated from the grammar always parse, and
+/// the scheduled event count matches what was written (random entries
+/// expand to exactly `count` events inside their window).
+#[test]
+fn fault_grammar_accepts_generated_specs() {
+    use cohort_sim::faultinject::FaultPlan;
+    let mut rng = Rng::new(0xfa02);
+    for _ in 0..CASES {
+        let n_events = rng.range(1, 8);
+        let mut entries = Vec::new();
+        for _ in 0..n_events {
+            let c = rng.range(1, 1 << 30);
+            entries.push(match rng.range(0, 5) {
+                0 => format!("stall@{c}:{}", rng.range(1, 10_000)),
+                1 => format!("spike@{c}:{}:{}", rng.range(1, 10_000), rng.range(2, 16)),
+                2 => format!("storm@{c}:{}", rng.range(1, 32)),
+                3 => format!("corrupt@{c}"),
+                _ => format!("kill@{c}:{}", rng.range(0, 4)),
+            });
+        }
+        let count = rng.range(1, 16);
+        let from = rng.range(0, 1 << 20);
+        let to = from + rng.range(1, 1 << 20);
+        let with_random = rng.range(0, 2) == 0;
+        if with_random {
+            entries.push(format!(
+                "random:seed={},count={count},from={from},to={to}",
+                rng.next_u64() >> 1
+            ));
+        }
+        let spec = entries.join("; ");
+        let plan = FaultPlan::parse(&spec)
+            .unwrap_or_else(|e| panic!("generated spec rejected: {spec:?}: {e}"));
+        let scheduled = plan.schedule();
+        let expect = n_events + if with_random { count } else { 0 };
+        assert_eq!(scheduled.len() as u64, expect, "spec {spec:?}");
+        // The schedule is sorted by cycle, and random draws respect
+        // their window.
+        assert!(scheduled.windows(2).all(|w| w[0].at_cycle <= w[1].at_cycle));
+        if with_random {
+            let fixed: std::collections::HashSet<u64> = (0..n_events)
+                .map(|i| entries[i as usize].split('@').nth(1).unwrap())
+                .map(|s| s.split([':', '|']).next().unwrap().parse().unwrap())
+                .collect();
+            for ev in scheduled.iter().filter(|e| !fixed.contains(&e.at_cycle)) {
+                assert!(
+                    (from..to).contains(&ev.at_cycle),
+                    "random event at {} outside [{from}, {to}) in {spec:?}",
+                    ev.at_cycle
+                );
+            }
+        }
+    }
+}
+
 /// PhysMem reads always return what was last written, across page
 /// boundaries.
 #[test]
