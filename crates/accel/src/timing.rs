@@ -106,6 +106,25 @@ impl TimedAccel {
         self.out_bytes.len()
     }
 
+    /// Cycles until the pipeline next changes state on its own, assuming
+    /// no further input and uninterrupted stepping — the accelerator's
+    /// contribution to its host's `quiescent_for` lookahead hint.
+    /// `u64::MAX` means only external action (a push or a drain) can make
+    /// anything happen. Always sound to step sooner.
+    pub fn next_event(&self, cycle: u64) -> u64 {
+        if self.out_bytes.len() >= 8 {
+            return 1; // a word can pop on the very next cycle
+        }
+        if self.pending_out.is_some() {
+            // The in-flight block retires at `busy_until`.
+            return self.busy_until.saturating_sub(cycle).max(1);
+        }
+        if self.in_ratchet.blocks_available() > 0 {
+            return 1; // a staged block launches at the next step
+        }
+        u64::MAX
+    }
+
     /// Blocks fully processed.
     pub fn blocks_done(&self) -> u64 {
         self.blocks_done

@@ -10,15 +10,20 @@
 //! wall-second, and writes a markdown report (default
 //! `results/simperf.md`). Every multi-threaded run's checksum is asserted
 //! bit-identical to the single-threaded run of the same scenario — the
-//! determinism contract, enforced on every invocation.
+//! determinism contract, enforced on every invocation. Each case also runs
+//! one `Lookahead::Force1` reference leg: its checksum and cycle count
+//! must match the batched (`Auto`) runs exactly, and the barrier-activation
+//! drop it reveals is reported in the `batch` column.
 //!
 //! `--check` is the CI smoke mode: a small queue, threads `1,2`, one rep,
-//! no report unless `--out` is given; exit status is the contract.
+//! no report unless `--out` is given; exit status is the contract — which
+//! in this mode additionally requires the sharded-AES case to batch at
+//! least 3x fewer barriers than forced cycle-by-cycle stepping.
 
 use cohort::scenarios::{
     mesh16_scenario, run_cohort_sharded, RunResult, Scenario, ShardSpec, Workload,
 };
-use cohort_sim::config::SocConfig;
+use cohort_sim::config::{Lookahead, SocConfig};
 use std::time::Instant;
 
 fn usage() -> ! {
@@ -48,7 +53,7 @@ fn cases(queue: u64) -> Vec<Case> {
     let mut sharded = Scenario::new(Workload::Aes, queue, 8);
     sharded.soc = SocConfig::default().with_engines(4);
     let (mesh, mesh_spec) = mesh16_scenario(queue, 8);
-    vec![
+    let mut out = vec![
         Case {
             name: "sharded-aes (4 engines)",
             scenario: sharded,
@@ -59,12 +64,31 @@ fn cases(queue: u64) -> Vec<Case> {
             scenario: mesh,
             spec: mesh_spec,
         },
-    ]
+    ];
+    // Batching pays off in latency-bound phases (accelerator compute
+    // windows, drains), which big queues hide behind producer
+    // saturation — so the report always includes a small-queue variant
+    // of the sharded case to show that regime. At `--check` the main
+    // case already runs at queue <= 256 and this would be a duplicate.
+    if queue > 256 {
+        let mut small = Scenario::new(Workload::Aes, 256, 8);
+        small.soc = SocConfig::default().with_engines(4);
+        out.push(Case {
+            name: "sharded-aes latency-bound (queue 256)",
+            scenario: small,
+            spec: ShardSpec::new(4),
+        });
+    }
+    out
 }
 
-fn measure(case: &Case, threads: usize, reps: usize) -> Measured {
+fn measure(case: &Case, threads: usize, reps: usize, lookahead: Lookahead) -> Measured {
     let mut scenario = case.scenario.clone();
-    scenario.soc = scenario.soc.clone().with_threads(threads);
+    scenario.soc = scenario
+        .soc
+        .clone()
+        .with_threads(threads)
+        .with_lookahead(lookahead);
     let mut best_wall = f64::INFINITY;
     let mut result = None;
     for _ in 0..reps.max(1) {
@@ -150,28 +174,47 @@ fn main() {
         println!("== {} ==", case.name);
         report.push_str(&format!("## {}\n\n", case.name));
         report.push_str(
-            "| threads | sim cycles | wall (ms) | Msim-cycles/s | speedup vs 1T | checksum |\n\
-             |---:|---:|---:|---:|---:|---|\n",
+            "| threads | sim cycles | wall (ms) | Msim-cycles/s | speedup vs 1T | batch | checksum |\n\
+             |---:|---:|---:|---:|---:|---:|---|\n",
         );
+        // Forced cycle-by-cycle reference: the batching baseline and the
+        // strongest equivalence witness (identical checksum AND cycles).
+        let f1 = measure(&case, 1, reps, Lookahead::Force1);
         let mut base: Option<Measured> = None;
         for &t in &thread_list {
-            let m = measure(&case, t, reps);
+            let m = measure(&case, t, reps, Lookahead::Auto);
             let rate = m.result.cycles as f64 / m.best_wall / 1e6;
             let speedup = base.as_ref().map_or(1.0, |b| b.best_wall / m.best_wall);
-            let ok = base
+            // Mean cycles simulated per barrier activation (1.0 = no
+            // batching): stepped + skipped cycles over stepped cycles.
+            let batch = (m.result.barrier_activations + m.result.ff_cycles) as f64
+                / m.result.barrier_activations.max(1) as f64;
+            let mut ok = base
                 .as_ref()
                 .is_none_or(|b| b.result.checksum == m.result.checksum);
+            if f1.result.checksum != m.result.checksum || f1.result.cycles != m.result.cycles {
+                ok = false;
+                eprintln!(
+                    "simperf: BATCHING VIOLATION: {} threads={t} (cycles {}, checksum {:#018x}) \
+                     != forced-1 (cycles {}, checksum {:#018x})",
+                    case.name,
+                    m.result.cycles,
+                    m.result.checksum,
+                    f1.result.cycles,
+                    f1.result.checksum
+                );
+            }
             if !ok {
                 all_ok = false;
                 eprintln!(
                     "simperf: DETERMINISM VIOLATION: {} threads={t} checksum {:#018x} != 1T {:#018x}",
                     case.name,
                     m.result.checksum,
-                    base.as_ref().unwrap().result.checksum
+                    base.as_ref().map_or(f1.result.checksum, |b| b.result.checksum)
                 );
             }
             println!(
-                "  threads={t}: {} cycles in {:.1} ms ({:.2} Mcyc/s, {:.2}x vs 1T) checksum={:#018x}{}",
+                "  threads={t}: {} cycles in {:.1} ms ({:.2} Mcyc/s, {:.2}x vs 1T, batch {batch:.1}) checksum={:#018x}{}",
                 m.result.cycles,
                 m.best_wall * 1e3,
                 rate,
@@ -180,7 +223,7 @@ fn main() {
                 if ok { "" } else { "  <-- MISMATCH" }
             );
             report.push_str(&format!(
-                "| {t} | {} | {:.1} | {:.2} | {speedup:.2}x | `{:#018x}`{} |\n",
+                "| {t} | {} | {:.1} | {:.2} | {speedup:.2}x | {batch:.1} | `{:#018x}`{} |\n",
                 m.result.cycles,
                 m.best_wall * 1e3,
                 rate,
@@ -191,7 +234,38 @@ fn main() {
                 base = Some(m);
             }
         }
-        report.push('\n');
+        let auto = base.as_ref().expect("at least one thread count");
+        let barrier_drop =
+            f1.result.barrier_activations as f64 / auto.result.barrier_activations.max(1) as f64;
+        let wall_gain = f1.best_wall / auto.best_wall;
+        println!(
+            "  batching: {} -> {} barriers ({barrier_drop:.1}x fewer), \
+             1T wall {:.1} ms -> {:.1} ms ({wall_gain:.2}x)",
+            f1.result.barrier_activations,
+            auto.result.barrier_activations,
+            f1.best_wall * 1e3,
+            auto.best_wall * 1e3,
+        );
+        report.push_str(&format!(
+            "\nLookahead batching vs forced cycle-by-cycle (1 thread): \
+             {} -> {} barrier activations (**{barrier_drop:.1}x** fewer), \
+             {} cycles fast-forwarded, wall {:.1} ms -> {:.1} ms \
+             ({wall_gain:.2}x). Cycles and checksums are bit-identical \
+             between the two modes.\n\n",
+            f1.result.barrier_activations,
+            auto.result.barrier_activations,
+            auto.result.ff_cycles,
+            f1.best_wall * 1e3,
+            auto.best_wall * 1e3,
+        ));
+        if check && case.name.starts_with("sharded-aes") && barrier_drop < 3.0 {
+            all_ok = false;
+            eprintln!(
+                "simperf: BATCHING REGRESSION: {} barrier activations dropped only \
+                 {barrier_drop:.2}x vs forced-1 (need >= 3x)",
+                case.name
+            );
+        }
     }
 
     if let Some(path) = &out {

@@ -4,62 +4,91 @@
 //! stats_json}` must be bit-identical at every `SocConfig::threads`
 //! setting: the parallel step kernel stages all cross-component effects
 //! per slot and commits them in slot order at the cycle barrier, so host
-//! scheduling can never leak into simulated state. Each test here runs
-//! the same scenario at 1, 2 and 8 host threads and diffs the full
-//! observable result — including the stats-registry JSON, which would
-//! expose even a single divergent counter increment.
+//! scheduling can never leak into simulated state. Conservative lookahead
+//! batching widens the matrix: every thread count is additionally run
+//! with batching forced off (`Lookahead::Force1`) and fully automatic
+//! (`Lookahead::Auto`), and all six cells must agree with the
+//! cycle-by-cycle sequential reference — a fast-forwarded cycle must be
+//! indistinguishable from a stepped one, down to the last histogram
+//! bucket in the stats-registry JSON.
 
 use cohort::scenarios::{
     mesh16_scenario, run_cohort_chain_failover, run_cohort_chaos, run_cohort_sharded, RunResult,
     Scenario, ShardSpec, Workload,
 };
-use cohort_sim::config::SocConfig;
+use cohort_sim::config::{Lookahead, SocConfig};
 use cohort_sim::faultinject::FaultPlan;
 
 /// Thread counts exercised by every scenario: sequential, the smallest
 /// parallel pool, and an oversubscribed one (more threads than this
 /// host has cores — and, for small SoCs, more than there are slots).
-const THREADS: [usize; 2] = [2, 8];
+const THREADS: [usize; 3] = [1, 2, 8];
 
-fn assert_thread_invariant(name: &str, run: impl Fn(usize) -> RunResult) {
-    let base = run(1);
+/// Batching modes crossed with every thread count. `Force1` pins the
+/// pre-batching cycle-by-cycle kernel; `Auto` lets the lookahead skip
+/// every provably dead cycle.
+const LOOKAHEAD: [Lookahead; 2] = [Lookahead::Force1, Lookahead::Auto];
+
+fn assert_thread_invariant(name: &str, run: impl Fn(usize, Lookahead) -> RunResult) {
+    let base = run(1, Lookahead::Force1);
     assert!(base.verified, "{name}: sequential run failed verification");
     for t in THREADS {
-        let r = run(t);
-        assert!(r.verified, "{name}: threads={t} run failed verification");
-        assert_eq!(
-            base.cycles, r.cycles,
-            "{name}: cycle count diverged at threads={t}"
-        );
-        assert_eq!(
-            base.checksum, r.checksum,
-            "{name}: payload checksum diverged at threads={t}"
-        );
-        assert_eq!(
-            base.recorded, r.recorded,
-            "{name}: recorded stream diverged at threads={t}"
-        );
-        assert_eq!(
-            base.stats_json, r.stats_json,
-            "{name}: stats registry diverged at threads={t}"
-        );
+        for la in LOOKAHEAD {
+            if t == 1 && la == Lookahead::Force1 {
+                continue; // the reference cell itself
+            }
+            let r = run(t, la);
+            assert!(
+                r.verified,
+                "{name}: threads={t} {la:?} run failed verification"
+            );
+            assert_eq!(
+                base.cycles, r.cycles,
+                "{name}: cycle count diverged at threads={t} {la:?}"
+            );
+            assert_eq!(
+                base.checksum, r.checksum,
+                "{name}: payload checksum diverged at threads={t} {la:?}"
+            );
+            assert_eq!(
+                base.recorded, r.recorded,
+                "{name}: recorded stream diverged at threads={t} {la:?}"
+            );
+            assert_eq!(
+                base.stats_json, r.stats_json,
+                "{name}: stats registry diverged at threads={t} {la:?}"
+            );
+            if la == Lookahead::Force1 {
+                assert_eq!(
+                    r.ff_cycles, 0,
+                    "{name}: forced cycle-by-cycle stepping must never skip"
+                );
+            }
+        }
     }
 }
 
 #[test]
 fn sharded_runs_are_thread_invariant() {
-    assert_thread_invariant("sharded-aes", |threads| {
+    assert_thread_invariant("sharded-aes", |threads, lookahead| {
         let mut scenario = Scenario::new(Workload::Aes, 64, 4);
-        scenario.soc = SocConfig::default().with_engines(2).with_threads(threads);
+        scenario.soc = SocConfig::default()
+            .with_engines(2)
+            .with_threads(threads)
+            .with_lookahead(lookahead);
         run_cohort_sharded(&scenario, &ShardSpec::new(2)).expect("pool binds")
     });
 }
 
 #[test]
 fn mesh16_runs_are_thread_invariant() {
-    assert_thread_invariant("mesh16", |threads| {
+    assert_thread_invariant("mesh16", |threads, lookahead| {
         let (mut scenario, spec) = mesh16_scenario(64, 4);
-        scenario.soc = scenario.soc.clone().with_threads(threads);
+        scenario.soc = scenario
+            .soc
+            .clone()
+            .with_threads(threads)
+            .with_lookahead(lookahead);
         run_cohort_sharded(&scenario, &spec).expect("pool binds")
     });
 }
@@ -70,11 +99,12 @@ fn chaos_runs_are_thread_invariant() {
     // with the full recovery stack (watchdog, swap store, retry) armed.
     let plan = FaultPlan::parse("stall@2000:1500;spike@5000:3000:4;storm@9000:2")
         .expect("valid fault spec");
-    assert_thread_invariant("chaos", |threads| {
+    assert_thread_invariant("chaos", |threads, lookahead| {
         let mut scenario = Scenario::new(Workload::Sha, 64, 8);
         scenario.soc = SocConfig::default()
             .with_faults(plan.clone())
-            .with_threads(threads);
+            .with_threads(threads)
+            .with_lookahead(lookahead);
         run_cohort_chaos(&scenario)
     });
 }
@@ -83,9 +113,11 @@ fn chaos_runs_are_thread_invariant() {
 fn failover_runs_are_thread_invariant() {
     // Default plan: fail-stop of the mid-chain SHA engine at cycle 20k,
     // exactly-once queue migration onto the cold spare.
-    assert_thread_invariant("chain-failover", |threads| {
+    assert_thread_invariant("chain-failover", |threads, lookahead| {
         let mut scenario = Scenario::new(Workload::Sha, 64, 8);
-        scenario.soc = SocConfig::default().with_threads(threads);
+        scenario.soc = SocConfig::default()
+            .with_threads(threads)
+            .with_lookahead(lookahead);
         run_cohort_chain_failover(&scenario)
     });
 }

@@ -218,6 +218,15 @@ pub struct RunResult {
     /// Chrome `trace_event` JSON, present when the scenario enabled
     /// tracing. Loadable in Perfetto / `chrome://tracing`.
     pub trace_json: Option<String>,
+    /// Cycles the step kernel actually executed (and so paid the commit
+    /// barrier for). With `Lookahead::Force1` this equals [`Self::cycles`];
+    /// under `Auto` the difference is covered by [`Self::ff_cycles`].
+    /// Host-side kernel telemetry: excluded from `stats_json` and
+    /// `checksum` by construction, so it may vary freely with the batching
+    /// mode while the simulated results stay bit-identical.
+    pub barrier_activations: u64,
+    /// Cycles the conservative lookahead proved no-ops and skipped.
+    pub ff_cycles: u64,
 }
 
 impl RunResult {
@@ -286,6 +295,8 @@ fn finish_run(mut sys: SimSystem, scenario: &Scenario) -> RunResult {
         counters: sys.soc.all_counters(),
         histograms: sys.soc.stats().histogram_summaries(),
         stats_json: sys.soc.stats_json(),
+        barrier_activations: sys.soc.kernel_counter("kernel.barrier_activations"),
+        ff_cycles: sys.soc.kernel_counter("kernel.ff_cycles"),
         trace_json: scenario.trace.then(|| sys.soc.trace_json()),
     }
 }
@@ -853,6 +864,8 @@ fn finish_sharded_run(
         counters: sys.soc.all_counters(),
         histograms: sys.soc.stats().histogram_summaries(),
         stats_json: sys.soc.stats_json(),
+        barrier_activations: sys.soc.kernel_counter("kernel.barrier_activations"),
+        ff_cycles: sys.soc.kernel_counter("kernel.ff_cycles"),
         trace_json: scenario.trace.then(|| sys.soc.trace_json()),
     }
 }
@@ -1309,6 +1322,8 @@ pub fn run_dma_chaos(scenario: &Scenario) -> RunResult {
         counters: sys.soc.all_counters(),
         histograms: sys.soc.stats().histogram_summaries(),
         stats_json: sys.soc.stats_json(),
+        barrier_activations: sys.soc.kernel_counter("kernel.barrier_activations"),
+        ff_cycles: sys.soc.kernel_counter("kernel.ff_cycles"),
         trace_json: scenario.trace.then(|| sys.soc.trace_json()),
     }
 }
@@ -1573,6 +1588,8 @@ impl CustomRun {
             counters: sys.soc.all_counters(),
             histograms: sys.soc.stats().histogram_summaries(),
             stats_json: sys.soc.stats_json(),
+            barrier_activations: sys.soc.kernel_counter("kernel.barrier_activations"),
+            ff_cycles: sys.soc.kernel_counter("kernel.ff_cycles"),
             trace_json: trace.then(|| sys.soc.trace_json()),
         }
     }
@@ -1694,6 +1711,8 @@ fn finish_chain_run(mut sys: SimSystem, scenario: &Scenario) -> RunResult {
         counters: sys.soc.all_counters(),
         histograms: sys.soc.stats().histogram_summaries(),
         stats_json: sys.soc.stats_json(),
+        barrier_activations: sys.soc.kernel_counter("kernel.barrier_activations"),
+        ff_cycles: sys.soc.kernel_counter("kernel.ff_cycles"),
         trace_json: scenario.trace.then(|| sys.soc.trace_json()),
     }
 }

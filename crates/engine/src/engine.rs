@@ -1874,6 +1874,156 @@ impl Component for CohortEngine {
             .record(self.wr.saturating_sub(self.known_rd));
     }
 
+    fn quiescent_for(&self, now: u64) -> u64 {
+        if !self.enabled {
+            // A disabled engine services only MMIO, and MMIO arrives as
+            // messages — delivery already forces a stepped cycle.
+            return u64::MAX;
+        }
+        let dead = self.killed();
+        let mut k = if dead {
+            if self.dead_since.is_none() {
+                return 1; // the next step latches dead_since and traces it
+            }
+            u64::MAX // frozen datapath: only the watchdog (below) can act
+        } else {
+            // Per-channel bound: only the translate/retry loop and a
+            // scheduled hit completion act on their own — walks, misses
+            // and faults resolve via port messages, whose delivery forces
+            // a stepped cycle anyway.
+            let chan = |i: usize| -> u64 {
+                let ch = &self.channels[i];
+                if ch.op.is_none() || ch.done {
+                    return u64::MAX; // nothing in flight / endpoint's move
+                }
+                match ch.state {
+                    ChState::Translate => 1, // issues or retries every cycle
+                    ChState::AccessHit { at, .. } => at.saturating_sub(now),
+                    ChState::WalkWait | ChState::WaitFault | ChState::AccessWait { .. } => u64::MAX,
+                }
+            };
+            // An endpoint mid-transfer is frozen until its channel either
+            // completes (`done`, consumed next step) or frees up.
+            let actionable = |i: usize| self.channels[i].op.is_none() || self.channels[i].done;
+            let cons = match self.cons {
+                ConsState::Off | ConsState::Halted => u64::MAX,
+                ConsState::Waiting => {
+                    if self.rcm_in_pending() {
+                        1
+                    } else {
+                        // Wakes only when the pinned rd line is touched,
+                        // and invalidations arrive as port messages.
+                        u64::MAX
+                    }
+                }
+                ConsState::Backoff { until } => until.saturating_sub(now),
+                ConsState::Feed { fed, .. } => {
+                    if fed < self.channels[CH_CONS].buf.len() {
+                        if self.stalled(now) {
+                            // Frozen feed; the un-stall edge is a fault
+                            // window the SoC injector term bounds.
+                            u64::MAX
+                        } else if self.accel.ready(now) {
+                            1 // a word goes in this coming cycle
+                        } else {
+                            // Back-pressured mid-chunk: ready rises when
+                            // the in-flight block retires.
+                            self.accel.next_event(now)
+                        }
+                    } else {
+                        1 // finalise: publish the read index
+                    }
+                }
+                ConsState::Csr
+                | ConsState::InitRd
+                | ConsState::InitWr
+                | ConsState::ReadWr
+                | ConsState::Fetch { .. }
+                | ConsState::UpdateRd => {
+                    if actionable(CH_CONS) {
+                        1
+                    } else {
+                        u64::MAX
+                    }
+                }
+                ConsState::Judge => 1,
+            };
+            let prod = match self.prod {
+                ProdState::Off | ProdState::Halted => u64::MAX,
+                ProdState::Collect => {
+                    // A full element acts (or counts a full-stall) every
+                    // cycle; a partial one waits on accelerator output,
+                    // which the accel bound below covers.
+                    if self.stage.len() >= self.out_q.elem as usize {
+                        1
+                    } else {
+                        u64::MAX
+                    }
+                }
+                ProdState::BackoffFull { until } | ProdState::WcmDrain { until, .. } => {
+                    until.saturating_sub(now)
+                }
+                ProdState::InitRd
+                | ProdState::InitWr
+                | ProdState::ReadRd
+                | ProdState::WriteData { .. }
+                | ProdState::UpdateWr => {
+                    if actionable(CH_PROD) {
+                        1
+                    } else {
+                        u64::MAX
+                    }
+                }
+            };
+            let accel = if self.stalled(now) {
+                // A stalled pipeline is frozen solid; the un-stall edge
+                // is a fault window the SoC injector term bounds.
+                u64::MAX
+            } else {
+                self.accel.next_event(now)
+            };
+            chan(CH_CONS)
+                .min(chan(CH_PROD))
+                .min(cons)
+                .min(prod)
+                .min(accel)
+        };
+        if self.watchdog_cycles != 0 && self.error_status == 0 {
+            // Bound the skip to the trip cycle of any non-benign endpoint
+            // (benign sides reset their timer at every stepped cycle and
+            // can never trip). Benign-ness mirrors `check_watchdog`.
+            let cons_benign = !dead
+                && matches!(
+                    self.cons,
+                    ConsState::Off | ConsState::Waiting | ConsState::Halted
+                );
+            let prod_benign = !dead
+                && (matches!(self.prod, ProdState::Off | ProdState::Halted)
+                    || (matches!(self.prod, ProdState::Collect)
+                        && self.stage.len() < self.out_q.elem as usize));
+            if !cons_benign {
+                k = k.min((self.cons_progress_at + self.watchdog_cycles + 1).saturating_sub(now));
+            }
+            if !prod_benign {
+                k = k.min((self.prod_progress_at + self.watchdog_cycles + 1).saturating_sub(now));
+            }
+        }
+        k.max(1)
+    }
+
+    fn fast_forward(&mut self, skipped: u64) {
+        // Reconcile the per-cycle occupancy samples the skipped steps
+        // would have taken; the disabled and dead paths return before
+        // sampling, so they reconcile nothing.
+        if !self.enabled || self.killed() {
+            return;
+        }
+        self.in_occupancy
+            .record_n(self.known_wr.saturating_sub(self.rd), skipped);
+        self.out_occupancy
+            .record_n(self.wr.saturating_sub(self.known_rd), skipped);
+    }
+
     fn is_idle(&self) -> bool {
         if !self.enabled {
             return true;

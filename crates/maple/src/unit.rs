@@ -572,6 +572,33 @@ impl Component for MapleUnit {
         self.serve_held(ctx);
     }
 
+    fn quiescent_for(&self, now: u64) -> u64 {
+        if !self.dead_latched && self.dead() {
+            return 1; // the next step latches the fail-stop and aborts
+        }
+        if self.dead_latched {
+            // Frozen datapath: only incoming messages (serviced at
+            // delivery, which forces a stepped cycle) do anything.
+            return u64::MAX;
+        }
+        // The hit-path completion runs even while stalled, so its bound
+        // applies unconditionally.
+        let k = match self.access {
+            Access::Hit { at, .. } => at.saturating_sub(now),
+            // Walk/Wait resolve via port messages; None waits on MMIO.
+            _ => u64::MAX,
+        };
+        if self.stalled(now) {
+            // Injected stall: the datapath below is frozen, and the
+            // un-stall edge is a fault window the SoC injector bounds.
+            return k.max(1);
+        }
+        if self.dma_state == DmaState::Running || !self.held.is_empty() {
+            return 1; // the DMA loop and held-MMIO queue act every cycle
+        }
+        k.min(self.accel.next_event(now)).max(1)
+    }
+
     fn is_idle(&self) -> bool {
         self.held.is_empty()
             && self.dma_state == DmaState::Idle

@@ -221,6 +221,43 @@ pub trait Component: Send {
     /// when every component is idle and no messages are in flight.
     fn is_idle(&self) -> bool;
 
+    /// Conservative lookahead hint: the number of upcoming cycles
+    /// (starting at `now`) for which stepping this component would be a
+    /// provable no-op, **assuming its inbox stays empty and committed
+    /// memory is unchanged** for that whole window. The SoC combines
+    /// these hints with the NoC in-flight set and the fault plan to skip
+    /// barriers ([`crate::config::Lookahead`]).
+    ///
+    /// The contract: if `quiescent_for(now)` returns `N`, then stepping
+    /// the component at cycles `now..now + N - 1` (empty inbox, frozen
+    /// memory) must not change any observable state — no sends, no memory
+    /// writes, no state-machine transitions — *except* pure per-cycle
+    /// bookkeeping (stall counters, occupancy histograms) which
+    /// [`Component::fast_forward`] must then reconcile exactly.
+    ///
+    /// Over-stepping is always sound (the SoC may step anywhere inside
+    /// the window); only an overshoot — returning `N` when the component
+    /// would have acted at `now + j`, `j < N` — breaks determinism.
+    /// Return `u64::MAX` when only an inbound message can wake the
+    /// component. The default of 1 makes unported components correct by
+    /// construction: they are stepped every cycle, exactly as before.
+    fn quiescent_for(&self, now: u64) -> u64 {
+        let _ = now;
+        1
+    }
+
+    /// Reconciles per-cycle bookkeeping after the SoC skipped `skipped`
+    /// consecutive cycles inside a window this component declared
+    /// quiescent via [`Component::quiescent_for`]. Implementations must
+    /// apply *exactly* what `skipped` individual steps would have
+    /// recorded (e.g. `stall_cycles += skipped`,
+    /// `occupancy.record_n(frozen_depth, skipped)`) and nothing else.
+    /// The default does nothing, matching the default hint of 1 (a
+    /// component that is stepped every cycle is never fast-forwarded).
+    fn fast_forward(&mut self, skipped: u64) {
+        let _ = skipped;
+    }
+
     /// Performance counters exposed by this component.
     fn counters(&self) -> Vec<(String, u64)> {
         Vec::new()

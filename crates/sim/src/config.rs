@@ -103,6 +103,32 @@ impl Default for TimingConfig {
     }
 }
 
+/// Cycle-batching policy of the simulation kernel.
+///
+/// Under [`Lookahead::Auto`] the run loop computes, before each stepped
+/// cycle, a conservative horizon K = min over the next NoC delivery, the
+/// next fault-plan event/window edge, and every component's
+/// [`crate::component::Component::quiescent_for`] hint; when K ≥ 2 it
+/// jumps the cycle counter instead of stepping K−1 provable no-op cycles
+/// (and, in parallel runs, pays no go/done barrier for them). Results are
+/// bit-identical to [`Lookahead::Force1`] by construction — hints are
+/// conservative lower bounds, and skipped per-cycle bookkeeping is
+/// reconciled by `Component::fast_forward`.
+///
+/// One caveat: `Soc::run_until` predicates that key on the raw cycle
+/// counter (rather than component/NoC state) may observe the cycle
+/// *after* a jump and so fire later than under `Force1`. Such harness
+/// code should pin `Force1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Lookahead {
+    /// Step every cycle (the pre-batching kernel). Baseline for the
+    /// determinism suite and for cycle-predicate harnesses.
+    Force1,
+    /// Conservative-lookahead batching + idle fast-forward (default).
+    #[default]
+    Auto,
+}
+
 /// Top-level SoC configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SocConfig {
@@ -128,6 +154,8 @@ pub struct SocConfig {
     /// the cycle barrier (see `docs/architecture.md`, "Parallel kernel &
     /// determinism contract").
     pub threads: usize,
+    /// Cycle-batching policy (default [`Lookahead::Auto`]).
+    pub lookahead: Lookahead,
 }
 
 impl Default for SocConfig {
@@ -142,6 +170,7 @@ impl Default for SocConfig {
             mte_lines: 8,
             faults: crate::faultinject::FaultPlan::default(),
             threads: 1,
+            lookahead: Lookahead::default(),
         }
     }
 }
@@ -181,6 +210,12 @@ impl SocConfig {
     /// count (clamped to at least 1).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Convenience builder-style override of the cycle-batching policy.
+    pub fn with_lookahead(mut self, lookahead: Lookahead) -> Self {
+        self.lookahead = lookahead;
         self
     }
 }

@@ -660,6 +660,50 @@ impl Component for InOrderCore {
         self.state == CState::Done && self.irq_pending.is_empty()
     }
 
+    fn quiescent_for(&self, now: u64) -> u64 {
+        // Any store-buffer or IRQ activity issues requests / takes traps
+        // on the very next step; the background drain is not idempotent
+        // (each attempt pushes a request into a pending line), so those
+        // cycles must be stepped for real.
+        if !self.irq_pending.is_empty() || !self.sb.is_empty() || self.sb_waiting {
+            return 1;
+        }
+        match self.state {
+            // Only an inbound message (a load of a Done core's flag, an
+            // IRQ) can wake these; the SoC's inbox/NoC bounds cover that.
+            CState::Done
+            | CState::WaitLoad { .. }
+            | CState::WaitSpin { .. }
+            | CState::WaitMmio { .. }
+            | CState::WaitHandlerMmio => u64::MAX,
+            // Hit-path completions fire exactly at their stamp.
+            CState::LoadDone { at, .. } | CState::SpinDone { at, .. } => {
+                at.saturating_sub(now).max(1)
+            }
+            // An ALU/trap busy window ends exactly at busy_until.
+            CState::Ready => self.busy_until.saturating_sub(now).max(1),
+        }
+    }
+
+    fn fast_forward(&mut self, skipped: u64) {
+        // Reconcile the per-cycle stall accounting (step phase 3) for the
+        // skipped window. The waking step processes its message *before*
+        // that accounting runs, so a wait window [enter+1, wake) under
+        // forced stepping increments exactly once per skipped cycle —
+        // `add(skipped)` is bit-exact. The other skippable states
+        // (Ready-busy, LoadDone/SpinDone pending, Done) record nothing
+        // per cycle.
+        match self.state {
+            CState::WaitMmio { .. } | CState::WaitHandlerMmio => {
+                self.counters.mmio_stall_cycles.add(skipped);
+            }
+            CState::WaitLoad { .. } | CState::WaitSpin { .. } => {
+                self.counters.mem_stall_cycles.add(skipped);
+            }
+            _ => {}
+        }
+    }
+
     fn counters(&self) -> Vec<(String, u64)> {
         let c = &self.counters;
         let l1 = self.port.port_counters();

@@ -507,6 +507,18 @@ impl Component for Directory {
         self.txns.is_empty() && self.delayed.is_empty()
     }
 
+    fn quiescent_for(&self, now: u64) -> u64 {
+        // Everything the directory does is either a reaction to an
+        // inbound message (inbox-gated by the SoC) or a delayed action
+        // with an explicit due cycle; in-flight transactions waiting on
+        // acks carry no per-cycle work. No per-cycle counters, so the
+        // default no-op `fast_forward` is exact.
+        match self.delayed.peek() {
+            Some(Reverse(d)) => d.at.saturating_sub(now).max(1),
+            None => u64::MAX,
+        }
+    }
+
     fn attach(&mut self, obs: &Observability) {
         let c = &self.counters;
         for (name, counter) in [

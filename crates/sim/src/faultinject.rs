@@ -549,6 +549,27 @@ impl FaultState {
         self.maple_dead.load(Ordering::Relaxed) != 0
     }
 
+    /// The next cycle strictly after `cycle` at which an open fault
+    /// window closes (its `until` edge), if any. Window *opens* are
+    /// always driven by the injector's schedule (or harness code between
+    /// cycles), so together with the injector's own lookahead hint this
+    /// bounds every cycle at which `accel_stalled`/`latency_factor`/
+    /// `maple_stalled` can change value. A [`FOREVER`] window has no edge
+    /// and imposes no bound: nothing ever changes inside it.
+    pub fn next_window_edge(&self, cycle: u64) -> Option<u64> {
+        let mut edge = u64::MAX;
+        for until in [
+            self.stall_until.load(Ordering::Relaxed),
+            self.spike_until.load(Ordering::Relaxed),
+            self.maple_stall_until.load(Ordering::Relaxed),
+        ] {
+            if until > cycle {
+                edge = edge.min(until);
+            }
+        }
+        (edge != u64::MAX).then_some(edge)
+    }
+
     /// Stages an accelerator stall for the cycle barrier.
     pub(crate) fn stage_stall_accel(&self, until: u64) {
         self.stage(FaultOp::StallAccel { until });
@@ -808,6 +829,18 @@ impl Component for FaultInjector {
 
     fn is_idle(&self) -> bool {
         self.schedule.is_empty()
+    }
+
+    fn quiescent_for(&self, now: u64) -> u64 {
+        // The schedule is sorted (see `schedule_is_deterministic_and_sorted`),
+        // so the head event bounds the injector's next action. Everything
+        // else the injector does is a reaction to inbound acks, which the
+        // SoC's inbox check covers. No per-cycle bookkeeping, so the
+        // default no-op `fast_forward` is exact.
+        match self.schedule.front() {
+            Some(e) => e.at_cycle.saturating_sub(now).max(1),
+            None => u64::MAX,
+        }
     }
 
     fn counters(&self) -> Vec<(String, u64)> {

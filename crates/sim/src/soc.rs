@@ -25,14 +25,14 @@ use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 
 use crate::component::{CompId, Component, Ctx, MmioMap, Observability, Outgoing, TileCoord};
-use crate::config::SocConfig;
+use crate::config::{Lookahead, SocConfig};
 use crate::faultinject::FaultState;
 use crate::mem::PhysMem;
 use crate::msg::Envelope;
 use crate::noc::Noc;
 use crate::parallel::{Frame, Shared};
 use crate::stage::{StagedMem, WriteLog};
-use crate::stats::Stats;
+use crate::stats::{Counter, Stats};
 use crate::trace::Trace;
 
 pub(crate) struct Slot {
@@ -60,21 +60,62 @@ fn step_slot(slot: &mut Slot, i: usize, cycle: u64, mem: &PhysMem, mmio: &MmioMa
     slot.comp.step(&mut ctx);
 }
 
-/// Steps slots `start, start + stride, start + 2*stride, ...` of `frame`.
+/// Steps the slots listed in stripe `w` of the frame's stripe assignment.
 ///
 /// # Safety
 /// The frame's pointers must be live for the whole call, every thread of
-/// the cycle must use the same `stride` with a distinct `start < stride`
-/// (so no slot is aliased), and the memory image must not be mutated
-/// concurrently.
-pub(crate) unsafe fn step_stripe(frame: &Frame, start: usize, stride: usize) {
-    let mut i = start;
-    while i < frame.len {
-        // SAFETY: `i % stride == start` indices are exclusive to this
-        // call per the contract; mem/mmio are read-only this phase.
+/// the cycle must step a distinct stripe index (the stripe lists are
+/// disjoint by construction, so no slot is aliased), the stripe
+/// assignment must not be mutated concurrently, and the memory image must
+/// not be mutated concurrently.
+pub(crate) unsafe fn step_stripe(frame: &Frame, w: usize) {
+    // SAFETY: the main thread published the assignment before releasing
+    // the workers and only rebuilds it while they are parked.
+    let stripes: &Vec<Vec<u32>> = unsafe { &*frame.stripes };
+    let stripe: &[u32] = &stripes[w];
+    for &i in stripe {
+        let i = i as usize;
+        debug_assert!(i < frame.len);
+        // SAFETY: stripes are disjoint, so slot `i` is exclusive to this
+        // call; mem/mmio are read-only this phase.
         let (slot, mem, mmio) = unsafe { (&mut *frame.slots.add(i), &*frame.mem, &*frame.mmio) };
         step_slot(slot, i, frame.cycle, mem, mmio);
-        i += stride;
+    }
+}
+
+/// Stepped cycles between stripe-assignment rebuilds in the parallel
+/// loop. Long enough to amortise the sort, short enough to track phase
+/// changes in component activity.
+const STRIPE_REBUILD_PERIOD: u32 = 256;
+
+/// The simulation kernel's own instrumentation. Lives in a registry
+/// *separate* from the SoC's architectural [`Stats`] so that
+/// [`Soc::stats_json`] — part of the determinism contract — is
+/// bit-identical whether or not cycle batching is enabled (batching
+/// changes how the kernel reaches a state, never the state itself).
+struct KernelStats {
+    stats: Stats,
+    /// Stepped cycles: commit barriers executed (go/done round trips in
+    /// the parallel loop, plain commits in the sequential one).
+    barriers: Counter,
+    /// Cycles skipped by conservative-lookahead fast-forward.
+    ff_cycles: Counter,
+    /// Cost-aware stripe-assignment rebuilds.
+    rebuilds: Counter,
+}
+
+impl KernelStats {
+    fn new() -> Self {
+        let stats = Stats::new();
+        let barriers = stats.counter("kernel.barrier_activations");
+        let ff_cycles = stats.counter("kernel.ff_cycles");
+        let rebuilds = stats.counter("kernel.stripe_rebuilds");
+        Self {
+            stats,
+            barriers,
+            ff_cycles,
+            rebuilds,
+        }
     }
 }
 
@@ -111,6 +152,24 @@ pub struct Soc {
     stats: Stats,
     trace: Trace,
     faults: FaultState,
+    kernel: KernelStats,
+    /// Per-slot EWMA of staged-op counts (scaled by 256), updated at every
+    /// commit — the deterministic cost model behind stripe packing.
+    costs: Vec<u64>,
+    /// Stripe assignment for the parallel loop: `stripes[w]` lists the
+    /// slot indices thread `w` steps. Disjoint and covering by
+    /// construction; rebuilt by greedy LPT packing over `costs`.
+    stripes: Vec<Vec<u32>>,
+    /// Stepped cycles since the last stripe rebuild.
+    stepped_since_rebuild: u32,
+    /// Index of the slot that pinned the last lookahead probe to 1
+    /// (`usize::MAX` before the first pin). Saturated phases are almost
+    /// always pinned by the same busy component for thousands of
+    /// consecutive cycles, so [`Soc::lookahead_horizon`] re-checks this
+    /// slot first and answers most probes with one hint call instead of
+    /// a full scan — pure memoization, the probe's *result* is
+    /// unchanged. A `Cell` because the horizon is a `&self` query.
+    pin_slot: std::cell::Cell<usize>,
 }
 
 impl std::fmt::Debug for Soc {
@@ -141,6 +200,11 @@ impl Soc {
             stats,
             trace,
             faults,
+            kernel: KernelStats::new(),
+            costs: Vec::new(),
+            stripes: Vec::new(),
+            stepped_since_rebuild: 0,
+            pin_slot: std::cell::Cell::new(usize::MAX),
         }
     }
 
@@ -225,8 +289,18 @@ impl Soc {
     /// messages to the NoC in slot order, commits staged fault-switch
     /// flips, and advances the cycle. Runs on the main thread only.
     fn commit_cycle(&mut self) {
+        self.kernel.barriers.inc();
         let (slots, mem, noc) = (&mut self.slots, &mut self.mem, &mut self.noc);
-        for slot in slots.iter_mut() {
+        if self.costs.len() != slots.len() {
+            self.costs.resize(slots.len(), 0);
+        }
+        for (slot, cost) in slots.iter_mut().zip(self.costs.iter_mut()) {
+            // EWMA (alpha = 1/8, samples scaled by 256) over this cycle's
+            // staged activity. Pure integer arithmetic over simulated
+            // state — never wall time — so the cost model, and therefore
+            // the stripe assignment, is itself deterministic.
+            let sample = (slot.log.staged_ops() + slot.outbox.len()) as u64 * 256;
+            *cost = (*cost * 7 + sample) / 8;
             slot.log.commit(mem);
         }
         for i in 0..slots.len() {
@@ -257,6 +331,109 @@ impl Soc {
             && self.slots.iter().all(|s| {
                 s.inbox.is_empty() && s.outbox.is_empty() && s.log.is_empty() && s.comp.is_idle()
             })
+    }
+
+    /// The conservative lookahead horizon from the current cycle: the
+    /// number of upcoming cycles (≥ 1) that are provably free of
+    /// cross-component events, i.e. the minimum over
+    ///
+    /// * the remaining cycle budget (`deadline`),
+    /// * the next NoC delivery ([`crate::noc::Noc::next_delivery`]),
+    /// * the next fault-window edge
+    ///   ([`FaultState::next_window_edge`]; window *opens* are bounded by
+    ///   the injector's own hint below),
+    /// * every component's [`Component::quiescent_for`] hint.
+    ///
+    /// Any pending inbox pins the horizon to 1 (the delivery must be
+    /// consumed by a real step). A horizon of `k ≥ 2` means cycles
+    /// `now .. now + k - 1` may be skipped and the first potential event
+    /// cycle `now + k` — a delivery, a fault edge, or a component waking
+    /// — is still stepped for real. Under [`Lookahead::Force1`] this is
+    /// constantly 1. Public so the horizon-soundness property tests can
+    /// probe it directly.
+    pub fn lookahead_horizon(&self, deadline: u64) -> u64 {
+        if self.cfg.lookahead == Lookahead::Force1 {
+            return 1;
+        }
+        let mut k = deadline.saturating_sub(self.cycle);
+        if k <= 1 {
+            return 1;
+        }
+        // Memoized fast path: if the slot that pinned the last probe is
+        // still busy (undrained inbox or hint of 1), the global min is
+        // still 1 — no need to consult anyone else. Saturated phases
+        // answer here with a single hint call.
+        if let Some(s) = self.slots.get(self.pin_slot.get()) {
+            if !s.inbox.is_empty() || s.comp.quiescent_for(self.cycle) <= 1 {
+                return 1;
+            }
+        }
+        if let Some(i) = self.slots.iter().position(|s| !s.inbox.is_empty()) {
+            self.pin_slot.set(i);
+            return 1;
+        }
+        if let Some(at) = self.noc.next_delivery() {
+            k = k.min(at.saturating_sub(self.cycle));
+        }
+        if let Some(edge) = self.faults.next_window_edge(self.cycle) {
+            k = k.min(edge.saturating_sub(self.cycle));
+        }
+        for (i, s) in self.slots.iter().enumerate() {
+            if k <= 1 {
+                return 1;
+            }
+            k = k.min(s.comp.quiescent_for(self.cycle));
+            if k <= 1 {
+                self.pin_slot.set(i);
+                return 1;
+            }
+        }
+        k.max(1)
+    }
+
+    /// Skips `k` cycles the lookahead proved to be no-ops: advances the
+    /// cycle counter and lets every component reconcile its per-cycle
+    /// bookkeeping. No step, no commit, and — in the parallel loop — no
+    /// barrier.
+    fn fast_forward_cycles(&mut self, k: u64) {
+        debug_assert!(self
+            .slots
+            .iter()
+            .all(|s| { s.inbox.is_empty() && s.outbox.is_empty() && s.log.is_empty() }));
+        for slot in &mut self.slots {
+            slot.comp.fast_forward(k);
+        }
+        self.kernel.ff_cycles.add(k);
+        self.cycle += k;
+    }
+
+    /// Rebuilds the parallel loop's stripe assignment by greedy
+    /// longest-processing-time packing over the cost EWMAs: slots sorted
+    /// by descending cost (slot index breaks ties), each placed on the
+    /// currently lightest stripe. Deterministic input, deterministic
+    /// order — the assignment is reproducible, and since every slot is
+    /// stepped exactly once per cycle regardless of stripe, it is
+    /// semantics-invariant (a host-side scheduling decision only).
+    fn rebuild_stripes(&mut self, threads: usize) {
+        self.costs.resize(self.slots.len(), 0);
+        let mut order: Vec<u32> = (0..self.slots.len() as u32).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(self.costs[i as usize]), i));
+        self.stripes.resize(threads, Vec::new());
+        self.stripes.truncate(threads);
+        for s in &mut self.stripes {
+            s.clear();
+        }
+        let mut load = vec![0u64; threads];
+        for i in order {
+            let w = (0..threads)
+                .min_by_key(|&w| (load[w], w))
+                .expect("threads >= 1");
+            // +1 so zero-cost slots still spread instead of piling up.
+            load[w] += self.costs[i as usize] + 1;
+            self.stripes[w].push(i);
+        }
+        self.kernel.rebuilds.inc();
+        self.stepped_since_rebuild = 0;
     }
 
     /// Runs until the SoC is quiescent or `max_cycles` elapse. A budget of
@@ -331,6 +508,11 @@ impl Soc {
                     None => LoopExit::Quiescent,
                 };
             }
+            let k = self.lookahead_horizon(deadline);
+            if k >= 2 {
+                self.fast_forward_cycles(k);
+                continue;
+            }
             self.step();
         }
     }
@@ -345,6 +527,7 @@ impl Soc {
         mut pred: Option<&mut dyn FnMut(&Soc) -> bool>,
         threads: usize,
     ) -> LoopExit {
+        self.rebuild_stripes(threads);
         let shared = Shared::new(threads - 1);
         std::thread::scope(|scope| {
             for w in 1..threads {
@@ -359,8 +542,8 @@ impl Soc {
                         let frame = shared.frame();
                         // SAFETY: the main thread published this frame and
                         // is waiting on the done latch; this worker steps
-                        // only stripe `w` of `threads`.
-                        unsafe { step_stripe(&frame, w, threads) };
+                        // only stripe `w` of the assignment.
+                        unsafe { step_stripe(&frame, w) };
                         shared.done.arrive();
                     }
                 });
@@ -386,18 +569,31 @@ impl Soc {
                         None => LoopExit::Quiescent,
                     };
                 }
+                // Workers are parked here, so skipping a batch of proven
+                // no-op cycles pays no go/done barrier at all, and the
+                // stripe assignment may be rebuilt without a race.
+                let k = self.lookahead_horizon(deadline);
+                if k >= 2 {
+                    self.fast_forward_cycles(k);
+                    continue;
+                }
+                if self.stepped_since_rebuild >= STRIPE_REBUILD_PERIOD {
+                    self.rebuild_stripes(threads);
+                }
+                self.stepped_since_rebuild += 1;
                 self.deliver_due();
                 let frame = Frame {
                     slots: self.slots.as_mut_ptr(),
                     len: self.slots.len(),
                     mem: &self.mem,
                     mmio: &self.mmio_map,
+                    stripes: &self.stripes,
                     cycle: self.cycle,
                 };
                 shared.publish(frame);
                 shared.go.go();
                 // SAFETY: stripe 0 is disjoint from every worker stripe.
-                unsafe { step_stripe(&frame, 0, threads) };
+                unsafe { step_stripe(&frame, 0) };
                 shared.done.wait_and_reset();
                 self.commit_cycle();
             };
@@ -445,6 +641,28 @@ impl Soc {
     /// The stats registry rendered as JSON (see [`Stats::to_json`]).
     pub fn stats_json(&self) -> String {
         self.stats.to_json()
+    }
+
+    /// The simulation kernel's own instrumentation
+    /// (`kernel.barrier_activations`, `kernel.ff_cycles`,
+    /// `kernel.stripe_rebuilds`). Deliberately a registry separate from
+    /// [`Soc::stats`]: kernel counters describe how the host executed the
+    /// simulation, not what the simulated SoC did, so they must never
+    /// leak into [`Soc::stats_json`] (which the determinism contract pins
+    /// across batching modes).
+    pub fn kernel_stats(&self) -> &Stats {
+        &self.kernel.stats
+    }
+
+    /// One kernel counter by name (see [`Soc::kernel_stats`]); 0 if absent.
+    pub fn kernel_counter(&self, name: &str) -> u64 {
+        self.kernel
+            .stats
+            .counter_values()
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+            .unwrap_or(0)
     }
 
     /// The event trace rendered as Chrome `trace_event` JSON, loadable in
@@ -952,8 +1170,10 @@ mod tests {
     /// Runs the producer/consumer hand-off with the two cores registered
     /// in the given order; returns (final cycle, consumer record, memory
     /// word) for bit-identity comparison.
-    fn handoff(consumer_first: bool, threads: usize) -> (u64, Vec<u64>, u64) {
-        let cfg = SocConfig::default().with_threads(threads);
+    fn handoff(consumer_first: bool, threads: usize, lookahead: Lookahead) -> (u64, Vec<u64>, u64) {
+        let cfg = SocConfig::default()
+            .with_threads(threads)
+            .with_lookahead(lookahead);
         let mut soc = Soc::new(cfg.clone());
         let dir = soc.add_component(TileCoord::new(0, 0), Box::new(Directory::new(&cfg)));
         let mut producer = Program::new();
@@ -995,14 +1215,127 @@ mod tests {
 
     #[test]
     fn registration_order_does_not_change_results() {
-        assert_eq!(handoff(false, 1), handoff(true, 1));
+        assert_eq!(
+            handoff(false, 1, Lookahead::Auto),
+            handoff(true, 1, Lookahead::Auto)
+        );
     }
 
     #[test]
     fn thread_count_does_not_change_results() {
-        let seq = handoff(false, 1);
-        assert_eq!(seq, handoff(false, 2));
-        assert_eq!(seq, handoff(false, 3));
-        assert_eq!(seq, handoff(false, 8), "threads clamp to slot count");
+        let seq = handoff(false, 1, Lookahead::Auto);
+        assert_eq!(seq, handoff(false, 2, Lookahead::Auto));
+        assert_eq!(seq, handoff(false, 3, Lookahead::Auto));
+        assert_eq!(
+            seq,
+            handoff(false, 8, Lookahead::Auto),
+            "threads clamp to slot count"
+        );
+    }
+
+    #[test]
+    fn lookahead_does_not_change_results() {
+        // The heart of the batching contract: cycle-for-cycle stepping and
+        // conservative fast-forwarding are observationally identical, at
+        // every thread count.
+        let base = handoff(false, 1, Lookahead::Force1);
+        for threads in [1usize, 2, 8] {
+            assert_eq!(
+                base,
+                handoff(false, threads, Lookahead::Auto),
+                "auto batching diverged at threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn lookahead_actually_skips_cycles() {
+        // The hand-off spends most of its time in an ALU delay and a spin
+        // wait — lookahead must convert those into fast-forward gaps, and
+        // the barrier/ff split must account for every simulated cycle.
+        let run = |lookahead| {
+            let cfg = SocConfig::default().with_lookahead(lookahead);
+            let mut soc = Soc::new(cfg.clone());
+            let dir = soc.add_component(TileCoord::new(0, 0), Box::new(Directory::new(&cfg)));
+            let mut producer = Program::new();
+            producer.push(Op::Alu(500));
+            producer.push(Op::Store {
+                va: 0x2000,
+                value: 5,
+            });
+            producer.push(Op::Fence);
+            let mut consumer = Program::new();
+            consumer.push(Op::WaitGe {
+                va: 0x2000,
+                value: 5,
+            });
+            soc.add_component(
+                TileCoord::new(1, 0),
+                Box::new(InOrderCore::new(dir, &cfg, producer)),
+            );
+            soc.add_component(
+                TileCoord::new(0, 1),
+                Box::new(InOrderCore::new(dir, &cfg, consumer)),
+            );
+            let out = soc.run(1_000_000);
+            assert!(out.quiescent);
+            (
+                out.cycle,
+                soc.kernel_counter("kernel.barrier_activations"),
+                soc.kernel_counter("kernel.ff_cycles"),
+            )
+        };
+        let (cycles_f1, barriers_f1, ff_f1) = run(Lookahead::Force1);
+        let (cycles_auto, barriers_auto, ff_auto) = run(Lookahead::Auto);
+        assert_eq!(cycles_f1, cycles_auto, "batching must not change timing");
+        assert_eq!(ff_f1, 0, "force-1 never fast-forwards");
+        assert_eq!(barriers_f1, cycles_f1, "force-1 steps every cycle");
+        assert!(ff_auto > 0, "the ALU delay must fast-forward");
+        assert_eq!(
+            barriers_auto + ff_auto,
+            cycles_auto,
+            "every cycle is either stepped or skipped"
+        );
+        assert!(
+            barriers_auto * 2 <= cycles_auto,
+            "most of this workload is skippable: {barriers_auto} barriers \
+             over {cycles_auto} cycles"
+        );
+    }
+
+    /// A component that never acts on its own: only a message (which none
+    /// arrives) could wake it, so only the deadline bounds the horizon.
+    struct Dormant;
+    impl Component for Dormant {
+        fn name(&self) -> &str {
+            "dormant"
+        }
+        fn step(&mut self, _ctx: &mut Ctx<'_>) {}
+        fn is_idle(&self) -> bool {
+            false // keeps `run` from declaring quiescence
+        }
+        fn quiescent_for(&self, _now: u64) -> u64 {
+            u64::MAX
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn lookahead_jumps_straight_to_the_deadline() {
+        let mut soc = Soc::new(SocConfig::default());
+        soc.add_component(TileCoord::new(0, 0), Box::new(Dormant));
+        let out = soc.run(100_000);
+        assert!(!out.quiescent);
+        assert_eq!(out.cycle, 100_000, "budget exhausted exactly");
+        assert!(
+            soc.kernel_counter("kernel.barrier_activations") < 16,
+            "a dormant SoC must not step per cycle"
+        );
+        assert!(soc.kernel_counter("kernel.ff_cycles") > 99_000);
     }
 }

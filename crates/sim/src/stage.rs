@@ -53,6 +53,12 @@ impl WriteLog {
         self.entries.is_empty()
     }
 
+    /// Number of staged writes this cycle — the per-component activity
+    /// sample feeding the SoC's cost-aware stripe model.
+    pub fn staged_ops(&self) -> usize {
+        self.entries.len()
+    }
+
     /// Stages `data` for physical address `pa`.
     pub fn push(&mut self, pa: u64, data: &[u8]) {
         let start = self.data.len() as u32;

@@ -157,6 +157,25 @@ impl Histogram {
         h.max.fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Records `n` identical samples, bit-exactly equivalent to calling
+    /// [`Histogram::record`] `n` times (the sum uses wrapping arithmetic,
+    /// matching `n` individual wrapping `fetch_add`s). Used by
+    /// [`crate::component::Component::fast_forward`] to reconcile
+    /// per-cycle histograms over a skipped window without paying one
+    /// atomic round trip per cycle.
+    #[inline]
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let h = &*self.0;
+        h.buckets[Self::bucket_of(value)].fetch_add(n, Ordering::Relaxed);
+        h.count.fetch_add(n, Ordering::Relaxed);
+        h.sum.fetch_add(value.wrapping_mul(n), Ordering::Relaxed);
+        h.min.fetch_min(value, Ordering::Relaxed);
+        h.max.fetch_max(value, Ordering::Relaxed);
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.0.count.load(Ordering::Relaxed)

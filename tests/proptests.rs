@@ -501,3 +501,200 @@ fn physmem_write_read() {
         }
     }
 }
+
+/// A probe component that sends a benign message to its peer at each of a
+/// pre-scheduled, sorted list of cycles and records the cycle at which
+/// every inbound message arrives. Its lookahead hint is exactly the model:
+/// quiescent until the next scheduled send.
+struct ScheduledSender {
+    peer: cohort_sim::component::CompId,
+    sends: std::collections::VecDeque<u64>,
+    received_at: Vec<u64>,
+}
+
+impl cohort_sim::component::Component for ScheduledSender {
+    fn name(&self) -> &str {
+        "sched-sender"
+    }
+
+    fn step(&mut self, ctx: &mut cohort_sim::component::Ctx<'_>) {
+        while let Some(env) = ctx.recv() {
+            if let cohort_sim::msg::Msg::MmioWriteResp { .. } = env.msg {
+                self.received_at.push(ctx.cycle);
+            }
+        }
+        while self.sends.front().is_some_and(|&c| c <= ctx.cycle) {
+            let c = self.sends.pop_front().expect("front checked");
+            ctx.send(self.peer, cohort_sim::msg::Msg::MmioWriteResp { tag: c });
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.sends.is_empty()
+    }
+
+    fn quiescent_for(&self, now: u64) -> u64 {
+        self.sends
+            .front()
+            .map_or(u64::MAX, |&c| c.saturating_sub(now).max(1))
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Builds a fuzzed probe SoC: two [`ScheduledSender`]s pinging each other
+/// at random cycles plus (sometimes) a fuzzed fault plan driven by a real
+/// [`cohort_sim::faultinject::FaultInjector`]. Returns the SoC and the
+/// sorted union of *model event cycles*: every scheduled send and every
+/// fault-plan entry. Deliveries and component reactions can only occur at
+/// or after these cycles, so the lookahead horizon must never jump past
+/// the next one.
+fn fuzzed_probe_soc(
+    rng: &mut Rng,
+    lookahead: cohort_sim::config::Lookahead,
+) -> (cohort_sim::soc::Soc, Vec<u64>) {
+    use cohort_sim::component::{CompId, TileCoord};
+    use cohort_sim::faultinject::{FaultInjector, FaultKind, FaultPlan};
+
+    let sched = |rng: &mut Rng| -> std::collections::VecDeque<u64> {
+        let n = rng.range(1, 10) as usize;
+        let mut v: Vec<u64> = (0..n).map(|_| rng.range(1, 1_500)).collect();
+        v.sort_unstable();
+        v.dedup();
+        v.into()
+    };
+    let a = sched(rng);
+    let b = sched(rng);
+
+    let mut plan = FaultPlan::default();
+    for _ in 0..rng.range(0, 4) {
+        let at = rng.range(1, 1_500);
+        let kind = match rng.range(0, 4) {
+            0 => FaultKind::AccelStall {
+                cycles: rng.range(1, 400),
+            },
+            1 => FaultKind::LatencySpike {
+                cycles: rng.range(1, 400),
+                factor: rng.range(2, 6),
+            },
+            2 => FaultKind::PageFaultStorm {
+                pages: rng.range(1, 4),
+            },
+            _ => FaultKind::CorruptDescriptor,
+        };
+        plan = plan.at(at, kind);
+    }
+
+    let mut events: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+    events.extend(plan.schedule().iter().map(|e| e.at_cycle));
+    events.sort_unstable();
+    events.dedup();
+
+    let cfg = cohort_sim::config::SocConfig::default()
+        .with_faults(plan.clone())
+        .with_lookahead(lookahead);
+    let mut soc = cohort_sim::soc::Soc::new(cfg);
+    soc.add_component(
+        TileCoord::new(0, 0),
+        Box::new(ScheduledSender {
+            peer: CompId(1),
+            sends: a,
+            received_at: Vec::new(),
+        }),
+    );
+    soc.add_component(
+        TileCoord::new(1, 0),
+        Box::new(ScheduledSender {
+            peer: CompId(0),
+            sends: b,
+            received_at: Vec::new(),
+        }),
+    );
+    if !plan.is_empty() {
+        let inj = FaultInjector::new(&plan, soc.fault_state().clone());
+        soc.add_component(TileCoord::new(2, 0), Box::new(inj));
+    }
+    (soc, events)
+}
+
+/// The conservative lookahead horizon never overshoots the next model
+/// event: for fuzzed send schedules and fault plans, at every cycle the
+/// horizon is bounded by the distance to the next scheduled send or fault
+/// entry. In-flight NoC deliveries and component hints may only *shrink*
+/// the horizon below that bound, never stretch it past an event.
+#[test]
+fn lookahead_horizon_never_overshoots_model_events() {
+    let mut rng = Rng::new(0x10ca);
+    for _ in 0..CASES {
+        let (mut soc, events) = fuzzed_probe_soc(&mut rng, cohort_sim::config::Lookahead::Auto);
+        let deadline = 2_000u64;
+        while soc.cycle < deadline {
+            let now = soc.cycle;
+            let h = soc.lookahead_horizon(deadline);
+            assert!(h >= 1, "horizon must always make progress");
+            if let Some(&next) = events.iter().find(|&&e| e >= now) {
+                let bound = (next - now).max(1);
+                assert!(
+                    h <= bound,
+                    "horizon overshot: now={now} h={h} next model event at {next}"
+                );
+            }
+            soc.step();
+        }
+    }
+}
+
+/// Forced cycle-by-cycle stepping and automatic lookahead batching are
+/// observationally equivalent on fuzzed scenarios: same stop cycle, same
+/// quiescence verdict, and — the strong claim — every message is
+/// delivered at exactly the same simulated cycle.
+#[test]
+fn lookahead_modes_agree_on_fuzzed_scenarios() {
+    use cohort_sim::component::CompId;
+    use cohort_sim::config::Lookahead;
+
+    let run = |seed: u64, lookahead: Lookahead| {
+        let mut rng = Rng::new(seed);
+        let (mut soc, _) = fuzzed_probe_soc(&mut rng, lookahead);
+        let outcome = soc.run(4_000);
+        let deliveries: Vec<Vec<u64>> = [CompId(0), CompId(1)]
+            .iter()
+            .map(|&id| {
+                soc.component::<ScheduledSender>(id)
+                    .expect("probe slot")
+                    .received_at
+                    .clone()
+            })
+            .collect();
+        let ff = soc.kernel_counter("kernel.ff_cycles");
+        (outcome, deliveries, ff)
+    };
+
+    let mut skipped_any = false;
+    for case in 0..CASES {
+        let seed = 0xd0d0 + case;
+        let (out_f1, del_f1, ff_f1) = run(seed, Lookahead::Force1);
+        let (out_auto, del_auto, ff_auto) = run(seed, Lookahead::Auto);
+        assert_eq!(ff_f1, 0, "Force1 must never fast-forward");
+        assert_eq!(
+            out_f1, out_auto,
+            "run outcome diverged between lookahead modes (seed {seed:#x})"
+        );
+        assert_eq!(
+            del_f1, del_auto,
+            "message delivery cycles diverged between lookahead modes (seed {seed:#x})"
+        );
+        skipped_any |= ff_auto > 0;
+    }
+    assert!(
+        skipped_any,
+        "auto lookahead never skipped a cycle across the whole case set — \
+         the batching path went untested"
+    );
+}
