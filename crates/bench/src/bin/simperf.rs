@@ -121,6 +121,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     let mut out_explicit = false;
+    let mut threads_explicit = false;
     while let Some(flag) = it.next() {
         let mut value = || it.next().cloned().unwrap_or_else(|| usage());
         match flag.as_str() {
@@ -133,6 +134,7 @@ fn main() {
                 if thread_list.is_empty() {
                     usage()
                 }
+                threads_explicit = true;
             }
             "--reps" => reps = value().parse().unwrap_or_else(|_| usage()),
             "--out" => {
@@ -145,7 +147,12 @@ fn main() {
     }
     if check {
         queue = queue.min(256);
-        thread_list = vec![1, 2];
+        // CI runners with enough cores pass an explicit list (e.g.
+        // `--threads 1,2,4`) to exercise real parallel legs; the default
+        // smoke matrix stays the cheap 1-vs-2 contract check.
+        if !threads_explicit {
+            thread_list = vec![1, 2];
+        }
         reps = 1;
         if !out_explicit {
             out = None;
@@ -154,6 +161,7 @@ fn main() {
 
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut report = String::new();
+    report.push_str(&cohort_bench::report::host_header());
     report.push_str("# Simulator throughput (`simperf`)\n\n");
     report.push_str(&format!(
         "Host: {host_cores} CPU core(s) visible to the process. Queue size {queue}, \

@@ -5,8 +5,8 @@
 //!     [--workload sha|aes] \
 //!     [--mode cohort|mmio|dma|chain|interfered|chaos|failover|dma-chaos|mesh16] \
 //!     [--queue N] [--batch N] [--backoff N] [--policy eager|lazy|huge] \
-//!     [--tlb N] [--faults SPEC] [--watchdog N] [--counters] [--threads N] \
-//!     [--stats FILE] [--trace FILE]
+//!     [--tlb N] [--faults SPEC] [--dram SPEC] [--watchdog N] [--counters] \
+//!     [--threads N] [--stats FILE] [--trace FILE]
 //! ```
 //!
 //! Prints latency, IPC and (with `--counters`) every component's
@@ -31,6 +31,7 @@ use cohort::scenarios::{
 };
 use cohort_os::addrspace::MapPolicy;
 use cohort_os::driver::Placement;
+use cohort_sim::dram::DramConfig;
 use cohort_sim::faultinject::{FaultKind, FaultPlan};
 
 fn usage() -> ! {
@@ -38,7 +39,8 @@ fn usage() -> ! {
         "usage: socrun [--workload sha|aes]\n\
          \u{20}             [--mode cohort|mmio|dma|chain|interfered|chaos|failover|dma-chaos|shard|mesh16]\n\
          \u{20}             [--queue N] [--batch N] [--backoff N] [--policy eager|lazy|huge]\n\
-         \u{20}             [--tlb N] [--faults SPEC] [--watchdog N] [--counters] [--threads N]\n\
+         \u{20}             [--tlb N] [--faults SPEC] [--dram SPEC] [--watchdog N] [--counters]\n\
+         \u{20}             [--threads N]\n\
          \u{20}             [--shards N] [--placement rr|occupancy] [--engines N] [--skew]\n\
          \u{20}             [--stats FILE] [--trace FILE] [--bench-out FILE]\n\
          \u{20}             [--baseline FILE] [--bless-baseline FILE]\n\
@@ -53,7 +55,11 @@ fn usage() -> ! {
          \u{20}          --bless-baseline refreshes FILE from this run\n\
          fault spec: stall@C:D|forever; spike@C:D:F; storm@C:P; corrupt@C;\n\
          \u{20}           kill@C[:E]; maple-stall@C:D; maple-kill@C;\n\
-         \u{20}           random:seed=S,count=N,from=A,to=B (semicolon-separated)"
+         \u{20}           random:seed=S,count=N,from=A,to=B (semicolon-separated)\n\
+         dram spec: `default`, or comma-separated overrides of\n\
+         \u{20}          channels=N,banks=N,rowlines=N,hit=C,miss=C,queue=N,\n\
+         \u{20}          mshrs=N,ejection=N — enables the bank/channel DRAM\n\
+         \u{20}          contention model (flat-latency memory when absent)"
     );
     std::process::exit(2)
 }
@@ -97,6 +103,7 @@ fn main() {
     let mut backoff: Option<u64> = None;
     let mut policy = MapPolicy::Eager;
     let mut tlb: Option<usize> = None;
+    let mut dram: Option<DramConfig> = None;
     let mut faults: Option<FaultPlan> = None;
     let mut watchdog: Option<u64> = None;
     let mut counters = false;
@@ -136,6 +143,12 @@ fn main() {
                 }
             }
             "--tlb" => tlb = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--dram" => {
+                dram = Some(DramConfig::from_spec(&value()).unwrap_or_else(|e| {
+                    eprintln!("socrun: {e}");
+                    usage()
+                }))
+            }
             "--faults" => {
                 faults = Some(FaultPlan::parse(&value()).unwrap_or_else(|e| {
                     eprintln!("socrun: {e}");
@@ -171,6 +184,7 @@ fn main() {
     if let Some(t) = tlb {
         scenario.soc.tlb_entries = t;
     }
+    scenario.soc.dram = dram;
     if let Some(t) = threads {
         scenario.soc = scenario.soc.clone().with_threads(t);
     }

@@ -18,6 +18,7 @@
 use cohort::scenarios::{sharded_engines_for, Runner, Scenario, ShardSpec, Workload};
 use cohort_os::addrspace::MapPolicy;
 use cohort_os::driver::Placement;
+use cohort_sim::dram::DramConfig;
 use cohort_sim::faultinject::{splitmix64, FaultKind, FaultPlan, FaultSpecError, MAX_FAULT_CYCLE};
 
 /// Upper bound on total runs in one campaign — a typo guard, not a
@@ -269,6 +270,9 @@ pub struct RunParams {
     /// When true (default), the run seed is mixed into the random fault
     /// schedule's seed, so every seed explores a different schedule.
     pub vary_fault_seed: bool,
+    /// Opt-in DRAM contention model (`dram = "spec"` in the same grammar
+    /// as `socrun --dram`); `None` keeps the flat-latency memory system.
+    pub dram: Option<DramConfig>,
 }
 
 impl Default for RunParams {
@@ -289,6 +293,7 @@ impl Default for RunParams {
             faults_text: String::new(),
             fault_jitter: 0,
             vary_fault_seed: true,
+            dram: None,
         }
     }
 }
@@ -334,6 +339,7 @@ impl RunParams {
         s.seed = seed;
         s.soc.threads = self.sim_threads.max(1);
         s.soc.faults = self.plan_for_seed(seed);
+        s.soc.dram = self.dram.clone();
         let shard = if runner == Runner::Sharded {
             s.soc.engines = self.resolved_engines();
             Some(
@@ -675,6 +681,10 @@ fn apply_param(
         }
         "fault_jitter" => p.fault_jitter = expect_int(key, value, line)?,
         "vary_fault_seed" => p.vary_fault_seed = expect_bool(key, value, line)?,
+        "dram" => {
+            let text = expect_str(key, value, line)?;
+            p.dram = Some(DramConfig::from_spec(&text).map_err(|e| bad(e.to_string()))?);
+        }
         _ => return Ok(false),
     }
     Ok(true)
@@ -1221,6 +1231,37 @@ mod tests {
                 scenario: "s".into(),
                 seed: 9
             }
+        );
+    }
+
+    #[test]
+    fn dram_key_parses_and_flows_into_the_scenario() {
+        let spec = FleetSpec::parse(
+            "[campaign]\nname = \"x\"\n[[scenario]]\nname = \"s\"\nrunner = \"cohort\"\n\
+             queue = 64\ndram = \"channels=1,queue=2,miss=100\"",
+        )
+        .expect("parses");
+        let dram = spec.scenarios[0].base.dram.as_ref().expect("dram set");
+        assert_eq!(dram.channels, 1);
+        assert_eq!(dram.queue_depth, 2);
+        assert_eq!(dram.t_row_miss, 100);
+        let (scenario, _) = spec.scenarios[0].base.to_scenario(Runner::Cohort, 0);
+        assert_eq!(scenario.soc.dram.as_ref(), Some(dram));
+
+        let spec = FleetSpec::parse(MINIMAL).expect("parses");
+        assert!(spec.scenarios[0].base.dram.is_none(), "default stays flat");
+    }
+
+    #[test]
+    fn bad_dram_spec_is_rejected_at_load_time() {
+        let err = FleetSpec::parse(
+            "[campaign]\nname = \"x\"\n[[scenario]]\nname = \"s\"\nrunner = \"cohort\"\n\
+             queue = 64\ndram = \"warp=9\"",
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, SpecError::BadValue { line: 7, ref key, .. } if key == "dram"),
+            "got {err:?}"
         );
     }
 

@@ -30,6 +30,24 @@ pub const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 /// work dominates the serial registration + merge-pop floor.
 pub const SHARD_QUEUE: u64 = 2048;
 
+/// Shard counts swept in the DRAM-contention scaling figure
+/// (`results/scaling_dram.md`): twice the flat sweep, because the point
+/// of that figure is where scaling *stops*, and the knee sits past 4.
+pub const DRAM_SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Queue size for the DRAM-contention scaling sweep: a longer stream than
+/// [`SHARD_QUEUE`] so the 8-shard runs still spend most of their cycles
+/// in steady state rather than ramp-up/merge.
+pub const DRAM_SHARD_QUEUE: u64 = 8192;
+
+/// The contended memory system behind `results/scaling_dram.md`: a single
+/// channel with a 2-deep queue and slow row misses, 3 directory MSHRs and
+/// a 1-message/cycle NoC ejection width. Deliberately starved so the
+/// bandwidth knee lands inside the 1..8-shard sweep; the uncontended
+/// [`cohort_sim::dram::DramConfig::default`] spec needs far more shards
+/// to saturate.
+pub const DRAM_SWEEP_SPEC: &str = "channels=1,queue=2,miss=100,mshrs=3,ejection=1";
+
 /// Smallest batch of each workload (the "W/ Batching" baseline in Table 3).
 pub fn min_batch(wl: Workload) -> u64 {
     match wl {

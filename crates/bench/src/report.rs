@@ -148,6 +148,16 @@ pub fn stats_figure(sweep: &mut Sweep, workload: Workload) -> String {
     s
 }
 
+/// Machine-readable host header for generated reports: states the core
+/// count of the machine that produced the numbers, so a report generated
+/// in a 1-core container is detectable (by CI or a human) instead of
+/// silently presenting overhead as scaling. Render it as the first line
+/// of every report whose numbers depend on host parallelism.
+pub fn host_header() -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    format!("<!-- host_cores={cores} -->\n")
+}
+
 /// Renders the shard-scaling figure: AES throughput of the sharded driver
 /// at 1..N engines (uniform stream, round-robin), plus the skewed-stream
 /// placement-policy comparison. Speedups are against the 1-shard run on
@@ -185,6 +195,110 @@ pub fn scaling_figure(sweep: &mut Sweep) -> String {
     s.push_str(&format!(
         "\n(AES, queue {SHARD_QUEUE}, batch {}, one producer core per shard; skewed = every 4th element run heavy. \
          Speedup is vs the 1-shard sharded run; occupancy gain is skewed rr / skewed occupancy.)\n",
+        crate::params::PEAK_BATCH
+    ));
+    s
+}
+
+/// Renders the DRAM-contention shard sweep (`results/scaling_dram.md`):
+/// the same 1..N sharded AES stream under the flat-latency memory system
+/// and under the contended [`crate::params::DRAM_SWEEP_SPEC`] model, plus
+/// the skewed-stream placement comparison with contention on. The flat
+/// column keeps gaining with every doubling; the contended column stops
+/// at the bandwidth knee — with per-run saturation counters showing why.
+///
+/// # Panics
+/// Panics if [`crate::params::DRAM_SWEEP_SPEC`] stops parsing (a unit
+/// test pins it) or any underlying run fails verification.
+/// Reads one counter out of a run's stats-registry JSON snapshot. The NoC
+/// registers its counters directly in the registry (it is not a
+/// component), so they are absent from `RunResult::counters`; the
+/// registry document is dependency-free `"scoped.name": value` lines,
+/// which this scans without a JSON parser.
+fn registry_counter(stats_json: &str, scoped_name: &str) -> u64 {
+    let needle = format!("\"{scoped_name}\": ");
+    stats_json
+        .find(&needle)
+        .map(|i| {
+            stats_json[i + needle.len()..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+        })
+        .and_then(|digits| digits.parse().ok())
+        .unwrap_or(0)
+}
+
+pub fn scaling_dram_figure(sweep: &mut Sweep) -> String {
+    use crate::params::{DRAM_SHARD_COUNTS, DRAM_SHARD_QUEUE, DRAM_SWEEP_SPEC};
+    use cohort_os::driver::Placement;
+    use cohort_sim::dram::DramConfig;
+
+    let wl = Workload::Aes;
+    let dram = DramConfig::from_spec(DRAM_SWEEP_SPEC).expect("pinned sweep spec parses");
+    let rr = Placement::RoundRobin;
+    let occ = Placement::OccupancyAware;
+
+    let flat_base = sweep
+        .run_sharded_mem(wl, 1, rr, false, DRAM_SHARD_QUEUE, None)
+        .cycles as f64;
+    let dram_base = sweep
+        .run_sharded_mem(wl, 1, rr, false, DRAM_SHARD_QUEUE, Some(&dram))
+        .cycles as f64;
+
+    let mut s = String::new();
+    s.push_str(&format!("DRAM spec: `{DRAM_SWEEP_SPEC}`\n\n"));
+    s.push_str(
+        "| Shards | Flat (kcycles) | Flat speedup | DRAM (kcycles) | DRAM speedup | Row hit % | MSHR stalls | Queue rejects | NoC deferred |\n",
+    );
+    s.push_str("|---|---|---|---|---|---|---|---|---|\n");
+    for &n in &DRAM_SHARD_COUNTS {
+        let flat = sweep
+            .run_sharded_mem(wl, n, rr, false, DRAM_SHARD_QUEUE, None)
+            .cycles as f64;
+        let run = sweep.run_sharded_mem(wl, n, rr, false, DRAM_SHARD_QUEUE, Some(&dram));
+        let cyc = run.cycles as f64;
+        let reqs = run.counter("directory", "dram_reqs").unwrap_or(0);
+        let hits = run.counter("directory", "dram_row_hits").unwrap_or(0);
+        let stalls = run.counter("directory", "mshr_stalls").unwrap_or(0);
+        let rejects = run.counter("directory", "dram_rejects").unwrap_or(0);
+        let deferred = registry_counter(&run.stats_json, "noc.ejection_deferred");
+        s.push_str(&format!(
+            "| {n} | {:.1} | {:.2}x | {:.1} | {:.2}x | {:.0}% | {stalls} | {rejects} | {deferred} |\n",
+            flat / 1000.0,
+            flat_base / flat,
+            cyc / 1000.0,
+            dram_base / cyc,
+            if reqs > 0 {
+                100.0 * hits as f64 / reqs as f64
+            } else {
+                0.0
+            },
+        ));
+    }
+
+    s.push_str(
+        "\n| Shards | Skewed rr (kcycles) | Skewed occupancy (kcycles) | Occupancy gain |\n",
+    );
+    s.push_str("|---|---|---|---|\n");
+    for &n in &DRAM_SHARD_COUNTS {
+        let skew_rr = sweep
+            .run_sharded_mem(wl, n, rr, true, DRAM_SHARD_QUEUE, Some(&dram))
+            .cycles as f64;
+        let skew_occ = sweep
+            .run_sharded_mem(wl, n, occ, true, DRAM_SHARD_QUEUE, Some(&dram))
+            .cycles as f64;
+        s.push_str(&format!(
+            "| {n} | {:.1} | {:.1} | {:.2}x |\n",
+            skew_rr / 1000.0,
+            skew_occ / 1000.0,
+            skew_rr / skew_occ,
+        ));
+    }
+    s.push_str(&format!(
+        "\n(AES, queue {DRAM_SHARD_QUEUE}, batch {}, one producer core per shard. Speedups \
+         are vs the 1-shard run on the same memory system. Row hit %, MSHR stalls, channel-queue \
+         rejects and NoC ejection deferrals come from the contended runs' stats registry.)\n",
         crate::params::PEAK_BATCH
     ));
     s

@@ -5,6 +5,7 @@ use cohort::scenarios::{
 };
 use cohort_os::driver::Placement;
 use cohort_sim::config::SocConfig;
+use cohort_sim::dram::DramConfig;
 use std::collections::HashMap;
 
 /// Communication API under test (Table 2 "communication modes").
@@ -36,7 +37,8 @@ impl std::fmt::Display for Mode {
 #[derive(Default)]
 pub struct Sweep {
     cache: HashMap<(Workload, Mode, u64), RunResult>,
-    shard_cache: HashMap<(Workload, usize, Placement, bool, u64), RunResult>,
+    #[allow(clippy::type_complexity)]
+    shard_cache: HashMap<(Workload, usize, Placement, bool, u64, Option<DramConfig>), RunResult>,
     /// If true, print one progress line per fresh simulation.
     pub verbose: bool,
 }
@@ -101,15 +103,43 @@ impl Sweep {
         skewed: bool,
         queue_size: u64,
     ) -> &RunResult {
-        let key = (workload, shards, placement, skewed, queue_size);
+        self.run_sharded_mem(workload, shards, placement, skewed, queue_size, None)
+    }
+
+    /// [`Sweep::run_sharded`] with an explicit memory system: `dram: None`
+    /// is the flat-latency baseline, `Some(cfg)` enables the bank/channel
+    /// contention model. The memory system is part of the memoization key,
+    /// so flat and contended runs of the same geometry never alias.
+    ///
+    /// # Panics
+    /// Same as [`Sweep::run_sharded`].
+    pub fn run_sharded_mem(
+        &mut self,
+        workload: Workload,
+        shards: usize,
+        placement: Placement,
+        skewed: bool,
+        queue_size: u64,
+        dram: Option<&DramConfig>,
+    ) -> &RunResult {
+        let key = (
+            workload,
+            shards,
+            placement,
+            skewed,
+            queue_size,
+            dram.cloned(),
+        );
         if !self.shard_cache.contains_key(&key) {
             if self.verbose {
                 eprintln!(
-                    "  simulating {workload:?} sharded n={shards} {placement} skew={skewed} queue={queue_size} ..."
+                    "  simulating {workload:?} sharded n={shards} {placement} skew={skewed} queue={queue_size} mem={} ...",
+                    if dram.is_some() { "dram" } else { "flat" }
                 );
             }
             let mut scenario = Scenario::new(workload, queue_size, crate::params::PEAK_BATCH);
             scenario.soc = SocConfig::default().with_engines(shards);
+            scenario.soc.dram = dram.cloned();
             let spec = ShardSpec::new(shards)
                 .with_placement(placement)
                 .with_skew(skewed);
@@ -118,7 +148,7 @@ impl Sweep {
                 result.verified,
                 "unverified sharded run: {workload:?} n={shards} {placement} queue={queue_size}"
             );
-            self.shard_cache.insert(key, result);
+            self.shard_cache.insert(key.clone(), result);
         }
         &self.shard_cache[&key]
     }

@@ -94,6 +94,26 @@ fn mesh16_runs_are_thread_invariant() {
 }
 
 #[test]
+fn dram_contended_runs_are_thread_invariant() {
+    // The DRAM contention model (plus its MSHR and NoC-ejection
+    // backpressure) feeds every completion through the directory's
+    // delayed-event heap, so it must be exactly as thread- and
+    // lookahead-invariant as the flat memory system — including the
+    // conditionally-registered dram_* stats.
+    let dram = cohort_sim::dram::DramConfig::from_spec("channels=1,queue=2,miss=100,mshrs=3")
+        .expect("valid dram spec");
+    assert_thread_invariant("sharded-aes-dram", |threads, lookahead| {
+        let mut scenario = Scenario::new(Workload::Aes, 64, 4);
+        scenario.soc = SocConfig::default()
+            .with_engines(2)
+            .with_dram(dram.clone())
+            .with_threads(threads)
+            .with_lookahead(lookahead);
+        run_cohort_sharded(&scenario, &ShardSpec::new(2)).expect("pool binds")
+    });
+}
+
+#[test]
 fn chaos_runs_are_thread_invariant() {
     // Stall + latency spike + page storm: every staged fault-flip path,
     // with the full recovery stack (watchdog, swap store, retry) armed.

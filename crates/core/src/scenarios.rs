@@ -2026,7 +2026,13 @@ pub fn run_scenario(
         Runner::Mesh16 => {
             let (mesh, spec) = mesh16_scenario(scenario.queue_size, scenario.batch);
             let mut scenario = scenario.clone();
-            scenario.soc.engines = mesh.soc.engines;
+            // A kill fault on a mesh shard needs the failover spare on
+            // top of the mesh's fixed 4-engine pool; fault-free meshes
+            // keep exactly the canonical geometry (and its baselines).
+            scenario.soc.engines = mesh
+                .soc
+                .engines
+                .max(sharded_engines_for(&scenario.soc.faults, spec.shards));
             run_cohort_sharded(&scenario, &spec)
         }
     }

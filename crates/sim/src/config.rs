@@ -156,6 +156,12 @@ pub struct SocConfig {
     pub threads: usize,
     /// Cycle-batching policy (default [`Lookahead::Auto`]).
     pub lookahead: Lookahead,
+    /// Opt-in DRAM contention model (banks/channels, row buffers, bounded
+    /// per-channel queues) plus directory MSHR limits and NoC ejection
+    /// backpressure. `None` (the default) keeps the flat
+    /// [`TimingConfig::dram`] fill latency and an unbounded directory, so
+    /// every pre-existing baseline stays bit-identical.
+    pub dram: Option<crate::dram::DramConfig>,
 }
 
 impl Default for SocConfig {
@@ -171,6 +177,7 @@ impl Default for SocConfig {
             faults: crate::faultinject::FaultPlan::default(),
             threads: 1,
             lookahead: Lookahead::default(),
+            dram: None,
         }
     }
 }
@@ -216,6 +223,12 @@ impl SocConfig {
     /// Convenience builder-style override of the cycle-batching policy.
     pub fn with_lookahead(mut self, lookahead: Lookahead) -> Self {
         self.lookahead = lookahead;
+        self
+    }
+
+    /// Convenience builder-style enabling of the DRAM contention model.
+    pub fn with_dram(mut self, dram: crate::dram::DramConfig) -> Self {
+        self.dram = Some(dram);
         self
     }
 }

@@ -13,6 +13,13 @@
 //! * L2 misses pay a DRAM fill; inclusive evictions recall the line from
 //!   every holder before the victim is dropped, which is what produces the
 //!   capacity effect at the largest queue sizes in Figs. 8/9.
+//!
+//! Fills pay a flat [`crate::config::TimingConfig::dram`] latency by
+//! default. When [`crate::config::SocConfig::dram`] is set they route
+//! through the bank/channel contention model ([`crate::dram`]) instead,
+//! and the directory additionally caps concurrent transactions at the
+//! configured MSHR count — overflow waits at the ingress, which is how
+//! memory saturation propagates back to cores and engines.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -20,8 +27,9 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use crate::cache::{LineState, TagArray};
 use crate::component::{CompId, Component, Ctx, Observability};
 use crate::config::SocConfig;
+use crate::dram::DramModel;
 use crate::msg::{Envelope, Msg};
-use crate::stats::Counter;
+use crate::stats::{Counter, Histogram};
 use crate::trace::Trace;
 
 /// Directory-side sharing state for a line cached above the L2.
@@ -87,6 +95,10 @@ enum DelayedKind {
     Proceed,
     /// DRAM fill completed: install the line, then proceed.
     Fill,
+    /// A full DRAM channel queue rejected this fill; re-issue it (the due
+    /// cycle is when the channel's oldest entry retires). Only scheduled
+    /// when the contention model is enabled.
+    DramIssue,
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -129,6 +141,9 @@ pub struct DirCounters {
     pub recalls: Counter,
     /// Full-line-write installs that skipped the DRAM fill.
     pub wc_installs: Counter,
+    /// Requests parked at the ingress because every MSHR was busy (only
+    /// non-zero when the DRAM contention model caps transactions).
+    pub mshr_stalls: Counter,
 }
 
 /// The shared L2 + directory component. See module docs.
@@ -140,6 +155,18 @@ pub struct Directory {
     seq: u64,
     l2_hit: u64,
     dram: u64,
+    /// Opt-in contention model; `None` keeps the flat `dram` constant.
+    dram_model: Option<DramModel>,
+    /// Concurrent transactions before new requests wait at the ingress
+    /// (`usize::MAX` when the contention model is off).
+    mshr_limit: usize,
+    /// Requests admitted only when an MSHR frees, in arrival order. This
+    /// is the NoC-ingress backpressure point: requests here occupy their
+    /// requester's finite MSHR/MTE slots, so a saturated directory stalls
+    /// the cores and engines behind it instead of queueing unboundedly.
+    waiting: VecDeque<(u64, Req)>,
+    /// Ingress-queue occupancy observed by each stalled request.
+    mshr_wait_depth: Histogram,
     counters: DirCounters,
     trace: Option<Trace>,
     tid: u64,
@@ -165,10 +192,19 @@ impl Directory {
             seq: 0,
             l2_hit: cfg.timing.l2_hit,
             dram: cfg.timing.dram,
+            dram_model: cfg.dram.clone().map(DramModel::new),
+            mshr_limit: cfg.dram.as_ref().map_or(usize::MAX, |d| d.mshrs),
+            waiting: VecDeque::new(),
+            mshr_wait_depth: Histogram::new(),
             counters: DirCounters::default(),
             trace: None,
             tid: 0,
         }
+    }
+
+    /// The DRAM contention model, when enabled (test/report introspection).
+    pub fn dram_model(&self) -> Option<&DramModel> {
+        self.dram_model.as_ref()
     }
 
     /// Snapshot of the performance counters.
@@ -204,8 +240,20 @@ impl Directory {
             ReqKind::GetS => self.counters.gets.inc(),
             ReqKind::GetM => self.counters.getm.inc(),
         }
+        self.admit(ctx, line, req);
+    }
+
+    /// Starts (or queues) a counted request. Separate from [`Self::on_request`]
+    /// so draining the MSHR ingress queue does not double-count.
+    fn admit(&mut self, ctx: &mut Ctx<'_>, line: u64, req: Req) {
         if let Some(txn) = self.txns.get_mut(&line) {
             txn.queue.push_back(req);
+            return;
+        }
+        if self.txns.len() >= self.mshr_limit {
+            self.counters.mshr_stalls.inc();
+            self.mshr_wait_depth.record(self.waiting.len() as u64 + 1);
+            self.waiting.push_back((line, req));
             return;
         }
         let mut queue = VecDeque::new();
@@ -230,7 +278,24 @@ impl Directory {
             self.schedule(ctx.cycle + self.l2_hit, line, DelayedKind::Fill);
         } else {
             self.counters.fills.inc();
-            self.schedule(ctx.cycle + self.l2_hit + self.dram, line, DelayedKind::Fill);
+            if self.dram_model.is_some() {
+                // The miss is known after the tag lookup; issue to DRAM then.
+                self.issue_dram(ctx.cycle + self.l2_hit, line);
+            } else {
+                self.schedule(ctx.cycle + self.l2_hit + self.dram, line, DelayedKind::Fill);
+            }
+        }
+    }
+
+    /// Issues (or re-issues) a fill for `line` to the contention model at
+    /// cycle `at`. A full channel queue schedules a retry for the exact
+    /// cycle a slot frees — the model reports its next retire cycle, so no
+    /// polling and no lost wakeups.
+    fn issue_dram(&mut self, at: u64, line: u64) {
+        let dram = self.dram_model.as_mut().expect("contention model enabled");
+        match dram.enqueue(at, line) {
+            Ok(done) => self.schedule(done, line, DelayedKind::Fill),
+            Err(retry) => self.schedule(retry, line, DelayedKind::DramIssue),
         }
     }
 
@@ -499,12 +564,20 @@ impl Component for Directory {
             match d.kind {
                 DelayedKind::Proceed => self.proceed(ctx, d.line),
                 DelayedKind::Fill => self.fill(ctx, d.line),
+                DelayedKind::DramIssue => self.issue_dram(ctx.cycle, d.line),
             }
+        }
+        // Transactions granted this cycle freed MSHRs; admit waiting
+        // requests in arrival order. Appending to a still-live transaction
+        // does not consume an MSHR, so the loop is bounded by the queue.
+        while !self.waiting.is_empty() && self.txns.len() < self.mshr_limit {
+            let (line, req) = self.waiting.pop_front().expect("checked non-empty");
+            self.admit(ctx, line, req);
         }
     }
 
     fn is_idle(&self) -> bool {
-        self.txns.is_empty() && self.delayed.is_empty()
+        self.txns.is_empty() && self.delayed.is_empty() && self.waiting.is_empty()
     }
 
     fn quiescent_for(&self, now: u64) -> u64 {
@@ -512,7 +585,11 @@ impl Component for Directory {
         // inbound message (inbox-gated by the SoC) or a delayed action
         // with an explicit due cycle; in-flight transactions waiting on
         // acks carry no per-cycle work. No per-cycle counters, so the
-        // default no-op `fast_forward` is exact.
+        // default no-op `fast_forward` is exact. DRAM-model events (fill
+        // completions, full-queue retries) all live in the same delayed
+        // heap, so the hint covers the next bank-ready/queue-drain event
+        // too; ingress-parked requests are admitted only when a grant
+        // frees an MSHR, and grants are themselves heap- or ack-driven.
         match self.delayed.peek() {
             Some(Reverse(d)) => d.at.saturating_sub(now).max(1),
             None => u64::MAX,
@@ -533,13 +610,20 @@ impl Component for Directory {
         ] {
             obs.adopt_counter(name, counter);
         }
+        // Contention-model stats register only when the model is on, so a
+        // flat-memory run's stats_json stays byte-identical to before.
+        if let Some(dram) = &self.dram_model {
+            obs.adopt_counter("mshr_stalls", &c.mshr_stalls);
+            obs.adopt_histogram("mshr_wait_depth", &self.mshr_wait_depth);
+            dram.attach(obs);
+        }
         self.trace = Some(obs.trace.clone());
         self.tid = obs.tid;
     }
 
     fn counters(&self) -> Vec<(String, u64)> {
         let c = &self.counters;
-        vec![
+        let mut v = vec![
             ("gets".into(), c.gets.get()),
             ("getm".into(), c.getm.get()),
             ("inv_sent".into(), c.inv_sent.get()),
@@ -548,7 +632,12 @@ impl Component for Directory {
             ("fills".into(), c.fills.get()),
             ("recalls".into(), c.recalls.get()),
             ("wc_installs".into(), c.wc_installs.get()),
-        ]
+        ];
+        if let Some(dram) = &self.dram_model {
+            v.push(("mshr_stalls".into(), c.mshr_stalls.get()));
+            v.extend(dram.counter_snapshot());
+        }
+        v
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -54,6 +54,7 @@ pub mod component;
 pub mod config;
 pub mod core;
 pub mod directory;
+pub mod dram;
 pub mod faultinject;
 pub mod mem;
 pub mod msg;

@@ -73,6 +73,13 @@ pub struct Noc {
     hops: Histogram,
     trace: Option<Trace>,
     faults: Option<FaultState>,
+    /// Messages ejected into one destination per cycle before the rest
+    /// slip a cycle (`None` = unlimited, the default). Enabled by the
+    /// DRAM contention model so a hot destination (the directory) also
+    /// backs traffic up in the mesh instead of draining instantly.
+    ejection_width: Option<u64>,
+    /// Deliveries deferred by the ejection limit.
+    ejection_deferred: Counter,
 }
 
 impl Noc {
@@ -89,7 +96,16 @@ impl Noc {
             hops: Histogram::new(),
             trace: None,
             faults: None,
+            ejection_width: None,
+            ejection_deferred: Counter::new(),
         }
+    }
+
+    /// Caps deliveries into a single destination per simulated cycle;
+    /// `0` means unlimited. Called by the SoC when the DRAM contention
+    /// model is enabled.
+    pub fn set_ejection_width(&mut self, width: u64) {
+        self.ejection_width = (width > 0).then_some(width);
     }
 
     /// Connects the NoC to the shared fault switches: messages injected
@@ -106,6 +122,11 @@ impl Noc {
         stats.adopt_counter("noc.flits", &self.flits);
         stats.adopt_histogram("noc.hop_latency", &self.hop_latency);
         stats.adopt_histogram("noc.hops", &self.hops);
+        // Registered only when the limit is armed so flat-memory runs keep
+        // a byte-identical stats_json.
+        if self.ejection_width.is_some() {
+            stats.adopt_counter("noc.ejection_deferred", &self.ejection_deferred);
+        }
         trace.name_thread(NOC_TRACE_TID, "noc");
         self.trace = Some(trace.clone());
     }
@@ -168,12 +189,42 @@ impl Noc {
     }
 
     /// Pops every message due at or before `cycle`.
+    ///
+    /// With an ejection width armed, at most `width` messages per due
+    /// cycle reach any one destination; the overflow is re-queued one
+    /// cycle later (keeping its original `(src, seq)` tie-break key, so
+    /// ordering stays deterministic and source-FIFO). The re-queued cycle
+    /// is visible through [`Noc::next_delivery`], which is what keeps
+    /// lookahead batching from jumping over the slipped deliveries.
     pub fn deliver_due(&mut self, cycle: u64, mut sink: impl FnMut(CompId, Envelope)) {
+        // (dst, count) for the due-cycle currently being drained; the heap
+        // pops in `(at, src, seq)` order, so a change of `at` resets it.
+        let mut draining_at = u64::MAX;
+        let mut counts: Vec<(CompId, u64)> = Vec::new();
         while let Some(Reverse(head)) = self.heap.peek() {
             if head.at > cycle {
                 break;
             }
             let Reverse(m) = self.heap.pop().expect("peeked");
+            if let Some(width) = self.ejection_width {
+                if m.at != draining_at {
+                    draining_at = m.at;
+                    counts.clear();
+                }
+                let slot = match counts.iter_mut().find(|(d, _)| *d == m.dst) {
+                    Some((_, n)) => n,
+                    None => {
+                        counts.push((m.dst, 0));
+                        &mut counts.last_mut().expect("just pushed").1
+                    }
+                };
+                if *slot >= width {
+                    self.ejection_deferred.inc();
+                    self.heap.push(Reverse(InFlight { at: m.at + 1, ..m }));
+                    continue;
+                }
+                *slot += 1;
+            }
             self.delivered.inc();
             sink(m.dst, m.env);
         }

@@ -188,6 +188,9 @@ impl Soc {
         let trace = Trace::default();
         let faults = FaultState::default();
         let mut noc = Noc::new(&cfg.timing);
+        if let Some(dram) = &cfg.dram {
+            noc.set_ejection_width(dram.noc_ejection);
+        }
         noc.attach(&stats, &trace);
         noc.set_fault_state(faults.clone());
         Self {

@@ -623,6 +623,287 @@ fn fuzzed_probe_soc(
     (soc, events)
 }
 
+/// The DRAM channel queues honour their configured bound under arbitrary
+/// request streams: observable occupancy never exceeds `queue_depth`, a
+/// rejection's retry cycle is in the future and really has a free slot,
+/// and `next_event` agrees exactly with a mirror of the accepted
+/// completion set (the hint can never skip a bank event).
+#[test]
+fn dram_queue_depth_never_exceeds_bound() {
+    use cohort_sim::dram::{DramConfig, DramModel};
+
+    let mut rng = Rng::new(0xd7a1);
+    for _ in 0..CASES {
+        let channels = rng.range(1, 4);
+        let queue = rng.range(1, 6) as usize;
+        let hit = rng.range(1, 30);
+        let miss = hit + rng.range(0, 60);
+        let spec = format!(
+            "channels={channels},banks={},rowlines={},hit={hit},miss={miss},queue={queue}",
+            rng.range(1, 4),
+            rng.range(1, 8),
+        );
+        let mut m = DramModel::new(DramConfig::from_spec(&spec).expect("generated spec parses"));
+        let mut outstanding: Vec<u64> = Vec::new();
+        let mut at = 0u64;
+        for _ in 0..400 {
+            at += rng.range(0, 12);
+            let line = rng.range(0, 64) * cohort_sim::LINE_BYTES;
+            match m.enqueue(at, line) {
+                Ok(done) => {
+                    assert!(done > at, "completion in the past: at={at} done={done}");
+                    outstanding.push(done);
+                }
+                Err(retry) => {
+                    assert!(
+                        retry > at,
+                        "retry must be in the future: at={at} retry={retry}"
+                    );
+                    // At the retry cycle one slot is guaranteed free.
+                    at = retry;
+                    let done = m.enqueue(at, line).expect("slot freed at retry cycle");
+                    outstanding.push(done);
+                }
+            }
+            for ch in 0..channels as usize {
+                let d = m.depth(ch, at);
+                assert!(d <= queue, "channel {ch} depth {d} exceeds bound {queue}");
+            }
+            let expect = outstanding.iter().copied().filter(|&d| d > at).min();
+            assert_eq!(m.next_event(at), expect, "hint diverged from the model");
+        }
+    }
+}
+
+/// A probe that requests read-shared lines from the directory at
+/// pre-scheduled cycles and records when the data grants arrive. It also
+/// acknowledges invalidations/downgrades so directory recalls never
+/// wedge. Like [`ScheduledSender`], its hint is exactly the model.
+struct DramRequester {
+    dir: cohort_sim::component::CompId,
+    /// `(cycle, line)` pairs, sorted by cycle.
+    sends: std::collections::VecDeque<(u64, u64)>,
+    received_at: Vec<u64>,
+}
+
+impl cohort_sim::component::Component for DramRequester {
+    fn name(&self) -> &str {
+        "dram-requester"
+    }
+
+    fn step(&mut self, ctx: &mut cohort_sim::component::Ctx<'_>) {
+        use cohort_sim::msg::Msg;
+        while let Some(env) = ctx.recv() {
+            match env.msg {
+                Msg::DataS { .. } | Msg::DataM { .. } => self.received_at.push(ctx.cycle),
+                Msg::Inv { line } => ctx.send(self.dir, Msg::InvAck { line }),
+                Msg::Downgrade { line } => ctx.send(self.dir, Msg::DowngradeAck { line }),
+                _ => {}
+            }
+        }
+        while self.sends.front().is_some_and(|&(c, _)| c <= ctx.cycle) {
+            let (_, line) = self.sends.pop_front().expect("front checked");
+            ctx.send(self.dir, cohort_sim::msg::Msg::GetS { line });
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.sends.is_empty()
+    }
+
+    fn quiescent_for(&self, now: u64) -> u64 {
+        self.sends
+            .front()
+            .map_or(u64::MAX, |&(c, _)| c.saturating_sub(now).max(1))
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// A deliberately starved DRAM geometry so short fuzzed runs still hit
+/// channel-queue rejects, MSHR waits and NoC ejection deferrals.
+const DRAM_FUZZ_SPEC: &str = "channels=1,banks=2,queue=2,miss=60,mshrs=4,ejection=1";
+
+/// Builds a fuzzed SoC with the DRAM contention model enabled: a real
+/// [`cohort_sim::directory::Directory`] plus two [`DramRequester`]s
+/// issuing `GetS` for distinct lines at random cycles. Returns the SoC,
+/// the directory's id, and the sorted union of scheduled request cycles.
+fn fuzzed_dram_soc(
+    rng: &mut Rng,
+    lookahead: cohort_sim::config::Lookahead,
+    threads: usize,
+) -> (
+    cohort_sim::soc::Soc,
+    cohort_sim::component::CompId,
+    Vec<u64>,
+) {
+    use cohort_sim::component::TileCoord;
+
+    let dram = cohort_sim::dram::DramConfig::from_spec(DRAM_FUZZ_SPEC).expect("fuzz spec parses");
+    let cfg = cohort_sim::config::SocConfig::default()
+        .with_dram(dram)
+        .with_lookahead(lookahead)
+        .with_threads(threads);
+    let mut soc = cohort_sim::soc::Soc::new(cfg.clone());
+    let dir = soc.add_component(
+        TileCoord::new(0, 0),
+        Box::new(cohort_sim::directory::Directory::new(&cfg)),
+    );
+    let mut all_sends: Vec<u64> = Vec::new();
+    let mut next_line = 0u64;
+    for p in 0..2u16 {
+        let n = rng.range(4, 24) as usize;
+        let mut cycles: Vec<u64> = (0..n).map(|_| rng.range(1, 1_200)).collect();
+        cycles.sort_unstable();
+        cycles.dedup();
+        // Distinct lines per request, so every grant needs a DRAM fill.
+        let sends: std::collections::VecDeque<(u64, u64)> = cycles
+            .iter()
+            .map(|&c| {
+                let line = next_line * cohort_sim::LINE_BYTES;
+                next_line += 1;
+                (c, line)
+            })
+            .collect();
+        all_sends.extend(cycles);
+        soc.add_component(
+            TileCoord::new(1 + p, 0),
+            Box::new(DramRequester {
+                dir,
+                sends,
+                received_at: Vec::new(),
+            }),
+        );
+    }
+    all_sends.sort_unstable();
+    all_sends.dedup();
+    (soc, dir, all_sends)
+}
+
+/// With the contention model enabled, the lookahead horizon never
+/// overshoots the next DRAM bank event: every accepted fill's completion
+/// (and every full-queue retry) lives in the directory's delayed heap, so
+/// its `quiescent_for` hint — and therefore the global horizon — is
+/// bounded by the distance to [`cohort_sim::dram::DramModel::next_event`].
+#[test]
+fn dram_hints_never_overshoot_bank_events() {
+    use cohort_sim::directory::Directory;
+
+    let mut rng = Rng::new(0xd7a3);
+    let mut saw_dram_bound = false;
+    for _ in 0..CASES {
+        let (mut soc, dir, sends) =
+            fuzzed_dram_soc(&mut rng, cohort_sim::config::Lookahead::Auto, 1);
+        let deadline = 6_000u64;
+        while soc.cycle < deadline {
+            let now = soc.cycle;
+            let h = soc.lookahead_horizon(deadline);
+            assert!(h >= 1, "horizon must always make progress");
+            let dram_next = soc
+                .component::<Directory>(dir)
+                .expect("directory slot")
+                .dram_model()
+                .expect("dram enabled")
+                .next_event(now);
+            if let Some(next) = dram_next {
+                assert!(
+                    h <= next - now,
+                    "horizon overshot a bank event: now={now} h={h} next={next}"
+                );
+                saw_dram_bound = true;
+            }
+            if let Some(&next) = sends.iter().find(|&&e| e >= now) {
+                assert!(
+                    h <= (next - now).max(1),
+                    "horizon overshot a scheduled request: now={now} h={h} next={next}"
+                );
+            }
+            soc.step();
+        }
+    }
+    assert!(
+        saw_dram_bound,
+        "no case ever had an outstanding DRAM request — the bound went untested"
+    );
+}
+
+/// With DRAM enabled, forced cycle-by-cycle stepping, automatic lookahead
+/// batching, and a second worker thread are all observationally
+/// equivalent: same end state, same per-cycle grant deliveries, same
+/// directory/DRAM counters. The kernel invariant
+/// `barriers + ff_cycles == cycles` holds on the batched runs, and across
+/// the case set the starved geometry must actually exercise fills,
+/// channel-queue rejects and MSHR waits.
+#[test]
+fn dram_lookahead_modes_and_thread_counts_agree() {
+    use cohort_sim::component::{CompId, Component as _};
+    use cohort_sim::config::Lookahead;
+    use cohort_sim::directory::Directory;
+
+    let run = |seed: u64, lookahead: Lookahead, threads: usize| {
+        let mut rng = Rng::new(seed);
+        let (mut soc, dir, _) = fuzzed_dram_soc(&mut rng, lookahead, threads);
+        let outcome = soc.run(20_000);
+        let deliveries: Vec<Vec<u64>> = [CompId(1), CompId(2)]
+            .iter()
+            .map(|&id| {
+                soc.component::<DramRequester>(id)
+                    .expect("probe slot")
+                    .received_at
+                    .clone()
+            })
+            .collect();
+        let d = soc.component::<Directory>(dir).expect("directory slot");
+        let counters: Vec<(String, u64)> = d.counters();
+        let ff = soc.kernel_counter("kernel.ff_cycles");
+        let barriers = soc.kernel_counter("kernel.barrier_activations");
+        (outcome, deliveries, counters, ff, barriers, soc.cycle)
+    };
+
+    let (mut skipped_any, mut rejected_any, mut stalled_any) = (false, false, false);
+    for case in 0..CASES {
+        let seed = 0xd7a7 + case;
+        let f1 = run(seed, Lookahead::Force1, 1);
+        let auto = run(seed, Lookahead::Auto, 1);
+        let auto2 = run(seed, Lookahead::Auto, 2);
+        assert_eq!(f1.3, 0, "Force1 must never fast-forward");
+        for other in [&auto, &auto2] {
+            assert_eq!(
+                (&f1.0, &f1.1, &f1.2),
+                (&other.0, &other.1, &other.2),
+                "observable state diverged between modes (seed {seed:#x})"
+            );
+        }
+        assert_eq!(
+            auto.4 + auto.3,
+            auto.5,
+            "barriers + ff_cycles != cycles (seed {seed:#x})"
+        );
+        let counter = |name: &str| {
+            auto.2
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |(_, v)| *v)
+        };
+        assert!(
+            counter("fills") > 0,
+            "no DRAM fills issued (seed {seed:#x})"
+        );
+        skipped_any |= auto.3 > 0;
+        rejected_any |= counter("dram_rejects") > 0;
+        stalled_any |= counter("mshr_stalls") > 0;
+    }
+    assert!(skipped_any, "auto lookahead never batched a single cycle");
+    assert!(rejected_any, "no case ever filled a DRAM channel queue");
+    assert!(stalled_any, "no case ever exhausted the directory MSHRs");
+}
+
 /// The conservative lookahead horizon never overshoots the next model
 /// event: for fuzzed send schedules and fault plans, at every cycle the
 /// horizon is bounded by the distance to the next scheduled send or fault
